@@ -1,0 +1,42 @@
+// Ablation: mobility models (paper future work: "verify the robust
+// performance of PReCinCt scheme under different mobility models").
+// Random waypoint (the paper's model) vs random direction (no center
+// bias) vs Gauss-Markov (smooth correlated motion) vs a static network.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace precinct;
+  namespace pb = precinct::bench;
+
+  pb::print_header(
+      "Ablation — mobility models (paper §7 future work)",
+      "80 nodes, same speed envelope across models, PReCinCt + GD-LD");
+
+  const std::vector<const char*> models{"random-waypoint", "random-direction",
+                                        "gauss-markov", "static"};
+  std::vector<core::PrecinctConfig> points;
+  for (const char* model : models) {
+    auto c = pb::mobile_base();
+    c.mobility_model = model;
+    points.push_back(c);
+  }
+  const auto results = pb::run_sweep(points);
+
+  support::Table table({"model", "success ratio", "latency (s)",
+                        "byte hit ratio", "custody handoffs"});
+  bool robust = true;
+  for (std::size_t i = 0; i < models.size(); ++i) {
+    robust &= results[i].success_ratio() > 0.9;
+    table.add_row({models[i],
+                   support::Table::num(results[i].success_ratio(), 4),
+                   support::Table::num(results[i].avg_latency_s(), 4),
+                   support::Table::num(results[i].byte_hit_ratio(), 4),
+                   std::to_string(results[i].custody_handoffs)});
+  }
+  table.print(std::cout);
+  std::cout << "\n";
+  pb::check(robust, "success ratio above 0.9 under every mobility model");
+  pb::check(results[3].custody_handoffs == 0,
+            "static network performs no custody handoffs");
+  return 0;
+}

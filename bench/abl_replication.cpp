@@ -1,0 +1,86 @@
+// Ablation: replica regions under node failures (paper §2.4's
+// fault-tolerance design).  Sweeps the crash rate with replication on
+// and off; replication should hold availability up.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace precinct;
+  namespace pb = precinct::bench;
+
+  const std::vector<double> crash_rates{0.0, 0.02, 0.05, 0.1};
+  pb::print_header(
+      "Ablation — replication vs node crashes (§2.4)",
+      "80 nodes mobile, sudden deaths at the given network-wide rate");
+
+  std::vector<core::PrecinctConfig> points;
+  for (const std::size_t replicas : {std::size_t{1}, std::size_t{0}}) {
+    for (const double rate : crash_rates) {
+      auto c = pb::mobile_base();
+      c.replica_count = replicas;
+      c.crash_rate_per_s = rate;
+      c.graceful_fraction = 0.0;
+      points.push_back(c);
+    }
+  }
+  const auto results = pb::run_sweep(points);
+
+  support::Table table({"crashes/s", "success w/ replica", "success w/o",
+                        "replica hits"});
+  const std::size_t n = crash_rates.size();
+  bool replica_helps = true;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& with = results[i];
+    const auto& without = results[n + i];
+    if (crash_rates[i] > 0.0) {
+      replica_helps &= with.success_ratio() >= without.success_ratio();
+    }
+    table.add_row({support::Table::num(crash_rates[i], 2),
+                   support::Table::num(with.success_ratio(), 4),
+                   support::Table::num(without.success_ratio(), 4),
+                   std::to_string(with.replica_hits)});
+  }
+  table.print(std::cout);
+  std::cout << "\n";
+  pb::check(replica_helps,
+            "replication sustains availability under crashes (§2.4)");
+  // Compare replica usage as a share of completed requests: at very high
+  // crash rates absolute counts fall with overall throughput.
+  const double share_none =
+      static_cast<double>(results[0].replica_hits) /
+      static_cast<double>(results[0].requests_completed);
+  const double share_mid =
+      static_cast<double>(results[n - 2].replica_hits) /
+      static_cast<double>(results[n - 2].requests_completed);
+  pb::check(share_mid > share_none,
+            "replica regions serve a larger share as crashes increase");
+
+  // Second sweep: replica count at a fixed harsh crash rate (the paper
+  // notes the scheme extends to multiple replicas for "higher failure
+  // frequencies").
+  std::vector<core::PrecinctConfig> kpoints;
+  for (const std::size_t k : {std::size_t{0}, std::size_t{1}, std::size_t{2},
+                              std::size_t{3}}) {
+    auto c = pb::mobile_base();
+    c.replica_count = k;
+    c.crash_rate_per_s = 0.08;
+    c.graceful_fraction = 0.0;
+    kpoints.push_back(c);
+  }
+  const auto kres = pb::run_sweep(kpoints);
+  std::cout << "\n";
+  support::Table ktable({"replicas", "success ratio", "messages/request"});
+  for (std::size_t i = 0; i < kpoints.size(); ++i) {
+    const double mpr = kres[i].requests_completed
+                           ? static_cast<double>(kres[i].messages_sent) /
+                                 static_cast<double>(kres[i].requests_completed)
+                           : 0.0;
+    ktable.add_row({std::to_string(kpoints[i].replica_count),
+                    support::Table::num(kres[i].success_ratio(), 4),
+                    support::Table::num(mpr, 1)});
+  }
+  ktable.print(std::cout);
+  std::cout << "\n";
+  pb::check(kres[2].success_ratio() >= kres[0].success_ratio(),
+            "two replicas at least as available as none under heavy crashes");
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Ablation: retrieval scheme comparison — PReCinCt vs network Flooding
+// vs Expanding Ring (the comparison the paper inherits from [11]).
+// Expected: PReCinCt cheapest in energy; flooding most expensive;
+// expanding ring in between with the worst latency (ring retries).
+#include "bench_common.hpp"
+
+int main() {
+  using namespace precinct;
+  namespace pb = precinct::bench;
+
+  pb::print_header("Ablation — retrieval schemes",
+                   "static 600x600 m, 40 nodes, no dynamic cache");
+
+  const std::vector<std::pair<const char*, core::RetrievalScheme>> schemes{
+      {"PReCinCt", core::RetrievalScheme::kPrecinct},
+      {"Flooding", core::RetrievalScheme::kFlooding},
+      {"Expanding Ring", core::RetrievalScheme::kExpandingRing},
+  };
+  std::vector<core::PrecinctConfig> points;
+  for (const auto& [name, scheme] : schemes) {
+    auto c = pb::static_base();
+    c.n_nodes = 40;
+    c.retrieval = scheme;
+    points.push_back(c);
+  }
+  const auto results = pb::run_sweep(points);
+
+  support::Table table({"scheme", "energy/request (mJ)", "latency (s)",
+                        "success ratio", "messages"});
+  for (std::size_t i = 0; i < schemes.size(); ++i) {
+    table.add_row({schemes[i].first,
+                   support::Table::num(results[i].energy_per_request_mj(), 2),
+                   support::Table::num(results[i].avg_latency_s(), 4),
+                   support::Table::num(results[i].success_ratio(), 4),
+                   std::to_string(results[i].messages_sent)});
+  }
+  table.print(std::cout);
+  std::cout << "\n";
+  pb::check(results[0].energy_per_request_mj() <
+                results[1].energy_per_request_mj(),
+            "PReCinCt uses less energy than flooding");
+  pb::check(results[2].energy_per_request_mj() <
+                results[1].energy_per_request_mj(),
+            "expanding ring uses less energy than flooding");
+  pb::check(results[0].energy_per_request_mj() <
+                results[2].energy_per_request_mj(),
+            "PReCinCt uses less energy than expanding ring");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Ablation: scalability.  The paper's motivation is "large-scale MP2P
+// networks": scale nodes and area together (constant density, constant
+// region size) and watch per-request cost.  PReCinCt's promise is that
+// per-request energy stays near-flat while flooding's grows with N.
+#include "bench_common.hpp"
+
+#include <cmath>
+
+int main() {
+  using namespace precinct;
+  namespace pb = precinct::bench;
+
+  pb::print_header(
+      "Ablation — scalability at constant density",
+      "density and region size held constant; nodes and area scale "
+      "together; PReCinCt vs network-wide flooding");
+
+  struct Scale {
+    std::size_t nodes;
+    double side;
+    std::uint32_t grid;
+  };
+  const std::vector<Scale> scales{
+      {80, 1200.0, 3}, {180, 1800.0, 4}, {320, 2400.0, 6}};
+
+  std::vector<core::PrecinctConfig> points;
+  for (const auto scheme :
+       {core::RetrievalScheme::kPrecinct, core::RetrievalScheme::kFlooding}) {
+    for (const Scale& s : scales) {
+      auto c = pb::mobile_base();
+      c.retrieval = scheme;
+      c.n_nodes = s.nodes;
+      c.area = {{0.0, 0.0}, {s.side, s.side}};
+      c.regions_x = c.regions_y = s.grid;
+      c.cache_fraction = 0.0;  // compare raw retrieval cost
+      c.catalog.min_item_bytes = c.catalog.max_item_bytes = 64;
+      c.network_flood_ttl = 64;  // the flood must span the larger plane
+      c.measure_s = pb::fast_mode() ? 150.0 : 300.0;
+      points.push_back(c);
+    }
+  }
+  const auto results = pb::run_sweep(points);
+
+  support::Table table({"nodes", "area (m)", "PReCinCt mJ/req",
+                        "Flooding mJ/req", "PReCinCt success",
+                        "Flooding success"});
+  const std::size_t n = scales.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    table.add_row({std::to_string(scales[i].nodes),
+                   support::Table::num(scales[i].side, 0),
+                   support::Table::num(results[i].energy_per_request_mj(), 2),
+                   support::Table::num(results[n + i].energy_per_request_mj(), 2),
+                   support::Table::num(results[i].success_ratio(), 3),
+                   support::Table::num(results[n + i].success_ratio(), 3)});
+  }
+  table.print(std::cout);
+  std::cout << "\n";
+  const double precinct_growth = results[n - 1].energy_per_request_mj() /
+                                 results[0].energy_per_request_mj();
+  const double flooding_growth =
+      results[2 * n - 1].energy_per_request_mj() /
+      results[n].energy_per_request_mj();
+  pb::check(precinct_growth < flooding_growth,
+            "PReCinCt per-request energy grows slower than flooding's");
+  pb::check(results[n - 1].success_ratio() > 0.9,
+            "PReCinCt stays reliable at 320 nodes");
+  return 0;
+}

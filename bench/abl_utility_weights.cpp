@@ -1,0 +1,48 @@
+// Ablation: sensitivity of GD-LD to its utility weights (wr, wd, ws) —
+// the design choice behind paper Eq. 1.  Zeroing each term shows what
+// popularity, region distance and size each contribute.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace precinct;
+  namespace pb = precinct::bench;
+
+  struct Variant {
+    const char* name;
+    cache::GdLdWeights weights;
+  };
+  const std::vector<Variant> variants{
+      {"full GD-LD (wr=1, wd=1, ws=4096)", {1.0, 1.0, 4096.0}},
+      {"no popularity (wr=0)", {0.0, 1.0, 4096.0}},
+      {"no region distance (wd=0)", {1.0, 0.0, 4096.0}},
+      {"no size term (ws=0)", {1.0, 1.0, 0.0}},
+      {"distance-heavy (wd=10)", {1.0, 10.0, 4096.0}},
+      {"popularity-heavy (wr=10)", {10.0, 1.0, 4096.0}},
+  };
+
+  pb::print_header("Ablation — GD-LD utility weights (Eq. 1)",
+                   "80 nodes mobile, cache 1.5 % of DB");
+
+  std::vector<core::PrecinctConfig> points;
+  for (const auto& v : variants) {
+    auto c = pb::mobile_base();
+    c.cache_fraction = 0.015;
+    c.gdld_weights = v.weights;
+    points.push_back(c);
+  }
+  const auto results = pb::run_sweep(points);
+
+  support::Table table({"variant", "latency (s)", "byte hit ratio",
+                        "regional hits"});
+  for (std::size_t i = 0; i < variants.size(); ++i) {
+    table.add_row({variants[i].name,
+                   support::Table::num(results[i].avg_latency_s(), 4),
+                   support::Table::num(results[i].byte_hit_ratio(), 4),
+                   std::to_string(results[i].regional_hits)});
+  }
+  table.print(std::cout);
+  std::cout << "\n";
+  pb::check(results[0].byte_hit_ratio() >= results[1].byte_hit_ratio() * 0.95,
+            "popularity term contributes to (or does not hurt) byte hits");
+  return 0;
+}

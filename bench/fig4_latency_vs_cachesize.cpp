@@ -1,0 +1,55 @@
+// Figure 4: average latency per request vs cache size (% of database),
+// GD-LD vs GD-Size.  Paper setup: 80 nodes at ~6 m/s, cache 0.5-2.5 %.
+// Expected shape: GD-LD below GD-Size at every cache size; both improve
+// (or stay flat) as the cache grows.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace precinct;
+  namespace pb = precinct::bench;
+
+  const std::vector<double> fractions{0.005, 0.010, 0.015, 0.020, 0.025};
+  pb::print_header(
+      "Figure 4 — latency/request vs cache size",
+      "80 nodes, random waypoint vmax=6 m/s, 9 regions, Zipf 0.8, GD-LD vs "
+      "GD-Size");
+
+  std::vector<core::PrecinctConfig> points;
+  for (const char* policy : {"gd-ld", "gd-size"}) {
+    for (const double f : fractions) {
+      auto c = pb::mobile_base();
+      c.mean_request_interval_s = 10.0;  // contended caches (see EXPERIMENTS.md)
+      c.cache_policy = policy;
+      c.cache_fraction = f;
+      points.push_back(c);
+    }
+  }
+  const auto results = pb::run_sweep(points);
+
+  support::Table table(
+      {"cache (% of DB)", "GD-LD latency (s)", "GD-Size latency (s)"});
+  const std::size_t n = fractions.size();
+  bool gdld_never_worse = true;  // within per-point seed noise
+  double sum_gdld = 0.0, sum_gdsize = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double gdld = results[i].avg_latency_s();
+    const double gdsize = results[n + i].avg_latency_s();
+    const double noise = results[i].latency_s.ci95_halfwidth() +
+                         results[n + i].latency_s.ci95_halfwidth();
+    gdld_never_worse &= gdld < gdsize + noise;
+    sum_gdld += gdld;
+    sum_gdsize += gdsize;
+    table.add_row({support::Table::num(fractions[i] * 100.0, 1),
+                   support::Table::num(gdld, 4),
+                   support::Table::num(gdsize, 4)});
+  }
+  table.print(std::cout);
+  std::cout << "\n";
+  pb::check(sum_gdld < sum_gdsize,
+            "GD-LD latency below GD-Size averaged over the sweep (Fig 4)");
+  pb::check(gdld_never_worse,
+            "GD-LD never worse than GD-Size beyond seed noise");
+  pb::check(results[n - 1].avg_latency_s() <= results[0].avg_latency_s(),
+            "GD-LD latency non-increasing with cache size");
+  return 0;
+}

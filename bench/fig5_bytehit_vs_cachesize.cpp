@@ -1,0 +1,49 @@
+// Figure 5: byte hit ratio vs cache size (% of database), GD-LD vs
+// GD-Size.  Expected shape: GD-LD above GD-Size everywhere; both grow
+// with cache size.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace precinct;
+  namespace pb = precinct::bench;
+
+  const std::vector<double> fractions{0.005, 0.010, 0.015, 0.020, 0.025};
+  pb::print_header(
+      "Figure 5 — byte hit ratio vs cache size",
+      "80 nodes, random waypoint vmax=6 m/s, 9 regions, Zipf 0.8, GD-LD vs "
+      "GD-Size");
+
+  std::vector<core::PrecinctConfig> points;
+  for (const char* policy : {"gd-ld", "gd-size"}) {
+    for (const double f : fractions) {
+      auto c = pb::mobile_base();
+      c.mean_request_interval_s = 10.0;  // contended caches (see EXPERIMENTS.md)
+      c.cache_policy = policy;
+      c.cache_fraction = f;
+      points.push_back(c);
+    }
+  }
+  const auto results = pb::run_sweep(points);
+
+  support::Table table({"cache (% of DB)", "GD-LD BHR", "GD-Size BHR"});
+  const std::size_t n = fractions.size();
+  bool gdld_wins_everywhere = true;
+  bool monotone = true;
+  double prev = -1.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double gdld = results[i].byte_hit_ratio();
+    const double gdsize = results[n + i].byte_hit_ratio();
+    gdld_wins_everywhere &= gdld > gdsize;
+    monotone &= gdld >= prev;
+    prev = gdld;
+    table.add_row({support::Table::num(fractions[i] * 100.0, 1),
+                   support::Table::num(gdld, 4),
+                   support::Table::num(gdsize, 4)});
+  }
+  table.print(std::cout);
+  std::cout << "\n";
+  pb::check(gdld_wins_everywhere,
+            "GD-LD byte hit ratio above GD-Size everywhere (paper Fig 5)");
+  pb::check(monotone, "GD-LD byte hit ratio grows with cache size");
+  return 0;
+}

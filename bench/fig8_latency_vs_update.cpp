@@ -1,0 +1,50 @@
+// Figure 8: average latency per request vs Tupdate/Trequest.  Expected
+// shape: Pull-Every-time highest at every ratio (it pays a validation
+// round trip on every cached serve); Plain-Push and Adaptive similar.
+#include "bench_common.hpp"
+
+#include "consistency/modes.hpp"
+
+int main() {
+  using namespace precinct;
+  namespace pb = precinct::bench;
+
+  const std::vector<double> ratios{1, 2, 3, 4, 5};
+  const std::vector<consistency::Mode> modes{
+      consistency::Mode::kPlainPush, consistency::Mode::kPullEveryTime,
+      consistency::Mode::kPushAdaptivePull};
+
+  pb::print_header("Figure 8 — latency/request vs Tupdate/Trequest",
+                   "80 nodes mobile, Trequest=30 s");
+
+  std::vector<core::PrecinctConfig> points;
+  for (const auto mode : modes) {
+    for (const double r : ratios) {
+      auto c = pb::mobile_base();
+      c.updates_enabled = true;
+      c.consistency = mode;
+      c.mean_update_interval_s = 30.0 * r;
+      points.push_back(c);
+    }
+  }
+  const auto results = pb::run_sweep(points);
+
+  support::Table table({"Tupd/Treq", "Plain-Push (s)", "Pull-Every-time (s)",
+                        "Push-w-Adaptive-Pull (s)"});
+  const std::size_t n = ratios.size();
+  int pull_highest = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double push = results[i].avg_latency_s();
+    const double pull = results[n + i].avg_latency_s();
+    const double adaptive = results[2 * n + i].avg_latency_s();
+    if (pull >= push && pull >= adaptive) ++pull_highest;
+    table.add_row(
+        {support::Table::num(ratios[i], 0), support::Table::num(push, 4),
+         support::Table::num(pull, 4), support::Table::num(adaptive, 4)});
+  }
+  table.print(std::cout);
+  std::cout << "\n";
+  pb::check(pull_highest >= static_cast<int>(n) - 1,
+            "Pull-Every-time latency highest at (nearly) every ratio (Fig 8)");
+  return 0;
+}

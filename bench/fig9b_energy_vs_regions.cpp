@@ -1,0 +1,59 @@
+// Figure 9(b): PReCinCt energy per request vs number of regions, 20
+// nodes, theory vs simulation.  Expected shape: energy decreases as the
+// region count grows (smaller localized floods).
+#include <algorithm>
+
+#include "bench_common.hpp"
+
+#include "analysis/energy_analysis.hpp"
+
+int main() {
+  using namespace precinct;
+  namespace pb = precinct::bench;
+
+  const std::vector<std::uint32_t> grid_sides{1, 2, 3, 4, 5};  // 1..25 regions
+  pb::print_header(
+      "Figure 9(b) — PReCinCt energy/request vs number of regions",
+      "static 600x600 m, 20 nodes, no dynamic cache, 64 B items; theory "
+      "Eq. 13");
+
+  std::vector<core::PrecinctConfig> points;
+  for (const std::uint32_t side : grid_sides) {
+    auto c = pb::static_base();
+    c.n_nodes = 20;
+    c.regions_x = c.regions_y = side;
+    // A single region cannot host a replica region.
+    c.replica_count = std::min<std::size_t>(
+        c.replica_count, static_cast<std::size_t>(side) * side - 1);
+    points.push_back(c);
+  }
+  const auto results = pb::run_sweep(points);
+
+  support::Table table({"regions", "theory (mJ)", "simulation (mJ)"});
+  bool theory_monotone = true;
+  bool sim_trend_down = true;
+  double prev_t = 1e300;
+  for (std::size_t i = 0; i < grid_sides.size(); ++i) {
+    analysis::EnergyAnalysisParams p;
+    p.n_nodes = 20;
+    p.area = {{0, 0}, {600, 600}};
+    p.n_regions = static_cast<double>(grid_sides[i]) * grid_sides[i];
+    p.request_bytes = 64;
+    p.response_bytes = 128;
+    const double theory = analysis::precinct_energy_per_request(p);
+    theory_monotone &= theory <= prev_t;
+    prev_t = theory;
+    table.add_row({std::to_string(grid_sides[i] * grid_sides[i]),
+                   support::Table::num(theory, 2),
+                   support::Table::num(results[i].energy_per_request_mj(), 2)});
+  }
+  // Trend check on simulation endpoints (noisy mid-points allowed).
+  sim_trend_down = results.back().energy_per_request_mj() <
+                   results.front().energy_per_request_mj();
+  table.print(std::cout);
+  std::cout << "\n";
+  pb::check(theory_monotone, "theoretical energy decreases with regions");
+  pb::check(sim_trend_down,
+            "simulated energy lower at 25 regions than at 1 (Fig 9b)");
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Companion-paper figure: the IPDPS paper's §6.2 notes that "the
+// PReCinCt scheme is compared with the flooding and the expanding ring
+// search schemes for energy consumption under varying node densities and
+// moving speeds in [11]" (the authors' MP2P-workshop paper).  This bench
+// regenerates that comparison: energy per request across node speeds and
+// across node counts for all three retrieval schemes.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace precinct;
+  namespace pb = precinct::bench;
+
+  const std::vector<std::pair<const char*, core::RetrievalScheme>> schemes{
+      {"PReCinCt", core::RetrievalScheme::kPrecinct},
+      {"Expanding Ring", core::RetrievalScheme::kExpandingRing},
+      {"Flooding", core::RetrievalScheme::kFlooding},
+  };
+
+  pb::print_header(
+      "Workshop figure [11] — retrieval energy vs speed and density",
+      "80 nodes mobile (speed sweep) / vmax 6 m/s (density sweep), no "
+      "dynamic cache, 64 B items");
+
+  // -- speed sweep ----------------------------------------------------------
+  const std::vector<double> speeds{2, 8, 14, 20};
+  std::vector<core::PrecinctConfig> points;
+  for (const auto& [name, scheme] : schemes) {
+    for (const double v : speeds) {
+      auto c = pb::mobile_base();
+      c.retrieval = scheme;
+      c.v_max = v;
+      c.cache_fraction = 0.0;
+      c.catalog.min_item_bytes = c.catalog.max_item_bytes = 64;
+      c.measure_s = pb::fast_mode() ? 150.0 : 300.0;
+      points.push_back(c);
+    }
+  }
+  const auto by_speed = pb::run_sweep(points);
+
+  support::Table speed_table({"vmax (m/s)", "PReCinCt (mJ)", "Ring (mJ)",
+                              "Flooding (mJ)"});
+  const std::size_t n = speeds.size();
+  bool precinct_cheapest_speed = true;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double p = by_speed[i].energy_per_request_mj();
+    const double r = by_speed[n + i].energy_per_request_mj();
+    const double f = by_speed[2 * n + i].energy_per_request_mj();
+    precinct_cheapest_speed &= p < r && r < f;
+    speed_table.add_row({support::Table::num(speeds[i], 0),
+                         support::Table::num(p, 2), support::Table::num(r, 2),
+                         support::Table::num(f, 2)});
+  }
+  speed_table.print(std::cout);
+
+  // -- density sweep ----------------------------------------------------------
+  const std::vector<std::size_t> nodes{40, 80, 120, 160};
+  std::vector<core::PrecinctConfig> density_points;
+  for (const auto& [name, scheme] : schemes) {
+    for (const std::size_t count : nodes) {
+      auto c = pb::mobile_base();
+      c.retrieval = scheme;
+      c.n_nodes = count;
+      c.cache_fraction = 0.0;
+      c.catalog.min_item_bytes = c.catalog.max_item_bytes = 64;
+      c.measure_s = pb::fast_mode() ? 150.0 : 300.0;
+      density_points.push_back(c);
+    }
+  }
+  const auto by_density = pb::run_sweep(density_points);
+
+  std::cout << "\n";
+  support::Table density_table({"nodes", "PReCinCt (mJ)", "Ring (mJ)",
+                                "Flooding (mJ)"});
+  const std::size_t m = nodes.size();
+  bool precinct_cheapest_density = true;
+  bool gap_widens = true;
+  double prev_gap = 0.0;
+  for (std::size_t i = 0; i < m; ++i) {
+    const double p = by_density[i].energy_per_request_mj();
+    const double r = by_density[m + i].energy_per_request_mj();
+    const double f = by_density[2 * m + i].energy_per_request_mj();
+    precinct_cheapest_density &= p < r && r < f;
+    gap_widens &= (f - p) >= prev_gap;
+    prev_gap = f - p;
+    density_table.add_row({std::to_string(nodes[i]),
+                           support::Table::num(p, 2),
+                           support::Table::num(r, 2),
+                           support::Table::num(f, 2)});
+  }
+  density_table.print(std::cout);
+  std::cout << "\n";
+  pb::check(precinct_cheapest_speed,
+            "PReCinCt < Expanding Ring < Flooding at every speed");
+  pb::check(precinct_cheapest_density,
+            "PReCinCt < Expanding Ring < Flooding at every density");
+  pb::check(gap_widens, "PReCinCt's advantage widens with density");
+  return 0;
+}

@@ -1,0 +1,191 @@
+// google-benchmark microbenchmarks for the hot paths of the simulator
+// substrate: event queue, neighbor queries, GPSR next-hop, Gabriel
+// planarization, cache operations, Zipf sampling, geographic hashing.
+#include <benchmark/benchmark.h>
+
+#include "cache/cache_store.hpp"
+#include "geo/geo_hash.hpp"
+#include "mobility/random_waypoint.hpp"
+#include "mobility/static_placement.hpp"
+#include "net/wireless_net.hpp"
+#include "routing/gpsr.hpp"
+#include "sim/simulator.hpp"
+#include "net/spatial_grid.hpp"
+#include "support/kv_file.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+#include "workload/zipf.hpp"
+
+namespace {
+
+using namespace precinct;
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  support::Rng rng(1);
+  for (auto _ : state) {
+    sim::Simulator sim;
+    for (std::size_t i = 0; i < n; ++i) {
+      sim.schedule(rng.uniform(0.0, 100.0), [] {});
+    }
+    sim.run_all();
+    benchmark::DoNotOptimize(sim.events_executed());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_EventQueueScheduleRun)->Arg(1024)->Arg(16384);
+
+struct RadioFixtureState {
+  sim::Simulator sim;
+  mobility::StaticPlacement placement;
+  net::WirelessNet net;
+  RadioFixtureState(std::size_t n, std::uint64_t seed)
+      : placement(mobility::StaticPlacement::uniform(
+            n, {{0, 0}, {1200, 1200}}, seed)),
+        net(sim, placement, {}, energy::FeeneyModel{}, seed) {}
+};
+
+void BM_NeighborQuery(benchmark::State& state) {
+  RadioFixtureState fx(static_cast<std::size_t>(state.range(0)), 7);
+  net::NodeId i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.net.neighbors(i));
+    i = (i + 1) % fx.net.node_count();
+  }
+}
+BENCHMARK(BM_NeighborQuery)->Arg(80)->Arg(160);
+
+void BM_GpsrNextHop(benchmark::State& state) {
+  RadioFixtureState fx(static_cast<std::size_t>(state.range(0)), 11);
+  routing::Gpsr gpsr(fx.net);
+  support::Rng rng(3);
+  for (auto _ : state) {
+    net::Packet p;
+    p.dest_location = {rng.uniform(0, 1200), rng.uniform(0, 1200)};
+    const auto self =
+        static_cast<net::NodeId>(rng.uniform_int(fx.net.node_count()));
+    benchmark::DoNotOptimize(gpsr.next_hop(self, p));
+  }
+}
+BENCHMARK(BM_GpsrNextHop)->Arg(80)->Arg(160);
+
+void BM_GabrielPlanarization(benchmark::State& state) {
+  RadioFixtureState fx(static_cast<std::size_t>(state.range(0)), 13);
+  routing::Gpsr gpsr(fx.net);
+  net::NodeId i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gpsr.planar_neighbors(i));
+    i = (i + 1) % fx.net.node_count();
+  }
+}
+BENCHMARK(BM_GabrielPlanarization)->Arg(80)->Arg(160);
+
+void BM_CacheInsertEvict(benchmark::State& state) {
+  support::Rng rng(5);
+  cache::CacheStore store(64 * 1024, cache::make_policy("gd-ld"));
+  geo::Key key = 0;
+  for (auto _ : state) {
+    cache::CacheEntry e;
+    e.key = ++key;
+    e.size_bytes = 1024 + rng.uniform_int(4096);
+    e.access_count = rng.uniform(0, 10);
+    e.region_distance = rng.uniform(0, 2);
+    benchmark::DoNotOptimize(store.insert(e));
+  }
+}
+BENCHMARK(BM_CacheInsertEvict);
+
+void BM_CacheTouch(benchmark::State& state) {
+  cache::CacheStore store(1024 * 1024, cache::make_policy("gd-ld"));
+  for (geo::Key k = 0; k < 200; ++k) {
+    cache::CacheEntry e;
+    e.key = k;
+    e.size_bytes = 1024;
+    store.insert(e);
+  }
+  geo::Key k = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.touch(k, 1.0, 0.5));
+    k = (k + 1) % 200;
+  }
+}
+BENCHMARK(BM_CacheTouch);
+
+void BM_ZipfSample(benchmark::State& state) {
+  const workload::ZipfGenerator zipf(
+      static_cast<std::size_t>(state.range(0)), 0.8);
+  support::Rng rng(9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.sample(rng));
+  }
+}
+BENCHMARK(BM_ZipfSample)->Arg(1000)->Arg(100000);
+
+void BM_GeoHashHomeRegion(benchmark::State& state) {
+  const geo::GeoHash hash({{0, 0}, {1200, 1200}});
+  const auto table = geo::RegionTable::grid({{0, 0}, {1200, 1200}}, 3, 3);
+  geo::Key k = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hash.home_region(++k, table));
+  }
+}
+BENCHMARK(BM_GeoHashHomeRegion);
+
+void BM_SpatialGridRebuildQuery(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  support::Rng rng(21);
+  std::vector<geo::Point> pts;
+  for (std::size_t i = 0; i < n; ++i) {
+    pts.push_back({rng.uniform(0, 2400), rng.uniform(0, 2400)});
+  }
+  const std::vector<char> alive(n, 1);
+  net::SpatialGrid grid({{0, 0}, {2400, 2400}}, 250.0);
+  std::vector<std::uint32_t> out;
+  for (auto _ : state) {
+    grid.rebuild(pts, alive);
+    for (int q = 0; q < 16; ++q) {
+      out.clear();
+      grid.query(pts[static_cast<std::size_t>(q) % n], 250.0, out);
+      benchmark::DoNotOptimize(out.size());
+    }
+  }
+}
+BENCHMARK(BM_SpatialGridRebuildQuery)->Arg(160)->Arg(640);
+
+void BM_KvFileParse(benchmark::State& state) {
+  std::string text;
+  for (int i = 0; i < 40; ++i) {
+    text += "key_" + std::to_string(i) + " = " + std::to_string(i * 1.5) +
+            "  # comment\n";
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(support::KvFile::parse(text));
+  }
+}
+BENCHMARK(BM_KvFileParse);
+
+void BM_Sparkline(benchmark::State& state) {
+  support::Rng rng(4);
+  std::vector<double> series;
+  for (int i = 0; i < 120; ++i) series.push_back(rng.uniform(0, 100));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(support::sparkline(series));
+  }
+}
+BENCHMARK(BM_Sparkline);
+
+void BM_RandomWaypointAdvance(benchmark::State& state) {
+  mobility::RandomWaypointConfig cfg;
+  mobility::RandomWaypoint rwp(80, cfg, 3);
+  double t = 0.0;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    t += 0.01;
+    benchmark::DoNotOptimize(rwp.position_at(i, t));
+    i = (i + 1) % 80;
+  }
+}
+BENCHMARK(BM_RandomWaypointAdvance);
+
+}  // namespace

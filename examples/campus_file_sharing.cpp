@@ -1,0 +1,54 @@
+// Campus file sharing: the classic MP2P motivation — students' devices
+// share a corpus of lecture files while walking around campus.  Mostly
+// read-only workload with a skewed (Zipf) popularity profile; compares
+// the paper's GD-LD replacement against GD-Size, LRU and LFU on the
+// same trace.
+//
+//   ./campus_file_sharing [seed]
+#include <cstdlib>
+#include <iostream>
+
+#include "core/scenario.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace precinct;
+  const std::uint64_t seed =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 7;
+
+  core::PrecinctConfig base;
+  base.area = {{0, 0}, {1000, 1000}};     // a campus quad
+  base.n_nodes = 100;                     // students with phones
+  base.v_max = 2.0;                       // walking speed
+  base.pause_s = 30.0;                    // lingering between classes
+  base.catalog.n_items = 2000;            // lecture notes, slides, clips
+  base.catalog.min_item_bytes = 2048;
+  base.catalog.max_item_bytes = 8192;
+  base.zipf_theta = 0.9;                  // this week's material is hot
+  base.mean_request_interval_s = 8.0;   // heavy browsing between classes
+  base.cache_fraction = 0.005;
+  base.warmup_s = 120.0;
+  base.measure_s = 600.0;
+  base.seed = seed;
+
+  std::cout << "Campus file sharing: " << base.n_nodes
+            << " students, " << base.catalog.n_items
+            << " files, comparing replacement policies\n\n";
+
+  support::Table table({"policy", "byte hit ratio", "latency (s)",
+                        "success", "energy/req (mJ)"});
+  for (const char* policy : {"gd-ld", "gd-size", "lru", "lfu"}) {
+    auto c = base;
+    c.cache_policy = policy;
+    const auto m = core::run_scenario(c);
+    table.add_row({policy, support::Table::num(m.byte_hit_ratio(), 4),
+                   support::Table::num(m.avg_latency_s(), 4),
+                   support::Table::num(m.success_ratio(), 3),
+                   support::Table::num(m.energy_per_request_mj(), 1)});
+  }
+  table.print(std::cout);
+  std::cout << "\nGD-LD weighs popularity, origin distance and size "
+               "(paper Eq. 1); on skewed\nworkloads it should lead the "
+               "byte-hit-ratio column.\n";
+  return 0;
+}

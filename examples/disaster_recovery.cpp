@@ -1,0 +1,59 @@
+// Disaster recovery: first responders share situation reports over an
+// ad-hoc network while devices fail (battery, damage) and teams move
+// fast.  Exercises PReCinCt's fault-tolerance story (§2.4): replica
+// regions, custody handoff on graceful exit, and home-region failure
+// rerouting — with and without replication.
+//
+//   ./disaster_recovery [seed]
+#include <cstdlib>
+#include <iostream>
+
+#include "core/scenario.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace precinct;
+  const std::uint64_t seed =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 23;
+
+  core::PrecinctConfig base;
+  base.area = {{0, 0}, {800, 800}};   // incident zone
+  base.n_nodes = 70;                  // responders' radios
+  base.v_min = 1.0;
+  base.v_max = 10.0;                  // running / vehicles
+  base.pause_s = 20.0;
+  base.catalog.n_items = 300;         // maps, triage lists, status reports
+  base.catalog.min_item_bytes = 1024;
+  base.catalog.max_item_bytes = 4096;
+  base.mean_request_interval_s = 10.0;  // constant coordination traffic
+  base.cache_fraction = 0.08;
+  base.graceful_fraction = 0.3;  // most failures are sudden out here
+  base.warmup_s = 60.0;
+  base.measure_s = 400.0;
+  base.seed = seed;
+
+  std::cout << "Disaster recovery: " << base.n_nodes
+            << " responders, devices failing mid-operation\n\n";
+
+  support::Table table({"crash rate (/s)", "replication", "success ratio",
+                        "replica hits", "handoffs", "latency (s)"});
+  for (const double crash_rate : {0.0, 0.03, 0.08}) {
+    for (const std::size_t replicas : {std::size_t{1}, std::size_t{0}}) {
+      auto c = base;
+      c.crash_rate_per_s = crash_rate;
+      c.replica_count = replicas;
+      const auto m = core::run_scenario(c);
+      table.add_row({support::Table::num(crash_rate, 2),
+                     replicas > 0 ? "on" : "off",
+                     support::Table::num(m.success_ratio(), 4),
+                     std::to_string(m.replica_hits),
+                     std::to_string(m.custody_handoffs),
+                     support::Table::num(m.avg_latency_s(), 4)});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nWith replica regions (§2.4), requests reroute to the "
+               "second-nearest region when\nthe home region fails; the "
+               "success-ratio gap quantifies what that buys.\n";
+  return 0;
+}

@@ -1,0 +1,268 @@
+// precinct_sim — command-line front end over the full configuration
+// surface.  Runs one scenario (or several seeded replications) and prints
+// a metrics table, or a single CSV row for scripting sweeps.
+//
+//   ./precinct_sim --nodes 80 --policy gd-ld --cache 0.02
+//   ./precinct_sim --consistency push-adaptive-pull --updates
+//                  --update-interval 60 --seeds 4 --csv   (one shell line)
+//
+// Run with --help for the full flag list.
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/config_io.hpp"
+#include "core/scenario.hpp"
+#include "support/json.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using precinct::core::PrecinctConfig;
+
+void print_help() {
+  std::cout <<
+      R"(precinct_sim — PReCinCt MP2P cooperative caching simulator
+
+topology
+  --nodes N            peers in the network               (default 80)
+  --area METERS        square side length                 (default 1200)
+  --regions K          KxK region grid                    (default 3)
+  --range METERS       radio range                        (default 250)
+
+mobility
+  --mobility MODEL     random-waypoint | random-direction |
+                       gauss-markov | static              (default random-waypoint)
+  --speed-max M_S      maximum node speed                 (default 6)
+  --pause S            pause between movement legs        (default 5)
+
+workload
+  --items N            data items in the catalog          (default 1000)
+  --request-interval S mean seconds between requests      (default 30)
+  --zipf THETA         popularity skew                    (default 0.8)
+
+caching
+  --policy NAME        gd-ld | gd-size | lru | lfu        (default gd-ld)
+  --cache FRACTION     dynamic cache as fraction of DB    (default 0.02)
+
+consistency
+  --consistency MODE   none | plain-push | pull-every-time |
+                       push-adaptive-pull                 (default none)
+  --updates            enable the update workload
+  --update-interval S  mean seconds between updates       (default 30)
+  --ttr-alpha A        TTR EWMA weight (Eq. 2)            (default 0.5)
+
+retrieval & fault tolerance
+  --retrieval NAME     precinct | flooding | expanding-ring (default precinct)
+  --replicas K         replica regions per key            (default 1)
+  --crash-rate R       node crashes per second            (default 0)
+  --dynamic-regions    enable runtime region rebalancing
+
+run control
+  --config FILE        key=value scenario file (flags override it; see
+                       examples/scenario.conf.example)
+  --warmup S           warm-up before measuring           (default 150)
+  --measure S          measurement window                 (default 900)
+  --seed N             base RNG seed                      (default 1)
+  --seeds N            replications (merged)              (default 1)
+  --csv                one CSV row (with header) instead of the table
+  --json               one JSON object instead of the table
+  --trace N            after the run, print the last N trace events
+  --help               this text
+)";
+}
+
+class ArgParser {
+ public:
+  ArgParser(int argc, char** argv) : args_(argv + 1, argv + argc) {}
+
+  [[nodiscard]] bool flag(const std::string& name) {
+    for (auto it = args_.begin(); it != args_.end(); ++it) {
+      if (*it == name) {
+        args_.erase(it);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  [[nodiscard]] std::string value(const std::string& name,
+                                  const std::string& fallback) {
+    for (auto it = args_.begin(); it != args_.end(); ++it) {
+      if (*it == name) {
+        if (std::next(it) == args_.end()) {
+          throw std::invalid_argument(name + " needs a value");
+        }
+        const std::string v = *std::next(it);
+        args_.erase(it, std::next(it, 2));
+        return v;
+      }
+    }
+    return fallback;
+  }
+
+  [[nodiscard]] double number(const std::string& name, double fallback) {
+    const std::string v = value(name, "");
+    return v.empty() ? fallback : std::stod(v);
+  }
+
+  [[nodiscard]] const std::vector<std::string>& leftover() const {
+    return args_;
+  }
+
+ private:
+  std::vector<std::string> args_;
+};
+
+precinct::core::RetrievalScheme retrieval_from(const std::string& name) {
+  if (name == "precinct") return precinct::core::RetrievalScheme::kPrecinct;
+  if (name == "flooding") return precinct::core::RetrievalScheme::kFlooding;
+  if (name == "expanding-ring") {
+    return precinct::core::RetrievalScheme::kExpandingRing;
+  }
+  throw std::invalid_argument("unknown retrieval scheme: " + name);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace precinct;
+  try {
+    ArgParser args(argc, argv);
+    if (args.flag("--help")) {
+      print_help();
+      return 0;
+    }
+
+    PrecinctConfig c;
+    if (const std::string path = args.value("--config", ""); !path.empty()) {
+      c = core::config_from_file(path);
+    }
+    c.n_nodes = static_cast<std::size_t>(
+        args.number("--nodes", static_cast<double>(c.n_nodes)));
+    const double side = args.number("--area", c.area.width());
+    c.area = {{0.0, 0.0}, {side, side}};
+    const auto k = static_cast<std::uint32_t>(args.number("--regions", c.regions_x));
+    c.regions_x = c.regions_y = k;
+    c.wireless.range_m = args.number("--range", c.wireless.range_m);
+    c.mobility_model = args.value("--mobility", c.mobility_model);
+    c.mobile = c.mobility_model != "static";
+    c.v_max = args.number("--speed-max", c.v_max);
+    c.pause_s = args.number("--pause", c.pause_s);
+    c.catalog.n_items =
+        static_cast<std::size_t>(args.number("--items", static_cast<double>(c.catalog.n_items)));
+    c.mean_request_interval_s = args.number("--request-interval", c.mean_request_interval_s);
+    c.zipf_theta = args.number("--zipf", c.zipf_theta);
+    c.cache_policy = args.value("--policy", c.cache_policy);
+    c.cache_fraction = args.number("--cache", c.cache_fraction);
+    c.consistency =
+        consistency::mode_from_string(args.value("--consistency", to_string(c.consistency)));
+    c.updates_enabled = args.flag("--updates") || c.updates_enabled ||
+                        c.consistency != consistency::Mode::kNone;
+    c.mean_update_interval_s = args.number("--update-interval", c.mean_update_interval_s);
+    c.ttr_alpha = args.number("--ttr-alpha", c.ttr_alpha);
+    c.retrieval = retrieval_from(args.value("--retrieval", to_string(c.retrieval)));
+    c.replica_count = static_cast<std::size_t>(args.number("--replicas", static_cast<double>(c.replica_count)));
+    c.crash_rate_per_s = args.number("--crash-rate", c.crash_rate_per_s);
+    c.dynamic_regions = args.flag("--dynamic-regions") || c.dynamic_regions;
+    c.warmup_s = args.number("--warmup", c.warmup_s);
+    c.measure_s = args.number("--measure", c.measure_s);
+    c.seed = static_cast<std::uint64_t>(args.number("--seed", static_cast<double>(c.seed)));
+    const auto seeds = static_cast<std::size_t>(args.number("--seeds", 1));
+    const bool csv = args.flag("--csv");
+    const bool json = args.flag("--json");
+    const auto trace_n = static_cast<std::size_t>(args.number("--trace", 0));
+
+    if (!args.leftover().empty()) {
+      std::cerr << "unknown argument: " << args.leftover().front()
+                << " (try --help)\n";
+      return 2;
+    }
+
+    core::Metrics m;
+    if (trace_n > 0) {
+      // Tracing implies a single (seeded) run.
+      core::Scenario scenario(c);
+      auto& tracer = scenario.enable_tracing(trace_n);
+      m = scenario.run();
+      std::cerr << "--- last " << trace_n << " trace events ---\n";
+      for (const auto& e : tracer.last(trace_n)) {
+        std::cerr << '[' << e.time_s << "s] " << sim::to_string(e.category)
+                  << " node " << e.node << ": " << e.message << "\n";
+      }
+    } else {
+      m = core::merge_metrics(
+          core::run_seeds(c, std::max<std::size_t>(1, seeds)));
+    }
+
+    if (json) {
+      support::JsonObject out;
+      out.set("nodes", static_cast<std::uint64_t>(c.n_nodes))
+          .set("policy", c.cache_policy)
+          .set("consistency", std::string(to_string(c.consistency)))
+          .set("retrieval", std::string(to_string(c.retrieval)))
+          .set("cache_fraction", c.cache_fraction)
+          .set("requests_issued", m.requests_issued)
+          .set("requests_completed", m.requests_completed)
+          .set("requests_failed", m.requests_failed)
+          .set("success_ratio", m.success_ratio())
+          .set("avg_latency_s", m.avg_latency_s())
+          .set("p95_latency_s",
+               m.latency_q.quantile(0.95))
+          .set("byte_hit_ratio", m.byte_hit_ratio())
+          .set("false_hit_ratio", m.false_hit_ratio())
+          .set("energy_per_request_mj", m.energy_per_request_mj())
+          .set("energy_broadcast_mj", m.energy_broadcast_mj)
+          .set("energy_p2p_mj", m.energy_p2p_mj)
+          .set("consistency_messages", m.consistency_messages)
+          .set("messages_sent", m.messages_sent)
+          .set("custody_handoffs", m.custody_handoffs);
+      std::cout << out.str(/*pretty=*/true) << '\n';
+      return 0;
+    }
+    if (csv) {
+      std::cout << "nodes,policy,consistency,retrieval,cache_fraction,"
+                   "requests,completed,failed,success_ratio,avg_latency_s,"
+                   "byte_hit_ratio,false_hit_ratio,energy_per_request_mj,"
+                   "consistency_msgs,messages\n";
+      std::cout << c.n_nodes << ',' << c.cache_policy << ','
+                << to_string(c.consistency) << ',' << to_string(c.retrieval)
+                << ',' << c.cache_fraction << ',' << m.requests_issued << ','
+                << m.requests_completed << ',' << m.requests_failed << ','
+                << m.success_ratio() << ',' << m.avg_latency_s() << ','
+                << m.byte_hit_ratio() << ',' << m.false_hit_ratio() << ','
+                << m.energy_per_request_mj() << ',' << m.consistency_messages
+                << ',' << m.messages_sent << '\n';
+      return 0;
+    }
+
+    support::Table table({"metric", "value"});
+    table.add_row({"requests issued", std::to_string(m.requests_issued)});
+    table.add_row({"requests completed", std::to_string(m.requests_completed)});
+    table.add_row({"success ratio", support::Table::num(m.success_ratio(), 4)});
+    table.add_row({"avg latency (s)", support::Table::num(m.avg_latency_s(), 4)});
+    table.add_row({"byte hit ratio", support::Table::num(m.byte_hit_ratio(), 4)});
+    table.add_row({"own / regional / en-route hits",
+                   std::to_string(m.own_cache_hits) + " / " +
+                       std::to_string(m.regional_hits) + " / " +
+                       std::to_string(m.en_route_hits)});
+    table.add_row({"home / replica hits",
+                   std::to_string(m.home_region_hits) + " / " +
+                       std::to_string(m.replica_hits)});
+    table.add_row({"false hit ratio",
+                   support::Table::num(m.false_hit_ratio(), 5)});
+    table.add_row({"polls sent", std::to_string(m.polls_sent)});
+    table.add_row({"consistency messages",
+                   std::to_string(m.consistency_messages)});
+    table.add_row({"energy/request (mJ)",
+                   support::Table::num(m.energy_per_request_mj(), 2)});
+    table.add_row({"messages sent", std::to_string(m.messages_sent)});
+    table.add_row({"custody handoffs", std::to_string(m.custody_handoffs)});
+    table.print(std::cout);
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << " (try --help)\n";
+    return 2;
+  }
+}

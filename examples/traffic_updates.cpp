@@ -1,0 +1,61 @@
+// Vehicular traffic updates: dynamic data in an MP2P network.  Vehicles
+// cache road-segment congestion reports that are continuously updated,
+// so cache consistency is the whole game.  Compares the three schemes
+// of paper §4 on the same workload and reports the freshness/overhead
+// trade-off.
+//
+//   ./traffic_updates [seed]
+#include <cstdlib>
+#include <iostream>
+
+#include "core/scenario.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace precinct;
+  const std::uint64_t seed =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 11;
+
+  core::PrecinctConfig base;
+  base.area = {{0, 0}, {1500, 1500}};  // a downtown grid
+  base.n_nodes = 90;                   // vehicles
+  base.v_min = 3.0;
+  base.v_max = 15.0;                   // city driving
+  base.pause_s = 10.0;                 // red lights
+  base.catalog.n_items = 600;          // road segments
+  base.catalog.min_item_bytes = 256;   // small congestion reports
+  base.catalog.max_item_bytes = 512;
+  base.mean_request_interval_s = 15.0;  // navigation queries
+  base.mean_update_interval_s = 45.0;   // sensors report
+  base.updates_enabled = true;
+  base.cache_fraction = 0.05;
+  base.warmup_s = 100.0;
+  base.measure_s = 500.0;
+  base.seed = seed;
+
+  std::cout << "Vehicular traffic updates: " << base.n_nodes
+            << " vehicles, " << base.catalog.n_items
+            << " road segments, live updates\n\n";
+
+  support::Table table({"consistency scheme", "stale serves (FHR)",
+                        "consistency msgs", "polls", "latency (s)"});
+  for (const auto mode :
+       {consistency::Mode::kPlainPush, consistency::Mode::kPullEveryTime,
+        consistency::Mode::kPushAdaptivePull}) {
+    auto c = base;
+    c.consistency = mode;
+    const auto m = core::run_scenario(c);
+    table.add_row({to_string(mode),
+                   support::Table::num(m.false_hit_ratio(), 5),
+                   std::to_string(m.consistency_messages),
+                   std::to_string(m.polls_sent),
+                   support::Table::num(m.avg_latency_s(), 4)});
+  }
+  table.print(std::cout);
+  std::cout
+      << "\nPush-with-Adaptive-Pull (paper §4) trades a small stale-serve "
+         "window (bounded by\nthe per-item TTR, Eq. 2) for far fewer "
+         "messages than flooded invalidations and\nfewer polls than "
+         "validate-on-every-read.\n";
+  return 0;
+}

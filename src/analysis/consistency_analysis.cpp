@@ -1,0 +1,57 @@
+#include "analysis/consistency_analysis.hpp"
+
+#include <algorithm>
+
+#include "analysis/energy_analysis.hpp"
+
+namespace precinct::analysis {
+
+namespace {
+double hops(const ConsistencyAnalysisParams& p) {
+  return expected_intermediate_hops(p.area, p.range_m) + 1.0;
+}
+double nodes_per_region(const ConsistencyAnalysisParams& p) {
+  return p.n_regions > 0 ? p.n_nodes / p.n_regions : p.n_nodes;
+}
+}  // namespace
+
+double push_cost_msgs(const ConsistencyAnalysisParams& p) {
+  // Routed leg to the region + in-region flood (each member rebroadcasts
+  // once) + routed ack back.  Retransmissions fire rarely enough that the
+  // first attempt dominates.
+  return hops(p) + nodes_per_region(p) + hops(p);
+}
+
+double poll_cost_msgs(const ConsistencyAnalysisParams& p) {
+  // Poll routed to the home region; the custodian usually answers from
+  // the route's end or after a partial in-region flood (half a region on
+  // average), then the reply routes back.
+  return hops(p) + 0.5 * nodes_per_region(p) + hops(p);
+}
+
+ConsistencyLoad consistency_messages_per_second(
+    const ConsistencyAnalysisParams& p) {
+  ConsistencyLoad load;
+  const double updates_per_s = p.update_rate_hz * p.n_nodes;
+  const double requests_per_s = p.request_rate_hz * p.n_nodes;
+  const double regions_pushed = 1.0 + p.replica_count;
+
+  // Plain-Push: one network-wide flood per update (every node forwards
+  // the invalidation once).
+  load.plain_push = updates_per_s * p.n_nodes;
+
+  // Both pull schemes push each update to the home + replica regions.
+  const double push_load = updates_per_s * regions_pushed * push_cost_msgs(p);
+
+  // Pull-Every-time polls on every cache-served request.
+  load.pull_every_time =
+      push_load + requests_per_s * p.cache_serve_fraction * poll_cost_msgs(p);
+
+  // Adaptive pull polls only when the copy's TTR has lapsed.
+  load.push_adaptive_pull =
+      push_load + requests_per_s * p.cache_serve_fraction *
+                      p.ttr_expired_fraction * poll_cost_msgs(p);
+  return load;
+}
+
+}  // namespace precinct::analysis

@@ -1,0 +1,48 @@
+// Closed-form consistency message-count model.
+//
+// The paper analyzes energy (§5) but reports consistency overhead (Fig 6)
+// only by simulation.  This extends the same style of analysis to the
+// three schemes of §4, predicting messages per second from first
+// principles.  Two workload-dependent probabilities are inputs (measured
+// or assumed): the fraction of requests served from caches, and the
+// fraction of those whose TTR has lapsed.
+#pragma once
+
+#include <cstddef>
+
+#include "geo/geometry.hpp"
+
+namespace precinct::analysis {
+
+struct ConsistencyAnalysisParams {
+  double n_nodes = 80;
+  double n_regions = 9;
+  geo::Rect area{{0.0, 0.0}, {1200.0, 1200.0}};
+  double range_m = 250.0;
+  double replica_count = 1;       ///< replica regions per key
+  double request_rate_hz = 1.0 / 30.0;  ///< per node (paper: mean 30 s)
+  double update_rate_hz = 1.0 / 30.0;   ///< per node
+  double cache_serve_fraction = 0.4;    ///< requests served from caches
+  double ttr_expired_fraction = 0.85;   ///< cache serves that must poll
+                                        ///< (adaptive only)
+};
+
+/// Messages per second each scheme generates for consistency maintenance.
+struct ConsistencyLoad {
+  double plain_push = 0.0;
+  double pull_every_time = 0.0;
+  double push_adaptive_pull = 0.0;
+};
+
+/// Cost in transmissions of pushing one update to one region: routed
+/// request leg, localized flood, and the custodian acknowledgement.
+[[nodiscard]] double push_cost_msgs(const ConsistencyAnalysisParams& p);
+
+/// Cost in transmissions of one poll round trip.
+[[nodiscard]] double poll_cost_msgs(const ConsistencyAnalysisParams& p);
+
+/// Predicted consistency message rates for all three schemes.
+[[nodiscard]] ConsistencyLoad consistency_messages_per_second(
+    const ConsistencyAnalysisParams& p);
+
+}  // namespace precinct::analysis

@@ -1,0 +1,48 @@
+// Closed-form per-request energy (paper §5, Eqs. 6–13), used to reproduce
+// the "theoretical" curves of Fig 9 and validate the simulator against
+// them.
+#pragma once
+
+#include <cstddef>
+
+#include "energy/feeney_model.hpp"
+#include "geo/geometry.hpp"
+
+namespace precinct::analysis {
+
+struct EnergyAnalysisParams {
+  double n_nodes = 20;
+  geo::Rect area{{0.0, 0.0}, {600.0, 600.0}};
+  double range_m = 250.0;
+  double n_regions = 9;               ///< PReCinCt only
+  std::size_t request_bytes = 64;     ///< flooded / routed request size
+  std::size_t response_bytes = 64;    ///< p2p response size (headers; the
+                                      ///< paper's analysis uses one size)
+  energy::FeeneyModel model;
+};
+
+/// Mean distance between two independent uniform points in a rectangle
+/// (exact closed form; for a square of side a it evaluates to ~0.5214 a).
+[[nodiscard]] double mean_uniform_distance(const geo::Rect& area) noexcept;
+
+/// Expected intermediate-hop count I between two random nodes: mean
+/// distance divided by the expected greedy-forwarding hop advance (a
+/// fraction of the radio range), minus the endpoints.
+[[nodiscard]] double expected_intermediate_hops(const geo::Rect& area,
+                                                double range_m) noexcept;
+
+/// E_total_bd (Eq. 8) under density N/A.
+[[nodiscard]] double broadcast_total_energy(const EnergyAnalysisParams& p,
+                                            std::size_t bytes) noexcept;
+
+/// E_Flooding (Eq. 11): every node rebroadcasts the request once, then the
+/// response travels back over I intermediate p2p hops.
+[[nodiscard]] double flooding_energy_per_request(
+    const EnergyAnalysisParams& p) noexcept;
+
+/// E_PReCinCt (Eq. 13): I p2p hops to the home region, a localized flood
+/// among the n = N/R nodes of that region, and I p2p hops back.
+[[nodiscard]] double precinct_energy_per_request(
+    const EnergyAnalysisParams& p) noexcept;
+
+}  // namespace precinct::analysis

@@ -1,0 +1,31 @@
+// A cached copy of a data item, with the attributes the paper's utility
+// function weighs (access count, size, region distance) plus consistency
+// state (version, TTR expiry).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "geo/geo_hash.hpp"
+
+namespace precinct::cache {
+
+struct CacheEntry {
+  geo::Key key = 0;
+  std::size_t size_bytes = 0;
+  std::uint64_t version = 0;
+
+  // Utility inputs (paper Eq. 1).
+  double access_count = 0.0;      ///< ac_i: accesses in this region
+  double region_distance = 0.0;   ///< reg_dst: requesting->home region dist
+  double inflation = 0.0;         ///< greedy-dual L added at admission
+
+  // Consistency state (paper §4).
+  double ttr_expiry_s = 0.0;      ///< absolute time the TTR lapses
+  bool invalidated = false;       ///< hit by a pushed invalidation
+
+  double fetched_at_s = 0.0;
+  double last_access_s = 0.0;
+};
+
+}  // namespace precinct::cache

@@ -1,0 +1,155 @@
+#include "cache/cache_store.hpp"
+
+#include <cassert>
+#include <limits>
+#include <stdexcept>
+
+namespace precinct::cache {
+
+CacheStore::CacheStore(std::size_t capacity_bytes,
+                       std::unique_ptr<ReplacementPolicy> policy)
+    : capacity_(capacity_bytes), policy_(std::move(policy)) {
+  if (!policy_) throw std::invalid_argument("CacheStore: null policy");
+}
+
+InsertResult CacheStore::insert(CacheEntry entry) {
+  InsertResult result;
+  if (entry.size_bytes > capacity_) return result;  // can never fit
+
+  if (const auto it = entries_.find(entry.key); it != entries_.end()) {
+    // Refresh in place; preserve accumulated access count and inflation.
+    entry.access_count = it->second.access_count;
+    entry.inflation = it->second.inflation;
+    used_ -= it->second.size_bytes;
+    used_ += entry.size_bytes;
+    it->second = entry;
+    result.admitted = true;
+    // A refresh may have grown the entry past capacity; evict others.
+    while (used_ > capacity_) {
+      if (entries_.size() == 1) {  // only the refreshed entry remains
+        used_ -= it->second.size_bytes;
+        result.evicted.push_back(entry.key);
+        entries_.erase(it);
+        result.admitted = false;
+        return result;
+      }
+      result.evicted.push_back(evict_one());
+    }
+    return result;
+  }
+
+  while (used_ + entry.size_bytes > capacity_ && !entries_.empty()) {
+    result.evicted.push_back(evict_one());
+  }
+  if (used_ + entry.size_bytes > capacity_) return result;
+
+  // Greedy-dual aging: the newcomer's priority starts at L + score
+  // (paper: "U(d) = L + U(d)").
+  if (policy_->inflates()) entry.inflation = floor_;
+  used_ += entry.size_bytes;
+  entries_.emplace(entry.key, entry);
+  result.admitted = true;
+  return result;
+}
+
+geo::Key CacheStore::evict_one() {
+  assert(!entries_.empty());
+  auto victim = entries_.begin();
+  double victim_priority = priority(victim->second);
+  for (auto it = std::next(entries_.begin()); it != entries_.end(); ++it) {
+    const double p = priority(it->second);
+    if (p < victim_priority || (p == victim_priority && it->first < victim->first)) {
+      victim_priority = p;
+      victim = it;
+    }
+  }
+  floor_ = victim_priority;  // L := priority of the evicted entry
+  const geo::Key key = victim->first;
+  used_ -= victim->second.size_bytes;
+  entries_.erase(victim);
+  return key;
+}
+
+const CacheEntry* CacheStore::find(geo::Key key) const {
+  const auto it = entries_.find(key);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+bool CacheStore::touch(geo::Key key, double now_s, double region_distance) {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return false;
+  it->second.access_count += 1.0;
+  it->second.last_access_s = now_s;
+  it->second.region_distance = region_distance;
+  return true;
+}
+
+bool CacheStore::refresh(geo::Key key, std::uint64_t version,
+                         double ttr_expiry_s) {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return false;
+  it->second.version = version;
+  it->second.ttr_expiry_s = ttr_expiry_s;
+  it->second.invalidated = false;
+  return true;
+}
+
+bool CacheStore::invalidate(geo::Key key) {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return false;
+  it->second.invalidated = true;
+  return true;
+}
+
+bool CacheStore::erase(geo::Key key) {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return false;
+  used_ -= it->second.size_bytes;
+  entries_.erase(it);
+  return true;
+}
+
+std::vector<geo::Key> CacheStore::keys() const {
+  std::vector<geo::Key> out;
+  out.reserve(entries_.size());
+  for (const auto& [key, entry] : entries_) out.push_back(key);
+  return out;
+}
+
+void CacheStore::put_static(CacheEntry entry) {
+  const auto [it, inserted] = static_entries_.emplace(entry.key, entry);
+  if (!inserted) {
+    static_bytes_ -= it->second.size_bytes;
+    it->second = entry;
+  }
+  static_bytes_ += entry.size_bytes;
+}
+
+const CacheEntry* CacheStore::find_static(geo::Key key) const {
+  const auto it = static_entries_.find(key);
+  return it == static_entries_.end() ? nullptr : &it->second;
+}
+
+CacheEntry* CacheStore::find_static_mutable(geo::Key key) {
+  const auto it = static_entries_.find(key);
+  return it == static_entries_.end() ? nullptr : &it->second;
+}
+
+bool CacheStore::erase_static(geo::Key key) {
+  const auto it = static_entries_.find(key);
+  if (it == static_entries_.end()) return false;
+  static_bytes_ -= it->second.size_bytes;
+  static_entries_.erase(it);
+  return true;
+}
+
+std::vector<CacheEntry> CacheStore::take_all_static() {
+  std::vector<CacheEntry> out;
+  out.reserve(static_entries_.size());
+  for (auto& [key, entry] : static_entries_) out.push_back(entry);
+  static_entries_.clear();
+  static_bytes_ = 0;
+  return out;
+}
+
+}  // namespace precinct::cache

@@ -1,0 +1,109 @@
+// Per-peer cache with the paper's static/dynamic split (§3):
+//
+//  * static space — values of keys whose home region is the region the
+//    peer currently resides in (custody copies); never evicted by the
+//    replacement policy, released only when custody is handed off.
+//  * dynamic space — opportunistically cached items, managed by a
+//    greedy replacement policy under a byte capacity.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/cache_entry.hpp"
+#include "cache/policies.hpp"
+
+namespace precinct::cache {
+
+/// Result of an insert: whether the item was admitted and which keys were
+/// evicted to make room.
+struct InsertResult {
+  bool admitted = false;
+  std::vector<geo::Key> evicted;
+};
+
+class CacheStore {
+ public:
+  /// `capacity_bytes` bounds the dynamic space.  The policy decides
+  /// eviction order; it must outlive nothing (owned here).
+  CacheStore(std::size_t capacity_bytes,
+             std::unique_ptr<ReplacementPolicy> policy);
+
+  // -- dynamic space --------------------------------------------------------
+
+  /// Admit `entry` into dynamic space, evicting minimum-priority entries
+  /// until it fits.  An item larger than the whole capacity is rejected.
+  /// Re-inserting an existing key refreshes its contents in place.
+  InsertResult insert(CacheEntry entry);
+
+  /// Lookup in dynamic space.  Does not touch utility state.
+  [[nodiscard]] const CacheEntry* find(geo::Key key) const;
+
+  /// Record a hit: bumps access count, refreshes recency, updates the
+  /// region-distance attribute (latest request's distance), re-scores.
+  /// Returns false if the key is not cached.
+  bool touch(geo::Key key, double now_s, double region_distance);
+
+  /// Update consistency state on a cached copy (new version / TTR).
+  bool refresh(geo::Key key, std::uint64_t version, double ttr_expiry_s);
+
+  /// Mark a cached copy invalid (pushed invalidation); keeps it resident
+  /// so the next request triggers revalidation instead of a silent miss.
+  bool invalidate(geo::Key key);
+
+  bool erase(geo::Key key);
+
+  [[nodiscard]] std::size_t used_bytes() const noexcept { return used_; }
+  [[nodiscard]] std::size_t capacity_bytes() const noexcept {
+    return capacity_;
+  }
+  [[nodiscard]] std::size_t entry_count() const noexcept {
+    return entries_.size();
+  }
+  [[nodiscard]] const ReplacementPolicy& policy() const noexcept {
+    return *policy_;
+  }
+  /// Priority the next eviction round would use for `entry`.
+  [[nodiscard]] double priority(const CacheEntry& entry) const {
+    return entry.inflation + policy_->score(entry);
+  }
+  /// Current greedy-dual aging value L (priority of the last victim).
+  [[nodiscard]] double inflation_floor() const noexcept { return floor_; }
+  /// Keys currently resident in dynamic space (unspecified order).
+  [[nodiscard]] std::vector<geo::Key> keys() const;
+
+  // -- static space (home-region custody) -----------------------------------
+
+  /// Store a custody copy.  Static space is not capacity-managed (the
+  /// paper's home-region guarantees depend on custody never being
+  /// evicted); size is tracked for diagnostics.
+  void put_static(CacheEntry entry);
+  [[nodiscard]] const CacheEntry* find_static(geo::Key key) const;
+  [[nodiscard]] CacheEntry* find_static_mutable(geo::Key key);
+  bool erase_static(geo::Key key);
+  /// Remove and return all custody entries (inter-region handoff).
+  [[nodiscard]] std::vector<CacheEntry> take_all_static();
+  [[nodiscard]] std::size_t static_count() const noexcept {
+    return static_entries_.size();
+  }
+  [[nodiscard]] std::size_t static_bytes() const noexcept {
+    return static_bytes_;
+  }
+
+ private:
+  /// Evict the minimum-priority entry; returns its key.  Pre: non-empty.
+  geo::Key evict_one();
+
+  std::size_t capacity_;
+  std::unique_ptr<ReplacementPolicy> policy_;
+  std::unordered_map<geo::Key, CacheEntry> entries_;
+  std::unordered_map<geo::Key, CacheEntry> static_entries_;
+  std::size_t used_ = 0;
+  std::size_t static_bytes_ = 0;
+  double floor_ = 0.0;  // greedy-dual L
+};
+
+}  // namespace precinct::cache

@@ -1,0 +1,27 @@
+// Cache consistency schemes evaluated by the paper (§4, Fig 6–8).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace precinct::consistency {
+
+enum class Mode : std::uint8_t {
+  /// Read-only workload; no consistency traffic at all.
+  kNone,
+  /// Plain-Push (Cao & Liu): the updater floods the update/invalidation
+  /// to the entire network.  Stateless but very expensive.
+  kPlainPush,
+  /// Pull-Every-time (Gwertzman & Seltzer): every request served from a
+  /// cached copy first polls the data's home region to validate it.
+  kPullEveryTime,
+  /// Push with Adaptive Pull — the paper's scheme: updates are pushed
+  /// only to the home and replica regions; cached copies carry a TTR and
+  /// peers poll the home region only after it expires.
+  kPushAdaptivePull,
+};
+
+[[nodiscard]] const char* to_string(Mode mode) noexcept;
+[[nodiscard]] Mode mode_from_string(const std::string& name);
+
+}  // namespace precinct::consistency

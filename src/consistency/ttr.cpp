@@ -1,0 +1,45 @@
+#include "consistency/ttr.hpp"
+
+#include "consistency/modes.hpp"
+
+namespace precinct::consistency {
+
+const char* to_string(Mode mode) noexcept {
+  switch (mode) {
+    case Mode::kNone: return "none";
+    case Mode::kPlainPush: return "plain-push";
+    case Mode::kPullEveryTime: return "pull-every-time";
+    case Mode::kPushAdaptivePull: return "push-adaptive-pull";
+  }
+  return "unknown";
+}
+
+Mode mode_from_string(const std::string& name) {
+  if (name == "none") return Mode::kNone;
+  if (name == "plain-push") return Mode::kPlainPush;
+  if (name == "pull-every-time") return Mode::kPullEveryTime;
+  if (name == "push-adaptive-pull") return Mode::kPushAdaptivePull;
+  throw std::invalid_argument("mode_from_string: unknown mode '" + name + "'");
+}
+
+TtrEstimator::TtrEstimator(double alpha, double initial_ttr_s)
+    : alpha_(alpha), ttr_s_(initial_ttr_s) {
+  if (alpha < 0.0 || alpha > 1.0) {
+    throw std::invalid_argument("TtrEstimator: alpha must be in [0, 1]");
+  }
+  if (initial_ttr_s < 0.0) {
+    throw std::invalid_argument("TtrEstimator: initial TTR must be >= 0");
+  }
+}
+
+void TtrEstimator::on_update(double now_s) {
+  if (updates_ > 0) {
+    const double gap = now_s - last_update_s_;
+    if (gap >= 0.0) ttr_s_ = alpha_ * ttr_s_ + (1.0 - alpha_) * gap;
+  }
+  // The first observed update gives no gap; it only anchors the clock.
+  last_update_s_ = now_s;
+  ++updates_;
+}
+
+}  // namespace precinct::consistency

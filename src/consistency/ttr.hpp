@@ -1,0 +1,43 @@
+// Time-to-Refresh estimation (paper Eq. 2).
+//
+// The home region keeps one estimator per data item it has custody of.
+// On each update it folds the observed inter-update gap into an EWMA:
+//
+//   TTR = alpha * TTR + (1 - alpha) * t_upd_intvl
+//
+// so frequently updated items get short TTRs (more polls, fresher caches)
+// and static items get long ones (fewer polls).
+#pragma once
+
+#include <stdexcept>
+
+namespace precinct::consistency {
+
+class TtrEstimator {
+ public:
+  /// `alpha` in [0, 1] weighs history vs the latest gap; `initial_ttr_s`
+  /// seeds the estimate before any update is observed.
+  explicit TtrEstimator(double alpha = 0.5, double initial_ttr_s = 30.0);
+
+  /// Record an update arriving at absolute time `now_s`.
+  void on_update(double now_s);
+
+  /// Current TTR estimate (seconds).
+  [[nodiscard]] double ttr_s() const noexcept { return ttr_s_; }
+
+  /// Absolute expiry for a copy handed out at `now_s`.
+  [[nodiscard]] double expiry_for(double now_s) const noexcept {
+    return now_s + ttr_s_;
+  }
+
+  [[nodiscard]] double alpha() const noexcept { return alpha_; }
+  [[nodiscard]] unsigned updates_seen() const noexcept { return updates_; }
+
+ private:
+  double alpha_;
+  double ttr_s_;
+  double last_update_s_ = 0.0;
+  unsigned updates_ = 0;
+};
+
+}  // namespace precinct::consistency

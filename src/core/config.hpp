@@ -1,0 +1,159 @@
+// Scenario configuration: one struct drives the whole stack, mirroring the
+// paper's §6.1 simulation environment.  Field defaults are the paper's
+// defaults wherever it states them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "cache/policies.hpp"
+#include "consistency/modes.hpp"
+#include "energy/feeney_model.hpp"
+#include "geo/geometry.hpp"
+#include "mobility/random_waypoint.hpp"
+#include "net/wireless_net.hpp"
+#include "routing/expanding_ring.hpp"
+#include "workload/data_catalog.hpp"
+
+namespace precinct::core {
+
+/// Which data retrieval scheme the network runs (§6.2 compares PReCinCt
+/// against the two unstructured-P2P baselines).
+enum class RetrievalScheme : std::uint8_t {
+  kPrecinct,       ///< region hash + GPSR + localized flood
+  kFlooding,       ///< network-wide flood per request
+  kExpandingRing,  ///< TTL-doubling ring search
+};
+
+[[nodiscard]] const char* to_string(RetrievalScheme scheme) noexcept;
+
+struct PrecinctConfig {
+  // -- topology & regions (paper: 1200x1200 m, 9 equal regions) ------------
+  geo::Rect area{{0.0, 0.0}, {1200.0, 1200.0}};
+  std::uint32_t regions_x = 3;
+  std::uint32_t regions_y = 3;
+  std::size_t n_nodes = 80;
+
+  // -- radio & energy --------------------------------------------------------
+  net::WirelessConfig wireless;  // 250 m range, 11 Mbps defaults
+  energy::FeeneyModel energy_model;
+
+  // -- mobility (paper: random waypoint, 5 s pause) -------------------------
+  /// "random-waypoint" (paper default), "random-direction", "gauss-markov"
+  /// or "static".  `mobile == false` forces "static".
+  std::string mobility_model = "random-waypoint";
+  bool mobile = true;
+  double v_min = 0.5;
+  double v_max = 6.0;
+  double pause_s = 5.0;
+  /// How often peers check whether they crossed a region boundary (§2.3).
+  double region_check_interval_s = 1.0;
+
+  // -- workload (paper: Poisson mean 30 s, Zipf theta) ----------------------
+  workload::DataCatalogConfig catalog;
+  double zipf_theta = 0.8;
+  /// Flash-crowd dynamics: every interval the popularity ranking rotates
+  /// by `hotspot_shift` items, so yesterday's hot content cools off.  0
+  /// disables rotation (the paper's stationary workload).
+  double hotspot_rotation_interval_s = 0.0;
+  std::size_t hotspot_shift = 100;
+  double mean_request_interval_s = 30.0;
+  double mean_update_interval_s = 30.0;
+  bool updates_enabled = false;
+
+  // -- caching (§3) ----------------------------------------------------------
+  /// Dynamic cache capacity as a fraction of total database bytes
+  /// (Fig 4/5 sweep 0.005..0.025).  0 disables dynamic caching.
+  double cache_fraction = 0.02;
+  std::string cache_policy = "gd-ld";
+  cache::GdLdWeights gdld_weights;
+  /// Popularity-gradient prefetching (extension, after the authors'
+  /// companion work on caching + prefetching): when a remote fetch
+  /// completes, also request up to this many of the globally hottest
+  /// items the peer does not yet hold.  Prefetch latency is not counted
+  /// against the request metrics; the extra traffic and energy are.
+  std::size_t prefetch_count = 0;
+
+  // -- consistency (§4) -------------------------------------------------------
+  consistency::Mode consistency = consistency::Mode::kNone;
+  double ttr_alpha = 0.5;       ///< Eq. 2's alpha
+  double ttr_initial_s = 30.0;  ///< TTR seed before any update is seen
+  /// Retransmissions of an unacknowledged update push (0 = fire and
+  /// forget).  The paper assumes updates reach the home region reliably.
+  int push_retries = 2;
+
+  // -- neighbor discovery ------------------------------------------------------
+  /// When true, GPSR forwards from beacon-fed neighbor tables (Karp &
+  /// Kung's real mechanism: periodic position broadcasts, entries expire
+  /// after neighbor_lifetime_s) instead of oracle knowledge.  Beacon
+  /// traffic is charged like any other message.
+  bool use_beacons = false;
+  double beacon_interval_s = 1.0;
+  double neighbor_lifetime_s = 3.0;
+  /// GPSR's piggybacking: every received or overheard frame refreshes
+  /// the sender's table entry, and a node whose own traffic substitutes
+  /// for a beacon suppresses it.
+  bool beacon_piggyback = true;
+
+  // -- retrieval ---------------------------------------------------------------
+  RetrievalScheme retrieval = RetrievalScheme::kPrecinct;
+  routing::ExpandingRingConfig ring;
+  int region_flood_ttl = 8;       ///< TTL for localized floods
+  int network_flood_ttl = 32;     ///< TTL for the flooding baseline
+  int max_route_hops = 64;        ///< GPSR hop budget
+  double regional_timeout_s = 0.08;  ///< wait for a same-region answer
+                                     ///< (regional flood RTT is ~10 ms)
+  double remote_timeout_s = 1.0;     ///< wait for home/replica answer
+                                     ///< (cross-area RTT is ~40 ms)
+  /// Replica regions per key (§2.4; the paper's default is one, and notes
+  /// the scheme "can be easily extended to multiple replicas").  0
+  /// disables replication; lookups fall back through replicas in
+  /// proximity order.
+  std::size_t replica_count = 1;
+
+  // -- dynamic region management (§2.1; paper future work) -------------------
+  /// Periodically merge under-populated regions into their nearest
+  /// neighbor and separate over-populated ones.  Each operation updates
+  /// the region table, floods the change to all peers (kRegionUpdate) and
+  /// relocates custody of every re-homed key — all at modeled cost.
+  bool dynamic_regions = false;
+  double region_reconfig_interval_s = 60.0;
+  std::size_t min_region_peers = 2;   ///< below this, merge
+  std::size_t max_region_peers = 24;  ///< above this, separate
+
+  // -- failure injection (§2.4) ----------------------------------------------
+  /// Expected crashes per second across the network (0 = none).  Crashed
+  /// nodes stay down (`sudden death`).
+  double crash_rate_per_s = 0.0;
+  /// Fraction of departures that are graceful (custody handed off first).
+  double graceful_fraction = 1.0;
+  /// Expected rejoins per second across the network: crashed peers come
+  /// back (fresh state — empty caches, no custody) at this rate.  With
+  /// both rates set the network reaches a churn steady state.
+  double join_rate_per_s = 0.0;
+
+  // -- run control --------------------------------------------------------------
+  /// When > 0, record a Metrics::Sample every interval during the
+  /// measurement window (cumulative hit ratio, latency, energy).
+  double sample_interval_s = 0.0;
+  double warmup_s = 150.0;   ///< cache/TTR warm-up before measuring
+  double measure_s = 900.0;  ///< measurement window length
+  std::uint64_t seed = 1;
+
+  /// Total simulated time.
+  [[nodiscard]] double end_time_s() const noexcept {
+    return warmup_s + measure_s;
+  }
+  /// Validate the configuration; throws std::invalid_argument with a
+  /// specific message on the first problem found.  Scenario calls this,
+  /// so malformed configs fail fast instead of producing silent nonsense.
+  void validate() const;
+  /// Dynamic cache capacity in bytes given a catalog size.
+  [[nodiscard]] std::size_t cache_capacity_bytes(
+      std::size_t db_bytes) const noexcept {
+    return static_cast<std::size_t>(cache_fraction *
+                                    static_cast<double>(db_bytes));
+  }
+};
+
+}  // namespace precinct::core

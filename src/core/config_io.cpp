@@ -1,0 +1,171 @@
+#include "core/config_io.hpp"
+
+#include <functional>
+#include <map>
+#include <stdexcept>
+
+namespace precinct::core {
+
+namespace {
+
+RetrievalScheme retrieval_from_name(const std::string& name) {
+  if (name == "precinct") return RetrievalScheme::kPrecinct;
+  if (name == "flooding") return RetrievalScheme::kFlooding;
+  if (name == "expanding-ring") return RetrievalScheme::kExpandingRing;
+  throw std::invalid_argument("config: unknown retrieval scheme '" + name +
+                              "'");
+}
+
+}  // namespace
+
+PrecinctConfig config_from_kv(const support::KvFile& kv, PrecinctConfig base) {
+  PrecinctConfig c = std::move(base);
+  // One handler per key; the map doubles as the list of valid keys.
+  const std::map<std::string, std::function<void(const std::string&)>>
+      handlers{
+          {"nodes",
+           [&](const std::string&) {
+             c.n_nodes = static_cast<std::size_t>(kv.get_number("nodes", 0));
+           }},
+          {"area",
+           [&](const std::string&) {
+             const double side = kv.get_number("area", 1200.0);
+             c.area = {{0.0, 0.0}, {side, side}};
+           }},
+          {"regions",
+           [&](const std::string&) {
+             c.regions_x = c.regions_y =
+                 static_cast<std::uint32_t>(kv.get_number("regions", 3));
+           }},
+          {"range",
+           [&](const std::string&) {
+             c.wireless.range_m = kv.get_number("range", 250.0);
+           }},
+          {"mobility",
+           [&](const std::string& v) {
+             c.mobility_model = v;
+             c.mobile = v != "static";
+           }},
+          {"speed_max",
+           [&](const std::string&) {
+             c.v_max = kv.get_number("speed_max", 6.0);
+           }},
+          {"speed_min",
+           [&](const std::string&) {
+             c.v_min = kv.get_number("speed_min", 0.5);
+           }},
+          {"pause",
+           [&](const std::string&) {
+             c.pause_s = kv.get_number("pause", 5.0);
+           }},
+          {"items",
+           [&](const std::string&) {
+             c.catalog.n_items =
+                 static_cast<std::size_t>(kv.get_number("items", 1000));
+           }},
+          {"request_interval",
+           [&](const std::string&) {
+             c.mean_request_interval_s =
+                 kv.get_number("request_interval", 30.0);
+           }},
+          {"update_interval",
+           [&](const std::string&) {
+             c.mean_update_interval_s = kv.get_number("update_interval", 30.0);
+           }},
+          {"updates",
+           [&](const std::string&) {
+             c.updates_enabled = kv.get_bool("updates", false);
+           }},
+          {"zipf",
+           [&](const std::string&) {
+             c.zipf_theta = kv.get_number("zipf", 0.8);
+           }},
+          {"policy", [&](const std::string& v) { c.cache_policy = v; }},
+          {"cache",
+           [&](const std::string&) {
+             c.cache_fraction = kv.get_number("cache", 0.02);
+           }},
+          {"consistency",
+           [&](const std::string& v) {
+             c.consistency = consistency::mode_from_string(v);
+             if (c.consistency != consistency::Mode::kNone) {
+               c.updates_enabled = true;
+             }
+           }},
+          {"ttr_alpha",
+           [&](const std::string&) {
+             c.ttr_alpha = kv.get_number("ttr_alpha", 0.5);
+           }},
+          {"retrieval",
+           [&](const std::string& v) { c.retrieval = retrieval_from_name(v); }},
+          {"replicas",
+           [&](const std::string&) {
+             c.replica_count =
+                 static_cast<std::size_t>(kv.get_number("replicas", 1));
+           }},
+          {"crash_rate",
+           [&](const std::string&) {
+             c.crash_rate_per_s = kv.get_number("crash_rate", 0.0);
+           }},
+          {"join_rate",
+           [&](const std::string&) {
+             c.join_rate_per_s = kv.get_number("join_rate", 0.0);
+           }},
+          {"graceful_fraction",
+           [&](const std::string&) {
+             c.graceful_fraction = kv.get_number("graceful_fraction", 1.0);
+           }},
+          {"dynamic_regions",
+           [&](const std::string&) {
+             c.dynamic_regions = kv.get_bool("dynamic_regions", false);
+           }},
+          {"use_beacons",
+           [&](const std::string&) {
+             c.use_beacons = kv.get_bool("use_beacons", false);
+           }},
+          {"beacon_interval",
+           [&](const std::string&) {
+             c.beacon_interval_s = kv.get_number("beacon_interval", 1.0);
+           }},
+          {"neighbor_lifetime",
+           [&](const std::string&) {
+             c.neighbor_lifetime_s = kv.get_number("neighbor_lifetime", 3.0);
+           }},
+          {"hotspot_interval",
+           [&](const std::string&) {
+             c.hotspot_rotation_interval_s =
+                 kv.get_number("hotspot_interval", 0.0);
+           }},
+          {"hotspot_shift",
+           [&](const std::string&) {
+             c.hotspot_shift =
+                 static_cast<std::size_t>(kv.get_number("hotspot_shift", 100));
+           }},
+          {"warmup",
+           [&](const std::string&) {
+             c.warmup_s = kv.get_number("warmup", 150.0);
+           }},
+          {"measure",
+           [&](const std::string&) {
+             c.measure_s = kv.get_number("measure", 900.0);
+           }},
+          {"seed",
+           [&](const std::string&) {
+             c.seed = static_cast<std::uint64_t>(kv.get_number("seed", 1));
+           }},
+      };
+  for (const auto& [key, value] : kv.values()) {
+    const auto it = handlers.find(key);
+    if (it == handlers.end()) {
+      throw std::invalid_argument("config: unknown key '" + key + "'");
+    }
+    it->second(value);
+  }
+  return c;
+}
+
+PrecinctConfig config_from_file(const std::string& path, PrecinctConfig base) {
+  return config_from_kv(support::KvFile::load(path), std::move(base));
+}
+
+}  // namespace precinct::core

@@ -1,0 +1,25 @@
+// Configuration file loading: map a key=value KvFile onto PrecinctConfig.
+//
+// Keys mirror precinct_sim's flag names (without dashes, using
+// underscores); unknown keys are an error so typos fail loudly.  See
+// `examples/scenario.conf.example` for a complete annotated file.
+#pragma once
+
+#include <string>
+
+#include "core/config.hpp"
+#include "support/kv_file.hpp"
+
+namespace precinct::core {
+
+/// Apply every key in `kv` on top of `base`.  Throws
+/// std::invalid_argument for unknown keys or unparsable values.  The
+/// result is not validated; call validate() (Scenario does).
+[[nodiscard]] PrecinctConfig config_from_kv(const support::KvFile& kv,
+                                            PrecinctConfig base = {});
+
+/// Convenience: load a file and apply it (throws on I/O errors too).
+[[nodiscard]] PrecinctConfig config_from_file(const std::string& path,
+                                              PrecinctConfig base = {});
+
+}  // namespace precinct::core

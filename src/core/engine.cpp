@@ -1,0 +1,407 @@
+#include "core/engine.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <ranges>
+
+namespace precinct::core {
+
+PrecinctEngine::PrecinctEngine(const PrecinctConfig& config,
+                               sim::Simulator& simulator,
+                               net::WirelessNet& network,
+                               geo::RegionTable region_table,
+                               workload::DataCatalog& catalog)
+    : config_(config),
+      sim_(simulator),
+      net_(network),
+      regions_(std::move(region_table)),
+      hash_(config.area),
+      catalog_(catalog),
+      zipf_(catalog.size(), config.zipf_theta),
+      beacons_(config.use_beacons
+                   ? std::make_unique<routing::BeaconNeighborProvider>(
+                         network, network.node_count(),
+                         config.neighbor_lifetime_s)
+                   : nullptr),
+      gpsr_(beacons_ ? std::make_unique<routing::Gpsr>(network, *beacons_)
+                     : std::make_unique<routing::Gpsr>(network)),
+      flood_(network.node_count()),
+      rng_(support::hash_combine(config.seed, 0xEC61)) {
+  const std::size_t capacity =
+      config_.cache_capacity_bytes(catalog_.total_bytes());
+  peers_.reserve(net_.node_count());
+  for (net::NodeId i = 0; i < net_.node_count(); ++i) {
+    peers_.emplace_back(capacity,
+                        cache::make_policy(config_.cache_policy,
+                                           config_.gdld_weights),
+                        rng_.split(i));
+  }
+  // Normalize region distance by a representative region diameter so the
+  // utility's wd weight is unit-comparable across region-count sweeps.
+  if (!regions_.empty()) {
+    const geo::Rect& extent = regions_.regions().front().extent;
+    region_diameter_ = std::hypot(extent.width(), extent.height());
+  }
+  net_.set_receive_handler(
+      [this](net::NodeId self, const net::Packet& packet) {
+        on_receive(self, packet);
+      });
+  if (beacons_ && config_.beacon_piggyback) {
+    net_.set_snoop_handler(
+        [this](net::NodeId self, const net::Packet& packet) {
+          beacons_->on_beacon(self, packet.src, packet.src_location,
+                              sim_.now());
+        });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// setup & drivers
+// ---------------------------------------------------------------------------
+
+void PrecinctEngine::initialize() {
+  for (net::NodeId i = 0; i < net_.node_count(); ++i) {
+    peers_[i].region = regions_.containing(net_.position(i));
+  }
+  place_initial_copies();
+  for (net::NodeId i = 0; i < net_.node_count(); ++i) {
+    schedule_next_request(i);
+    if (config_.updates_enabled &&
+        config_.consistency != consistency::Mode::kNone) {
+      schedule_next_update(i);
+    }
+  }
+  if (config_.mobile) schedule_region_checks();
+  if (config_.crash_rate_per_s > 0.0) schedule_crashes();
+  if (config_.join_rate_per_s > 0.0) schedule_joins();
+  if (config_.use_beacons) {
+    for (net::NodeId i = 0; i < net_.node_count(); ++i) schedule_beacon(i);
+  }
+  if (config_.dynamic_regions) {
+    sim_.schedule(config_.region_reconfig_interval_s,
+                  [this] { maybe_rebalance_regions(); });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// region management (§2.1)
+// ---------------------------------------------------------------------------
+
+void PrecinctEngine::place_initial_copies() {
+  // Deploy every item's custody copy at a peer in its home region (and a
+  // replica at the replica region, §2.4).  Deployment routes through the
+  // same region-scoped flood the protocol uses, so custody must land in
+  // the region's *flood-connected main component*: pick the largest
+  // intra-region component and take its member nearest the center.  This
+  // is the network's initial state, not protocol traffic.
+  const auto region_components = [&](geo::RegionId region) {
+    std::vector<std::vector<net::NodeId>> components;
+    std::vector<net::NodeId> members;
+    for (net::NodeId i = 0; i < net_.node_count(); ++i) {
+      if (net_.is_alive(i) && peers_[i].region == region) members.push_back(i);
+    }
+    std::vector<char> visited(members.size(), 0);
+    for (std::size_t s = 0; s < members.size(); ++s) {
+      if (visited[s]) continue;
+      std::vector<net::NodeId> component;
+      std::vector<std::size_t> stack{s};
+      visited[s] = 1;
+      while (!stack.empty()) {
+        const std::size_t u = stack.back();
+        stack.pop_back();
+        component.push_back(members[u]);
+        for (std::size_t v = 0; v < members.size(); ++v) {
+          if (!visited[v] && net_.in_range(members[u], members[v])) {
+            visited[v] = 1;
+            stack.push_back(v);
+          }
+        }
+      }
+      components.push_back(std::move(component));
+    }
+    return components;
+  };
+  // Cache per-region placements: the main component is a property of the
+  // initial topology, not of the key.
+  std::unordered_map<geo::RegionId, std::vector<net::NodeId>> main_component;
+  for (const geo::Region& r : regions_.regions()) {
+    auto components = region_components(r.id);
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < components.size(); ++i) {
+      if (components[i].size() > components[best].size()) best = i;
+    }
+    main_component.emplace(
+        r.id, components.empty() ? std::vector<net::NodeId>{}
+                                 : std::move(components[best]));
+  }
+  for (std::size_t rank = 0; rank < catalog_.size(); ++rank) {
+    const workload::DataItem& item = catalog_.item_at(rank);
+    const auto place = [&](geo::RegionId region,
+                           net::NodeId exclude) -> net::NodeId {
+      const geo::Region* r = regions_.find(region);
+      if (r == nullptr) return net::kNoNode;
+      net::NodeId best = net::kNoNode;
+      double best_d = std::numeric_limits<double>::infinity();
+      const auto it = main_component.find(region);
+      if (it != main_component.end()) {
+        for (const net::NodeId i : it->second) {
+          if (i == exclude) continue;
+          const double d = geo::distance(net_.position(i), r->center);
+          if (d < best_d) {
+            best_d = d;
+            best = i;
+          }
+        }
+      }
+      if (best != net::kNoNode) return best;
+      // Region empty (or only the excluded peer): global nearest fallback.
+      for (net::NodeId i = 0; i < net_.node_count(); ++i) {
+        if (i == exclude || !net_.is_alive(i)) continue;
+        const double d = geo::distance(net_.position(i), r->center);
+        if (d < best_d) {
+          best_d = d;
+          best = i;
+        }
+      }
+      return best;
+    };
+    cache::CacheEntry entry;
+    entry.key = item.key;
+    entry.size_bytes = item.size_bytes;
+    entry.version = item.version;
+    net::NodeId previous = net::kNoNode;
+    for (const geo::RegionId region :
+         hash_.key_regions(item.key, regions_, config_.replica_count)) {
+      const net::NodeId holder = place(region, previous);
+      if (holder != net::kNoNode) {
+        peers_[holder].cache.put_static(entry);
+        previous = holder;
+      }
+    }
+  }
+}
+
+geo::Key PrecinctEngine::sample_key(net::NodeId peer) {
+  std::size_t rank = zipf_.sample(peers_[peer].rng);
+  if (config_.hotspot_rotation_interval_s > 0.0) {
+    const auto rotations = static_cast<std::size_t>(
+        sim_.now() / config_.hotspot_rotation_interval_s);
+    rank = (rank + rotations * config_.hotspot_shift) % catalog_.size();
+  }
+  return catalog_.key_of(rank);
+}
+
+void PrecinctEngine::schedule_next_request(net::NodeId peer) {
+  const double wait =
+      peers_[peer].rng.exponential(config_.mean_request_interval_s);
+  const std::uint32_t generation = peers_[peer].generation;
+  sim_.schedule(wait, [this, peer, generation] {
+    if (net_.is_alive(peer) && peers_[peer].generation == generation) {
+      issue_request(peer, sample_key(peer));
+      schedule_next_request(peer);
+    }
+  });
+}
+
+void PrecinctEngine::schedule_next_update(net::NodeId peer) {
+  const double wait =
+      peers_[peer].rng.exponential(config_.mean_update_interval_s);
+  const std::uint32_t generation = peers_[peer].generation;
+  sim_.schedule(wait, [this, peer, generation] {
+    if (net_.is_alive(peer) && peers_[peer].generation == generation) {
+      issue_update(peer, sample_key(peer));
+      schedule_next_update(peer);
+    }
+  });
+}
+
+void PrecinctEngine::schedule_region_checks() {
+  for (net::NodeId i = 0; i < net_.node_count(); ++i) {
+    // Stagger checks so the whole fleet doesn't probe at the same instant.
+    const double offset =
+        peers_[i].rng.uniform(0.0, config_.region_check_interval_s);
+    sim_.schedule(offset, [this, i] { check_region(i); });
+  }
+}
+
+void PrecinctEngine::schedule_beacon(net::NodeId peer) {
+  // Jittered periodic position broadcast (GPSR neighbor discovery).
+  const double wait = config_.beacon_interval_s *
+                      (0.75 + 0.5 * peers_[peer].rng.uniform());
+  const std::uint32_t generation = peers_[peer].generation;
+  sim_.schedule(wait, [this, peer, generation] {
+    if (!net_.is_alive(peer) || peers_[peer].generation != generation) return;
+    // Piggybacking (GPSR): recent data traffic already announced our
+    // position to everyone in range; skip the redundant beacon.
+    const bool traffic_recent =
+        config_.beacon_piggyback &&
+        sim_.now() - net_.last_transmission_s(peer) <
+            config_.beacon_interval_s;
+    if (!traffic_recent) {
+      net::Packet beacon = make_packet(net::PacketKind::kBeacon, peer, 0);
+      beacon.size_bytes = 32;  // id + position + checksum
+      beacon.ttl = 1;          // never forwarded
+      net_.broadcast(beacon);
+    }
+    schedule_beacon(peer);
+  });
+}
+
+void PrecinctEngine::handle_beacon(net::NodeId self,
+                                   const net::Packet& packet) {
+  if (beacons_ != nullptr) {
+    beacons_->on_beacon(self, packet.origin, packet.origin_location,
+                        sim_.now());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// measurement
+// ---------------------------------------------------------------------------
+
+void PrecinctEngine::take_timeline_sample() {
+  Metrics::Sample sample;
+  sample.t_s = sim_.now() - measure_start_;
+  sample.requests_completed = metrics_.requests_completed;
+  sample.hit_ratio = metrics_.hit_ratio();
+  sample.avg_latency_s = metrics_.avg_latency_s();
+  sample.energy_mj =
+      net_.energy().network_total().total_mj() - energy_at_start_;
+  metrics_.timeline.push_back(sample);
+  sim_.schedule(config_.sample_interval_s,
+                [this] { take_timeline_sample(); });
+}
+
+void PrecinctEngine::start_measurement() {
+  measuring_ = true;
+  measure_start_ = sim_.now();
+  metrics_ = Metrics{};
+  const auto energy_now = net_.energy().network_total();
+  energy_at_start_ = energy_now.total_mj();
+  energy_broadcast_at_start_ =
+      energy_now.broadcast_send_mj + energy_now.broadcast_recv_mj;
+  energy_p2p_at_start_ =
+      energy_now.p2p_send_mj + energy_now.p2p_recv_mj +
+      energy_now.p2p_discard_mj;
+  msgs_at_start_ = net_.stats().total_sends();
+  bytes_at_start_ = net_.stats().total_bytes();
+  consistency_msgs_at_start_ = net_.stats().consistency_sends();
+  frames_lost_at_start_ = net_.frames_lost();
+  if (config_.sample_interval_s > 0.0) {
+    sim_.schedule(config_.sample_interval_s,
+                  [this] { take_timeline_sample(); });
+  }
+}
+
+Metrics PrecinctEngine::finalize() {
+  const auto energy = net_.energy().network_total();
+  metrics_.energy_total_mj = energy.total_mj() - energy_at_start_;
+  metrics_.energy_broadcast_mj =
+      energy.broadcast_send_mj + energy.broadcast_recv_mj -
+      energy_broadcast_at_start_;
+  metrics_.energy_p2p_mj = energy.p2p_send_mj + energy.p2p_recv_mj +
+                           energy.p2p_discard_mj - energy_p2p_at_start_;
+  metrics_.messages_sent = net_.stats().total_sends() - msgs_at_start_;
+  metrics_.bytes_sent = net_.stats().total_bytes() - bytes_at_start_;
+  metrics_.consistency_messages =
+      net_.stats().consistency_sends() - consistency_msgs_at_start_;
+  metrics_.frames_lost = net_.frames_lost() - frames_lost_at_start_;
+  metrics_.events_executed = sim_.events_executed();
+  // Requests still in flight at the end of the window count as failed so
+  // success_ratio is conservative.
+  for (const auto& [id, p] : pending_) {
+    if (p.measured) ++metrics_.requests_failed;
+  }
+  return metrics_;
+}
+
+// ---------------------------------------------------------------------------
+// request path (requester side)
+// ---------------------------------------------------------------------------
+
+// ---------------------------------------------------------------------------
+// receive dispatch
+// ---------------------------------------------------------------------------
+
+// ---------------------------------------------------------------------------
+// consistency (§4)
+// ---------------------------------------------------------------------------
+
+// ---------------------------------------------------------------------------
+// custody & mobility (§2.3, §2.4)
+// ---------------------------------------------------------------------------
+
+// ---------------------------------------------------------------------------
+// forwarding primitives
+// ---------------------------------------------------------------------------
+
+// ---------------------------------------------------------------------------
+// small helpers
+// ---------------------------------------------------------------------------
+
+PrecinctEngine::Copy PrecinctEngine::find_copy(net::NodeId peer,
+                                               geo::Key key) const {
+  const Peer& p = peers_[peer];
+  if (const cache::CacheEntry* custody = p.cache.find_static(key)) {
+    return {custody, true};
+  }
+  if (const cache::CacheEntry* cached = p.cache.find(key)) {
+    return {cached, false};
+  }
+  return {};
+}
+
+std::optional<std::uint64_t> PrecinctEngine::authoritative_version(
+    geo::Key key) const {
+  const geo::RegionId home = hash_.home_region(key, regions_);
+  const geo::RegionId replica = hash_.replica_region(key, regions_);
+  std::optional<std::uint64_t> from_replica;
+  for (net::NodeId i = 0; i < net_.node_count(); ++i) {
+    if (!net_.is_alive(i)) continue;
+    const cache::CacheEntry* custody = peers_[i].cache.find_static(key);
+    if (custody == nullptr) continue;
+    if (peers_[i].region == home) return custody->version;
+    if (peers_[i].region == replica) from_replica = custody->version;
+  }
+  return from_replica;
+}
+
+double PrecinctEngine::region_distance(geo::RegionId a,
+                                       geo::RegionId b) const {
+  const geo::Region* ra = regions_.find(a);
+  const geo::Region* rb = regions_.find(b);
+  if (ra == nullptr || rb == nullptr) return 0.0;
+  return geo::distance(ra->center, rb->center);
+}
+
+net::Packet PrecinctEngine::make_packet(net::PacketKind kind,
+                                        net::NodeId origin, geo::Key key) {
+  net::Packet packet;
+  packet.id = net_.next_packet_id();
+  packet.kind = kind;
+  packet.origin = origin;
+  packet.src = origin;
+  packet.origin_location = net_.position(origin);
+  packet.key = key;
+  packet.size_bytes = net::kHeaderBytes;
+  packet.created_at = sim_.now();
+  return packet;
+}
+
+bool PrecinctEngine::in_region(net::NodeId node, geo::RegionId region) {
+  const geo::Region* r = regions_.find(region);
+  return r != nullptr && r->extent.contains(net_.position(node));
+}
+
+std::size_t PrecinctEngine::custody_count(geo::Key key) const {
+  std::size_t count = 0;
+  for (net::NodeId i = 0; i < net_.node_count(); ++i) {
+    if (net_.is_alive(i) && peers_[i].cache.find_static(key) != nullptr) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace precinct::core

@@ -1,0 +1,311 @@
+// PrecinctEngine — consistency (paper §4): updates, the push phase with
+// custodian acknowledgements, the adaptive pull (polls + TTR), Plain-Push
+// invalidations.
+#include "core/engine.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <ranges>
+
+namespace precinct::core {
+
+void PrecinctEngine::issue_update(net::NodeId peer, geo::Key key) {
+  const std::uint64_t version = catalog_.apply_update(key, sim_.now());
+  if (measuring_) ++metrics_.updates_initiated;
+  PRECINCT_TRACE(tracer_, sim_.now(), sim::TraceCategory::kConsistency, peer,
+                 "update key " + std::to_string(key) + " -> v" +
+                     std::to_string(version));
+
+  // The updater's own copies reflect the write immediately.  When the
+  // updater is itself the custodian, the TTR estimator observes the
+  // update here (no push will arrive over the air).
+  Peer& p = peers_[peer];
+  if (cache::CacheEntry* custody = p.cache.find_static_mutable(key)) {
+    custody->version = version;
+    ttr_.try_emplace(key, config_.ttr_alpha, config_.ttr_initial_s)
+        .first->second.on_update(sim_.now());
+  }
+  p.cache.refresh(key, version, sim_.now());
+
+  switch (config_.consistency) {
+    case consistency::Mode::kNone:
+      break;
+    case consistency::Mode::kPlainPush: {
+      // Flood the update to the entire network (§1).  Carries the data so
+      // custodians apply it; caches merely invalidate.
+      net::Packet packet = make_packet(net::PacketKind::kInvalidation, peer,
+                                       key);
+      packet.mode = net::RouteMode::kNetworkFlood;
+      packet.ttl = config_.network_flood_ttl;
+      packet.version = version;
+      packet.size_bytes = net::kHeaderBytes + catalog_.item(key).size_bytes;
+      flood_.mark_seen(peer, packet.id);
+      net_.broadcast(packet);
+      break;
+    }
+    case consistency::Mode::kPullEveryTime:
+    case consistency::Mode::kPushAdaptivePull: {
+      // Push phase (Figure 2): route the update to the home region and
+      // every replica region; flooding inside those regions locates the
+      // peer holding the custody copy.
+      for (const geo::RegionId region :
+           hash_.key_regions(key, regions_, config_.replica_count)) {
+        push_update_to_region(peer, key, region, version);
+      }
+      break;
+    }
+  }
+}
+
+void PrecinctEngine::push_update_to_region(net::NodeId peer, geo::Key key,
+                                           geo::RegionId region_id,
+                                           std::uint64_t version) {
+  if (regions_.find(region_id) == nullptr) return;
+  // The updater may itself be this region's custodian — the write already
+  // landed locally in issue_update; pushing would only chase an ack from
+  // a custodian that does not exist.
+  if (peers_[peer].region == region_id &&
+      peers_[peer].cache.find_static(key) != nullptr) {
+    return;
+  }
+  const std::uint64_t push_id = next_request_id_++;
+  PendingPush push;
+  push.updater = peer;
+  push.key = key;
+  push.region = region_id;
+  push.version = version;
+  push.retries_left = config_.push_retries;
+  pending_pushes_.emplace(push_id, push);
+  send_push_packet(push_id);
+}
+
+void PrecinctEngine::send_push_packet(std::uint64_t push_id) {
+  const auto it = pending_pushes_.find(push_id);
+  if (it == pending_pushes_.end()) return;
+  PendingPush& push = it->second;
+  const geo::Region* region = regions_.find(push.region);
+  if (region == nullptr || !net_.is_alive(push.updater)) {
+    pending_pushes_.erase(it);
+    return;
+  }
+  net::Packet packet = make_packet(net::PacketKind::kUpdatePush, push.updater,
+                                   push.key);
+  packet.dest_region = push.region;
+  packet.dest_location = region->center;
+  packet.version = push.version;
+  packet.request_id = push_id;
+  packet.size_bytes = net::kHeaderBytes + catalog_.item(push.key).size_bytes;
+  if (peers_[push.updater].region == push.region) {
+    packet.mode = net::RouteMode::kRegionFlood;
+    packet.ttl = config_.region_flood_ttl;
+    flood_.mark_seen(push.updater, packet.id);
+    net_.broadcast(packet);
+  } else {
+    packet.mode = net::RouteMode::kGeographic;
+    packet.ttl = config_.max_route_hops;
+    forward_geographic(push.updater, packet);
+  }
+  push.timeout = sim_.schedule(config_.remote_timeout_s, [this, push_id] {
+    const auto pit = pending_pushes_.find(push_id);
+    if (pit == pending_pushes_.end()) return;
+    if (pit->second.retries_left-- > 0) {
+      send_push_packet(push_id);
+    } else {
+      PRECINCT_TRACE(tracer_, sim_.now(), sim::TraceCategory::kConsistency,
+                     pit->second.updater,
+                     "push of key " + std::to_string(pit->second.key) +
+                         " to region " + std::to_string(pit->second.region) +
+                         " gave up");
+      pending_pushes_.erase(pit);  // custodian unreachable; replica covers
+    }
+  });
+}
+
+void PrecinctEngine::maybe_ack_push(net::NodeId self,
+                                    const net::Packet& packet) {
+  if (packet.request_id == 0 || packet.origin == self) return;
+  net::Packet ack = make_packet(net::PacketKind::kPushAck, self, packet.key);
+  ack.mode = net::RouteMode::kGeographic;
+  ack.dest_node = packet.origin;
+  ack.dest_location = packet.origin_location;
+  ack.ttl = config_.max_route_hops;
+  ack.request_id = packet.request_id;
+  ack.version = packet.version;
+  forward_geographic(self, ack);
+}
+
+void PrecinctEngine::handle_push_ack(net::NodeId self,
+                                     const net::Packet& packet) {
+  if (self != packet.dest_node) {
+    forward_geographic(self, packet);
+    return;
+  }
+  const auto it = pending_pushes_.find(packet.request_id);
+  if (it == pending_pushes_.end()) return;  // duplicate ack
+  sim_.cancel(it->second.timeout);
+  pending_pushes_.erase(it);
+}
+
+bool PrecinctEngine::apply_custodian_update(net::NodeId self,
+                                            const net::Packet& packet) {
+  Peer& p = peers_[self];
+  cache::CacheEntry* custody = p.cache.find_static_mutable(packet.key);
+  if (custody == nullptr) return false;
+  if (packet.version > custody->version) {
+    custody->version = packet.version;
+    // Fold the observed inter-update gap into the TTR (Eq. 2).
+    ttr_.try_emplace(packet.key, config_.ttr_alpha, config_.ttr_initial_s)
+        .first->second.on_update(sim_.now());
+  }
+  return true;
+}
+
+void PrecinctEngine::handle_update_push(net::NodeId self,
+                                        const net::Packet& packet) {
+  switch (packet.mode) {
+    case net::RouteMode::kRegionFlood: {
+      if (!flood_.mark_seen(self, packet.id)) return;
+      if (peers_[self].region != packet.dest_region) return;
+      if (apply_custodian_update(self, packet)) maybe_ack_push(self, packet);
+      // Cached dynamic copies in the region refresh opportunistically.
+      peers_[self].cache.refresh(packet.key, packet.version,
+                                 sim_.now() + custodian_ttr_s(packet.key));
+      flood_forward(self, packet);
+      return;
+    }
+    case net::RouteMode::kGeographic: {
+      // The destination region's custodian may sit on the route itself
+      // (Figure 2 only needs to "locate the peer which has d"): apply and
+      // acknowledge en route.  A custodian of the *other* replica region
+      // applies opportunistically but must not consume the push.
+      if (apply_custodian_update(self, packet) &&
+          peers_[self].region == packet.dest_region) {
+        maybe_ack_push(self, packet);
+        peers_[self].cache.refresh(packet.key, packet.version,
+                                   sim_.now() + custodian_ttr_s(packet.key));
+        return;
+      }
+      if (peers_[self].region == packet.dest_region) {
+        net::Packet scoped = packet;
+        scoped.mode = net::RouteMode::kRegionFlood;
+        scoped.ttl = config_.region_flood_ttl;
+        scoped.src = self;
+        scoped.id = net_.next_packet_id();
+        flood_.mark_seen(self, scoped.id);
+        peers_[self].cache.refresh(scoped.key, scoped.version,
+                                   sim_.now() + custodian_ttr_s(scoped.key));
+        net_.broadcast(scoped);
+        return;
+      }
+      forward_geographic(self, packet);
+      return;
+    }
+    case net::RouteMode::kNetworkFlood:
+      return;  // pushes are never network floods
+  }
+}
+
+double PrecinctEngine::custodian_ttr_s(geo::Key key) {
+  const auto it = ttr_.find(key);
+  return it == ttr_.end() ? config_.ttr_initial_s : it->second.ttr_s();
+}
+
+void PrecinctEngine::handle_poll(net::NodeId self, const net::Packet& packet) {
+  const auto reply_from_custodian = [&](const cache::CacheEntry& custody) {
+    net::Packet reply = make_packet(net::PacketKind::kPollReply, self,
+                                    packet.key);
+    reply.mode = net::RouteMode::kGeographic;
+    reply.dest_node = packet.origin;
+    reply.dest_location = packet.origin_location;
+    reply.ttl = config_.max_route_hops;
+    reply.request_id = packet.request_id;
+    reply.version = custody.version;
+    reply.ttr_s = custodian_ttr_s(packet.key);
+    // A stale poller needs the new data: the reply carries it (missed
+    // updates are fetched, Figure 3).
+    reply.size_bytes = custody.version != packet.version
+                           ? net::kHeaderBytes + custody.size_bytes
+                           : net::kHeaderBytes;
+    forward_geographic(self, reply);
+  };
+
+  switch (packet.mode) {
+    case net::RouteMode::kRegionFlood: {
+      if (!flood_.mark_seen(self, packet.id)) return;
+      if (peers_[self].region != packet.dest_region) return;
+      if (const cache::CacheEntry* custody =
+              peers_[self].cache.find_static(packet.key)) {
+        reply_from_custodian(*custody);
+        return;
+      }
+      flood_forward(self, packet);
+      return;
+    }
+    case net::RouteMode::kGeographic: {
+      // An en-route custodian of the polled region answers directly.
+      if (const cache::CacheEntry* custody =
+              peers_[self].cache.find_static(packet.key);
+          custody != nullptr && peers_[self].region == packet.dest_region) {
+        reply_from_custodian(*custody);
+        return;
+      }
+      if (peers_[self].region == packet.dest_region) {
+        net::Packet scoped = packet;
+        scoped.mode = net::RouteMode::kRegionFlood;
+        scoped.ttl = config_.region_flood_ttl;
+        scoped.src = self;
+        scoped.id = net_.next_packet_id();
+        flood_.mark_seen(self, scoped.id);
+        net_.broadcast(scoped);
+        return;
+      }
+      forward_geographic(self, packet);
+      return;
+    }
+    case net::RouteMode::kNetworkFlood:
+      return;
+  }
+}
+
+void PrecinctEngine::handle_poll_reply(net::NodeId self,
+                                       const net::Packet& packet) {
+  if (self != packet.dest_node) {
+    forward_geographic(self, packet);
+    return;
+  }
+  // The reply always refreshes the local copy's consistency state; when
+  // the poller was stale the reply carried the fresh data too.
+  peers_[self].cache.refresh(packet.key, packet.version,
+                             sim_.now() + std::max(0.0, packet.ttr_s));
+
+  if (const auto it = pending_.find(packet.request_id);
+      it != pending_.end() && it->second.phase == Phase::kValidate) {
+    // Requester validating its own cached copy before serving itself.
+    Pending& pending = it->second;
+    pending.candidate_version = packet.version;
+    complete_request(packet.request_id, pending.candidate_class,
+                     pending.candidate_version, pending.candidate_bytes,
+                     packet.ttr_s, pending.candidate_region,
+                     /*validated=*/true);
+    return;
+  }
+  // Otherwise a responder-side validation (serve_from_copy).
+  finish_responder_poll(packet.request_id);
+}
+
+void PrecinctEngine::handle_invalidation(net::NodeId self,
+                                         const net::Packet& packet) {
+  if (!flood_.mark_seen(self, packet.id)) return;
+  Peer& p = peers_[self];
+  // Custodians apply the pushed update; plain caches invalidate (§1).
+  if (cache::CacheEntry* custody = p.cache.find_static_mutable(packet.key)) {
+    if (packet.version > custody->version) custody->version = packet.version;
+  }
+  if (const cache::CacheEntry* cached = p.cache.find(packet.key)) {
+    if (cached->version < packet.version) p.cache.invalidate(packet.key);
+  }
+  flood_forward(self, packet);
+}
+
+}  // namespace precinct::core

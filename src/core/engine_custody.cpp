@@ -1,0 +1,317 @@
+// PrecinctEngine — custody and membership (paper §2.1, §2.3, §2.4):
+// key custody handoff on inter-region mobility, failure and churn
+// handling, and runtime region management with table dissemination.
+#include "core/engine.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <ranges>
+
+namespace precinct::core {
+
+std::size_t PrecinctEngine::region_population(geo::RegionId region) const {
+  std::size_t count = 0;
+  for (net::NodeId i = 0; i < net_.node_count(); ++i) {
+    if (net_.is_alive(i) && peers_[i].region == region) ++count;
+  }
+  return count;
+}
+
+std::optional<geo::RegionId> PrecinctEngine::merge_regions(
+    geo::RegionId a, geo::RegionId b, net::NodeId initiator) {
+  const auto merged = regions_.merge(a, b);
+  if (!merged.has_value()) return std::nullopt;
+  commit_region_change(initiator);
+  return merged;
+}
+
+std::optional<std::pair<geo::RegionId, geo::RegionId>>
+PrecinctEngine::separate_region(geo::RegionId id, net::NodeId initiator) {
+  const auto halves = regions_.separate(id);
+  if (!halves.has_value()) return std::nullopt;
+  commit_region_change(initiator);
+  return halves;
+}
+
+void PrecinctEngine::commit_region_change(net::NodeId initiator) {
+  PRECINCT_TRACE(tracer_, sim_.now(), sim::TraceCategory::kRegion, initiator,
+                 "region table now v" + std::to_string(regions_.version()) +
+                     " with " + std::to_string(regions_.size()) +
+                     " regions; disseminating");
+  // §2.1: "the peer needs to disseminate the update to all other peers in
+  // the whole network."  One network-wide flood carrying the region table
+  // (16 B of center+extent per region on the air).
+  net::Packet packet = make_packet(net::PacketKind::kRegionUpdate, initiator,
+                                   /*key=*/regions_.version());
+  packet.mode = net::RouteMode::kNetworkFlood;
+  packet.ttl = config_.network_flood_ttl;
+  packet.size_bytes = net::kHeaderBytes + 16 * regions_.size();
+  flood_.mark_seen(initiator, packet.id);
+  net_.broadcast(packet);
+
+  // The simulation keeps one shared table, so adoption of the new table
+  // is immediate; every peer re-derives its region from it.
+  for (net::NodeId i = 0; i < net_.node_count(); ++i) {
+    peers_[i].region = regions_.containing(net_.position(i));
+  }
+  // The region-diameter normalization tracks the (new) typical region.
+  if (!regions_.empty()) {
+    const geo::Rect& extent = regions_.regions().front().extent;
+    region_diameter_ = std::hypot(extent.width(), extent.height());
+  }
+  relocate_displaced_custody();
+}
+
+void PrecinctEngine::relocate_displaced_custody() {
+  // "each key in the network also needs to be relocated according to the
+  // region table changes" (§2.1).  Every custodian checks its static keys
+  // against the new table; keys whose region set no longer includes the
+  // holder's region are transferred to their new home region (routed,
+  // adopted by the first peer inside — at real message cost).
+  for (net::NodeId holder = 0; holder < net_.node_count(); ++holder) {
+    if (!net_.is_alive(holder)) continue;
+    Peer& p = peers_[holder];
+    std::vector<geo::Key> displaced;
+    // Collect first: transfers mutate the static store.
+    for (const auto rank : std::views::iota(std::size_t{0}, catalog_.size())) {
+      const geo::Key key = catalog_.key_of(rank);
+      const cache::CacheEntry* custody = p.cache.find_static(key);
+      if (custody == nullptr) continue;
+      const auto regions =
+          hash_.key_regions(key, regions_, config_.replica_count);
+      if (std::find(regions.begin(), regions.end(), p.region) ==
+          regions.end()) {
+        displaced.push_back(key);
+      }
+    }
+    for (const geo::Key key : displaced) {
+      const cache::CacheEntry entry = *p.cache.find_static(key);
+      p.cache.erase_static(key);
+      const geo::RegionId new_home = hash_.home_region(key, regions_);
+      const geo::Region* region = regions_.find(new_home);
+      if (region == nullptr) continue;
+      if (measuring_) ++metrics_.custody_handoffs;
+      net::Packet packet = make_packet(net::PacketKind::kKeyTransfer, holder,
+                                       key);
+      packet.mode = net::RouteMode::kGeographic;
+      packet.dest_region = new_home;
+      packet.dest_location = region->center;
+      packet.ttl = config_.max_route_hops;
+      packet.version = entry.version;
+      packet.size_bytes = net::kHeaderBytes + entry.size_bytes;
+      if (peers_[holder].region == new_home) {
+        // Holder is already inside the new home region: adopt locally.
+        p.cache.put_static(entry);
+      } else {
+        forward_geographic(holder, packet);
+      }
+    }
+  }
+}
+
+void PrecinctEngine::maybe_rebalance_regions() {
+  // One operation per round keeps churn (and dissemination floods) low.
+  const double neighbor_radius = 1.5 * region_diameter_;
+  bool acted = false;
+  for (const geo::Region& r : regions_.regions()) {
+    const std::size_t population = region_population(r.id);
+    if (population < config_.min_region_peers && regions_.size() > 1) {
+      const auto neighbors = regions_.neighbors_of(r.id, neighbor_radius);
+      if (!neighbors.empty()) {
+        // Merge into the least-populated neighbor to even things out.
+        geo::RegionId partner = neighbors.front();
+        std::size_t partner_pop = region_population(partner);
+        for (const geo::RegionId n : neighbors) {
+          const std::size_t pop = region_population(n);
+          if (pop < partner_pop) {
+            partner = n;
+            partner_pop = pop;
+          }
+        }
+        const net::NodeId initiator = pick_custody_target(net::kNoNode, r.id);
+        merge_regions(r.id, partner,
+                      initiator == net::kNoNode ? 0 : initiator);
+        acted = true;
+        break;
+      }
+    }
+    if (population > config_.max_region_peers) {
+      const net::NodeId initiator = pick_custody_target(net::kNoNode, r.id);
+      separate_region(r.id, initiator == net::kNoNode ? 0 : initiator);
+      acted = true;
+      break;
+    }
+  }
+  (void)acted;
+  sim_.schedule(config_.region_reconfig_interval_s,
+                [this] { maybe_rebalance_regions(); });
+}
+
+net::NodeId PrecinctEngine::pick_custody_target(net::NodeId mover,
+                                                geo::RegionId region) {
+  // §2.3: prefer peers with low mobility, near the region center, with
+  // cache space.  Static space is uncapped here, so the score weighs
+  // proximity to the center — and heavily penalizes members with no
+  // radio link *inside* the region, which region-scoped floods (and thus
+  // future lookups and pushes) could not reach.
+  const geo::Region* r = regions_.find(region);
+  if (r == nullptr) return net::kNoNode;
+  net::NodeId best = net::kNoNode;
+  double best_score = std::numeric_limits<double>::infinity();
+  for (net::NodeId i = 0; i < net_.node_count(); ++i) {
+    if (i == mover || !net_.is_alive(i) || peers_[i].region != region) {
+      continue;
+    }
+    const double dist = geo::distance(net_.position(i), r->center);
+    bool flood_reachable = false;
+    for (const net::NodeId nb : net_.neighbors(i)) {
+      if (nb != mover && peers_[nb].region == region) {
+        flood_reachable = true;
+        break;
+      }
+    }
+    const double score = dist + (flood_reachable ? 0.0 : 1e6);
+    if (score < best_score) {
+      best_score = score;
+      best = i;
+    }
+  }
+  return best;
+}
+
+void PrecinctEngine::handoff_custody(net::NodeId peer,
+                                     geo::RegionId old_region) {
+  Peer& p = peers_[peer];
+  if (p.cache.static_count() == 0) return;
+  const net::NodeId target = pick_custody_target(peer, old_region);
+  const geo::Region* region = regions_.find(old_region);
+  auto entries = p.cache.take_all_static();
+  PRECINCT_TRACE(tracer_, sim_.now(), sim::TraceCategory::kCustody, peer,
+                 "handing off " + std::to_string(entries.size()) +
+                     " keys of region " + std::to_string(old_region) +
+                     (target == net::kNoNode ? " (adoption routing)"
+                                             : " to node " +
+                                                   std::to_string(target)));
+  if (measuring_) metrics_.custody_handoffs += entries.size();
+  for (const auto& entry : entries) {
+    net::Packet packet = make_packet(net::PacketKind::kKeyTransfer, peer,
+                                     entry.key);
+    packet.mode = net::RouteMode::kGeographic;
+    packet.dest_region = old_region;
+    packet.ttl = config_.max_route_hops;
+    packet.version = entry.version;
+    packet.size_bytes = net::kHeaderBytes + entry.size_bytes;
+    if (target != net::kNoNode) {
+      packet.dest_node = target;
+      packet.dest_location = net_.position(target);
+    } else if (region != nullptr) {
+      // No suitable target is known: route the key back toward the old
+      // region's center and let the first peer inside adopt custody.
+      packet.dest_location = region->center;
+    } else {
+      continue;  // region vanished (table change); replica covers (§2.4)
+    }
+    forward_geographic(peer, packet);
+  }
+}
+
+void PrecinctEngine::handle_key_transfer(net::NodeId self,
+                                         const net::Packet& packet) {
+  const bool addressed_to_me = self == packet.dest_node;
+  const bool adoptable = packet.dest_node == net::kNoNode &&
+                         peers_[self].region == packet.dest_region;
+  if (!addressed_to_me && !adoptable) {
+    forward_geographic(self, packet);
+    return;
+  }
+  cache::CacheEntry entry;
+  entry.key = packet.key;
+  entry.size_bytes = packet.size_bytes - net::kHeaderBytes;
+  entry.version = packet.version;
+  peers_[self].cache.put_static(entry);
+}
+
+void PrecinctEngine::check_region(net::NodeId peer) {
+  if (!net_.is_alive(peer)) return;
+  const geo::RegionId now_in = regions_.containing(net_.position(peer));
+  if (now_in != peers_[peer].region) {
+    const geo::RegionId old_region = peers_[peer].region;
+    peers_[peer].region = now_in;
+    handoff_custody(peer, old_region);  // inter-region mobility (§2.3)
+  }
+  const std::uint32_t generation = peers_[peer].generation;
+  sim_.schedule(config_.region_check_interval_s, [this, peer, generation] {
+    if (peers_[peer].generation == generation) check_region(peer);
+  });
+}
+
+void PrecinctEngine::fail_peer(net::NodeId peer, bool graceful) {
+  if (!net_.is_alive(peer)) return;
+  if (graceful) {
+    // A graceful departure transfers custody first (§2.4 assumption ii)
+    // and lingers long enough for the queued transfer frames to flush.
+    handoff_custody(peer, peers_[peer].region);
+    sim_.schedule(0.5, [this, peer] { net_.kill(peer); });
+  } else {
+    net_.kill(peer);
+  }
+}
+
+void PrecinctEngine::revive_peer(net::NodeId peer) {
+  if (net_.is_alive(peer)) return;
+  net_.revive(peer);
+  ++peers_[peer].generation;  // kill any still-scheduled old loops
+  // A rejoining device starts cold: no cached data, no custody, no
+  // neighbor knowledge, and a fresh region fix.
+  Peer& p = peers_[peer];
+  for (const geo::Key key : p.cache.keys()) p.cache.erase(key);
+  (void)p.cache.take_all_static();
+  if (beacons_ != nullptr) beacons_->clear_node(peer);
+  p.region = regions_.containing(net_.position(peer));
+  schedule_next_request(peer);
+  if (config_.updates_enabled &&
+      config_.consistency != consistency::Mode::kNone) {
+    schedule_next_update(peer);
+  }
+  if (config_.mobile) {
+    sim_.schedule(config_.region_check_interval_s,
+                  [this, peer] { check_region(peer); });
+  }
+  if (config_.use_beacons) schedule_beacon(peer);
+  PRECINCT_TRACE(tracer_, sim_.now(), sim::TraceCategory::kProtocol, peer,
+                 "rejoined the network");
+}
+
+void PrecinctEngine::schedule_crashes() {
+  const double wait = rng_.exponential(1.0 / config_.crash_rate_per_s);
+  sim_.schedule(wait, [this] {
+    // Crash a uniformly random live peer.
+    std::vector<net::NodeId> alive;
+    for (net::NodeId i = 0; i < net_.node_count(); ++i) {
+      if (net_.is_alive(i)) alive.push_back(i);
+    }
+    if (alive.size() > 2) {  // keep at least a residual network
+      const net::NodeId victim =
+          alive[rng_.uniform_int(alive.size())];
+      fail_peer(victim, rng_.uniform() < config_.graceful_fraction);
+    }
+    schedule_crashes();
+  });
+}
+
+void PrecinctEngine::schedule_joins() {
+  const double wait = rng_.exponential(1.0 / config_.join_rate_per_s);
+  sim_.schedule(wait, [this] {
+    std::vector<net::NodeId> dead;
+    for (net::NodeId i = 0; i < net_.node_count(); ++i) {
+      if (!net_.is_alive(i)) dead.push_back(i);
+    }
+    if (!dead.empty()) {
+      revive_peer(dead[rng_.uniform_int(dead.size())]);
+    }
+    schedule_joins();
+  });
+}
+
+}  // namespace precinct::core

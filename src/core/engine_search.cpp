@@ -1,0 +1,670 @@
+// PrecinctEngine — data search (paper §2.2, §3): the request lifecycle
+// from issue through regional probe, home/replica lookup, responder-side
+// validation and completion, plus the flooding/expanding-ring baselines
+// and the geographic forwarding primitives.
+#include "core/engine.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <ranges>
+
+namespace precinct::core {
+
+void PrecinctEngine::issue_request(net::NodeId peer, geo::Key key) {
+  issue_request_internal(peer, key, /*prefetch=*/false);
+}
+
+void PrecinctEngine::issue_prefetch(net::NodeId peer, geo::Key key) {
+  issue_request_internal(peer, key, /*prefetch=*/true);
+}
+
+void PrecinctEngine::issue_request_internal(net::NodeId peer, geo::Key key,
+                                            bool prefetch) {
+  const std::uint64_t request_id = next_request_id_++;
+  Pending pending;
+  pending.key = key;
+  pending.requester = peer;
+  pending.created_at = sim_.now();
+  pending.prefetch = prefetch;
+  pending.measured = measuring_ && !prefetch;
+  pending_.emplace(request_id, pending);
+
+  if (pending.measured) {
+    ++metrics_.requests_issued;
+    metrics_.bytes_requested += catalog_.item(key).size_bytes;
+  }
+  PRECINCT_TRACE(tracer_, sim_.now(), sim::TraceCategory::kProtocol, peer,
+                 "request #" + std::to_string(request_id) + " for key " +
+                     std::to_string(key));
+
+  const Copy copy = find_copy(peer, key);
+  if (copy.entry != nullptr &&
+      (copy.is_custody || !copy.entry->invalidated)) {
+    serve_from_own_cache(peer, request_id, *copy.entry, copy.is_custody);
+    return;
+  }
+  switch (config_.retrieval) {
+    case RetrievalScheme::kPrecinct:
+      // With no dynamic cache there is no cumulative cache to probe (the
+      // paper's §5.2.2 analysis assumes exactly this); go straight to the
+      // home region.  Keys homed in the requester's own region are still
+      // found: the remote lookup floods locally when already inside.
+      if (peers_[peer].cache.capacity_bytes() == 0) {
+        start_remote_lookup(request_id, /*replica=*/false);
+      } else {
+        start_regional_probe(request_id);
+      }
+      break;
+    case RetrievalScheme::kFlooding:
+    case RetrievalScheme::kExpandingRing:
+      start_baseline_flood(request_id);
+      break;
+  }
+}
+
+bool PrecinctEngine::scheme_needs_validation(double ttr_remaining_s) const {
+  switch (config_.consistency) {
+    case consistency::Mode::kNone:
+    case consistency::Mode::kPlainPush:
+      return false;  // pushed invalidations are the only staleness signal
+    case consistency::Mode::kPullEveryTime:
+      return true;  // validate on every cached serve
+    case consistency::Mode::kPushAdaptivePull:
+      return ttr_remaining_s <= 0.0;  // poll only after the TTR lapses
+  }
+  return false;
+}
+
+void PrecinctEngine::serve_from_own_cache(net::NodeId peer,
+                                          std::uint64_t request_id,
+                                          const cache::CacheEntry& entry,
+                                          bool is_custody) {
+  Pending& pending = pending_.at(request_id);
+  const double ttr_remaining = entry.ttr_expiry_s - sim_.now();
+  // Custody copies are the owner's copy: never polled.
+  if (!is_custody && scheme_needs_validation(ttr_remaining)) {
+    pending.has_candidate = true;
+    pending.candidate_own = true;
+    pending.candidate_class = HitClass::kOwnCache;
+    pending.candidate_version = entry.version;
+    pending.candidate_bytes = entry.size_bytes;
+    pending.candidate_region = peers_[peer].region;
+    start_validation(request_id);
+    return;
+  }
+  complete_request(request_id, HitClass::kOwnCache, entry.version,
+                   entry.size_bytes, ttr_remaining, peers_[peer].region,
+                   /*validated=*/is_custody);
+}
+
+void PrecinctEngine::start_regional_probe(std::uint64_t request_id) {
+  Pending& pending = pending_.at(request_id);
+  pending.phase = Phase::kRegional;
+  pending.probed_own_region = true;
+  const net::NodeId peer = pending.requester;
+
+  net::Packet packet = make_packet(net::PacketKind::kRequest, peer,
+                                   pending.key);
+  packet.mode = net::RouteMode::kRegionFlood;
+  packet.dest_region = peers_[peer].region;
+  packet.ttl = config_.region_flood_ttl;
+  packet.request_id = request_id;
+  flood_.mark_seen(peer, packet.id);
+  net_.broadcast(packet);
+
+  pending.timeout = sim_.schedule(config_.regional_timeout_s, [this, request_id] {
+    on_timeout(request_id, Phase::kRegional);
+  });
+}
+
+void PrecinctEngine::start_remote_lookup(std::uint64_t request_id,
+                                         std::size_t lookup_index) {
+  Pending& pending = pending_.at(request_id);
+  const net::NodeId peer = pending.requester;
+  const auto targets =
+      hash_.key_regions(pending.key, regions_, config_.replica_count);
+  // Skip regions the regional probe already flooded (the requester's own
+  // region) and any that vanished from the table.
+  while (lookup_index < targets.size() &&
+         ((pending.probed_own_region &&
+           targets[lookup_index] == peers_[peer].region) ||
+          regions_.find(targets[lookup_index]) == nullptr)) {
+    ++lookup_index;
+  }
+  if (lookup_index >= targets.size()) {
+    fail_request(request_id);
+    return;
+  }
+  pending.lookup_index = lookup_index;
+  pending.phase = lookup_index == 0 ? Phase::kHome : Phase::kReplica;
+  const geo::RegionId target = targets[lookup_index];
+  const geo::Region* region = regions_.find(target);
+
+  net::Packet packet = make_packet(net::PacketKind::kRequest, peer,
+                                   pending.key);
+  packet.dest_region = target;
+  packet.dest_location = region->center;
+  packet.request_id = request_id;
+  if (peers_[peer].region == target) {
+    // Already inside the target region: the requester itself is the
+    // broadcast point for the localized flood (§2.2).
+    packet.mode = net::RouteMode::kRegionFlood;
+    packet.ttl = config_.region_flood_ttl;
+    flood_.mark_seen(peer, packet.id);
+    net_.broadcast(packet);
+  } else {
+    packet.mode = net::RouteMode::kGeographic;
+    packet.ttl = config_.max_route_hops;
+    forward_geographic(peer, packet);
+  }
+
+  const Phase phase = pending.phase;
+  pending.timeout =
+      sim_.schedule(config_.remote_timeout_s, [this, request_id, phase] {
+        on_timeout(request_id, phase);
+      });
+}
+
+void PrecinctEngine::start_baseline_flood(std::uint64_t request_id) {
+  Pending& pending = pending_.at(request_id);
+  const net::NodeId peer = pending.requester;
+  int ttl = config_.network_flood_ttl;
+  double wait = config_.remote_timeout_s;
+  if (config_.retrieval == RetrievalScheme::kExpandingRing) {
+    pending.phase = Phase::kRing;
+    const auto ttls = routing::expanding_ring_ttls(config_.ring);
+    if (pending.ring_index >= static_cast<int>(ttls.size())) {
+      fail_request(request_id);
+      return;
+    }
+    ttl = ttls[static_cast<std::size_t>(pending.ring_index)];
+    wait = config_.ring.retry_wait_s;
+  } else {
+    pending.phase = Phase::kFlood;
+  }
+  net::Packet packet = make_packet(net::PacketKind::kRequest, peer,
+                                   pending.key);
+  packet.mode = net::RouteMode::kNetworkFlood;
+  packet.ttl = ttl;
+  packet.request_id = request_id;
+  flood_.mark_seen(peer, packet.id);
+  net_.broadcast(packet);
+
+  pending.timeout = sim_.schedule(wait, [this, request_id] {
+    on_timeout(request_id, pending_.count(request_id)
+                               ? pending_.at(request_id).phase
+                               : Phase::kFlood);
+  });
+}
+
+bool PrecinctEngine::send_poll(net::NodeId from, geo::Key key,
+                               std::uint64_t correlation_id,
+                               std::uint64_t known_version) {
+  const geo::RegionId home = hash_.home_region(key, regions_);
+  const geo::Region* region = regions_.find(home);
+  if (region == nullptr) return false;
+  if (measuring_) ++metrics_.polls_sent;
+  PRECINCT_TRACE(tracer_, sim_.now(), sim::TraceCategory::kConsistency, from,
+                 "poll home region for key " + std::to_string(key));
+
+  net::Packet packet = make_packet(net::PacketKind::kPoll, from, key);
+  packet.dest_region = home;
+  packet.dest_location = region->center;
+  packet.request_id = correlation_id;
+  packet.version = known_version;
+  if (peers_[from].region == home) {
+    // Already inside the home region: poll via a localized flood.
+    packet.mode = net::RouteMode::kRegionFlood;
+    packet.ttl = config_.region_flood_ttl;
+    flood_.mark_seen(from, packet.id);
+    net_.broadcast(packet);
+  } else {
+    packet.mode = net::RouteMode::kGeographic;
+    packet.ttl = config_.max_route_hops;
+    forward_geographic(from, packet);
+  }
+  return true;
+}
+
+void PrecinctEngine::start_validation(std::uint64_t request_id) {
+  Pending& pending = pending_.at(request_id);
+  pending.phase = Phase::kValidate;
+  if (!send_poll(pending.requester, pending.key, request_id,
+                 pending.candidate_version)) {
+    // No home region to poll; serve the candidate as-is.
+    complete_request(request_id, pending.candidate_class,
+                     pending.candidate_version, pending.candidate_bytes, 0.0,
+                     pending.candidate_region, /*validated=*/false);
+    return;
+  }
+  pending.timeout = sim_.schedule(config_.remote_timeout_s, [this, request_id] {
+    on_timeout(request_id, Phase::kValidate);
+  });
+}
+
+void PrecinctEngine::serve_from_copy(net::NodeId self,
+                                     const net::Packet& request,
+                                     const cache::CacheEntry& entry,
+                                     HitClass hit_class) {
+  // Fig 3's pull check runs at the peer holding the copy: validate an
+  // expired/unvalidated copy against the home region before serving, so
+  // the refreshed TTR benefits every later request hitting this copy.
+  const double ttr_remaining = entry.ttr_expiry_s - sim_.now();
+  if (!scheme_needs_validation(ttr_remaining)) {
+    send_response(self, request, entry, hit_class);
+    return;
+  }
+  const std::uint64_t poll_id = next_request_id_++;
+  if (!send_poll(self, entry.key, poll_id, entry.version)) {
+    send_response(self, request, entry, hit_class);
+    return;
+  }
+  ResponderPoll poll;
+  poll.responder = self;
+  poll.request = request;
+  poll.hit_class = hit_class;
+  poll.timeout = sim_.schedule(config_.remote_timeout_s, [this, poll_id] {
+    // Home region unreachable: stay silent — the requester's own phase
+    // timeout escalates the search instead of us serving unvalidated data.
+    responder_polls_.erase(poll_id);
+  });
+  responder_polls_.emplace(poll_id, poll);
+}
+
+void PrecinctEngine::finish_responder_poll(std::uint64_t poll_id) {
+  const auto it = responder_polls_.find(poll_id);
+  if (it == responder_polls_.end()) return;
+  const ResponderPoll poll = it->second;
+  responder_polls_.erase(it);
+  sim_.cancel(poll.timeout);
+  // Serve whatever the copy holds now (the poll reply refreshed it); the
+  // copy may also have been evicted or invalidated meanwhile.
+  const Copy copy = find_copy(poll.responder, poll.request.key);
+  if (copy.entry != nullptr && !copy.entry->invalidated) {
+    send_response(poll.responder, poll.request, *copy.entry, poll.hit_class);
+  }
+}
+
+void PrecinctEngine::on_timeout(std::uint64_t request_id, Phase phase) {
+  const auto it = pending_.find(request_id);
+  if (it == pending_.end() || it->second.phase != phase) return;
+  switch (phase) {
+    case Phase::kRegional:
+      // Home lookup next; start_remote_lookup itself skips regions the
+      // probe already flooded.
+      start_remote_lookup(request_id, 0);
+      break;
+    case Phase::kHome:
+    case Phase::kReplica:
+      // §2.4 fallback chain: try the next replica region (fails when
+      // exhausted).
+      start_remote_lookup(request_id, it->second.lookup_index + 1);
+      break;
+    case Phase::kValidate: {
+      // The home region did not answer the poll: treat the copy as a miss
+      // and fetch through the normal search path (never serve a copy the
+      // scheme demanded be validated).
+      Pending& p = it->second;
+      p.has_candidate = false;
+      if (config_.retrieval == RetrievalScheme::kPrecinct) {
+        start_regional_probe(request_id);
+      } else {
+        start_baseline_flood(request_id);
+      }
+      break;
+    }
+    case Phase::kRing: {
+      Pending& p = it->second;
+      ++p.ring_index;
+      start_baseline_flood(request_id);
+      break;
+    }
+    case Phase::kFlood:
+      fail_request(request_id);
+      break;
+  }
+}
+
+void PrecinctEngine::complete_request(std::uint64_t request_id,
+                                      HitClass hit_class,
+                                      std::uint64_t version,
+                                      std::size_t item_bytes,
+                                      double ttr_remaining_s,
+                                      geo::RegionId responder_region,
+                                      bool validated) {
+  const auto it = pending_.find(request_id);
+  if (it == pending_.end()) return;  // duplicate response
+  Pending pending = it->second;
+  pending_.erase(it);
+  sim_.cancel(pending.timeout);
+
+  const net::NodeId peer = pending.requester;
+  PRECINCT_TRACE(tracer_, sim_.now(), sim::TraceCategory::kProtocol, peer,
+                 "request #" + std::to_string(request_id) +
+                     " served (class " +
+                     std::to_string(static_cast<int>(hit_class)) + ", v" +
+                     std::to_string(version) + ")");
+  const double latency =
+      hit_class == HitClass::kOwnCache && pending.phase != Phase::kValidate
+          ? kLocalServeLatency
+          : std::max(kLocalServeLatency, sim_.now() - pending.created_at);
+
+  if (pending.measured) {
+    ++metrics_.requests_completed;
+    metrics_.record_hit(hit_class);
+    metrics_.latency_s.add(latency);
+    metrics_.latency_q.add(latency);
+    metrics_.latency_by_class[static_cast<std::size_t>(hit_class)].add(
+        latency);
+    if (hit_class == HitClass::kOwnCache ||
+        hit_class == HitClass::kRegionalCache) {
+      metrics_.bytes_hit += item_bytes;
+    }
+    // False-hit accounting (Fig 7): every completed request is a hit
+    // "shown as valid"; it is false when the served version is older than
+    // the owner's (home custodian's) current copy.
+    ++metrics_.cache_served_valid;
+    if (const auto owner_version = authoritative_version(pending.key);
+        owner_version.has_value() && version < *owner_version) {
+      ++metrics_.false_hits;
+    }
+  }
+
+  // Touch / admit the copy (cache admission control, §3.2: cache only what
+  // originated outside the requester's region).
+  Peer& p = peers_[peer];
+  const double reg_dst =
+      region_distance(p.region, hash_.home_region(pending.key, regions_)) /
+      region_diameter_;
+  if (p.cache.find(pending.key) != nullptr) {
+    p.cache.touch(pending.key, sim_.now(), reg_dst);
+    p.cache.refresh(pending.key, version,
+                    sim_.now() + std::max(0.0, ttr_remaining_s));
+  } else if (hit_class != HitClass::kOwnCache &&
+             responder_region != p.region &&
+             p.cache.capacity_bytes() > 0) {
+    cache::CacheEntry entry;
+    entry.key = pending.key;
+    entry.size_bytes = item_bytes;
+    entry.version = version;
+    entry.access_count = 1.0;
+    entry.region_distance = reg_dst;
+    entry.ttr_expiry_s = sim_.now() + std::max(0.0, ttr_remaining_s);
+    entry.fetched_at_s = entry.last_access_s = sim_.now();
+    const auto result = p.cache.insert(entry);
+    if (tracer_ != nullptr &&
+        tracer_->enabled(sim::TraceCategory::kCache)) {
+      std::string msg = result.admitted ? "cached key " : "rejected key ";
+      msg += std::to_string(pending.key);
+      for (const geo::Key victim : result.evicted) {
+        msg += ", evicted " + std::to_string(victim);
+      }
+      tracer_->emit(sim_.now(), sim::TraceCategory::kCache, peer,
+                    std::move(msg));
+    }
+  }
+  (void)validated;
+
+  // Extension: after a real remote fetch, opportunistically warm the
+  // cache with the hottest items this peer lacks.
+  const bool remote = hit_class == HitClass::kHomeRegion ||
+                      hit_class == HitClass::kReplicaRegion ||
+                      hit_class == HitClass::kEnRoute;
+  if (!pending.prefetch && remote) maybe_prefetch(peer);
+}
+
+void PrecinctEngine::maybe_prefetch(net::NodeId peer) {
+  if (config_.prefetch_count == 0) return;
+  std::size_t fired = 0;
+  for (std::size_t rank = 0;
+       rank < catalog_.size() && fired < config_.prefetch_count; ++rank) {
+    std::size_t effective = rank;
+    if (config_.hotspot_rotation_interval_s > 0.0) {
+      const auto rotations = static_cast<std::size_t>(
+          sim_.now() / config_.hotspot_rotation_interval_s);
+      effective = (rank + rotations * config_.hotspot_shift) % catalog_.size();
+    }
+    const geo::Key key = catalog_.key_of(effective);
+    if (find_copy(peer, key).entry != nullptr) continue;
+    issue_prefetch(peer, key);
+    ++fired;
+  }
+}
+
+void PrecinctEngine::fail_request(std::uint64_t request_id) {
+  const auto it = pending_.find(request_id);
+  if (it == pending_.end()) return;
+  PRECINCT_TRACE(tracer_, sim_.now(), sim::TraceCategory::kProtocol,
+                 it->second.requester,
+                 "request #" + std::to_string(request_id) + " FAILED");
+  if (it->second.measured) {
+    ++metrics_.requests_failed;
+  }
+  sim_.cancel(it->second.timeout);
+  pending_.erase(it);
+}
+
+void PrecinctEngine::on_receive(net::NodeId self, const net::Packet& raw) {
+  net::Packet packet = raw;
+  // Piggybacked position learning: any frame heard from src is as good
+  // as a beacon from it.
+  if (beacons_ != nullptr && config_.beacon_piggyback &&
+      packet.src != net::kNoNode) {
+    beacons_->on_beacon(self, packet.src, packet.src_location, sim_.now());
+  }
+  if (packet.recovery) {
+    // Void-recovery admission: participate at most once per packet, and
+    // only when strictly closer to the destination than the stuck node —
+    // progress stays monotone, so recovery cannot storm.
+    if (!flood_.mark_seen(self, packet.id)) return;
+    if (geo::distance(net_.position(self), packet.dest_location) >=
+        geo::distance(net_.position(packet.src), packet.dest_location)) {
+      return;
+    }
+    packet.recovery = false;
+  }
+  switch (packet.kind) {
+    case net::PacketKind::kRequest: handle_request(self, packet); break;
+    case net::PacketKind::kResponse: handle_response(self, packet); break;
+    case net::PacketKind::kUpdatePush: handle_update_push(self, packet); break;
+    case net::PacketKind::kPoll: handle_poll(self, packet); break;
+    case net::PacketKind::kPollReply: handle_poll_reply(self, packet); break;
+    case net::PacketKind::kInvalidation:
+      handle_invalidation(self, packet);
+      break;
+    case net::PacketKind::kKeyTransfer:
+      handle_key_transfer(self, packet);
+      break;
+    case net::PacketKind::kPushAck:
+      handle_push_ack(self, packet);
+      break;
+    case net::PacketKind::kBeacon:
+      handle_beacon(self, packet);
+      break;
+    case net::PacketKind::kRegionUpdate:
+      // Region-table dissemination: adopt and rebroadcast (flood with
+      // duplicate suppression, like every other network-wide flood).
+      if (flood_.mark_seen(self, packet.id)) flood_forward(self, packet);
+      break;
+  }
+}
+
+void PrecinctEngine::handle_request(net::NodeId self,
+                                    const net::Packet& packet) {
+  if (self == packet.origin) return;
+  switch (packet.mode) {
+    case net::RouteMode::kRegionFlood: {
+      if (!flood_.mark_seen(self, packet.id)) return;
+      // Peers outside the destination region drop without processing (§2.2).
+      if (peers_[self].region != packet.dest_region) return;
+      const Copy copy = find_copy(self, packet.key);
+      if (copy.entry != nullptr && !copy.entry->invalidated) {
+        // A flood scoped to the requester's own region is the local probe:
+        // any answer there is a regional (local) hit.  Otherwise this is
+        // the localized flood inside the home/replica region.
+        const bool local_probe =
+            packet.dest_region == regions_.containing(packet.origin_location);
+        HitClass hit_class;
+        if (local_probe) {
+          hit_class = HitClass::kRegionalCache;
+        } else if (packet.dest_region ==
+                   hash_.home_region(packet.key, regions_)) {
+          hit_class = HitClass::kHomeRegion;
+        } else {
+          hit_class = HitClass::kReplicaRegion;
+        }
+        if (copy.is_custody) {
+          send_response(self, packet, *copy.entry, hit_class);
+        } else {
+          serve_from_copy(self, packet, *copy.entry, hit_class);
+        }
+        return;
+      }
+      flood_forward(self, packet);
+      return;
+    }
+    case net::RouteMode::kNetworkFlood: {
+      if (!flood_.mark_seen(self, packet.id)) return;
+      const Copy copy = find_copy(self, packet.key);
+      if (copy.entry != nullptr && !copy.entry->invalidated) {
+        if (copy.is_custody) {
+          send_response(self, packet, *copy.entry, HitClass::kHomeRegion);
+        } else {
+          serve_from_copy(self, packet, *copy.entry,
+                          HitClass::kRegionalCache);
+        }
+        return;
+      }
+      flood_forward(self, packet);
+      return;
+    }
+    case net::RouteMode::kGeographic: {
+      // En-route serving from the cumulative cache (§3.1).
+      const Copy copy = find_copy(self, packet.key);
+      if (copy.entry != nullptr && !copy.entry->invalidated) {
+        if (copy.is_custody) {
+          send_response(self, packet, *copy.entry,
+                        peers_[self].region ==
+                                hash_.home_region(packet.key, regions_)
+                            ? HitClass::kHomeRegion
+                            : HitClass::kReplicaRegion);
+        } else {
+          serve_from_copy(self, packet, *copy.entry, HitClass::kEnRoute);
+        }
+        return;
+      }
+      if (peers_[self].region == packet.dest_region) {
+        // First node inside the destination region: become the broadcast
+        // point and flood locally (§2.2).
+        net::Packet scoped = packet;
+        scoped.mode = net::RouteMode::kRegionFlood;
+        scoped.ttl = config_.region_flood_ttl;
+        scoped.src = self;
+        scoped.id = net_.next_packet_id();
+        flood_.mark_seen(self, scoped.id);
+        net_.broadcast(scoped);
+        return;
+      }
+      forward_geographic(self, packet);
+      return;
+    }
+  }
+}
+
+void PrecinctEngine::send_response(net::NodeId self,
+                                   const net::Packet& request,
+                                   const cache::CacheEntry& entry,
+                                   HitClass hit_class) {
+  // Update the serving copy's utility (Figure 1: "Update utility value of
+  // d in Presp") with the distance to the requesting region.
+  const double reg_dst =
+      region_distance(peers_[self].region,
+                      regions_.containing(request.origin_location)) /
+      region_diameter_;
+  peers_[self].cache.touch(entry.key, sim_.now(), reg_dst);
+
+  net::Packet response = make_packet(net::PacketKind::kResponse, self,
+                                     entry.key);
+  response.mode = net::RouteMode::kGeographic;
+  response.dest_node = request.origin;
+  response.dest_location = request.origin_location;
+  response.ttl = config_.max_route_hops;
+  response.request_id = request.request_id;
+  response.version = entry.version;
+  response.size_bytes = net::kHeaderBytes + entry.size_bytes;
+  response.hit_class = static_cast<std::uint8_t>(hit_class);
+  response.responder_region = peers_[self].region;
+  if (hit_class == HitClass::kHomeRegion ||
+      hit_class == HitClass::kReplicaRegion) {
+    response.ttr_s = custodian_ttr_s(entry.key);
+  } else {
+    response.ttr_s = entry.ttr_expiry_s - sim_.now();
+  }
+  forward_geographic(self, response);
+}
+
+void PrecinctEngine::handle_response(net::NodeId self,
+                                     const net::Packet& packet) {
+  if (self == packet.dest_node) {
+    const auto hit_class = static_cast<HitClass>(packet.hit_class);
+    const bool authoritative = hit_class == HitClass::kHomeRegion ||
+                               hit_class == HitClass::kReplicaRegion;
+    // Copies are validated by their owners before being served
+    // (serve_from_copy), so the requester accepts responses as-is.
+    complete_request(packet.request_id, hit_class, packet.version,
+                     packet.size_bytes - net::kHeaderBytes, packet.ttr_s,
+                     packet.responder_region, authoritative);
+    return;
+  }
+  forward_geographic(self, packet);
+}
+
+void PrecinctEngine::forward_geographic(net::NodeId self, net::Packet packet) {
+  if (packet.ttl <= 0) {
+    ++route_drops_ttl_;
+    return;
+  }
+  packet.ttl -= 1;
+  packet.hops += 1;
+  // Final-hop delivery: when the addressee is in radio range, skip
+  // position-based forwarding (it may have drifted from dest_location).
+  if (packet.dest_node != net::kNoNode && packet.dest_node != self &&
+      net_.in_range(self, packet.dest_node)) {
+    packet.src = self;
+    net_.unicast(packet, packet.dest_node);
+    return;
+  }
+  // next_hop must see src = previous hop: the perimeter right-hand rule
+  // sweeps from the arrival edge.  Stamp src only after the decision.
+  const auto next = gpsr_->next_hop(self, packet);
+  packet.src = self;
+  if (!next.has_value()) {
+    ++route_drops_void_;
+    // Dead end even in perimeter mode.  Recover with a one-shot scoped
+    // broadcast (paper assumption iii: messages eventually reach the
+    // correct node); receivers gate themselves in on_receive.
+    if (flood_.mark_seen(self, packet.id)) {
+      net::Packet rec = packet;
+      rec.recovery = true;
+      rec.perimeter = false;
+      rec.perimeter_entry_node = net::kNoNode;
+      rec.perimeter_first_hop = net::kNoNode;
+      net_.broadcast(rec);
+    }
+    return;
+  }
+  net_.unicast(packet, *next);
+}
+
+void PrecinctEngine::flood_forward(net::NodeId self,
+                                   const net::Packet& packet) {
+  if (!routing::FloodController::ttl_allows_forward(packet)) return;
+  net::Packet fwd = packet;
+  fwd.ttl -= 1;
+  fwd.hops += 1;
+  fwd.src = self;
+  net_.broadcast(fwd);
+}
+
+}  // namespace precinct::core

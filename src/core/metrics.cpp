@@ -1,0 +1,27 @@
+#include "core/metrics.hpp"
+
+#include "core/config.hpp"
+
+namespace precinct::core {
+
+const char* to_string(RetrievalScheme scheme) noexcept {
+  switch (scheme) {
+    case RetrievalScheme::kPrecinct: return "precinct";
+    case RetrievalScheme::kFlooding: return "flooding";
+    case RetrievalScheme::kExpandingRing: return "expanding-ring";
+  }
+  return "unknown";
+}
+
+void Metrics::record_hit(HitClass hit_class) noexcept {
+  switch (hit_class) {
+    case HitClass::kOwnCache: ++own_cache_hits; break;
+    case HitClass::kRegionalCache: ++regional_hits; break;
+    case HitClass::kEnRoute: ++en_route_hits; break;
+    case HitClass::kHomeRegion: ++home_region_hits; break;
+    case HitClass::kReplicaRegion: ++replica_hits; break;
+    case HitClass::kFailed: ++requests_failed; break;
+  }
+}
+
+}  // namespace precinct::core

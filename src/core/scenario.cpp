@@ -1,0 +1,142 @@
+#include "core/scenario.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "mobility/gauss_markov.hpp"
+#include "mobility/random_direction.hpp"
+#include "mobility/random_waypoint.hpp"
+#include "mobility/static_placement.hpp"
+#include "support/rng.hpp"
+#include "support/thread_pool.hpp"
+
+namespace precinct::core {
+
+namespace {
+
+std::unique_ptr<mobility::MobilityModel> make_mobility(
+    const PrecinctConfig& config) {
+  const std::uint64_t seed = support::hash_combine(config.seed, 0x0b17);
+  if (!config.mobile || config.mobility_model == "static") {
+    return std::make_unique<mobility::StaticPlacement>(
+        mobility::StaticPlacement::uniform(config.n_nodes, config.area,
+                                           seed));
+  }
+  if (config.mobility_model == "random-waypoint") {
+    mobility::RandomWaypointConfig rwp;
+    rwp.area = config.area;
+    rwp.v_min = config.v_min;
+    rwp.v_max = config.v_max;
+    rwp.pause_s = config.pause_s;
+    return std::make_unique<mobility::RandomWaypoint>(config.n_nodes, rwp,
+                                                      seed);
+  }
+  if (config.mobility_model == "random-direction") {
+    mobility::RandomDirectionConfig rd;
+    rd.area = config.area;
+    rd.v_min = config.v_min;
+    rd.v_max = config.v_max;
+    rd.pause_s = config.pause_s;
+    return std::make_unique<mobility::RandomDirection>(config.n_nodes, rd,
+                                                       seed);
+  }
+  if (config.mobility_model == "gauss-markov") {
+    mobility::GaussMarkovConfig gm;
+    gm.area = config.area;
+    gm.mean_speed = 0.5 * (config.v_min + config.v_max);
+    return std::make_unique<mobility::GaussMarkov>(config.n_nodes, gm, seed);
+  }
+  throw std::invalid_argument("make_mobility: unknown model '" +
+                              config.mobility_model + "'");
+}
+
+}  // namespace
+
+Scenario::Scenario(const PrecinctConfig& config)
+    : config_((config.validate(), config)),
+      catalog_(config.catalog, support::hash_combine(config.seed, 0xCA7A)),
+      mobility_(make_mobility(config)) {
+  net::WirelessConfig wireless = config.wireless;
+  wireless.area = config.area;
+  wireless.max_node_speed_mps = std::max(wireless.max_node_speed_mps,
+                                         1.25 * config.v_max);
+  net_ = std::make_unique<net::WirelessNet>(
+      sim_, *mobility_, wireless, config.energy_model,
+      support::hash_combine(config.seed, 0x2ad0));
+  engine_ = std::make_unique<PrecinctEngine>(
+      config, sim_, *net_,
+      geo::RegionTable::grid(config.area, config.regions_x, config.regions_y),
+      catalog_);
+}
+
+sim::Tracer& Scenario::enable_tracing(std::size_t capacity) {
+  if (!tracer_) {
+    tracer_ = std::make_unique<sim::Tracer>(capacity);
+    tracer_->enable_all();
+    engine_->set_tracer(tracer_.get());
+  }
+  return *tracer_;
+}
+
+Metrics Scenario::run() {
+  if (ran_) throw std::logic_error("Scenario::run: already ran");
+  ran_ = true;
+  engine_->initialize();
+  sim_.run_until(config_.warmup_s);
+  engine_->start_measurement();
+  sim_.run_until(config_.end_time_s());
+  return engine_->finalize();
+}
+
+Metrics run_scenario(const PrecinctConfig& config) {
+  Scenario scenario(config);
+  return scenario.run();
+}
+
+std::vector<Metrics> run_seeds(PrecinctConfig config, std::size_t n_seeds) {
+  std::vector<Metrics> results(n_seeds);
+  const std::uint64_t base_seed = config.seed;
+  support::parallel_for(n_seeds, [&](std::size_t i) {
+    PrecinctConfig c = config;
+    c.seed = base_seed + i;
+    results[i] = run_scenario(c);
+  });
+  return results;
+}
+
+Metrics merge_metrics(const std::vector<Metrics>& runs) {
+  Metrics total;
+  for (const Metrics& m : runs) {
+    total.requests_issued += m.requests_issued;
+    total.requests_completed += m.requests_completed;
+    total.requests_failed += m.requests_failed;
+    total.own_cache_hits += m.own_cache_hits;
+    total.regional_hits += m.regional_hits;
+    total.en_route_hits += m.en_route_hits;
+    total.home_region_hits += m.home_region_hits;
+    total.replica_hits += m.replica_hits;
+    total.latency_s.merge(m.latency_s);
+    total.latency_q.merge(m.latency_q);
+    for (std::size_t i = 0; i < total.latency_by_class.size(); ++i) {
+      total.latency_by_class[i].merge(m.latency_by_class[i]);
+    }
+    total.bytes_requested += m.bytes_requested;
+    total.bytes_hit += m.bytes_hit;
+    total.updates_initiated += m.updates_initiated;
+    total.cache_served_valid += m.cache_served_valid;
+    total.false_hits += m.false_hits;
+    total.polls_sent += m.polls_sent;
+    total.consistency_messages += m.consistency_messages;
+    total.energy_total_mj += m.energy_total_mj;
+    total.energy_broadcast_mj += m.energy_broadcast_mj;
+    total.energy_p2p_mj += m.energy_p2p_mj;
+    total.messages_sent += m.messages_sent;
+    total.bytes_sent += m.bytes_sent;
+    total.frames_lost += m.frames_lost;
+    total.custody_handoffs += m.custody_handoffs;
+    total.events_executed += m.events_executed;
+  }
+  return total;
+}
+
+}  // namespace precinct::core

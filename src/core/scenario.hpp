@@ -1,0 +1,68 @@
+// Scenario: builds the whole stack (mobility -> radio -> engine) from one
+// PrecinctConfig, runs warm-up + measurement, and returns Metrics.
+//
+// run_seeds() fans independent replications across a thread pool — each
+// replication owns its entire stack, so there is no shared mutable state
+// (the parallel-sweep pattern from DESIGN.md §3).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/engine.hpp"
+#include "core/metrics.hpp"
+#include "mobility/mobility_model.hpp"
+#include "net/wireless_net.hpp"
+#include "sim/simulator.hpp"
+#include "sim/trace.hpp"
+#include "workload/data_catalog.hpp"
+
+namespace precinct::core {
+
+class Scenario {
+ public:
+  explicit Scenario(const PrecinctConfig& config);
+
+  /// Run warm-up + measurement; returns metrics for the window.  One-shot.
+  Metrics run();
+
+  /// Run only until `t` (for tests that drive the engine manually).
+  void run_until(double t) { sim_.run_until(t); }
+
+  /// Attach (and own) an event tracer; returns it for configuration.
+  /// Call before run().
+  sim::Tracer& enable_tracing(std::size_t capacity = 4096);
+
+  [[nodiscard]] PrecinctEngine& engine() noexcept { return *engine_; }
+  [[nodiscard]] sim::Simulator& simulator() noexcept { return sim_; }
+  [[nodiscard]] net::WirelessNet& network() noexcept { return *net_; }
+  [[nodiscard]] workload::DataCatalog& catalog() noexcept { return catalog_; }
+  [[nodiscard]] const PrecinctConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  PrecinctConfig config_;
+  sim::Simulator sim_;
+  workload::DataCatalog catalog_;
+  std::unique_ptr<mobility::MobilityModel> mobility_;
+  std::unique_ptr<net::WirelessNet> net_;
+  std::unique_ptr<PrecinctEngine> engine_;
+  std::unique_ptr<sim::Tracer> tracer_;
+  bool ran_ = false;
+};
+
+/// Convenience: build, run, return.
+[[nodiscard]] Metrics run_scenario(const PrecinctConfig& config);
+
+/// Run `n_seeds` independent replications (seeds seed, seed+1, ...) in
+/// parallel and return each window's metrics.
+[[nodiscard]] std::vector<Metrics> run_seeds(PrecinctConfig config,
+                                             std::size_t n_seeds);
+
+/// Merge replication metrics into one aggregate (counters summed, latency
+/// distributions merged).
+[[nodiscard]] Metrics merge_metrics(const std::vector<Metrics>& runs);
+
+}  // namespace precinct::core

@@ -1,0 +1,82 @@
+#include <stdexcept>
+#include <string>
+
+#include "core/config.hpp"
+
+namespace precinct::core {
+
+namespace {
+[[noreturn]] void fail(const std::string& what) {
+  throw std::invalid_argument("PrecinctConfig: " + what);
+}
+}  // namespace
+
+void PrecinctConfig::validate() const {
+  if (n_nodes == 0) fail("n_nodes must be > 0");
+  if (area.width() <= 0.0 || area.height() <= 0.0) {
+    fail("area must have positive extent");
+  }
+  if (regions_x == 0 || regions_y == 0) fail("region grid must be >= 1x1");
+  if (wireless.range_m <= 0.0) fail("radio range must be > 0");
+  if (wireless.bandwidth_bps <= 0.0) fail("bandwidth must be > 0");
+  if (mobile && mobility_model != "static") {
+    if (v_min <= 0.0 || v_max < v_min) fail("need 0 < v_min <= v_max");
+    if (pause_s < 0.0) fail("pause must be >= 0");
+    if (region_check_interval_s <= 0.0) {
+      fail("region check interval must be > 0");
+    }
+  }
+  if (catalog.n_items == 0) fail("catalog needs at least one item");
+  if (catalog.min_item_bytes == 0 ||
+      catalog.max_item_bytes < catalog.min_item_bytes) {
+    fail("bad catalog item size range");
+  }
+  if (zipf_theta < 0.0) fail("zipf theta must be >= 0");
+  if (mean_request_interval_s <= 0.0) fail("request interval must be > 0");
+  if (updates_enabled && mean_update_interval_s <= 0.0) {
+    fail("update interval must be > 0");
+  }
+  if (cache_fraction < 0.0 || cache_fraction > 1.0) {
+    fail("cache fraction must be in [0, 1]");
+  }
+  if (ttr_alpha < 0.0 || ttr_alpha > 1.0) fail("ttr alpha must be in [0, 1]");
+  if (ttr_initial_s < 0.0) fail("initial TTR must be >= 0");
+  if (push_retries < 0) fail("push retries must be >= 0");
+  if (use_beacons) {
+    if (beacon_interval_s <= 0.0) fail("beacon interval must be > 0");
+    if (neighbor_lifetime_s < beacon_interval_s) {
+      fail("neighbor lifetime must cover at least one beacon interval");
+    }
+  }
+  if (region_flood_ttl < 1) fail("region flood TTL must be >= 1");
+  if (network_flood_ttl < 1) fail("network flood TTL must be >= 1");
+  if (max_route_hops < 1) fail("route hop budget must be >= 1");
+  if (regional_timeout_s <= 0.0 || remote_timeout_s <= 0.0) {
+    fail("timeouts must be > 0");
+  }
+  if (replica_count + 1 >
+      static_cast<std::size_t>(regions_x) * regions_y) {
+    fail("replica_count needs at least replica_count+1 regions");
+  }
+  if (dynamic_regions) {
+    if (region_reconfig_interval_s <= 0.0) {
+      fail("region reconfig interval must be > 0");
+    }
+    if (max_region_peers <= min_region_peers) {
+      fail("max_region_peers must exceed min_region_peers");
+    }
+  }
+  if (prefetch_count > catalog.n_items) {
+    fail("prefetch_count cannot exceed the catalog size");
+  }
+  if (crash_rate_per_s < 0.0) fail("crash rate must be >= 0");
+  if (join_rate_per_s < 0.0) fail("join rate must be >= 0");
+  if (graceful_fraction < 0.0 || graceful_fraction > 1.0) {
+    fail("graceful fraction must be in [0, 1]");
+  }
+  if (warmup_s < 0.0 || measure_s <= 0.0) {
+    fail("warmup must be >= 0 and measure window > 0");
+  }
+}
+
+}  // namespace precinct::core

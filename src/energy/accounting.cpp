@@ -1,0 +1,49 @@
+#include "energy/accounting.hpp"
+
+namespace precinct::energy {
+
+EnergyBreakdown& EnergyBreakdown::operator+=(const EnergyBreakdown& o) noexcept {
+  broadcast_send_mj += o.broadcast_send_mj;
+  broadcast_recv_mj += o.broadcast_recv_mj;
+  p2p_send_mj += o.p2p_send_mj;
+  p2p_recv_mj += o.p2p_recv_mj;
+  p2p_discard_mj += o.p2p_discard_mj;
+  return *this;
+}
+
+double EnergyAccountant::charge(std::size_t node, RadioOp op,
+                                std::size_t size_bytes) {
+  EnergyBreakdown& meter = per_node_.at(node);
+  double cost = 0.0;
+  switch (op) {
+    case RadioOp::kBroadcastSend:
+      cost = model_.broadcast_send(size_bytes);
+      meter.broadcast_send_mj += cost;
+      break;
+    case RadioOp::kBroadcastRecv:
+      cost = model_.broadcast_recv(size_bytes);
+      meter.broadcast_recv_mj += cost;
+      break;
+    case RadioOp::kP2pSend:
+      cost = model_.p2p_send(size_bytes);
+      meter.p2p_send_mj += cost;
+      break;
+    case RadioOp::kP2pRecv:
+      cost = model_.p2p_recv(size_bytes);
+      meter.p2p_recv_mj += cost;
+      break;
+    case RadioOp::kP2pDiscard:
+      cost = model_.p2p_discard(size_bytes);
+      meter.p2p_discard_mj += cost;
+      break;
+  }
+  return cost;
+}
+
+EnergyBreakdown EnergyAccountant::network_total() const noexcept {
+  EnergyBreakdown total;
+  for (const auto& m : per_node_) total += m;
+  return total;
+}
+
+}  // namespace precinct::energy

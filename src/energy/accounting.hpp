@@ -1,0 +1,69 @@
+// Per-node and network-wide energy bookkeeping.
+//
+// The wireless substrate charges every send/receive/discard here; benches
+// read back totals split by traffic class to reproduce the paper's
+// "energy per request" metric.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "energy/feeney_model.hpp"
+
+namespace precinct::energy {
+
+/// What a radio did with a message; selects the cost curve.
+enum class RadioOp : std::uint8_t {
+  kBroadcastSend,
+  kBroadcastRecv,
+  kP2pSend,
+  kP2pRecv,
+  kP2pDiscard,
+};
+
+/// Totals for one node or one aggregate, split by operation.
+struct EnergyBreakdown {
+  double broadcast_send_mj = 0.0;
+  double broadcast_recv_mj = 0.0;
+  double p2p_send_mj = 0.0;
+  double p2p_recv_mj = 0.0;
+  double p2p_discard_mj = 0.0;
+
+  [[nodiscard]] double total_mj() const noexcept {
+    return broadcast_send_mj + broadcast_recv_mj + p2p_send_mj + p2p_recv_mj +
+           p2p_discard_mj;
+  }
+  EnergyBreakdown& operator+=(const EnergyBreakdown& o) noexcept;
+};
+
+/// Charges radio operations against per-node meters using a FeeneyModel.
+class EnergyAccountant {
+ public:
+  EnergyAccountant(FeeneyModel model, std::size_t n_nodes)
+      : model_(model), per_node_(n_nodes) {}
+
+  /// Charge node `node` for performing `op` on a `size_bytes` message.
+  /// Returns the energy charged (mJ).
+  double charge(std::size_t node, RadioOp op, std::size_t size_bytes);
+
+  [[nodiscard]] const EnergyBreakdown& node(std::size_t i) const {
+    return per_node_.at(i);
+  }
+  [[nodiscard]] EnergyBreakdown network_total() const noexcept;
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return per_node_.size();
+  }
+  [[nodiscard]] const FeeneyModel& model() const noexcept { return model_; }
+
+  /// Grow the meter array when nodes join mid-run.
+  void ensure_nodes(std::size_t n) {
+    if (n > per_node_.size()) per_node_.resize(n);
+  }
+
+ private:
+  FeeneyModel model_;
+  std::vector<EnergyBreakdown> per_node_;
+};
+
+}  // namespace precinct::energy

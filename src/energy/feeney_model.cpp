@@ -1,0 +1,17 @@
+#include "energy/feeney_model.hpp"
+
+#include <algorithm>
+#include <numbers>
+
+namespace precinct::energy {
+
+double expected_receivers(double n_nodes, double area_m2,
+                          double range_m) noexcept {
+  if (area_m2 <= 0.0 || n_nodes <= 0.0) return 0.0;
+  const double delta = n_nodes / area_m2;
+  const double zeta = delta * std::numbers::pi * range_m * range_m;
+  // Exclude the sender; the disk around it contains at most N - 1 others.
+  return std::clamp(zeta - 1.0, 0.0, n_nodes - 1.0);
+}
+
+}  // namespace precinct::energy

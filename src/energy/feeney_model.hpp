@@ -1,0 +1,57 @@
+// Linear per-message energy model (paper §5.1, after Feeney & Nilsson):
+//
+//   cost = m * size + b
+//
+// with distinct (m, b) pairs for broadcast vs point-to-point traffic and
+// for the sender, the intended receiver, and nodes that overhear and
+// discard.  The defaults below follow the measured WaveLAN ratios from
+// Feeney's study (the paper cites [6]); all values are configurable so
+// other radios can be modeled.
+#pragma once
+
+#include <cstddef>
+
+namespace precinct::energy {
+
+/// One linear cost curve: millijoules as a function of message bytes.
+struct LinearCost {
+  double m_mj_per_byte = 0.0;  ///< incremental cost per payload byte
+  double b_mj = 0.0;           ///< fixed per-message overhead
+
+  [[nodiscard]] constexpr double operator()(std::size_t size_bytes) const noexcept {
+    return m_mj_per_byte * static_cast<double>(size_bytes) + b_mj;
+  }
+};
+
+/// The full coefficient set (paper Eqs. 4, 5, 9, 10 plus the discard cost
+/// Feeney measures for overheard point-to-point traffic).
+struct FeeneyModel {
+  LinearCost broadcast_send{1.9e-3, 0.266};   ///< E_bd_sd
+  LinearCost broadcast_recv{0.50e-3, 0.056};  ///< E_bd_rv
+  LinearCost p2p_send{1.89e-3, 0.246};        ///< E_p2p_sd (incl. MAC handshake)
+  LinearCost p2p_recv{0.494e-3, 0.056};       ///< E_p2p_rv
+  LinearCost p2p_discard{0.12e-3, 0.024};     ///< overheard unicast, dropped
+
+  /// E_total_bd (paper Eq. 8): one broadcast send plus `receivers`
+  /// in-range receives.
+  [[nodiscard]] double broadcast_total(std::size_t size_bytes,
+                                       double receivers) const noexcept {
+    return broadcast_send(size_bytes) + receivers * broadcast_recv(size_bytes);
+  }
+
+  /// Cost of one point-to-point hop: sender + intended receiver plus
+  /// `overhearers` nodes that receive-and-discard.
+  [[nodiscard]] double p2p_hop(std::size_t size_bytes,
+                               double overhearers = 0.0) const noexcept {
+    return p2p_send(size_bytes) + p2p_recv(size_bytes) +
+           overhearers * p2p_discard(size_bytes);
+  }
+};
+
+/// Expected in-range receiver count zeta = delta * pi * r^2 (paper Eq. 7),
+/// with delta = N / A (Eq. 6).  `n_nodes` counts all nodes including the
+/// sender; the sender itself is excluded from the result.
+[[nodiscard]] double expected_receivers(double n_nodes, double area_m2,
+                                        double range_m) noexcept;
+
+}  // namespace precinct::energy

@@ -1,0 +1,31 @@
+#include "geo/geo_hash.hpp"
+
+#include "support/rng.hpp"
+
+namespace precinct::geo {
+
+Point GeoHash::location(Key key) const noexcept {
+  // Two decorrelated 64-bit hashes -> uniform (x, y) in the area.
+  const std::uint64_t hx = support::hash64(key);
+  const std::uint64_t hy = support::hash64(key ^ 0x6c62272e07bb0142ULL);
+  const double ux = static_cast<double>(hx >> 11) * 0x1.0p-53;
+  const double uy = static_cast<double>(hy >> 11) * 0x1.0p-53;
+  return {area_.min.x + ux * area_.width(), area_.min.y + uy * area_.height()};
+}
+
+RegionId GeoHash::home_region(Key key,
+                              const RegionTable& table) const noexcept {
+  return table.nearest(location(key));
+}
+
+RegionId GeoHash::replica_region(Key key,
+                                 const RegionTable& table) const noexcept {
+  return table.second_nearest(location(key));
+}
+
+std::vector<RegionId> GeoHash::key_regions(Key key, const RegionTable& table,
+                                           std::size_t replicas) const {
+  return table.nearest_k(location(key), replicas + 1);
+}
+
+}  // namespace precinct::geo

@@ -1,0 +1,44 @@
+// Geographic hash (paper §1, §2): h(k) maps a data key to a location in
+// the service area; the key's home region is the region whose center is
+// nearest that location, and its replica region is the second nearest.
+#pragma once
+
+#include <cstdint>
+
+#include "geo/geometry.hpp"
+#include "geo/region_table.hpp"
+
+namespace precinct::geo {
+
+/// Data keys are opaque 64-bit identifiers.
+using Key = std::uint64_t;
+
+/// Deterministic geographic hash.  Stateless apart from the area mapped
+/// into, so all peers agree on every key's location without coordination.
+class GeoHash {
+ public:
+  explicit GeoHash(const Rect& area) noexcept : area_(area) {}
+
+  /// The hashed location of `key`, uniform over the area.
+  [[nodiscard]] Point location(Key key) const noexcept;
+
+  /// Home region: nearest center to the hashed location.
+  [[nodiscard]] RegionId home_region(Key key,
+                                     const RegionTable& table) const noexcept;
+
+  /// Replica region: second-nearest center (§2.4).
+  [[nodiscard]] RegionId replica_region(
+      Key key, const RegionTable& table) const noexcept;
+
+  /// The home region followed by up to `replicas` replica regions, in
+  /// proximity order (home first).
+  [[nodiscard]] std::vector<RegionId> key_regions(
+      Key key, const RegionTable& table, std::size_t replicas) const;
+
+  [[nodiscard]] const Rect& area() const noexcept { return area_; }
+
+ private:
+  Rect area_;
+};
+
+}  // namespace precinct::geo

@@ -1,0 +1,17 @@
+#include "geo/geometry.hpp"
+
+#include <algorithm>
+
+namespace precinct::geo {
+
+Rect Rect::united(const Rect& o) const noexcept {
+  return Rect{{std::min(min.x, o.min.x), std::min(min.y, o.min.y)},
+              {std::max(max.x, o.max.x), std::max(max.y, o.max.y)}};
+}
+
+Point Rect::clamp(Point p) const noexcept {
+  return {std::clamp(p.x, min.x, std::nextafter(max.x, min.x)),
+          std::clamp(p.y, min.y, std::nextafter(max.y, min.y))};
+}
+
+}  // namespace precinct::geo

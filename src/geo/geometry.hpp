@@ -1,0 +1,71 @@
+// Planar geometry primitives for the mobile network plane.
+#pragma once
+
+#include <cmath>
+
+namespace precinct::geo {
+
+/// A point (or displacement) in the 2-D service area, meters.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend constexpr Point operator+(Point a, Point b) noexcept {
+    return {a.x + b.x, a.y + b.y};
+  }
+  friend constexpr Point operator-(Point a, Point b) noexcept {
+    return {a.x - b.x, a.y - b.y};
+  }
+  friend constexpr Point operator*(Point p, double s) noexcept {
+    return {p.x * s, p.y * s};
+  }
+  friend constexpr bool operator==(Point a, Point b) noexcept {
+    return a.x == b.x && a.y == b.y;
+  }
+};
+
+[[nodiscard]] inline double norm(Point p) noexcept {
+  return std::hypot(p.x, p.y);
+}
+
+[[nodiscard]] inline double distance(Point a, Point b) noexcept {
+  return norm(a - b);
+}
+
+[[nodiscard]] inline double distance_sq(Point a, Point b) noexcept {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+/// Angle of the vector from `from` to `to`, radians in (-pi, pi].
+[[nodiscard]] inline double bearing(Point from, Point to) noexcept {
+  return std::atan2(to.y - from.y, to.x - from.x);
+}
+
+/// Axis-aligned rectangle [min, max) used for region extents and the
+/// service area.
+struct Rect {
+  Point min;
+  Point max;
+
+  [[nodiscard]] constexpr bool contains(Point p) const noexcept {
+    return p.x >= min.x && p.x < max.x && p.y >= min.y && p.y < max.y;
+  }
+  [[nodiscard]] constexpr Point center() const noexcept {
+    return {(min.x + max.x) * 0.5, (min.y + max.y) * 0.5};
+  }
+  [[nodiscard]] constexpr double width() const noexcept { return max.x - min.x; }
+  [[nodiscard]] constexpr double height() const noexcept {
+    return max.y - min.y;
+  }
+  [[nodiscard]] constexpr double area() const noexcept {
+    return width() * height();
+  }
+  /// Smallest rectangle covering both.
+  [[nodiscard]] Rect united(const Rect& o) const noexcept;
+  /// Clamp a point into the rectangle (used to keep waypoints in-bounds).
+  [[nodiscard]] Point clamp(Point p) const noexcept;
+};
+
+}  // namespace precinct::geo

@@ -1,0 +1,147 @@
+#include "geo/region_table.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace precinct::geo {
+
+RegionTable RegionTable::grid(const Rect& area, std::uint32_t kx,
+                              std::uint32_t ky) {
+  RegionTable table;
+  const double w = area.width() / kx;
+  const double h = area.height() / ky;
+  for (std::uint32_t iy = 0; iy < ky; ++iy) {
+    for (std::uint32_t ix = 0; ix < kx; ++ix) {
+      const Rect extent{{area.min.x + ix * w, area.min.y + iy * h},
+                        {area.min.x + (ix + 1) * w, area.min.y + (iy + 1) * h}};
+      table.add(extent.center(), extent);
+    }
+  }
+  return table;
+}
+
+RegionId RegionTable::add(Point center, const Rect& extent) {
+  const RegionId id = next_id_++;
+  regions_.push_back(Region{id, center, extent});
+  ++version_;
+  return id;
+}
+
+bool RegionTable::remove(RegionId id) {
+  const auto it = std::find_if(regions_.begin(), regions_.end(),
+                               [id](const Region& r) { return r.id == id; });
+  if (it == regions_.end()) return false;
+  regions_.erase(it);
+  ++version_;
+  return true;
+}
+
+std::optional<RegionId> RegionTable::merge(RegionId a, RegionId b) {
+  const Region* ra = find(a);
+  const Region* rb = find(b);
+  if (ra == nullptr || rb == nullptr || a == b) return std::nullopt;
+  const Rect united = ra->extent.united(rb->extent);
+  remove(a);
+  remove(b);
+  return add(united.center(), united);
+}
+
+std::optional<std::pair<RegionId, RegionId>> RegionTable::separate(
+    RegionId id) {
+  const Region* r = find(id);
+  if (r == nullptr) return std::nullopt;
+  const Rect extent = r->extent;
+  Rect left = extent;
+  Rect right = extent;
+  if (extent.width() >= extent.height()) {
+    const double mid = (extent.min.x + extent.max.x) * 0.5;
+    left.max.x = mid;
+    right.min.x = mid;
+  } else {
+    const double mid = (extent.min.y + extent.max.y) * 0.5;
+    left.max.y = mid;
+    right.min.y = mid;
+  }
+  remove(id);
+  const RegionId i1 = add(left.center(), left);
+  const RegionId i2 = add(right.center(), right);
+  return std::make_pair(i1, i2);
+}
+
+RegionId RegionTable::nearest(Point p) const noexcept {
+  RegionId best = kInvalidRegion;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (const Region& r : regions_) {
+    const double d = distance_sq(r.center, p);
+    if (d < best_d || (d == best_d && r.id < best)) {
+      best_d = d;
+      best = r.id;
+    }
+  }
+  return best;
+}
+
+RegionId RegionTable::second_nearest(Point p) const noexcept {
+  RegionId best = kInvalidRegion;
+  RegionId second = kInvalidRegion;
+  double best_d = std::numeric_limits<double>::infinity();
+  double second_d = std::numeric_limits<double>::infinity();
+  for (const Region& r : regions_) {
+    const double d = distance_sq(r.center, p);
+    if (d < best_d || (d == best_d && r.id < best)) {
+      second_d = best_d;
+      second = best;
+      best_d = d;
+      best = r.id;
+    } else if (d < second_d || (d == second_d && r.id < second)) {
+      second_d = d;
+      second = r.id;
+    }
+  }
+  return second;
+}
+
+std::vector<RegionId> RegionTable::nearest_k(Point p, std::size_t k) const {
+  std::vector<const Region*> order;
+  order.reserve(regions_.size());
+  for (const Region& r : regions_) order.push_back(&r);
+  const std::size_t take = std::min(k, order.size());
+  std::partial_sort(order.begin(), order.begin() + static_cast<long>(take),
+                    order.end(), [p](const Region* a, const Region* b) {
+                      const double da = distance_sq(a->center, p);
+                      const double db = distance_sq(b->center, p);
+                      return da != db ? da < db : a->id < b->id;
+                    });
+  std::vector<RegionId> out;
+  out.reserve(take);
+  for (std::size_t i = 0; i < take; ++i) out.push_back(order[i]->id);
+  return out;
+}
+
+RegionId RegionTable::containing(Point p) const noexcept {
+  for (const Region& r : regions_) {
+    if (r.extent.contains(p)) return r.id;
+  }
+  return nearest(p);
+}
+
+const Region* RegionTable::find(RegionId id) const noexcept {
+  const auto it = std::find_if(regions_.begin(), regions_.end(),
+                               [id](const Region& r) { return r.id == id; });
+  return it == regions_.end() ? nullptr : &*it;
+}
+
+std::vector<RegionId> RegionTable::neighbors_of(RegionId id,
+                                                double radius) const {
+  std::vector<RegionId> out;
+  const Region* r = find(id);
+  if (r == nullptr) return out;
+  for (const Region& o : regions_) {
+    if (o.id != id && distance(o.center, r->center) <= radius) {
+      out.push_back(o.id);
+    }
+  }
+  return out;
+}
+
+}  // namespace precinct::geo

@@ -1,0 +1,102 @@
+// Region management (paper §2.1).
+//
+// The service area is divided into geographic regions, each identified by
+// its center and rectangular extent.  Every peer keeps a RegionTable; the
+// four paper operations — Add, Delete, Merge, Separate — mutate the table
+// and bump its version so peers can detect stale tables and keys can be
+// relocated after a topology change.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "geo/geometry.hpp"
+
+namespace precinct::geo {
+
+using RegionId = std::uint32_t;
+inline constexpr RegionId kInvalidRegion = static_cast<RegionId>(-1);
+
+/// One geographic region: stable id, center point, rectangular extent.
+/// The paper represents regions by center + perimeter vertices; rectangles
+/// (4 vertices) are what its own evaluation uses ("equal sized regions").
+struct Region {
+  RegionId id = kInvalidRegion;
+  Point center;
+  Rect extent;
+};
+
+/// The region table every peer carries.  Lookup operations implement the
+/// paper's rules: a location's *home* region is the region whose center is
+/// nearest, and its *replica* region is the second nearest (§2.4).
+class RegionTable {
+ public:
+  RegionTable() = default;
+
+  /// Build a kx-by-ky grid of equal rectangular regions over `area`
+  /// (the configuration used throughout the paper's evaluation).
+  static RegionTable grid(const Rect& area, std::uint32_t kx, std::uint32_t ky);
+
+  // -- the four management operations (§2.1) -------------------------------
+
+  /// Add a new region; returns its id.  Bumps version.
+  RegionId add(Point center, const Rect& extent);
+
+  /// Delete a region.  Returns false if the id is unknown.  Bumps version.
+  bool remove(RegionId id);
+
+  /// Merge two regions into a new one whose extent is the union bounding
+  /// box and whose center is that box's center.  Returns the new region's
+  /// id, or nullopt if either id is unknown.  Bumps version.
+  std::optional<RegionId> merge(RegionId a, RegionId b);
+
+  /// Separate a region into two halves along its longer axis.  Returns the
+  /// pair of new ids, or nullopt if the id is unknown.  Bumps version.
+  std::optional<std::pair<RegionId, RegionId>> separate(RegionId id);
+
+  // -- lookups --------------------------------------------------------------
+
+  /// Region whose center is closest to `p` — the home region of a hashed
+  /// key location, and the region a peer at `p` belongs to.  Ties break by
+  /// lower region id.  Returns kInvalidRegion when the table is empty.
+  [[nodiscard]] RegionId nearest(Point p) const noexcept;
+
+  /// Region with the second-closest center — the replica region (§2.4).
+  /// Returns kInvalidRegion when fewer than two regions exist.
+  [[nodiscard]] RegionId second_nearest(Point p) const noexcept;
+
+  /// The k regions with the closest centers, nearest first (ties by lower
+  /// id).  Generalizes home/replica selection to multiple replicas
+  /// (§2.4: "easily extended to multiple replicas").  Returns fewer than
+  /// k entries when the table is smaller.
+  [[nodiscard]] std::vector<RegionId> nearest_k(Point p, std::size_t k) const;
+
+  /// Region whose *extent* contains `p` (membership test for scoped
+  /// floods).  Falls back to nearest() when no extent contains it (can
+  /// happen after merge/separate leave gaps).
+  [[nodiscard]] RegionId containing(Point p) const noexcept;
+
+  [[nodiscard]] const Region* find(RegionId id) const noexcept;
+  [[nodiscard]] const std::vector<Region>& regions() const noexcept {
+    return regions_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return regions_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return regions_.empty(); }
+
+  /// Monotone version; incremented by every mutating operation so peers
+  /// can detect that a disseminated table supersedes theirs.
+  [[nodiscard]] std::uint64_t version() const noexcept { return version_; }
+
+  /// Ids of regions whose centers are adjacent (within `radius`) to the
+  /// given region's center — used to pick merge candidates.
+  [[nodiscard]] std::vector<RegionId> neighbors_of(RegionId id,
+                                                   double radius) const;
+
+ private:
+  std::vector<Region> regions_;
+  RegionId next_id_ = 0;
+  std::uint64_t version_ = 0;
+};
+
+}  // namespace precinct::geo

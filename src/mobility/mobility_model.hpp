@@ -1,0 +1,31 @@
+// Node mobility (paper §6.1: random waypoint with 5 s pauses; static
+// topologies for the analytical validation experiments).
+//
+// Models are *trajectory oracles*: position_at(node, t) answers where a
+// node is at simulation time t.  Queries must be non-decreasing in t per
+// node (the simulator's clock is monotone), which lets implementations
+// advance piecewise trajectories lazily in O(1) amortized time.
+#pragma once
+
+#include <cstddef>
+
+#include "geo/geometry.hpp"
+
+namespace precinct::mobility {
+
+class MobilityModel {
+ public:
+  virtual ~MobilityModel() = default;
+
+  /// Position of node `node` at time `t` (seconds).  Per node, `t` must be
+  /// non-decreasing across calls.
+  [[nodiscard]] virtual geo::Point position_at(std::size_t node, double t) = 0;
+
+  /// Current speed of the node at time `t` (m/s); 0 while pausing or for
+  /// static models.  Same monotonicity contract as position_at.
+  [[nodiscard]] virtual double speed_at(std::size_t node, double t) = 0;
+
+  [[nodiscard]] virtual std::size_t node_count() const noexcept = 0;
+};
+
+}  // namespace precinct::mobility

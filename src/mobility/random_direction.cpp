@@ -1,0 +1,80 @@
+#include "mobility/random_direction.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numbers>
+#include <stdexcept>
+
+namespace precinct::mobility {
+
+RandomDirection::RandomDirection(std::size_t n_nodes,
+                                 const RandomDirectionConfig& config,
+                                 std::uint64_t seed)
+    : config_(config) {
+  if (config.v_min <= 0.0 || config.v_max < config.v_min) {
+    throw std::invalid_argument("RandomDirection: need 0 < v_min <= v_max");
+  }
+  if (config.pause_s < 0.0) {
+    throw std::invalid_argument("RandomDirection: pause must be >= 0");
+  }
+  const support::Rng root(seed);
+  states_.reserve(n_nodes);
+  for (std::size_t i = 0; i < n_nodes; ++i) {
+    LegState s{root.split(i), {}, {}, 0.0, 0.0, 0.0, 0.0};
+    s.from = {s.rng.uniform(config_.area.min.x, config_.area.max.x),
+              s.rng.uniform(config_.area.min.y, config_.area.max.y)};
+    s.to = s.from;
+    s.resume = config_.pause_s;
+    states_.push_back(std::move(s));
+  }
+}
+
+geo::Point RandomDirection::boundary_hit(geo::Point p, double angle) const {
+  const double dx = std::cos(angle);
+  const double dy = std::sin(angle);
+  double t_exit = std::numeric_limits<double>::infinity();
+  if (dx > 1e-12) t_exit = std::min(t_exit, (config_.area.max.x - p.x) / dx);
+  if (dx < -1e-12) t_exit = std::min(t_exit, (config_.area.min.x - p.x) / dx);
+  if (dy > 1e-12) t_exit = std::min(t_exit, (config_.area.max.y - p.y) / dy);
+  if (dy < -1e-12) t_exit = std::min(t_exit, (config_.area.min.y - p.y) / dy);
+  if (!std::isfinite(t_exit)) return p;  // degenerate heading
+  t_exit = std::max(0.0, t_exit);
+  return config_.area.clamp({p.x + dx * t_exit, p.y + dy * t_exit});
+}
+
+void RandomDirection::advance(LegState& s, double t) const {
+  while (t > s.resume) {
+    const double depart = s.resume;
+    const geo::Point from = s.to;
+    const double angle = s.rng.uniform(0.0, 2.0 * std::numbers::pi);
+    const geo::Point to = boundary_hit(from, angle);
+    const double speed = s.rng.uniform(config_.v_min, config_.v_max);
+    const double dist = geo::distance(from, to);
+    s.from = from;
+    s.to = to;
+    s.depart = depart;
+    s.speed = speed;
+    // A zero-length leg (corner hit) still consumes the pause so the loop
+    // always makes progress.
+    s.arrive = depart + (dist > 1e-9 ? dist / speed : 1e-3);
+    s.resume = s.arrive + config_.pause_s;
+  }
+}
+
+geo::Point RandomDirection::position_at(std::size_t node, double t) {
+  LegState& s = states_.at(node);
+  advance(s, t);
+  if (t >= s.arrive) return s.to;
+  if (t <= s.depart) return s.from;
+  const double frac = (t - s.depart) / (s.arrive - s.depart);
+  return s.from + (s.to - s.from) * frac;
+}
+
+double RandomDirection::speed_at(std::size_t node, double t) {
+  LegState& s = states_.at(node);
+  advance(s, t);
+  return (t > s.depart && t < s.arrive) ? s.speed : 0.0;
+}
+
+}  // namespace precinct::mobility

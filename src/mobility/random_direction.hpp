@@ -1,0 +1,54 @@
+// Random direction mobility: each node picks a uniform heading and speed,
+// travels until it hits the area boundary, pauses, then picks a new
+// heading.  Unlike random waypoint it keeps the spatial distribution
+// near-uniform (no center bias), which the paper's future work asks to
+// evaluate against.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/geometry.hpp"
+#include "mobility/mobility_model.hpp"
+#include "support/rng.hpp"
+
+namespace precinct::mobility {
+
+struct RandomDirectionConfig {
+  geo::Rect area{{0.0, 0.0}, {1200.0, 1200.0}};
+  double v_min = 0.5;
+  double v_max = 6.0;
+  double pause_s = 5.0;
+};
+
+class RandomDirection final : public MobilityModel {
+ public:
+  RandomDirection(std::size_t n_nodes, const RandomDirectionConfig& config,
+                  std::uint64_t seed);
+
+  [[nodiscard]] geo::Point position_at(std::size_t node, double t) override;
+  [[nodiscard]] double speed_at(std::size_t node, double t) override;
+  [[nodiscard]] std::size_t node_count() const noexcept override {
+    return states_.size();
+  }
+
+ private:
+  struct LegState {
+    support::Rng rng;
+    geo::Point from;
+    geo::Point to;        // boundary point the heading runs into
+    double depart = 0.0;
+    double arrive = 0.0;
+    double resume = 0.0;
+    double speed = 0.0;
+  };
+
+  /// Where a ray from `p` along `angle` exits the area.
+  [[nodiscard]] geo::Point boundary_hit(geo::Point p, double angle) const;
+  void advance(LegState& s, double t) const;
+
+  RandomDirectionConfig config_;
+  std::vector<LegState> states_;
+};
+
+}  // namespace precinct::mobility

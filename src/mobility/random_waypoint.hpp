@@ -1,0 +1,54 @@
+// Random waypoint mobility (Broch et al., the model the paper's ns-2
+// experiments use): each node repeatedly picks a uniform destination in
+// the area and a uniform speed in [vmin, vmax], travels there in a
+// straight line, pauses, and repeats.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/geometry.hpp"
+#include "mobility/mobility_model.hpp"
+#include "support/rng.hpp"
+
+namespace precinct::mobility {
+
+struct RandomWaypointConfig {
+  geo::Rect area{{0.0, 0.0}, {1200.0, 1200.0}};
+  double v_min = 0.5;    ///< m/s; > 0 avoids the well-known RWP speed decay
+  double v_max = 6.0;    ///< m/s (paper sweeps 2..20)
+  double pause_s = 5.0;  ///< pause between legs (paper: 5 s)
+};
+
+class RandomWaypoint final : public MobilityModel {
+ public:
+  /// Nodes start at uniform positions; trajectories derive from
+  /// per-node RNG streams split from `seed` so each node's path is
+  /// independent of how often other nodes are queried.
+  RandomWaypoint(std::size_t n_nodes, const RandomWaypointConfig& config,
+                 std::uint64_t seed);
+
+  [[nodiscard]] geo::Point position_at(std::size_t node, double t) override;
+  [[nodiscard]] double speed_at(std::size_t node, double t) override;
+  [[nodiscard]] std::size_t node_count() const noexcept override {
+    return states_.size();
+  }
+
+ private:
+  struct LegState {
+    support::Rng rng;
+    geo::Point from;      // leg origin
+    geo::Point to;        // waypoint
+    double depart = 0.0;  // time motion started
+    double arrive = 0.0;  // time waypoint reached
+    double resume = 0.0;  // arrive + pause: next leg departs here
+    double speed = 0.0;
+  };
+
+  void advance(LegState& s, double t) const;
+
+  RandomWaypointConfig config_;
+  std::vector<LegState> states_;
+};
+
+}  // namespace precinct::mobility

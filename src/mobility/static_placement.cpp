@@ -1,0 +1,43 @@
+#include "mobility/static_placement.hpp"
+
+#include <cmath>
+
+#include "support/rng.hpp"
+
+namespace precinct::mobility {
+
+StaticPlacement::StaticPlacement(std::vector<geo::Point> positions)
+    : positions_(std::move(positions)) {}
+
+StaticPlacement StaticPlacement::uniform(std::size_t n_nodes,
+                                         const geo::Rect& area,
+                                         std::uint64_t seed) {
+  support::Rng rng(seed);
+  std::vector<geo::Point> pts;
+  pts.reserve(n_nodes);
+  for (std::size_t i = 0; i < n_nodes; ++i) {
+    pts.push_back({rng.uniform(area.min.x, area.max.x),
+                   rng.uniform(area.min.y, area.max.y)});
+  }
+  return StaticPlacement(std::move(pts));
+}
+
+StaticPlacement StaticPlacement::grid(std::size_t n_nodes,
+                                      const geo::Rect& area) {
+  std::vector<geo::Point> pts;
+  pts.reserve(n_nodes);
+  const auto cols = static_cast<std::size_t>(
+      std::ceil(std::sqrt(static_cast<double>(n_nodes))));
+  const auto rows = (n_nodes + cols - 1) / cols;
+  const double dx = area.width() / static_cast<double>(cols);
+  const double dy = area.height() / static_cast<double>(rows);
+  for (std::size_t i = 0; i < n_nodes; ++i) {
+    const std::size_t cx = i % cols;
+    const std::size_t cy = i / cols;
+    pts.push_back({area.min.x + (static_cast<double>(cx) + 0.5) * dx,
+                   area.min.y + (static_cast<double>(cy) + 0.5) * dy});
+  }
+  return StaticPlacement(std::move(pts));
+}
+
+}  // namespace precinct::mobility

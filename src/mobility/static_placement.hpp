@@ -1,0 +1,38 @@
+// Static topologies: nodes never move.  Used by the analytical-validation
+// experiments (paper §6.2.3) and by tests that need fixed geometry.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/geometry.hpp"
+#include "mobility/mobility_model.hpp"
+
+namespace precinct::mobility {
+
+class StaticPlacement final : public MobilityModel {
+ public:
+  /// Fixed, caller-provided positions.
+  explicit StaticPlacement(std::vector<geo::Point> positions);
+
+  /// Uniform random placement of `n_nodes` in `area`.
+  static StaticPlacement uniform(std::size_t n_nodes, const geo::Rect& area,
+                                 std::uint64_t seed);
+
+  /// Evenly spaced grid placement covering `area` (deterministic, handy
+  /// for connectivity-guaranteed test topologies).
+  static StaticPlacement grid(std::size_t n_nodes, const geo::Rect& area);
+
+  [[nodiscard]] geo::Point position_at(std::size_t node, double) override {
+    return positions_.at(node);
+  }
+  [[nodiscard]] double speed_at(std::size_t, double) override { return 0.0; }
+  [[nodiscard]] std::size_t node_count() const noexcept override {
+    return positions_.size();
+  }
+
+ private:
+  std::vector<geo::Point> positions_;
+};
+
+}  // namespace precinct::mobility

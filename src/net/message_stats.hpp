@@ -1,0 +1,40 @@
+// Per-kind message counters: the paper's "control message overhead" metric
+// (Fig 6) is the total number of messages generated to maintain
+// consistency, so the substrate counts every transmission by kind.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+#include "net/packet.hpp"
+
+namespace precinct::net {
+
+class MessageStats {
+ public:
+  void count_send(PacketKind kind, std::size_t bytes) noexcept;
+  void count_delivery(PacketKind kind) noexcept;
+
+  [[nodiscard]] std::uint64_t sends(PacketKind kind) const noexcept;
+  [[nodiscard]] std::uint64_t deliveries(PacketKind kind) const noexcept;
+  [[nodiscard]] std::uint64_t bytes_sent(PacketKind kind) const noexcept;
+
+  [[nodiscard]] std::uint64_t total_sends() const noexcept;
+  [[nodiscard]] std::uint64_t total_bytes() const noexcept;
+
+  /// Messages attributable to consistency maintenance: pushes, push acks,
+  /// polls, poll replies and invalidations (Fig 6's y-axis).
+  [[nodiscard]] std::uint64_t consistency_sends() const noexcept;
+
+ private:
+  static constexpr std::size_t kKinds = 10;
+  static std::size_t index(PacketKind kind) noexcept {
+    return static_cast<std::size_t>(kind);
+  }
+  std::array<std::uint64_t, kKinds> sends_{};
+  std::array<std::uint64_t, kKinds> deliveries_{};
+  std::array<std::uint64_t, kKinds> bytes_{};
+};
+
+}  // namespace precinct::net

@@ -1,0 +1,69 @@
+#include "net/spatial_grid.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace precinct::net {
+
+SpatialGrid::SpatialGrid(const geo::Rect& area, double cell_m)
+    : area_(area), cell_m_(cell_m) {
+  if (cell_m <= 0.0 || area.width() <= 0.0 || area.height() <= 0.0) {
+    throw std::invalid_argument("SpatialGrid: bad area/cell size");
+  }
+  nx_ = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::ceil(area.width() / cell_m)));
+  ny_ = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::ceil(area.height() / cell_m)));
+  cells_.resize(nx_ * ny_);
+}
+
+std::size_t SpatialGrid::cell_of(geo::Point p) const noexcept {
+  const double fx = (p.x - area_.min.x) / cell_m_;
+  const double fy = (p.y - area_.min.y) / cell_m_;
+  const auto cx = static_cast<std::size_t>(
+      std::clamp(fx, 0.0, static_cast<double>(nx_ - 1)));
+  const auto cy = static_cast<std::size_t>(
+      std::clamp(fy, 0.0, static_cast<double>(ny_ - 1)));
+  return cy * nx_ + cx;
+}
+
+void SpatialGrid::rebuild(const std::vector<geo::Point>& positions,
+                          const std::vector<char>& alive) {
+  for (auto& cell : cells_) cell.clear();
+  count_ = 0;
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    if (i < alive.size() && !alive[i]) continue;
+    cells_[cell_of(positions[i])].push_back(static_cast<std::uint32_t>(i));
+    ++count_;
+  }
+}
+
+void SpatialGrid::query(geo::Point center, double radius,
+                        std::vector<std::uint32_t>& out) const {
+  // Cells intersecting the disk, padded by one cell so entries binned at
+  // a cell edge are never missed.
+  const double reach = radius + cell_m_;
+  const auto clamp_x = [this](double v) {
+    return std::clamp(v, 0.0, static_cast<double>(nx_ - 1));
+  };
+  const auto clamp_y = [this](double v) {
+    return std::clamp(v, 0.0, static_cast<double>(ny_ - 1));
+  };
+  const auto x0 = static_cast<std::size_t>(
+      clamp_x((center.x - reach - area_.min.x) / cell_m_));
+  const auto x1 = static_cast<std::size_t>(
+      clamp_x((center.x + reach - area_.min.x) / cell_m_));
+  const auto y0 = static_cast<std::size_t>(
+      clamp_y((center.y - reach - area_.min.y) / cell_m_));
+  const auto y1 = static_cast<std::size_t>(
+      clamp_y((center.y + reach - area_.min.y) / cell_m_));
+  for (std::size_t cy = y0; cy <= y1; ++cy) {
+    for (std::size_t cx = x0; cx <= x1; ++cx) {
+      const auto& cell = cells_[cy * nx_ + cx];
+      out.insert(out.end(), cell.begin(), cell.end());
+    }
+  }
+}
+
+}  // namespace precinct::net

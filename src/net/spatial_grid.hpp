@@ -1,0 +1,50 @@
+// Uniform-grid spatial index for neighbor queries.
+//
+// The radio substrate's neighbors() is O(N) per query; beyond a couple
+// hundred nodes the grid pays off.  Because nodes move continuously, the
+// grid is rebuilt only every `max_staleness_s` and queries pad their
+// radius by the maximum distance a node can have drifted since the last
+// rebuild — candidates are a superset of the true neighbors, and the
+// caller filters exactly against current positions.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "geo/geometry.hpp"
+
+namespace precinct::net {
+
+class SpatialGrid {
+ public:
+  /// `cell_m` should be about the radio range; queries then touch O(9)
+  /// cells.
+  SpatialGrid(const geo::Rect& area, double cell_m);
+
+  /// Replace the index contents with `positions` (indexed by node id);
+  /// `alive[id] == 0` entries are skipped.
+  void rebuild(const std::vector<geo::Point>& positions,
+               const std::vector<char>& alive);
+
+  /// Append to `out` every indexed node whose *indexed* position lies
+  /// within `radius` + one cell of `center` (a superset of the nodes
+  /// whose indexed position is within `radius`).  Does not clear `out`.
+  void query(geo::Point center, double radius,
+             std::vector<std::uint32_t>& out) const;
+
+  [[nodiscard]] std::size_t indexed_count() const noexcept { return count_; }
+  [[nodiscard]] double cell_size() const noexcept { return cell_m_; }
+
+ private:
+  [[nodiscard]] std::size_t cell_of(geo::Point p) const noexcept;
+
+  geo::Rect area_;
+  double cell_m_;
+  std::size_t nx_;
+  std::size_t ny_;
+  std::vector<std::vector<std::uint32_t>> cells_;
+  std::size_t count_ = 0;
+};
+
+}  // namespace precinct::net

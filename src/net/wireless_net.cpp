@@ -1,0 +1,176 @@
+#include "net/wireless_net.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace precinct::net {
+
+WirelessNet::WirelessNet(sim::Simulator& simulator,
+                         mobility::MobilityModel& mobility,
+                         const WirelessConfig& config,
+                         energy::FeeneyModel energy_model, std::uint64_t seed)
+    : sim_(simulator),
+      mobility_(mobility),
+      config_(config),
+      energy_(energy_model, mobility.node_count()),
+      rng_(seed),
+      n_nodes_(mobility.node_count()),
+      alive_(mobility.node_count(), 1),
+      busy_until_(mobility.node_count(), 0.0) {
+  if (n_nodes_ >= config_.spatial_index_threshold) {
+    grid_ = std::make_unique<SpatialGrid>(config_.area, config_.range_m);
+    grid_positions_.resize(n_nodes_);
+  }
+}
+
+void WirelessNet::refresh_grid() {
+  const double now = sim_.now();
+  if (grid_time_ >= 0.0 &&
+      now - grid_time_ <= config_.spatial_index_staleness_s) {
+    return;
+  }
+  for (NodeId i = 0; i < n_nodes_; ++i) {
+    grid_positions_[i] = mobility_.position_at(i, now);
+  }
+  grid_->rebuild(grid_positions_, alive_);
+  grid_time_ = now;
+}
+
+geo::Point WirelessNet::position(NodeId node) {
+  return mobility_.position_at(node, sim_.now());
+}
+
+std::vector<NodeId> WirelessNet::neighbors(NodeId node) {
+  std::vector<NodeId> out;
+  const geo::Point p = position(node);
+  const double r2 = config_.range_m * config_.range_m;
+  if (grid_ != nullptr) {
+    refresh_grid();
+    // Indexed positions may be stale by up to the rebuild period; pad by
+    // the worst-case drift and filter exactly on current positions.
+    const double pad =
+        (sim_.now() - grid_time_) * config_.max_node_speed_mps;
+    grid_scratch_.clear();
+    grid_->query(p, config_.range_m + pad, grid_scratch_);
+    for (const std::uint32_t i : grid_scratch_) {
+      if (i == node || !alive_[i]) continue;
+      if (geo::distance_sq(p, position(i)) <= r2) out.push_back(i);
+    }
+    std::sort(out.begin(), out.end());  // match scan order for determinism
+    return out;
+  }
+  for (NodeId i = 0; i < n_nodes_; ++i) {
+    if (i == node || !alive_[i]) continue;
+    if (geo::distance_sq(p, position(i)) <= r2) out.push_back(i);
+  }
+  return out;
+}
+
+bool WirelessNet::in_range(NodeId a, NodeId b) {
+  if (!alive_.at(a) || !alive_.at(b) || a == b) return false;
+  return geo::distance_sq(position(a), position(b)) <=
+         config_.range_m * config_.range_m;
+}
+
+double WirelessNet::tx_duration(std::size_t bytes, bool unicast) const {
+  const double serialization =
+      static_cast<double>(bytes) * 8.0 / config_.bandwidth_bps;
+  return serialization + config_.mac_overhead_s +
+         (unicast ? config_.unicast_overhead_s : 0.0);
+}
+
+double WirelessNet::reserve_airtime(NodeId sender, double tx_time) {
+  // Half-duplex MAC: a node's frames serialize through its own queue.  A
+  // small random jitter decorrelates simultaneous flood forwarders.
+  double& busy = busy_until_.at(sender);
+  const double start =
+      std::max(sim_.now(), busy) + rng_.uniform(0.0, config_.jitter_s);
+  busy = start + tx_time;
+  return busy;  // time the last bit hits the air
+}
+
+void WirelessNet::broadcast(const Packet& packet) {
+  assert(packet.src != kNoNode);
+  if (!alive_.at(packet.src)) return;
+  stats_.count_send(packet.kind, packet.size_bytes);
+  const double done =
+      reserve_airtime(packet.src, tx_duration(packet.size_bytes, false));
+  sim_.schedule_at(done + config_.propagation_s,
+                   [this, packet] { deliver_broadcast(packet); });
+}
+
+void WirelessNet::deliver_broadcast(Packet packet) {
+  if (!alive_.at(packet.src)) return;  // died while the frame was queued
+  packet.src_location = position(packet.src);
+  energy_.charge(packet.src, energy::RadioOp::kBroadcastSend,
+                 packet.size_bytes);
+  // Snapshot the neighborhood at delivery time.
+  const auto receivers = neighbors(packet.src);
+  for (const NodeId receiver : receivers) {
+    energy_.charge(receiver, energy::RadioOp::kBroadcastRecv,
+                   packet.size_bytes);
+    stats_.count_delivery(packet.kind);
+  }
+  if (!on_receive_) return;
+  for (const NodeId receiver : receivers) {
+    // Deliver after the receiver's protocol processing delay.
+    sim_.schedule(config_.proc_delay_s, [this, receiver, packet] {
+      if (alive_.at(receiver)) on_receive_(receiver, packet);
+    });
+  }
+}
+
+void WirelessNet::unicast(const Packet& packet, NodeId next_hop) {
+  assert(packet.src != kNoNode && next_hop != kNoNode);
+  if (!alive_.at(packet.src)) return;
+  stats_.count_send(packet.kind, packet.size_bytes);
+  const double done =
+      reserve_airtime(packet.src, tx_duration(packet.size_bytes, true));
+  sim_.schedule_at(done + config_.propagation_s, [this, packet, next_hop] {
+    deliver_unicast(packet, next_hop);
+  });
+}
+
+void WirelessNet::deliver_unicast(Packet packet, NodeId next_hop) {
+  if (!alive_.at(packet.src)) return;
+  packet.src_location = position(packet.src);
+  energy_.charge(packet.src, energy::RadioOp::kP2pSend, packet.size_bytes);
+  const auto nearby = neighbors(packet.src);
+  bool reached = false;
+  for (const NodeId n : nearby) {
+    if (n == next_hop) {
+      energy_.charge(n, energy::RadioOp::kP2pRecv, packet.size_bytes);
+      reached = true;
+    } else {
+      // Overhearers pay the promiscuous receive-and-discard cost — and,
+      // if the upper layer snoops, learn the sender's position.
+      energy_.charge(n, energy::RadioOp::kP2pDiscard, packet.size_bytes);
+      if (on_snoop_) on_snoop_(n, packet);
+    }
+  }
+  if (!reached) {
+    // Link broke between queueing and transmission (mobility/failure).
+    ++frames_lost_;
+    return;
+  }
+  stats_.count_delivery(packet.kind);
+  if (on_receive_) {
+    sim_.schedule(config_.proc_delay_s, [this, next_hop, packet] {
+      if (alive_.at(next_hop)) on_receive_(next_hop, packet);
+    });
+  }
+}
+
+void WirelessNet::kill(NodeId node) { alive_.at(node) = 0; }
+
+void WirelessNet::revive(NodeId node) {
+  alive_.at(node) = 1;
+  busy_until_.at(node) = sim_.now();
+}
+
+std::size_t WirelessNet::alive_count() const noexcept {
+  return static_cast<std::size_t>(
+      std::count(alive_.begin(), alive_.end(), char{1}));
+}
+
+}  // namespace precinct::net

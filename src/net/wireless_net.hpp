@@ -1,0 +1,154 @@
+// Wireless substrate: unit-disk radio over a mobility model, with a
+// per-node transmit queue (half-duplex MAC serialization), Feeney energy
+// charging and per-kind message accounting.
+//
+// This is the ns-2 substitute.  Fidelity notes in DESIGN.md §6: no
+// RTS/CTS or capture model; message counts, hop counts and sizes — the
+// quantities the paper's metrics depend on — are exact.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "energy/accounting.hpp"
+#include "geo/geometry.hpp"
+#include "mobility/mobility_model.hpp"
+#include "net/message_stats.hpp"
+#include "net/packet.hpp"
+#include "net/spatial_grid.hpp"
+#include "sim/simulator.hpp"
+#include "support/rng.hpp"
+
+namespace precinct::net {
+
+struct WirelessConfig {
+  double range_m = 250.0;          ///< radio range (paper: 250 m)
+  geo::Rect area{{0.0, 0.0}, {1200.0, 1200.0}};  ///< service area (for the
+                                   ///< spatial index; set by Scenario)
+  /// Use the grid index for neighbor queries at or above this node
+  /// count; below it a linear scan is faster.
+  std::size_t spatial_index_threshold = 128;
+  double spatial_index_staleness_s = 0.5;  ///< grid rebuild period
+  double max_node_speed_mps = 25.0;        ///< bounds drift since rebuild
+  double bandwidth_bps = 11e6;     ///< 11 Mbps (paper §6.1)
+  double mac_overhead_s = 0.6e-3;  ///< per-frame channel access + preamble
+  double unicast_overhead_s = 0.4e-3;  ///< extra RTS/CTS-style handshake
+  double propagation_s = 5e-6;     ///< flat propagation delay
+  double proc_delay_s = 0.3e-3;    ///< per-hop protocol processing
+  double jitter_s = 1.0e-3;        ///< random forwarding jitter (flood
+                                   ///< de-synchronization), uniform [0, j)
+};
+
+/// Upper-layer receive hook: (receiving node, packet).  Unicast frames are
+/// delivered only to the addressed node; broadcast frames to every live
+/// node in range of the sender.
+using ReceiveHandler = std::function<void(NodeId, const Packet&)>;
+
+/// Promiscuous-mode hook: called for every node that overhears a unicast
+/// frame addressed to someone else (GPSR position piggybacking).
+using SnoopHandler = std::function<void(NodeId, const Packet&)>;
+
+class WirelessNet {
+ public:
+  WirelessNet(sim::Simulator& simulator, mobility::MobilityModel& mobility,
+              const WirelessConfig& config, energy::FeeneyModel energy_model,
+              std::uint64_t seed);
+
+  WirelessNet(const WirelessNet&) = delete;
+  WirelessNet& operator=(const WirelessNet&) = delete;
+
+  /// Register the upper layer.  Must be set before any traffic flows.
+  void set_receive_handler(ReceiveHandler handler) {
+    on_receive_ = std::move(handler);
+  }
+
+  /// Register a promiscuous-overhear hook (optional).
+  void set_snoop_handler(SnoopHandler handler) {
+    on_snoop_ = std::move(handler);
+  }
+
+  /// When this node's last transmission finished (0 if it never sent).
+  [[nodiscard]] double last_transmission_s(NodeId node) const {
+    return busy_until_.at(node);
+  }
+
+  [[nodiscard]] std::size_t node_count() const noexcept { return n_nodes_; }
+
+  /// Current position of a node.
+  [[nodiscard]] geo::Point position(NodeId node);
+
+  /// Live nodes within radio range of `node` (excluding itself).
+  [[nodiscard]] std::vector<NodeId> neighbors(NodeId node);
+
+  /// True when a direct radio link exists between two live nodes now.
+  [[nodiscard]] bool in_range(NodeId a, NodeId b);
+
+  /// Queue a broadcast frame from `packet.src`.  Every live in-range node
+  /// receives it; all receivers pay broadcast-receive energy.
+  void broadcast(const Packet& packet);
+
+  /// Queue a unicast frame from `packet.src` to `next_hop`.  The target
+  /// pays p2p-receive energy; other in-range nodes overhear and pay the
+  /// discard cost.  If the link is down at transmit time the frame is
+  /// lost (counted in frames_lost()).
+  void unicast(const Packet& packet, NodeId next_hop);
+
+  // -- failure injection (paper §2.4) --------------------------------------
+
+  /// Crash a node: it stops sending, receiving and overhearing.
+  void kill(NodeId node);
+  /// Revive a previously killed node.
+  void revive(NodeId node);
+  [[nodiscard]] bool is_alive(NodeId node) const { return alive_.at(node); }
+  [[nodiscard]] std::size_t alive_count() const noexcept;
+
+  // -- accounting -----------------------------------------------------------
+
+  [[nodiscard]] const energy::EnergyAccountant& energy() const noexcept {
+    return energy_;
+  }
+  [[nodiscard]] const MessageStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] std::uint64_t frames_lost() const noexcept {
+    return frames_lost_;
+  }
+
+  [[nodiscard]] sim::Simulator& simulator() noexcept { return sim_; }
+
+  /// Fresh unique packet id.
+  [[nodiscard]] std::uint64_t next_packet_id() noexcept { return next_id_++; }
+
+ private:
+  /// Serialize through the sender's MAC: returns the time the frame hits
+  /// the air, updating the sender's busy window.
+  double reserve_airtime(NodeId sender, double tx_time);
+  void deliver_broadcast(Packet packet);
+  void deliver_unicast(Packet packet, NodeId next_hop);
+  [[nodiscard]] double tx_duration(std::size_t bytes, bool unicast) const;
+
+  /// Refresh the spatial index if it is stale; no-op when disabled.
+  void refresh_grid();
+
+  sim::Simulator& sim_;
+  mobility::MobilityModel& mobility_;
+  WirelessConfig config_;
+  energy::EnergyAccountant energy_;
+  MessageStats stats_;
+  support::Rng rng_;
+  ReceiveHandler on_receive_;
+  SnoopHandler on_snoop_;
+  std::size_t n_nodes_;
+  std::vector<char> alive_;
+  std::vector<double> busy_until_;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t frames_lost_ = 0;
+
+  // Spatial index (used when node_count >= spatial_index_threshold).
+  std::unique_ptr<SpatialGrid> grid_;
+  double grid_time_ = -1.0;
+  std::vector<geo::Point> grid_positions_;
+  std::vector<std::uint32_t> grid_scratch_;
+};
+
+}  // namespace precinct::net

@@ -1,0 +1,22 @@
+#include "routing/expanding_ring.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace precinct::routing {
+
+std::vector<int> expanding_ring_ttls(const ExpandingRingConfig& config) {
+  if (config.initial_ttl < 1 || config.growth_factor < 2 ||
+      config.max_ttl < config.initial_ttl) {
+    throw std::invalid_argument("expanding_ring_ttls: bad config");
+  }
+  std::vector<int> ttls;
+  for (int ttl = config.initial_ttl; ttl < config.max_ttl;
+       ttl *= config.growth_factor) {
+    ttls.push_back(ttl);
+  }
+  ttls.push_back(config.max_ttl);
+  return ttls;
+}
+
+}  // namespace precinct::routing

@@ -1,0 +1,22 @@
+// Expanding-ring search (Lv et al. [12] in the paper): flood with a small
+// TTL and retry with progressively larger TTLs until the data is found.
+#pragma once
+
+#include <vector>
+
+namespace precinct::routing {
+
+struct ExpandingRingConfig {
+  int initial_ttl = 1;
+  int growth_factor = 2;   ///< TTL multiplies by this on each retry
+  int max_ttl = 16;        ///< final attempt's TTL cap
+  double retry_wait_s = 1.0;  ///< time to wait for a response per ring
+};
+
+/// The TTL schedule an expanding-ring search walks through: initial_ttl,
+/// then multiplied by growth_factor until max_ttl (max_ttl always included
+/// as the last ring).
+[[nodiscard]] std::vector<int> expanding_ring_ttls(
+    const ExpandingRingConfig& config);
+
+}  // namespace precinct::routing

@@ -1,0 +1,21 @@
+#include "routing/flood.hpp"
+
+namespace precinct::routing {
+
+bool FloodController::mark_seen(net::NodeId node, std::uint64_t id) {
+  const bool inserted = seen_.at(node).insert(id).second;
+  if (!inserted) ++dups_;
+  return inserted;
+}
+
+bool FloodController::has_seen(net::NodeId node, std::uint64_t id) const {
+  const auto& s = seen_.at(node);
+  return s.find(id) != s.end();
+}
+
+void FloodController::clear() {
+  for (auto& s : seen_) s.clear();
+  dups_ = 0;
+}
+
+}  // namespace precinct::routing

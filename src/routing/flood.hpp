@@ -1,0 +1,45 @@
+// Flood control: duplicate suppression and scope tests shared by the
+// network-wide flooding baseline, the expanding-ring baseline and
+// PReCinCt's region-scoped floods.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "net/packet.hpp"
+
+namespace precinct::routing {
+
+/// Per-node flood state: remembers which packet ids this node has already
+/// processed so each flood visits a node at most once.
+class FloodController {
+ public:
+  explicit FloodController(std::size_t n_nodes) : seen_(n_nodes) {}
+
+  /// Record that `node` processed packet `id`.  Returns true the first
+  /// time, false on duplicates.
+  bool mark_seen(net::NodeId node, std::uint64_t id);
+
+  /// True if the node already processed this packet id.
+  [[nodiscard]] bool has_seen(net::NodeId node, std::uint64_t id) const;
+
+  /// Whether a node should rebroadcast a flood packet: not a duplicate
+  /// and TTL not exhausted.  Does NOT mark; callers mark on first receipt
+  /// whether or not they forward.
+  [[nodiscard]] static bool ttl_allows_forward(const net::Packet& packet) {
+    return packet.ttl > 1;
+  }
+
+  /// Drop all memory (e.g. between measurement phases).
+  void clear();
+
+  /// Total duplicate suppressions observed (diagnostics).
+  [[nodiscard]] std::uint64_t duplicates() const noexcept { return dups_; }
+
+ private:
+  std::vector<std::unordered_set<std::uint64_t>> seen_;
+  std::uint64_t dups_ = 0;
+};
+
+}  // namespace precinct::routing

@@ -1,0 +1,120 @@
+#include "routing/gpsr.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numbers>
+
+namespace precinct::routing {
+
+namespace {
+
+/// Counter-clockwise angular distance from angle `a` to angle `b`.
+double ccw_delta(double a, double b) noexcept {
+  double d = b - a;
+  while (d <= 0.0) d += 2.0 * std::numbers::pi;
+  while (d > 2.0 * std::numbers::pi) d -= 2.0 * std::numbers::pi;
+  return d;
+}
+
+}  // namespace
+
+std::optional<net::NodeId> Gpsr::greedy_next_hop(net::NodeId self,
+                                                 geo::Point dest) {
+  const geo::Point here = net_.position(self);
+  const double my_dist = geo::distance(here, dest);
+  net::NodeId best = net::kNoNode;
+  double best_dist = my_dist;
+  for (const net::NodeId n : provider_->neighbors_of(self)) {
+    const double d = geo::distance(provider_->position_of(self, n), dest);
+    if (d < best_dist || (d == best_dist && best != net::kNoNode && n < best)) {
+      best_dist = d;
+      best = n;
+    }
+  }
+  if (best == net::kNoNode) return std::nullopt;
+  return best;
+}
+
+std::vector<net::NodeId> Gpsr::planar_neighbors(net::NodeId self) {
+  const geo::Point here = net_.position(self);
+  const auto all = provider_->neighbors_of(self);
+  std::vector<net::NodeId> planar;
+  planar.reserve(all.size());
+  for (const net::NodeId v : all) {
+    const geo::Point pv = provider_->position_of(self, v);
+    const geo::Point mid{(here.x + pv.x) * 0.5, (here.y + pv.y) * 0.5};
+    const double radius_sq = geo::distance_sq(here, pv) * 0.25;
+    const bool witnessed =
+        std::any_of(all.begin(), all.end(), [&](net::NodeId w) {
+          return w != v && geo::distance_sq(provider_->position_of(self, w),
+                                            mid) < radius_sq;
+        });
+    if (!witnessed) planar.push_back(v);
+  }
+  return planar;
+}
+
+std::optional<net::NodeId> Gpsr::perimeter_next_hop(net::NodeId self,
+                                                    net::Packet& packet) {
+  const auto planar = planar_neighbors(self);
+  if (planar.empty()) return std::nullopt;
+  const geo::Point here = net_.position(self);
+
+  // Right-hand rule: take the first edge counterclockwise from the
+  // reference direction (the edge the packet arrived on, or the direction
+  // toward the destination when entering perimeter mode).
+  const geo::Point ref_point = packet.src != net::kNoNode && packet.perimeter
+                                   ? provider_->position_of(self, packet.src)
+                                   : packet.dest_location;
+  const double ref_angle = geo::bearing(here, ref_point);
+
+  net::NodeId best = net::kNoNode;
+  double best_delta = std::numeric_limits<double>::infinity();
+  for (const net::NodeId v : planar) {
+    if (v == packet.src && planar.size() > 1) continue;  // don't bounce back
+    const double delta =
+        ccw_delta(ref_angle, geo::bearing(here, provider_->position_of(self, v)));
+    if (delta < best_delta) {
+      best_delta = delta;
+      best = v;
+    }
+  }
+  if (best == net::kNoNode) best = planar.front();
+
+  // Loop detection (GPSR's e0 test): if the walk is about to retraverse
+  // the first perimeter edge — same tail node, same head node — the
+  // destination is unreachable from this face.
+  if (packet.perimeter && self == packet.perimeter_entry_node &&
+      best == packet.perimeter_first_hop && packet.hops > 1) {
+    return std::nullopt;
+  }
+  if (!packet.perimeter) {
+    packet.perimeter = true;
+    packet.perimeter_entry = here;
+    packet.perimeter_entry_node = self;
+    packet.perimeter_first_hop = best;
+  }
+  return best;
+}
+
+std::optional<net::NodeId> Gpsr::next_hop(net::NodeId self,
+                                          net::Packet& packet) {
+  const geo::Point here = net_.position(self);
+  if (packet.perimeter) {
+    // Exit perimeter mode as soon as we are closer to the destination
+    // than the point where greedy forwarding failed.
+    if (geo::distance(here, packet.dest_location) <
+        geo::distance(packet.perimeter_entry, packet.dest_location)) {
+      packet.perimeter = false;
+      packet.perimeter_entry_node = net::kNoNode;
+      packet.perimeter_first_hop = net::kNoNode;
+    } else {
+      return perimeter_next_hop(self, packet);
+    }
+  }
+  if (auto hop = greedy_next_hop(self, packet.dest_location)) return hop;
+  return perimeter_next_hop(self, packet);
+}
+
+}  // namespace precinct::routing

@@ -1,0 +1,66 @@
+// GPSR — Greedy Perimeter Stateless Routing (Karp & Kung, MobiCom 2000),
+// the geographic routing protocol the paper runs under PReCinCt, extended
+// per the paper to route to *regions*: packets are forwarded toward the
+// destination region's center, and the first node inside that region
+// becomes the broadcast point for the localized flood (§2.2, §6).
+//
+// Greedy mode forwards to the neighbor geographically closest to the
+// destination when that neighbor is closer than the current node.  At a
+// local minimum (a "void"), the packet switches to perimeter mode and
+// follows the right-hand rule on the Gabriel-graph planarization of the
+// connectivity graph until it reaches a node closer to the destination
+// than where greedy failed.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include <memory>
+
+#include "geo/geometry.hpp"
+#include "net/packet.hpp"
+#include "net/wireless_net.hpp"
+#include "routing/neighbor_provider.hpp"
+
+namespace precinct::routing {
+
+class Gpsr {
+ public:
+  /// Perfect neighbor knowledge (owns an oracle provider).
+  explicit Gpsr(net::WirelessNet& network)
+      : net_(network),
+        owned_(std::make_unique<OracleNeighborProvider>(network)),
+        provider_(owned_.get()) {}
+
+  /// Forwarding decisions from the given (e.g. beacon-fed) provider;
+  /// the node's own position is always its real GPS fix.
+  Gpsr(net::WirelessNet& network, NeighborProvider& provider)
+      : net_(network), provider_(&provider) {}
+
+  /// Decide the next hop for `packet` held by `self`, toward
+  /// packet.dest_location.  Mutates the packet's perimeter-mode state.
+  /// Returns nullopt when the packet cannot progress (isolated node or
+  /// perimeter loop) and should be dropped or rerouted by the caller.
+  [[nodiscard]] std::optional<net::NodeId> next_hop(net::NodeId self,
+                                                    net::Packet& packet);
+
+  /// Greedy rule only: the neighbor strictly closer to `dest` than `self`
+  /// that minimizes remaining distance; nullopt at a local minimum.
+  [[nodiscard]] std::optional<net::NodeId> greedy_next_hop(net::NodeId self,
+                                                           geo::Point dest);
+
+  /// Neighbors of `self` that survive Gabriel-graph planarization: edge
+  /// (self, v) is kept iff no common neighbor lies strictly inside the
+  /// circle whose diameter is the segment self–v.
+  [[nodiscard]] std::vector<net::NodeId> planar_neighbors(net::NodeId self);
+
+ private:
+  [[nodiscard]] std::optional<net::NodeId> perimeter_next_hop(
+      net::NodeId self, net::Packet& packet);
+
+  net::WirelessNet& net_;
+  std::unique_ptr<OracleNeighborProvider> owned_;
+  NeighborProvider* provider_;
+};
+
+}  // namespace precinct::routing

@@ -1,0 +1,90 @@
+// Neighbor knowledge for geographic forwarding.
+//
+// GPSR decides next hops from what a node *believes* about its
+// neighborhood.  The oracle provider reads the radio substrate directly
+// (perfect, instantaneous knowledge — the default, and what most
+// simulators use).  The beacon provider implements Karp & Kung's actual
+// mechanism: periodic position beacons feed per-node tables whose
+// entries go stale and expire, so forwarding can aim at a neighbor that
+// has already moved away.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "geo/geometry.hpp"
+#include "net/packet.hpp"
+#include "net/wireless_net.hpp"
+
+namespace precinct::routing {
+
+class NeighborProvider {
+ public:
+  virtual ~NeighborProvider() = default;
+
+  /// Node ids `self` currently believes are its neighbors.
+  [[nodiscard]] virtual std::vector<net::NodeId> neighbors_of(
+      net::NodeId self) = 0;
+
+  /// Where `self` believes `node` is.  Only meaningful for ids returned
+  /// by neighbors_of(self) (and for self itself).
+  [[nodiscard]] virtual geo::Point position_of(net::NodeId self,
+                                               net::NodeId node) = 0;
+};
+
+/// Perfect knowledge straight from the radio substrate.
+class OracleNeighborProvider final : public NeighborProvider {
+ public:
+  explicit OracleNeighborProvider(net::WirelessNet& network)
+      : net_(network) {}
+
+  [[nodiscard]] std::vector<net::NodeId> neighbors_of(
+      net::NodeId self) override {
+    return net_.neighbors(self);
+  }
+  [[nodiscard]] geo::Point position_of(net::NodeId,
+                                       net::NodeId node) override {
+    return net_.position(node);
+  }
+
+ private:
+  net::WirelessNet& net_;
+};
+
+/// Beacon-fed neighbor tables (GPSR §3 of Karp & Kung).  The owner is
+/// responsible for delivering received beacons via on_beacon(); entries
+/// not refreshed within `lifetime_s` expire lazily.
+class BeaconNeighborProvider final : public NeighborProvider {
+ public:
+  BeaconNeighborProvider(net::WirelessNet& network, std::size_t n_nodes,
+                         double lifetime_s);
+
+  /// Record that `receiver` heard a beacon from `source` at `pos`.
+  void on_beacon(net::NodeId receiver, net::NodeId source, geo::Point pos,
+                 double now_s);
+
+  /// Forget everything a node has learned (e.g. on revival after crash).
+  void clear_node(net::NodeId node);
+
+  [[nodiscard]] std::vector<net::NodeId> neighbors_of(
+      net::NodeId self) override;
+  [[nodiscard]] geo::Point position_of(net::NodeId self,
+                                       net::NodeId node) override;
+
+  [[nodiscard]] double lifetime_s() const noexcept { return lifetime_s_; }
+  /// Live (unexpired) entry count for a node's table.
+  [[nodiscard]] std::size_t table_size(net::NodeId node) const;
+
+ private:
+  struct Entry {
+    geo::Point pos;
+    double heard_at = -1.0;
+  };
+
+  net::WirelessNet& net_;
+  double lifetime_s_;
+  std::vector<std::unordered_map<net::NodeId, Entry>> tables_;
+};
+
+}  // namespace precinct::routing

@@ -1,0 +1,68 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace precinct::sim {
+
+EventHandle Simulator::schedule(SimTime delay, std::function<void()> fn) {
+  return schedule_at(now_ + std::max(0.0, delay), std::move(fn));
+}
+
+EventHandle Simulator::schedule_at(SimTime when, std::function<void()> fn) {
+  assert(fn);
+  const std::uint64_t id = next_id_++;
+  queue_.push(Event{std::max(when, now_), next_seq_++, id, std::move(fn)});
+  return EventHandle(id);
+}
+
+bool Simulator::cancel(EventHandle h) {
+  if (!h.valid() || h.id_ >= next_id_) return false;
+  if (is_cancelled(h.id_)) return false;
+  // We cannot probe the queue for liveness cheaply; treat ids as one-shot.
+  // Recording an already-fired id is harmless (it is never popped again),
+  // but we keep the cancelled list tidy by pruning when events fire.
+  const auto it = std::lower_bound(cancelled_.begin(), cancelled_.end(), h.id_);
+  cancelled_.insert(it, h.id_);
+  return true;
+}
+
+bool Simulator::is_cancelled(std::uint64_t id) const {
+  return std::binary_search(cancelled_.begin(), cancelled_.end(), id);
+}
+
+void Simulator::forget_cancelled(std::uint64_t id) {
+  const auto it = std::lower_bound(cancelled_.begin(), cancelled_.end(), id);
+  if (it != cancelled_.end() && *it == id) cancelled_.erase(it);
+}
+
+void Simulator::run_until(SimTime end_time) {
+  while (!queue_.empty() && queue_.top().time <= end_time) {
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.time;
+    if (is_cancelled(ev.id)) {
+      forget_cancelled(ev.id);
+      continue;
+    }
+    ++executed_;
+    ev.fn();
+  }
+  now_ = std::max(now_, end_time);
+}
+
+void Simulator::run_all() {
+  while (!queue_.empty()) {
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.time;
+    if (is_cancelled(ev.id)) {
+      forget_cancelled(ev.id);
+      continue;
+    }
+    ++executed_;
+    ev.fn();
+  }
+}
+
+}  // namespace precinct::sim

@@ -1,0 +1,95 @@
+// Deterministic discrete-event simulation engine.
+//
+// Replaces the paper's use of ns-2: events are (time, sequence) ordered so
+// ties break by insertion order and every run with the same seed replays
+// identically.  The engine is single-threaded by design — parallelism in
+// this codebase lives one level up, across independent scenario runs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace precinct::sim {
+
+/// Simulation time in seconds.
+using SimTime = double;
+
+/// Handle used to cancel a scheduled event.  Cancellation is lazy: the
+/// event stays queued but its callback is skipped when popped.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  [[nodiscard]] bool valid() const noexcept { return id_ != 0; }
+
+ private:
+  friend class Simulator;
+  explicit EventHandle(std::uint64_t id) noexcept : id_(id) {}
+  std::uint64_t id_ = 0;
+};
+
+/// Event-driven simulator with a monotonically advancing clock.
+class Simulator {
+ public:
+  Simulator() = default;
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulation time.
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+
+  /// Schedule `fn` to run `delay` seconds from now (delay clamped to >= 0).
+  EventHandle schedule(SimTime delay, std::function<void()> fn);
+
+  /// Schedule `fn` at an absolute time (clamped to >= now()).
+  EventHandle schedule_at(SimTime when, std::function<void()> fn);
+
+  /// Cancel a previously scheduled event.  No-op if already fired or
+  /// already cancelled.  Returns true if the event was live.
+  bool cancel(EventHandle h);
+
+  /// Run events until the queue drains or the clock passes `end_time`.
+  /// Events stamped later than end_time remain queued and unexecuted;
+  /// the clock finishes at exactly end_time.
+  void run_until(SimTime end_time);
+
+  /// Run until the queue is completely empty.
+  void run_all();
+
+  /// Number of events executed so far.
+  [[nodiscard]] std::uint64_t events_executed() const noexcept {
+    return executed_;
+  }
+
+  /// Number of events currently pending (including cancelled-but-queued).
+  [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;  // insertion order breaks time ties deterministically
+    std::uint64_t id;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  [[nodiscard]] bool is_cancelled(std::uint64_t id) const;
+  void forget_cancelled(std::uint64_t id);
+
+  SimTime now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::vector<std::uint64_t> cancelled_;  // sorted id list; stays tiny
+};
+
+}  // namespace precinct::sim

@@ -1,0 +1,41 @@
+#include "sim/trace.hpp"
+
+#include <iomanip>
+#include <ostream>
+
+namespace precinct::sim {
+
+const char* to_string(TraceCategory category) noexcept {
+  switch (category) {
+    case TraceCategory::kRadio: return "radio";
+    case TraceCategory::kProtocol: return "protocol";
+    case TraceCategory::kCache: return "cache";
+    case TraceCategory::kConsistency: return "consistency";
+    case TraceCategory::kCustody: return "custody";
+    case TraceCategory::kRegion: return "region";
+  }
+  return "unknown";
+}
+
+void Tracer::emit(double time_s, TraceCategory category, std::uint32_t node,
+                  std::string message) {
+  if (!enabled(category)) return;
+  ++emitted_;
+  events_.push_back(TraceEvent{time_s, category, node, std::move(message)});
+  while (events_.size() > capacity_) events_.pop_front();
+}
+
+std::vector<TraceEvent> Tracer::last(std::size_t n) const {
+  const std::size_t take = std::min(n, events_.size());
+  return {events_.end() - static_cast<long>(take), events_.end()};
+}
+
+void Tracer::dump(std::ostream& os) const {
+  for (const TraceEvent& e : events_) {
+    os << '[' << std::setw(10) << std::fixed << std::setprecision(4)
+       << e.time_s << "s] " << to_string(e.category) << " node "
+       << e.node << ": " << e.message << '\n';
+  }
+}
+
+}  // namespace precinct::sim

@@ -1,0 +1,62 @@
+#include "support/json.hpp"
+
+#include <cmath>
+#include <iomanip>
+
+namespace precinct::support {
+
+std::string JsonObject::escape(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size() + 2);
+  for (const char c : raw) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+JsonObject& JsonObject::set(const std::string& key, double value) {
+  std::ostringstream oss;
+  if (std::isfinite(value)) {
+    oss << std::setprecision(12) << value;
+  } else {
+    oss << "null";  // JSON has no NaN/inf
+  }
+  fields_.emplace_back(key, oss.str());
+  return *this;
+}
+
+JsonObject& JsonObject::set(const std::string& key, std::uint64_t value) {
+  fields_.emplace_back(key, std::to_string(value));
+  return *this;
+}
+
+JsonObject& JsonObject::set(const std::string& key, const std::string& value) {
+  fields_.emplace_back(key, '"' + escape(value) + '"');
+  return *this;
+}
+
+JsonObject& JsonObject::set(const std::string& key, bool value) {
+  fields_.emplace_back(key, value ? "true" : "false");
+  return *this;
+}
+
+std::string JsonObject::str(bool pretty) const {
+  const char* sep = pretty ? ",\n  " : ", ";
+  std::string out = pretty ? "{\n  " : "{";
+  bool first = true;
+  for (const auto& [key, encoded] : fields_) {
+    if (!first) out += sep;
+    first = false;
+    out += '"' + escape(key) + "\": " + encoded;
+  }
+  out += pretty ? "\n}" : "}";
+  return out;
+}
+
+}  // namespace precinct::support

@@ -1,0 +1,29 @@
+// Minimal JSON writing (objects of scalars/strings, flat arrays) for
+// machine-readable metric exports.  Not a parser; writing only.
+#pragma once
+
+#include <map>
+#include <sstream>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace precinct::support {
+
+/// Flat JSON object builder preserving insertion order.
+class JsonObject {
+ public:
+  JsonObject& set(const std::string& key, double value);
+  JsonObject& set(const std::string& key, std::uint64_t value);
+  JsonObject& set(const std::string& key, const std::string& value);
+  JsonObject& set(const std::string& key, bool value);
+
+  /// Serialize; `pretty` adds newlines + two-space indentation.
+  [[nodiscard]] std::string str(bool pretty = false) const;
+
+ private:
+  static std::string escape(const std::string& raw);
+  std::vector<std::pair<std::string, std::string>> fields_;  // pre-encoded
+};
+
+}  // namespace precinct::support

@@ -1,0 +1,50 @@
+#include "support/rng.hpp"
+
+#include <cmath>
+
+namespace precinct::support {
+
+std::uint64_t hash64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) noexcept {
+  return hash64(a ^ (hash64(b) + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2)));
+}
+
+Rng Rng::split(std::uint64_t stream_id) const noexcept {
+  // Mix the current state snapshot with the stream id so distinct ids give
+  // decorrelated children even when split from the same parent.
+  return Rng(hash_combine(last_ ^ 0xa0761d6478bd642fULL, stream_id));
+}
+
+double Rng::uniform() noexcept {
+  last_ = gen_();
+  // 53-bit mantissa => uniform double in [0, 1).
+  return static_cast<double>(last_ >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) noexcept {
+  return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t Rng::uniform_int(std::uint64_t n) noexcept {
+  // Floor of uniform() * n via the double path keeps the implementation
+  // portable; bias is negligible for n << 2^53 (we never exceed ~1e6).
+  return static_cast<std::uint64_t>(uniform() * static_cast<double>(n));
+}
+
+double Rng::exponential(double mean) noexcept {
+  // Inverse CDF; 1 - uniform() is in (0, 1] so log() is finite.
+  return -mean * std::log(1.0 - uniform());
+}
+
+std::uint64_t Rng::bits() noexcept {
+  last_ = gen_();
+  return last_;
+}
+
+}  // namespace precinct::support

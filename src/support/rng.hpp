@@ -1,0 +1,74 @@
+// Deterministic, splittable random number generation.
+//
+// Every stochastic component in the simulator (mobility, workload, MAC
+// jitter, ...) draws from its own Rng stream derived from a scenario seed,
+// so runs are reproducible bit-for-bit regardless of event interleaving
+// and sweep points can execute on different threads without sharing state.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace precinct::support {
+
+/// SplitMix64: tiny, statistically strong 64-bit generator.  Used both as
+/// a stream generator and to derive child seeds (its output function is a
+/// good integer hash, which `hash64` exposes directly).
+class SplitMix64 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept {
+    state_ += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Stateless 64-bit mix (the SplitMix64 output function).  Deterministic
+/// across platforms; used by the geographic hash to map keys to locations.
+[[nodiscard]] std::uint64_t hash64(std::uint64_t x) noexcept;
+
+/// Combine two 64-bit values into one hash (for (seed, stream-id) splits).
+[[nodiscard]] std::uint64_t hash_combine(std::uint64_t a,
+                                         std::uint64_t b) noexcept;
+
+/// Random stream with the distributions the simulator needs.  Thin wrapper
+/// over SplitMix64; cheap to copy, no global state.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) noexcept : gen_(seed) {}
+
+  /// Derive an independent child stream; `stream_id` labels the consumer.
+  [[nodiscard]] Rng split(std::uint64_t stream_id) const noexcept;
+
+  /// Uniform in [0, 1).
+  [[nodiscard]] double uniform() noexcept;
+  /// Uniform in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) noexcept;
+  /// Uniform integer in [0, n).  Requires n > 0.
+  [[nodiscard]] std::uint64_t uniform_int(std::uint64_t n) noexcept;
+  /// Exponential with the given mean (inter-arrival times of a Poisson
+  /// process).  Requires mean > 0.
+  [[nodiscard]] double exponential(double mean) noexcept;
+  /// Raw 64 random bits.
+  [[nodiscard]] std::uint64_t bits() noexcept;
+
+ private:
+  SplitMix64 gen_;
+  std::uint64_t last_ = 0;  // for split(): advances with use
+};
+
+}  // namespace precinct::support

@@ -1,0 +1,58 @@
+// Streaming statistics helpers used by metrics collection and benches.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace precinct::support {
+
+/// Welford streaming mean/variance accumulator.  O(1) memory; numerically
+/// stable for long simulation runs.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Unbiased sample variance; 0 when fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+  /// Half-width of the ~95 % normal confidence interval for the mean.
+  [[nodiscard]] double ci95_halfwidth() const noexcept;
+
+  /// Merge another accumulator into this one (parallel reduction).
+  void merge(const RunningStats& other) noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Exact quantile over a retained sample set.  Intended for per-request
+/// latency distributions (at most a few hundred thousand samples).
+class QuantileSampler {
+ public:
+  void add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+  }
+  /// q in [0, 1]; returns 0 when empty.  Sorts lazily.
+  [[nodiscard]] double quantile(double q);
+  [[nodiscard]] std::size_t count() const noexcept { return samples_.size(); }
+
+  /// Fold another sampler's observations into this one.
+  void merge(const QuantileSampler& other);
+
+ private:
+  std::vector<double> samples_;
+  bool sorted_ = false;
+};
+
+}  // namespace precinct::support

@@ -1,0 +1,85 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace precinct::support {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::add_row(std::vector<std::string> row) {
+  if (row.size() != header_.size()) {
+    throw std::invalid_argument("Table row width mismatch");
+  }
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::num(double v, int precision) {
+  std::ostringstream oss;
+  oss << std::fixed << std::setprecision(precision) << v;
+  return oss.str();
+}
+
+namespace {
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  return std::all_of(s.begin(), s.end(), [](unsigned char c) {
+    return std::isdigit(c) || c == '.' || c == '-' || c == '+' || c == 'e' ||
+           c == 'E' || c == '%';
+  });
+}
+}  // namespace
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << "  ";
+      if (looks_numeric(row[c])) {
+        os << std::setw(static_cast<int>(width[c])) << std::right << row[c];
+      } else {
+        os << std::setw(static_cast<int>(width[c])) << std::left << row[c];
+      }
+    }
+    os << '\n';
+  };
+  emit(header_);
+  std::size_t total = 0;
+  for (auto w : width) total += w + 2;
+  os << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string sparkline(const std::vector<double>& values) {
+  static constexpr char kRamp[] = " .:-=+*#";
+  constexpr int kLevels = 8;
+  if (values.empty()) return {};
+  double lo = values.front();
+  double hi = values.front();
+  for (const double v : values) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  std::string out;
+  out.reserve(values.size());
+  for (const double v : values) {
+    int level = kLevels / 2;
+    if (hi > lo) {
+      level = static_cast<int>((v - lo) / (hi - lo) * (kLevels - 1) + 0.5);
+    }
+    out += kRamp[static_cast<std::size_t>(std::clamp(level, 0, kLevels - 1))];
+  }
+  return out;
+}
+
+}  // namespace precinct::support

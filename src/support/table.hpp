@@ -1,0 +1,36 @@
+// Plain-text table/series printing for bench output, so every bench binary
+// reports figures in the same aligned format.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace precinct::support {
+
+/// Column-aligned text table.  Cells are strings; numeric helpers format
+/// with fixed precision.  Intended for "figure series" bench output.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: format a double with `precision` decimal places.
+  [[nodiscard]] static std::string num(double v, int precision = 4);
+
+  /// Render with 2-space gutters, right-aligning numeric-looking cells.
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Render a numeric series as a one-line ASCII sparkline using a fixed
+/// 8-level ramp (" .:-=+*#"), scaled to the series' min/max.  Empty
+/// input yields an empty string; a constant series renders mid-ramp.
+[[nodiscard]] std::string sparkline(const std::vector<double>& values);
+
+}  // namespace precinct::support

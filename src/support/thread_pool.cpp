@@ -1,0 +1,85 @@
+#include "support/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+namespace precinct::support {
+
+ThreadPool::ThreadPool(std::size_t n_threads) {
+  if (n_threads == 0) {
+    n_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(n_threads);
+  for (std::size_t i = 0; i < n_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::scoped_lock lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+std::future<void> ThreadPool::submit(std::function<void()> task) {
+  std::packaged_task<void()> packaged(std::move(task));
+  auto fut = packaged.get_future();
+  {
+    const std::scoped_lock lock(mutex_);
+    queue_.push(std::move(packaged));
+  }
+  cv_.notify_one();
+  return fut;
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();  // exceptions are captured in the packaged_task's future
+  }
+}
+
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                  std::size_t n_threads) {
+  if (n == 0) return;
+  if (n == 1) {
+    fn(0);
+    return;
+  }
+  ThreadPool pool(n_threads == 0 ? std::min<std::size_t>(
+                                       n, std::max<std::size_t>(
+                                              1, std::thread::hardware_concurrency()))
+                                 : n_threads);
+  std::atomic<std::size_t> next{0};
+  std::vector<std::future<void>> futures;
+  futures.reserve(pool.size());
+  for (std::size_t t = 0; t < pool.size(); ++t) {
+    futures.push_back(pool.submit([&] {
+      for (std::size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
+        fn(i);
+      }
+    }));
+  }
+  std::exception_ptr first_error;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace precinct::support

@@ -1,0 +1,49 @@
+// Minimal work-stealing-free thread pool + parallel_for used to fan
+// independent simulation runs (sweep points, seeds) across cores.
+//
+// Simulations themselves are single-threaded and deterministic; only the
+// *sweep* is parallel, so there is no shared mutable state between tasks
+// (CP.2/CP.3: each task owns its scenario and returns its metrics).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace precinct::support {
+
+class ThreadPool {
+ public:
+  /// n_threads == 0 selects hardware_concurrency (min 1).
+  explicit ThreadPool(std::size_t n_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueue a task; the future resolves when it has run.
+  std::future<void> submit(std::function<void()> task);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::packaged_task<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+/// Run fn(i) for i in [0, n) across a transient pool and wait for all.
+/// Exceptions from tasks propagate to the caller (first one rethrown).
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                  std::size_t n_threads = 0);
+
+}  // namespace precinct::support

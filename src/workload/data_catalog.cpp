@@ -1,0 +1,53 @@
+#include "workload/data_catalog.hpp"
+
+#include <stdexcept>
+
+namespace precinct::workload {
+
+namespace {
+// Keys are a bijective hash of the rank: decorrelates popularity rank from
+// geographic placement (the geo hash of sequential ints would already be
+// uniform, but benches also treat keys as opaque ids).
+geo::Key key_for_rank(std::size_t rank) {
+  return support::hash64(0x5eedf00dULL + rank);
+}
+}  // namespace
+
+DataCatalog::DataCatalog(const DataCatalogConfig& config, std::uint64_t seed) {
+  if (config.n_items == 0) {
+    throw std::invalid_argument("DataCatalog: n_items must be > 0");
+  }
+  if (config.min_item_bytes == 0 ||
+      config.max_item_bytes < config.min_item_bytes) {
+    throw std::invalid_argument("DataCatalog: bad item size range");
+  }
+  support::Rng rng(seed);
+  items_.reserve(config.n_items);
+  for (std::size_t i = 0; i < config.n_items; ++i) {
+    DataItem item;
+    item.key = key_for_rank(i);
+    item.size_bytes =
+        config.min_item_bytes +
+        rng.uniform_int(config.max_item_bytes - config.min_item_bytes + 1);
+    items_.push_back(item);
+    rank_index_.emplace(item.key, i);
+    total_bytes_ += item.size_bytes;
+  }
+}
+
+std::size_t DataCatalog::rank_of(geo::Key key) const {
+  const auto it = rank_index_.find(key);
+  if (it == rank_index_.end()) {
+    throw std::out_of_range("DataCatalog::rank_of: unknown key");
+  }
+  return it->second;
+}
+
+std::uint64_t DataCatalog::apply_update(geo::Key key, double now_s) {
+  DataItem& item = items_.at(rank_of(key));
+  ++item.version;
+  item.last_update_s = now_s;
+  return item.version;
+}
+
+}  // namespace precinct::workload

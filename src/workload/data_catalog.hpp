@@ -1,0 +1,74 @@
+// The database of data items shared by the MP2P network.
+//
+// The catalog is the simulation's ground truth: every item's size, its
+// authoritative (latest) version and when that version was written.
+// Peers hold (key, version) pairs; serving a version older than the
+// authoritative one as "valid" is a false hit (paper Fig 7's metric).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "geo/geo_hash.hpp"
+#include "support/rng.hpp"
+
+namespace precinct::workload {
+
+struct DataItem {
+  geo::Key key = 0;
+  std::size_t size_bytes = 0;
+  std::uint64_t version = 0;      ///< authoritative latest version
+  double last_update_s = 0.0;     ///< when the latest version was written
+};
+
+struct DataCatalogConfig {
+  std::size_t n_items = 1000;
+  std::size_t min_item_bytes = 1024;    ///< 1 KiB
+  std::size_t max_item_bytes = 10240;   ///< 10 KiB
+};
+
+class DataCatalog {
+ public:
+  DataCatalog(const DataCatalogConfig& config, std::uint64_t seed);
+
+  [[nodiscard]] std::size_t size() const noexcept { return items_.size(); }
+
+  /// Key of the item at popularity rank `rank` (rank 0 = most popular).
+  /// Keys are hashed from ranks so hashed locations spread uniformly.
+  [[nodiscard]] geo::Key key_of(std::size_t rank) const {
+    return items_.at(rank).key;
+  }
+  /// Inverse of key_of; items are addressable both ways.
+  [[nodiscard]] std::size_t rank_of(geo::Key key) const;
+
+  [[nodiscard]] const DataItem& item(geo::Key key) const {
+    return items_.at(rank_of(key));
+  }
+  [[nodiscard]] const DataItem& item_at(std::size_t rank) const {
+    return items_.at(rank);
+  }
+
+  /// Total bytes across the catalog ("database size"; cache capacities in
+  /// the paper's Fig 4/5 are percentages of this).
+  [[nodiscard]] std::size_t total_bytes() const noexcept {
+    return total_bytes_;
+  }
+
+  /// Record an update: bumps the authoritative version.  Returns the new
+  /// version.
+  std::uint64_t apply_update(geo::Key key, double now_s);
+
+  /// True when `version` is the latest for `key`.
+  [[nodiscard]] bool is_current(geo::Key key, std::uint64_t version) const {
+    return item(key).version == version;
+  }
+
+ private:
+  std::vector<DataItem> items_;  // indexed by popularity rank
+  std::unordered_map<geo::Key, std::size_t> rank_index_;
+  std::size_t total_bytes_ = 0;
+};
+
+}  // namespace precinct::workload

@@ -1,0 +1,33 @@
+#include "workload/zipf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace precinct::workload {
+
+ZipfGenerator::ZipfGenerator(std::size_t n, double theta) : theta_(theta) {
+  if (n == 0) throw std::invalid_argument("ZipfGenerator: n must be > 0");
+  if (theta < 0.0) throw std::invalid_argument("ZipfGenerator: theta < 0");
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    acc += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+    cdf_[i] = acc;
+  }
+  for (auto& c : cdf_) c /= acc;
+  cdf_.back() = 1.0;  // guard against rounding at the tail
+}
+
+std::size_t ZipfGenerator::sample(support::Rng& rng) const {
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+double ZipfGenerator::pmf(std::size_t i) const {
+  if (i >= cdf_.size()) throw std::out_of_range("ZipfGenerator::pmf");
+  return i == 0 ? cdf_[0] : cdf_[i] - cdf_[i - 1];
+}
+
+}  // namespace precinct::workload

@@ -1,0 +1,32 @@
+// Zipf-distributed item popularity (paper §6.1: "Each peer generates
+// accesses to data items following a Zipf distribution with a skewness
+// parameter Θ").  P(rank i) ∝ 1 / i^Θ over ranks 1..n.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace precinct::workload {
+
+class ZipfGenerator {
+ public:
+  /// `n` ranks, skew `theta` >= 0 (0 = uniform).  Precomputes the CDF.
+  ZipfGenerator(std::size_t n, double theta);
+
+  /// Sample a rank in [0, n) — rank 0 is the most popular item.
+  [[nodiscard]] std::size_t sample(support::Rng& rng) const;
+
+  /// Probability mass of rank i.
+  [[nodiscard]] double pmf(std::size_t i) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return cdf_.size(); }
+  [[nodiscard]] double theta() const noexcept { return theta_; }
+
+ private:
+  double theta_;
+  std::vector<double> cdf_;  // inclusive cumulative probabilities
+};
+
+}  // namespace precinct::workload

@@ -1,0 +1,165 @@
+// Unit tests for the closed-form energy analysis (paper §5, Eqs. 6-13).
+#include <gtest/gtest.h>
+
+#include "analysis/consistency_analysis.hpp"
+#include "analysis/energy_analysis.hpp"
+
+namespace {
+
+using namespace precinct::analysis;
+using precinct::geo::Rect;
+
+TEST(MeanDistance, SquareMatchesKnownConstant) {
+  // E[dist] for a unit square is ~0.5214054 (Ghosh).
+  const Rect unit{{0, 0}, {1, 1}};
+  EXPECT_NEAR(mean_uniform_distance(unit), 0.5214054, 1e-6);
+}
+
+TEST(MeanDistance, ScalesLinearly) {
+  const Rect small{{0, 0}, {1, 1}};
+  const Rect big{{0, 0}, {600, 600}};
+  EXPECT_NEAR(mean_uniform_distance(big),
+              600.0 * mean_uniform_distance(small), 1e-6);
+}
+
+TEST(MeanDistance, RectangleSymmetricInAxes) {
+  EXPECT_NEAR(mean_uniform_distance({{0, 0}, {300, 600}}),
+              mean_uniform_distance({{0, 0}, {600, 300}}), 1e-9);
+}
+
+TEST(MeanDistance, DegenerateAreaIsZero) {
+  EXPECT_DOUBLE_EQ(mean_uniform_distance({{0, 0}, {0, 100}}), 0.0);
+}
+
+TEST(ExpectedHops, ZeroWhenDestinationWithinRange) {
+  // 600 m square, mean distance ~313 m; with 500 m range no intermediate.
+  EXPECT_DOUBLE_EQ(
+      expected_intermediate_hops({{0, 0}, {600, 600}}, 500.0), 0.0);
+}
+
+TEST(ExpectedHops, GrowsWithArea) {
+  const double small = expected_intermediate_hops({{0, 0}, {600, 600}}, 250.0);
+  const double big = expected_intermediate_hops({{0, 0}, {1200, 1200}}, 250.0);
+  EXPECT_GT(big, small);
+}
+
+TEST(Energy, FloodingGrowsLinearlyWithNodes) {
+  EnergyAnalysisParams p;
+  p.n_nodes = 20;
+  const double e20 = flooding_energy_per_request(p);
+  p.n_nodes = 80;
+  const double e80 = flooding_energy_per_request(p);
+  // Broadcast term is N * (send + zeta(N) * recv): superlinear in N, so
+  // 4x nodes cost more than 4x energy (zeta also grows).
+  EXPECT_GT(e80, 4.0 * e20 * 0.99);
+}
+
+TEST(Energy, PrecinctBeatsFlooding) {
+  EnergyAnalysisParams p;
+  for (double n : {20.0, 40.0, 60.0, 80.0}) {
+    p.n_nodes = n;
+    EXPECT_LT(precinct_energy_per_request(p), flooding_energy_per_request(p))
+        << "n = " << n;
+  }
+}
+
+TEST(Energy, GapWidensWithNodeCount) {
+  EnergyAnalysisParams p;
+  p.n_nodes = 20;
+  const double gap20 =
+      flooding_energy_per_request(p) - precinct_energy_per_request(p);
+  p.n_nodes = 80;
+  const double gap80 =
+      flooding_energy_per_request(p) - precinct_energy_per_request(p);
+  EXPECT_GT(gap80, gap20);
+}
+
+TEST(Energy, PrecinctDecreasesWithMoreRegions) {
+  // Paper Fig 9(b): more regions -> smaller floods -> less energy.
+  EnergyAnalysisParams p;
+  p.n_nodes = 20;
+  double prev = 1e300;
+  for (double regions : {1.0, 4.0, 9.0, 16.0, 25.0}) {
+    p.n_regions = regions;
+    const double e = precinct_energy_per_request(p);
+    EXPECT_LE(e, prev) << regions << " regions";
+    prev = e;
+  }
+}
+
+TEST(Energy, BroadcastTotalUsesDensity) {
+  EnergyAnalysisParams p;
+  p.n_nodes = 80;
+  p.area = {{0, 0}, {600, 600}};
+  p.range_m = 250.0;
+  const double zeta =
+      precinct::energy::expected_receivers(80, 600.0 * 600.0, 250.0);
+  EXPECT_NEAR(broadcast_total_energy(p, 64),
+              p.model.broadcast_send(64) + zeta * p.model.broadcast_recv(64),
+              1e-12);
+}
+
+TEST(Energy, FloodingMatchesEq11ByHand) {
+  EnergyAnalysisParams p;
+  p.n_nodes = 20;
+  p.area = {{0, 0}, {600, 600}};
+  const double bd = broadcast_total_energy(p, p.request_bytes);
+  const double hops =
+      expected_intermediate_hops(p.area, p.range_m) + 1.0;
+  const double expected = p.n_nodes * bd +
+                          hops * (p.model.p2p_send(p.response_bytes) +
+                                  p.model.p2p_recv(p.response_bytes));
+  EXPECT_NEAR(flooding_energy_per_request(p), expected, 1e-12);
+}
+
+TEST(ConsistencyAnalysis, SchemeOrdering) {
+  ConsistencyAnalysisParams p;
+  const auto load = consistency_messages_per_second(p);
+  EXPECT_GT(load.plain_push, load.pull_every_time);
+  EXPECT_GT(load.pull_every_time, load.push_adaptive_pull);
+}
+
+TEST(ConsistencyAnalysis, AllLoadsFallWithRarerUpdates) {
+  ConsistencyAnalysisParams fast;
+  ConsistencyAnalysisParams slow = fast;
+  slow.update_rate_hz = fast.update_rate_hz / 5.0;
+  const auto lf = consistency_messages_per_second(fast);
+  const auto ls = consistency_messages_per_second(slow);
+  EXPECT_LT(ls.plain_push, lf.plain_push);
+  EXPECT_LT(ls.pull_every_time, lf.pull_every_time);
+  EXPECT_LT(ls.push_adaptive_pull, lf.push_adaptive_pull);
+}
+
+TEST(ConsistencyAnalysis, AdaptiveGapGrowsWithFreshTtrs) {
+  // When more copies are within TTR (fewer expired), adaptive saves more
+  // relative to pull-every-time.
+  ConsistencyAnalysisParams mostly_expired;
+  mostly_expired.ttr_expired_fraction = 0.9;
+  ConsistencyAnalysisParams mostly_fresh = mostly_expired;
+  mostly_fresh.ttr_expired_fraction = 0.2;
+  const auto le = consistency_messages_per_second(mostly_expired);
+  const auto lfr = consistency_messages_per_second(mostly_fresh);
+  EXPECT_GT(le.push_adaptive_pull, lfr.push_adaptive_pull);
+  EXPECT_DOUBLE_EQ(le.pull_every_time, lfr.pull_every_time);
+}
+
+TEST(ConsistencyAnalysis, PushCostScalesWithRegionPopulation) {
+  ConsistencyAnalysisParams sparse;
+  sparse.n_regions = 16;
+  ConsistencyAnalysisParams dense = sparse;
+  dense.n_regions = 4;
+  EXPECT_GT(push_cost_msgs(dense), push_cost_msgs(sparse));
+}
+
+TEST(ConsistencyAnalysis, PlainPushScalesQuadraticallyWithNodes) {
+  // updates/s ~ N and flood cost ~ N => N^2.
+  ConsistencyAnalysisParams small;
+  small.n_nodes = 40;
+  ConsistencyAnalysisParams big = small;
+  big.n_nodes = 80;
+  const auto ls = consistency_messages_per_second(small);
+  const auto lb = consistency_messages_per_second(big);
+  EXPECT_NEAR(lb.plain_push / ls.plain_push, 4.0, 1e-9);
+}
+
+}  // namespace

@@ -1,0 +1,303 @@
+// Unit tests for the cache store and replacement policies, including the
+// paper's GD-LD utility function (Eq. 1) and greedy-dual aging semantics.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "cache/cache_store.hpp"
+#include "cache/policies.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace precinct::cache;
+using precinct::geo::Key;
+
+CacheEntry entry(Key key, std::size_t size, double access = 1.0,
+                 double reg_dst = 0.0) {
+  CacheEntry e;
+  e.key = key;
+  e.size_bytes = size;
+  e.access_count = access;
+  e.region_distance = reg_dst;
+  return e;
+}
+
+TEST(GdLd, UtilityMatchesEquation1) {
+  const GdLdWeights w{2.0, 3.0, 4096.0};
+  const GdLd policy(w);
+  const CacheEntry e = entry(1, 1024, 5.0, 1.5);
+  EXPECT_DOUBLE_EQ(policy.score(e), 2.0 * 5.0 + 3.0 * 1.5 + 4096.0 / 1024.0);
+}
+
+TEST(GdLd, FavorsPopularItems) {
+  const GdLd policy;
+  EXPECT_GT(policy.score(entry(1, 1000, 10.0, 0.5)),
+            policy.score(entry(2, 1000, 2.0, 0.5)));
+}
+
+TEST(GdLd, FavorsDistantItems) {
+  const GdLd policy;
+  EXPECT_GT(policy.score(entry(1, 1000, 1.0, 2.0)),
+            policy.score(entry(2, 1000, 1.0, 0.1)));
+}
+
+TEST(GdLd, FavorsSmallItems) {
+  const GdLd policy;
+  EXPECT_GT(policy.score(entry(1, 500, 1.0, 1.0)),
+            policy.score(entry(2, 5000, 1.0, 1.0)));
+}
+
+TEST(GdSize, IgnoresPopularityAndDistance) {
+  const GdSize policy;
+  EXPECT_DOUBLE_EQ(policy.score(entry(1, 1000, 100.0, 9.0)),
+                   policy.score(entry(2, 1000, 0.0, 0.0)));
+  EXPECT_GT(policy.score(entry(1, 500)), policy.score(entry(2, 5000)));
+}
+
+TEST(Policies, FactoryByName) {
+  EXPECT_EQ(make_policy("gd-ld")->name(), "GD-LD");
+  EXPECT_EQ(make_policy("gd-size")->name(), "GD-Size");
+  EXPECT_EQ(make_policy("gdsf")->name(), "GDSF");
+  EXPECT_EQ(make_policy("lru")->name(), "LRU");
+  EXPECT_EQ(make_policy("lfu")->name(), "LFU");
+  EXPECT_THROW(make_policy("arc"), std::invalid_argument);
+}
+
+TEST(Gdsf, WeighsFrequencyOverSize) {
+  const Gdsf policy;
+  // Popular-but-large beats unpopular-but-small when frequency dominates.
+  EXPECT_GT(policy.score(entry(1, 4000, 20.0)),
+            policy.score(entry(2, 1000, 1.0)));
+  // At equal frequency, smaller wins (the GD-Size behavior).
+  EXPECT_GT(policy.score(entry(1, 1000, 2.0)),
+            policy.score(entry(2, 4000, 2.0)));
+}
+
+TEST(Policies, InflationFlags) {
+  EXPECT_TRUE(make_policy("gd-ld")->inflates());
+  EXPECT_TRUE(make_policy("gd-size")->inflates());
+  EXPECT_FALSE(make_policy("lru")->inflates());
+  EXPECT_FALSE(make_policy("lfu")->inflates());
+}
+
+TEST(CacheStore, RejectsNullPolicy) {
+  EXPECT_THROW(CacheStore(1000, nullptr), std::invalid_argument);
+}
+
+TEST(CacheStore, InsertAndFind) {
+  CacheStore store(10000, make_policy("gd-ld"));
+  const auto result = store.insert(entry(1, 3000));
+  EXPECT_TRUE(result.admitted);
+  EXPECT_TRUE(result.evicted.empty());
+  EXPECT_EQ(store.used_bytes(), 3000u);
+  ASSERT_NE(store.find(1), nullptr);
+  EXPECT_EQ(store.find(2), nullptr);
+}
+
+TEST(CacheStore, RejectsOversizedItem) {
+  CacheStore store(1000, make_policy("gd-ld"));
+  EXPECT_FALSE(store.insert(entry(1, 1001)).admitted);
+  EXPECT_EQ(store.used_bytes(), 0u);
+}
+
+TEST(CacheStore, EvictsLowestUtilityFirst) {
+  CacheStore store(10000, make_policy("gd-ld"));
+  store.insert(entry(1, 4000, /*access=*/10.0, /*reg_dst=*/1.0));  // valuable
+  store.insert(entry(2, 4000, /*access=*/1.0, /*reg_dst=*/0.0));   // victim
+  const auto result = store.insert(entry(3, 4000, 5.0, 0.5));
+  EXPECT_TRUE(result.admitted);
+  ASSERT_EQ(result.evicted.size(), 1u);
+  EXPECT_EQ(result.evicted[0], 2u);
+  EXPECT_NE(store.find(1), nullptr);
+  EXPECT_EQ(store.find(2), nullptr);
+}
+
+TEST(CacheStore, EvictsMultipleForLargeInsert) {
+  CacheStore store(10000, make_policy("gd-ld"));
+  store.insert(entry(1, 3000));
+  store.insert(entry(2, 3000));
+  store.insert(entry(3, 3000));
+  const auto result = store.insert(entry(4, 8000, 100.0, 2.0));
+  EXPECT_TRUE(result.admitted);
+  EXPECT_GE(result.evicted.size(), 2u);
+  EXPECT_LE(store.used_bytes(), 10000u);
+}
+
+TEST(CacheStore, GreedyDualInflationAgesResidents) {
+  // After an eviction at priority L, new entries start at L + score, so a
+  // newly inserted cold item outranks an old cold item (paper Figure 1:
+  // U(d) = L + U(d)).
+  CacheStore store(8000, make_policy("gd-ld"));
+  store.insert(entry(1, 4000, 0.0, 0.0));
+  store.insert(entry(2, 4000, 0.0, 0.0));
+  // Force an eviction; L rises to the victim's priority.
+  store.insert(entry(3, 4000, 0.0, 0.0));
+  EXPECT_GT(store.inflation_floor(), 0.0);
+  const CacheEntry* survivor = store.find(3);
+  ASSERT_NE(survivor, nullptr);
+  EXPECT_DOUBLE_EQ(survivor->inflation, store.inflation_floor());
+}
+
+TEST(CacheStore, TouchUpdatesUtilityState) {
+  CacheStore store(10000, make_policy("gd-ld"));
+  store.insert(entry(1, 2000, 1.0, 0.5));
+  EXPECT_TRUE(store.touch(1, 42.0, 1.5));
+  const CacheEntry* e = store.find(1);
+  ASSERT_NE(e, nullptr);
+  EXPECT_DOUBLE_EQ(e->access_count, 2.0);
+  EXPECT_DOUBLE_EQ(e->last_access_s, 42.0);
+  EXPECT_DOUBLE_EQ(e->region_distance, 1.5);
+  EXPECT_FALSE(store.touch(99, 0.0, 0.0));
+}
+
+TEST(CacheStore, RefreshUpdatesConsistencyState) {
+  CacheStore store(10000, make_policy("gd-ld"));
+  store.insert(entry(1, 2000));
+  store.invalidate(1);
+  EXPECT_TRUE(store.find(1)->invalidated);
+  EXPECT_TRUE(store.refresh(1, 7, 100.0));
+  const CacheEntry* e = store.find(1);
+  EXPECT_EQ(e->version, 7u);
+  EXPECT_DOUBLE_EQ(e->ttr_expiry_s, 100.0);
+  EXPECT_FALSE(e->invalidated);
+  EXPECT_FALSE(store.refresh(99, 1, 0.0));
+}
+
+TEST(CacheStore, ReinsertRefreshesInPlace) {
+  CacheStore store(10000, make_policy("gd-ld"));
+  store.insert(entry(1, 2000, 1.0, 0.0));
+  store.touch(1, 1.0, 0.0);  // access_count -> 2
+  CacheEntry updated = entry(1, 3000, 1.0, 0.0);
+  updated.version = 5;
+  const auto result = store.insert(updated);
+  EXPECT_TRUE(result.admitted);
+  const CacheEntry* e = store.find(1);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->version, 5u);
+  EXPECT_EQ(e->size_bytes, 3000u);
+  EXPECT_DOUBLE_EQ(e->access_count, 2.0);  // preserved across refresh
+  EXPECT_EQ(store.used_bytes(), 3000u);
+  EXPECT_EQ(store.entry_count(), 1u);
+}
+
+TEST(CacheStore, EraseFreesSpace) {
+  CacheStore store(10000, make_policy("gd-ld"));
+  store.insert(entry(1, 2000));
+  EXPECT_TRUE(store.erase(1));
+  EXPECT_FALSE(store.erase(1));
+  EXPECT_EQ(store.used_bytes(), 0u);
+}
+
+TEST(CacheStore, LruEvictsOldest) {
+  CacheStore store(6000, make_policy("lru"));
+  CacheEntry a = entry(1, 3000);
+  a.last_access_s = 1.0;
+  CacheEntry b = entry(2, 3000);
+  b.last_access_s = 2.0;
+  store.insert(a);
+  store.insert(b);
+  const auto result = store.insert([&] {
+    CacheEntry c = entry(3, 3000);
+    c.last_access_s = 3.0;
+    return c;
+  }());
+  ASSERT_EQ(result.evicted.size(), 1u);
+  EXPECT_EQ(result.evicted[0], 1u);
+}
+
+TEST(CacheStore, LfuEvictsLeastFrequent) {
+  CacheStore store(6000, make_policy("lfu"));
+  store.insert(entry(1, 3000, 5.0));
+  store.insert(entry(2, 3000, 1.0));
+  const auto result = store.insert(entry(3, 3000, 2.0));
+  ASSERT_EQ(result.evicted.size(), 1u);
+  EXPECT_EQ(result.evicted[0], 2u);
+}
+
+TEST(CacheStore, StaticSpaceIsSeparate) {
+  CacheStore store(4000, make_policy("gd-ld"));
+  store.put_static(entry(1, 3000));
+  store.put_static(entry(2, 3000));  // exceeds dynamic capacity: fine
+  EXPECT_EQ(store.static_count(), 2u);
+  EXPECT_EQ(store.static_bytes(), 6000u);
+  EXPECT_EQ(store.used_bytes(), 0u);  // dynamic space untouched
+  EXPECT_NE(store.find_static(1), nullptr);
+  EXPECT_EQ(store.find(1), nullptr);  // not in dynamic space
+}
+
+TEST(CacheStore, PutStaticOverwrites) {
+  CacheStore store(4000, make_policy("gd-ld"));
+  store.put_static(entry(1, 3000));
+  CacheEntry updated = entry(1, 2000);
+  updated.version = 9;
+  store.put_static(updated);
+  EXPECT_EQ(store.static_count(), 1u);
+  EXPECT_EQ(store.static_bytes(), 2000u);
+  EXPECT_EQ(store.find_static(1)->version, 9u);
+}
+
+TEST(CacheStore, TakeAllStaticDrainsCustody) {
+  CacheStore store(4000, make_policy("gd-ld"));
+  store.put_static(entry(1, 1000));
+  store.put_static(entry(2, 1000));
+  const auto taken = store.take_all_static();
+  EXPECT_EQ(taken.size(), 2u);
+  EXPECT_EQ(store.static_count(), 0u);
+  EXPECT_EQ(store.static_bytes(), 0u);
+}
+
+TEST(CacheStore, EraseStatic) {
+  CacheStore store(4000, make_policy("gd-ld"));
+  store.put_static(entry(1, 1000));
+  EXPECT_TRUE(store.erase_static(1));
+  EXPECT_FALSE(store.erase_static(1));
+}
+
+TEST(CacheStore, FindStaticMutableAllowsVersionBump) {
+  CacheStore store(4000, make_policy("gd-ld"));
+  store.put_static(entry(1, 1000));
+  CacheEntry* e = store.find_static_mutable(1);
+  ASSERT_NE(e, nullptr);
+  e->version = 3;
+  EXPECT_EQ(store.find_static(1)->version, 3u);
+}
+
+TEST(CacheStore, KeysListsDynamicEntries) {
+  CacheStore store(10000, make_policy("gd-ld"));
+  store.insert(entry(1, 1000));
+  store.insert(entry(2, 1000));
+  auto keys = store.keys();
+  std::sort(keys.begin(), keys.end());
+  EXPECT_EQ(keys, (std::vector<Key>{1, 2}));
+}
+
+// Property-style sweep: under every policy, capacity is never exceeded
+// and entry_count matches the live set after random traffic.
+class CachePolicyProperty : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(CachePolicyProperty, CapacityInvariantUnderRandomTraffic) {
+  CacheStore store(20000, make_policy(GetParam()));
+  precinct::support::Rng rng(99);
+  for (int i = 0; i < 2000; ++i) {
+    const Key key = rng.uniform_int(64);
+    const auto size = 500 + rng.uniform_int(4000);
+    CacheEntry e = entry(key, size, rng.uniform(0, 10), rng.uniform(0, 2));
+    e.last_access_s = i;
+    store.insert(e);
+    EXPECT_LE(store.used_bytes(), 20000u);
+    if (i % 7 == 0) store.touch(key, i, 1.0);
+    if (i % 13 == 0) store.erase(rng.uniform_int(64));
+  }
+  // used_bytes equals the sum over resident entries.
+  std::size_t total = 0;
+  for (const Key k : store.keys()) total += store.find(k)->size_bytes;
+  EXPECT_EQ(total, store.used_bytes());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, CachePolicyProperty,
+                         ::testing::Values("gd-ld", "gd-size", "gdsf", "lru",
+                                           "lfu"));
+
+}  // namespace

@@ -1,0 +1,86 @@
+// Unit tests for the TTR estimator (paper Eq. 2) and mode parsing.
+#include <gtest/gtest.h>
+
+#include "consistency/modes.hpp"
+#include "consistency/ttr.hpp"
+
+namespace {
+
+using namespace precinct::consistency;
+
+TEST(Ttr, RejectsBadArguments) {
+  EXPECT_THROW(TtrEstimator(-0.1, 30.0), std::invalid_argument);
+  EXPECT_THROW(TtrEstimator(1.1, 30.0), std::invalid_argument);
+  EXPECT_THROW(TtrEstimator(0.5, -1.0), std::invalid_argument);
+}
+
+TEST(Ttr, InitialValueBeforeUpdates) {
+  const TtrEstimator ttr(0.5, 30.0);
+  EXPECT_DOUBLE_EQ(ttr.ttr_s(), 30.0);
+  EXPECT_DOUBLE_EQ(ttr.expiry_for(10.0), 40.0);
+  EXPECT_EQ(ttr.updates_seen(), 0u);
+}
+
+TEST(Ttr, FirstUpdateOnlyAnchorsClock) {
+  TtrEstimator ttr(0.5, 30.0);
+  ttr.on_update(100.0);
+  EXPECT_DOUBLE_EQ(ttr.ttr_s(), 30.0);  // no gap observed yet
+  EXPECT_EQ(ttr.updates_seen(), 1u);
+}
+
+TEST(Ttr, EwmaMatchesEquation2) {
+  TtrEstimator ttr(0.5, 30.0);
+  ttr.on_update(0.0);
+  ttr.on_update(10.0);  // gap 10: TTR = 0.5*30 + 0.5*10 = 20
+  EXPECT_DOUBLE_EQ(ttr.ttr_s(), 20.0);
+  ttr.on_update(14.0);  // gap 4: TTR = 0.5*20 + 0.5*4 = 12
+  EXPECT_DOUBLE_EQ(ttr.ttr_s(), 12.0);
+}
+
+TEST(Ttr, AlphaOneFreezesEstimate) {
+  TtrEstimator ttr(1.0, 25.0);
+  ttr.on_update(0.0);
+  ttr.on_update(100.0);
+  EXPECT_DOUBLE_EQ(ttr.ttr_s(), 25.0);
+}
+
+TEST(Ttr, AlphaZeroTracksLastGap) {
+  TtrEstimator ttr(0.0, 25.0);
+  ttr.on_update(0.0);
+  ttr.on_update(7.0);
+  EXPECT_DOUBLE_EQ(ttr.ttr_s(), 7.0);
+  ttr.on_update(20.0);
+  EXPECT_DOUBLE_EQ(ttr.ttr_s(), 13.0);
+}
+
+TEST(Ttr, FrequentUpdatesShrinkTtr) {
+  TtrEstimator fast(0.5, 30.0);
+  TtrEstimator slow(0.5, 30.0);
+  double t = 0.0;
+  for (int i = 0; i < 20; ++i) fast.on_update(t += 2.0);
+  t = 0.0;
+  for (int i = 0; i < 20; ++i) slow.on_update(t += 80.0);
+  EXPECT_LT(fast.ttr_s(), slow.ttr_s());
+  EXPECT_NEAR(fast.ttr_s(), 2.0, 0.1);   // converges to the update gap
+  EXPECT_NEAR(slow.ttr_s(), 80.0, 0.1);
+}
+
+TEST(Ttr, NegativeGapIgnored) {
+  TtrEstimator ttr(0.5, 30.0);
+  ttr.on_update(10.0);
+  ttr.on_update(5.0);  // out-of-order clock: ignored
+  EXPECT_DOUBLE_EQ(ttr.ttr_s(), 30.0);
+}
+
+TEST(Modes, RoundTripStrings) {
+  for (const Mode m : {Mode::kNone, Mode::kPlainPush, Mode::kPullEveryTime,
+                       Mode::kPushAdaptivePull}) {
+    EXPECT_EQ(mode_from_string(to_string(m)), m);
+  }
+}
+
+TEST(Modes, UnknownNameThrows) {
+  EXPECT_THROW((void)mode_from_string("gossip"), std::invalid_argument);
+}
+
+}  // namespace

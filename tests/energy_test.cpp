@@ -1,0 +1,104 @@
+// Unit tests for the Feeney linear energy model and accounting.
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+#include "energy/accounting.hpp"
+#include "energy/feeney_model.hpp"
+
+namespace {
+
+using namespace precinct::energy;
+
+TEST(LinearCost, EvaluatesLine) {
+  const LinearCost c{2.0, 5.0};
+  EXPECT_DOUBLE_EQ(c(0), 5.0);
+  EXPECT_DOUBLE_EQ(c(10), 25.0);
+}
+
+TEST(FeeneyModel, SendCostsExceedReceive) {
+  const FeeneyModel m;
+  for (std::size_t size : {64u, 1024u, 10240u}) {
+    EXPECT_GT(m.broadcast_send(size), m.broadcast_recv(size));
+    EXPECT_GT(m.p2p_send(size), m.p2p_recv(size));
+    EXPECT_GT(m.p2p_recv(size), m.p2p_discard(size));
+  }
+}
+
+TEST(FeeneyModel, BroadcastTotalMatchesEq8) {
+  const FeeneyModel m;
+  const double zeta = 7.0;
+  EXPECT_DOUBLE_EQ(m.broadcast_total(100, zeta),
+                   m.broadcast_send(100) + zeta * m.broadcast_recv(100));
+}
+
+TEST(FeeneyModel, P2pHopIncludesOverhearers) {
+  const FeeneyModel m;
+  const double base = m.p2p_hop(100, 0.0);
+  EXPECT_DOUBLE_EQ(base, m.p2p_send(100) + m.p2p_recv(100));
+  EXPECT_DOUBLE_EQ(m.p2p_hop(100, 3.0), base + 3.0 * m.p2p_discard(100));
+}
+
+TEST(ExpectedReceivers, MatchesDensityFormula) {
+  // delta = N/A, zeta = delta*pi*r^2, minus the sender itself (Eq. 6-7).
+  const double n = 80, a = 600.0 * 600.0, r = 250.0;
+  const double expected = n / a * std::numbers::pi * r * r - 1.0;
+  EXPECT_NEAR(expected_receivers(n, a, r), expected, 1e-9);
+}
+
+TEST(ExpectedReceivers, ClampsToPopulation) {
+  // Tiny area: everyone is in range, but at most N-1 others receive.
+  EXPECT_DOUBLE_EQ(expected_receivers(10, 100.0, 250.0), 9.0);
+}
+
+TEST(ExpectedReceivers, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(expected_receivers(0, 100.0, 10.0), 0.0);
+  EXPECT_DOUBLE_EQ(expected_receivers(10, 0.0, 10.0), 0.0);
+}
+
+TEST(EnergyAccountant, ChargesCorrectMeters) {
+  EnergyAccountant acc(FeeneyModel{}, 3);
+  const double c1 = acc.charge(0, RadioOp::kBroadcastSend, 100);
+  const double c2 = acc.charge(1, RadioOp::kBroadcastRecv, 100);
+  const double c3 = acc.charge(2, RadioOp::kP2pDiscard, 100);
+  EXPECT_GT(c1, 0.0);
+  EXPECT_DOUBLE_EQ(acc.node(0).broadcast_send_mj, c1);
+  EXPECT_DOUBLE_EQ(acc.node(1).broadcast_recv_mj, c2);
+  EXPECT_DOUBLE_EQ(acc.node(2).p2p_discard_mj, c3);
+  EXPECT_DOUBLE_EQ(acc.node(0).total_mj(), c1);
+}
+
+TEST(EnergyAccountant, NetworkTotalSumsNodes) {
+  EnergyAccountant acc(FeeneyModel{}, 4);
+  double expected = 0.0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    expected += acc.charge(i, RadioOp::kP2pSend, 64);
+    expected += acc.charge(i, RadioOp::kP2pRecv, 64);
+  }
+  EXPECT_NEAR(acc.network_total().total_mj(), expected, 1e-12);
+}
+
+TEST(EnergyAccountant, ThrowsOnBadNode) {
+  EnergyAccountant acc(FeeneyModel{}, 2);
+  EXPECT_THROW(acc.charge(5, RadioOp::kP2pSend, 10), std::out_of_range);
+}
+
+TEST(EnergyAccountant, EnsureNodesGrows) {
+  EnergyAccountant acc(FeeneyModel{}, 2);
+  acc.ensure_nodes(5);
+  EXPECT_EQ(acc.node_count(), 5u);
+  EXPECT_NO_THROW(acc.charge(4, RadioOp::kP2pSend, 10));
+}
+
+TEST(EnergyBreakdown, PlusEqualsAccumulates) {
+  EnergyBreakdown a, b;
+  a.p2p_send_mj = 1.0;
+  b.p2p_send_mj = 2.0;
+  b.broadcast_recv_mj = 3.0;
+  a += b;
+  EXPECT_DOUBLE_EQ(a.p2p_send_mj, 3.0);
+  EXPECT_DOUBLE_EQ(a.broadcast_recv_mj, 3.0);
+  EXPECT_DOUBLE_EQ(a.total_mj(), 6.0);
+}
+
+}  // namespace

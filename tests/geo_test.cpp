@@ -1,0 +1,298 @@
+// Unit tests for geometry, region tables (Add/Delete/Merge/Separate,
+// nearest/second-nearest lookups) and the geographic hash.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <set>
+
+#include "geo/geo_hash.hpp"
+#include "support/rng.hpp"
+#include "geo/geometry.hpp"
+#include "geo/region_table.hpp"
+
+namespace {
+
+using namespace precinct::geo;
+
+TEST(Geometry, Distance) {
+  EXPECT_DOUBLE_EQ(distance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(distance_sq({0, 0}, {3, 4}), 25.0);
+  EXPECT_DOUBLE_EQ(distance({1, 1}, {1, 1}), 0.0);
+}
+
+TEST(Geometry, PointArithmetic) {
+  const Point p = Point{1, 2} + Point{3, 4};
+  EXPECT_EQ(p, (Point{4, 6}));
+  EXPECT_EQ((Point{4, 6} - Point{1, 2}), (Point{3, 4}));
+  EXPECT_EQ((Point{1, 2} * 2.0), (Point{2, 4}));
+}
+
+TEST(Geometry, Bearing) {
+  EXPECT_DOUBLE_EQ(bearing({0, 0}, {1, 0}), 0.0);
+  EXPECT_NEAR(bearing({0, 0}, {0, 1}), M_PI / 2, 1e-12);
+  EXPECT_NEAR(std::abs(bearing({0, 0}, {-1, 0})), M_PI, 1e-12);
+}
+
+TEST(Rect, ContainsHalfOpen) {
+  const Rect r{{0, 0}, {10, 10}};
+  EXPECT_TRUE(r.contains({0, 0}));
+  EXPECT_TRUE(r.contains({9.999, 9.999}));
+  EXPECT_FALSE(r.contains({10, 5}));
+  EXPECT_FALSE(r.contains({5, 10}));
+  EXPECT_FALSE(r.contains({-0.1, 5}));
+}
+
+TEST(Rect, CenterAndArea) {
+  const Rect r{{0, 0}, {10, 20}};
+  EXPECT_EQ(r.center(), (Point{5, 10}));
+  EXPECT_DOUBLE_EQ(r.area(), 200.0);
+}
+
+TEST(Rect, United) {
+  const Rect a{{0, 0}, {5, 5}};
+  const Rect b{{10, 10}, {20, 20}};
+  const Rect u = a.united(b);
+  EXPECT_EQ(u.min, (Point{0, 0}));
+  EXPECT_EQ(u.max, (Point{20, 20}));
+}
+
+TEST(Rect, ClampKeepsPointInside) {
+  const Rect r{{0, 0}, {10, 10}};
+  EXPECT_TRUE(r.contains(r.clamp({15, -3})));
+  EXPECT_TRUE(r.contains(r.clamp({10, 10})));
+}
+
+TEST(RegionTable, GridBuildsExpectedRegions) {
+  const auto table = RegionTable::grid({{0, 0}, {1200, 1200}}, 3, 3);
+  EXPECT_EQ(table.size(), 9u);
+  // Every region is a 400x400 cell; centers on the 200+400k lattice.
+  for (const Region& r : table.regions()) {
+    EXPECT_DOUBLE_EQ(r.extent.width(), 400.0);
+    EXPECT_DOUBLE_EQ(r.extent.height(), 400.0);
+    EXPECT_EQ(r.center, r.extent.center());
+  }
+}
+
+TEST(RegionTable, NearestFindsContainingCellOnGrid) {
+  const auto table = RegionTable::grid({{0, 0}, {1200, 1200}}, 3, 3);
+  const RegionId id = table.nearest({100, 100});
+  const Region* r = table.find(id);
+  ASSERT_NE(r, nullptr);
+  EXPECT_TRUE(r->extent.contains({100, 100}));
+}
+
+TEST(RegionTable, NearestAndContainingAgreeOnGrid) {
+  const auto table = RegionTable::grid({{0, 0}, {1200, 1200}}, 4, 4);
+  precinct::support::Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const Point p{rng.uniform(0, 1200), rng.uniform(0, 1200)};
+    EXPECT_EQ(table.nearest(p), table.containing(p));
+  }
+}
+
+TEST(RegionTable, SecondNearestDiffersFromNearest) {
+  const auto table = RegionTable::grid({{0, 0}, {1200, 1200}}, 3, 3);
+  precinct::support::Rng rng(4);
+  for (int i = 0; i < 200; ++i) {
+    const Point p{rng.uniform(0, 1200), rng.uniform(0, 1200)};
+    const RegionId first = table.nearest(p);
+    const RegionId second = table.second_nearest(p);
+    ASSERT_NE(second, kInvalidRegion);
+    EXPECT_NE(first, second);
+    // Ordering invariant: dist(first) <= dist(second) <= any other.
+    const double d1 = distance(table.find(first)->center, p);
+    const double d2 = distance(table.find(second)->center, p);
+    EXPECT_LE(d1, d2);
+    for (const Region& r : table.regions()) {
+      if (r.id != first && r.id != second) {
+        EXPECT_LE(d2, distance(r.center, p));
+      }
+    }
+  }
+}
+
+TEST(RegionTable, EmptyTableLookups) {
+  RegionTable table;
+  EXPECT_EQ(table.nearest({0, 0}), kInvalidRegion);
+  EXPECT_EQ(table.second_nearest({0, 0}), kInvalidRegion);
+  EXPECT_TRUE(table.empty());
+}
+
+TEST(RegionTable, SingleRegionHasNoSecond) {
+  RegionTable table;
+  table.add({5, 5}, {{0, 0}, {10, 10}});
+  EXPECT_NE(table.nearest({1, 1}), kInvalidRegion);
+  EXPECT_EQ(table.second_nearest({1, 1}), kInvalidRegion);
+}
+
+TEST(RegionTable, AddBumpsVersionAndAssignsIds) {
+  RegionTable table;
+  const auto v0 = table.version();
+  const RegionId a = table.add({0, 0}, {{0, 0}, {1, 1}});
+  const RegionId b = table.add({2, 2}, {{1, 1}, {3, 3}});
+  EXPECT_NE(a, b);
+  EXPECT_GT(table.version(), v0);
+  EXPECT_EQ(table.size(), 2u);
+}
+
+TEST(RegionTable, DeleteRemovesRegion) {
+  auto table = RegionTable::grid({{0, 0}, {100, 100}}, 2, 2);
+  const RegionId victim = table.regions().front().id;
+  const auto v = table.version();
+  EXPECT_TRUE(table.remove(victim));
+  EXPECT_EQ(table.size(), 3u);
+  EXPECT_EQ(table.find(victim), nullptr);
+  EXPECT_GT(table.version(), v);
+  EXPECT_FALSE(table.remove(victim));  // already gone
+}
+
+TEST(RegionTable, MergeUnitesExtents) {
+  auto table = RegionTable::grid({{0, 0}, {200, 100}}, 2, 1);
+  const RegionId a = table.regions()[0].id;
+  const RegionId b = table.regions()[1].id;
+  const auto merged = table.merge(a, b);
+  ASSERT_TRUE(merged.has_value());
+  EXPECT_EQ(table.size(), 1u);
+  const Region* r = table.find(*merged);
+  ASSERT_NE(r, nullptr);
+  EXPECT_DOUBLE_EQ(r->extent.width(), 200.0);
+  EXPECT_EQ(r->center, (Point{100, 50}));
+}
+
+TEST(RegionTable, MergeRejectsUnknownOrSelf) {
+  auto table = RegionTable::grid({{0, 0}, {100, 100}}, 2, 2);
+  const RegionId a = table.regions()[0].id;
+  EXPECT_FALSE(table.merge(a, a).has_value());
+  EXPECT_FALSE(table.merge(a, 999).has_value());
+  EXPECT_EQ(table.size(), 4u);  // untouched on failure
+}
+
+TEST(RegionTable, SeparateSplitsAlongLongerAxis) {
+  RegionTable table;
+  const RegionId wide = table.add({50, 10}, {{0, 0}, {100, 20}});
+  const auto halves = table.separate(wide);
+  ASSERT_TRUE(halves.has_value());
+  EXPECT_EQ(table.size(), 2u);
+  const Region* left = table.find(halves->first);
+  const Region* right = table.find(halves->second);
+  ASSERT_NE(left, nullptr);
+  ASSERT_NE(right, nullptr);
+  EXPECT_DOUBLE_EQ(left->extent.width(), 50.0);
+  EXPECT_DOUBLE_EQ(right->extent.width(), 50.0);
+  EXPECT_DOUBLE_EQ(left->extent.height(), 20.0);
+}
+
+TEST(RegionTable, SeparateThenMergeRoundTrips) {
+  RegionTable table;
+  const RegionId orig = table.add({50, 50}, {{0, 0}, {100, 100}});
+  const auto halves = table.separate(orig);
+  ASSERT_TRUE(halves.has_value());
+  const auto merged = table.merge(halves->first, halves->second);
+  ASSERT_TRUE(merged.has_value());
+  const Region* r = table.find(*merged);
+  ASSERT_NE(r, nullptr);
+  EXPECT_DOUBLE_EQ(r->extent.area(), 100.0 * 100.0);
+  EXPECT_EQ(r->center, (Point{50, 50}));
+}
+
+TEST(RegionTable, NeighborsWithinRadius) {
+  const auto table = RegionTable::grid({{0, 0}, {300, 300}}, 3, 3);
+  const RegionId center = table.containing({150, 150});
+  const auto neighbors = table.neighbors_of(center, 110.0);
+  EXPECT_EQ(neighbors.size(), 4u);  // N/S/E/W cells at distance 100
+}
+
+TEST(RegionTable, NearestKOrderingAndPrefixConsistency) {
+  const auto table = RegionTable::grid({{0, 0}, {1200, 1200}}, 3, 3);
+  precinct::support::Rng rng(8);
+  for (int i = 0; i < 100; ++i) {
+    const Point p{rng.uniform(0, 1200), rng.uniform(0, 1200)};
+    const auto k4 = table.nearest_k(p, 4);
+    ASSERT_EQ(k4.size(), 4u);
+    // Sorted by distance.
+    for (std::size_t j = 1; j < k4.size(); ++j) {
+      EXPECT_LE(distance(table.find(k4[j - 1])->center, p),
+                distance(table.find(k4[j])->center, p));
+    }
+    // Prefix-consistent with nearest / second_nearest.
+    EXPECT_EQ(k4[0], table.nearest(p));
+    EXPECT_EQ(k4[1], table.second_nearest(p));
+    // No duplicates.
+    std::set<RegionId> unique(k4.begin(), k4.end());
+    EXPECT_EQ(unique.size(), k4.size());
+  }
+}
+
+TEST(RegionTable, NearestKClampsToTableSize) {
+  const auto table = RegionTable::grid({{0, 0}, {100, 100}}, 2, 1);
+  EXPECT_EQ(table.nearest_k({50, 50}, 10).size(), 2u);
+  EXPECT_TRUE(table.nearest_k({50, 50}, 0).empty());
+}
+
+TEST(GeoHash, KeyRegionsIncludesHomeFirst) {
+  const GeoHash hash({{0, 0}, {1200, 1200}});
+  const auto table = RegionTable::grid({{0, 0}, {1200, 1200}}, 3, 3);
+  for (Key k = 1; k < 100; ++k) {
+    const auto regions = hash.key_regions(k, table, 2);
+    ASSERT_EQ(regions.size(), 3u);
+    EXPECT_EQ(regions[0], hash.home_region(k, table));
+    EXPECT_EQ(regions[1], hash.replica_region(k, table));
+  }
+}
+
+TEST(GeoHash, DeterministicLocation) {
+  const GeoHash hash({{0, 0}, {1200, 1200}});
+  EXPECT_EQ(hash.location(42).x, hash.location(42).x);
+  EXPECT_EQ(hash.location(42), hash.location(42));
+}
+
+TEST(GeoHash, LocationsInsideArea) {
+  const GeoHash hash({{100, 200}, {500, 900}});
+  for (Key k = 0; k < 2000; ++k) {
+    const Point p = hash.location(k);
+    EXPECT_GE(p.x, 100.0);
+    EXPECT_LT(p.x, 500.0);
+    EXPECT_GE(p.y, 200.0);
+    EXPECT_LT(p.y, 900.0);
+  }
+}
+
+TEST(GeoHash, LocationsSpreadUniformly) {
+  // Chi-squared style sanity: each of the 9 grid cells gets roughly 1/9
+  // of 9000 hashed keys.
+  const GeoHash hash({{0, 0}, {1200, 1200}});
+  const auto table = RegionTable::grid({{0, 0}, {1200, 1200}}, 3, 3);
+  std::array<int, 9> counts{};
+  for (Key k = 0; k < 9000; ++k) {
+    counts[table.containing(hash.location(precinct::support::hash64(k)))]++;
+  }
+  for (int c : counts) EXPECT_NEAR(c, 1000, 150);
+}
+
+TEST(GeoHash, HomeAndReplicaDiffer) {
+  const GeoHash hash({{0, 0}, {1200, 1200}});
+  const auto table = RegionTable::grid({{0, 0}, {1200, 1200}}, 3, 3);
+  for (Key k = 1; k < 500; ++k) {
+    const RegionId home = hash.home_region(k, table);
+    const RegionId replica = hash.replica_region(k, table);
+    ASSERT_NE(home, kInvalidRegion);
+    ASSERT_NE(replica, kInvalidRegion);
+    EXPECT_NE(home, replica);
+  }
+}
+
+TEST(GeoHash, HomeIsNearestCenter) {
+  const GeoHash hash({{0, 0}, {1200, 1200}});
+  const auto table = RegionTable::grid({{0, 0}, {1200, 1200}}, 3, 3);
+  for (Key k = 1; k < 200; ++k) {
+    const Point loc = hash.location(k);
+    const RegionId home = hash.home_region(k, table);
+    for (const Region& r : table.regions()) {
+      EXPECT_LE(distance(table.find(home)->center, loc),
+                distance(r.center, loc));
+    }
+  }
+}
+
+}  // namespace

@@ -1,0 +1,284 @@
+// Unit tests for mobility: random waypoint kinematics and static
+// placements.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "mobility/gauss_markov.hpp"
+#include "mobility/random_direction.hpp"
+#include "mobility/random_waypoint.hpp"
+#include "mobility/static_placement.hpp"
+#include "support/stats.hpp"
+
+namespace {
+
+using namespace precinct::mobility;
+using precinct::geo::Point;
+using precinct::geo::Rect;
+
+RandomWaypointConfig small_config() {
+  RandomWaypointConfig c;
+  c.area = Rect{{0, 0}, {1000, 1000}};
+  c.v_min = 1.0;
+  c.v_max = 10.0;
+  c.pause_s = 2.0;
+  return c;
+}
+
+TEST(RandomWaypoint, PositionsStayInArea) {
+  RandomWaypoint rwp(20, small_config(), 1);
+  for (double t = 0.0; t < 500.0; t += 3.7) {
+    for (std::size_t i = 0; i < 20; ++i) {
+      const Point p = rwp.position_at(i, t);
+      EXPECT_GE(p.x, 0.0);
+      EXPECT_LE(p.x, 1000.0);
+      EXPECT_GE(p.y, 0.0);
+      EXPECT_LE(p.y, 1000.0);
+    }
+  }
+}
+
+TEST(RandomWaypoint, SpeedRespectsBounds) {
+  RandomWaypoint rwp(10, small_config(), 2);
+  for (double t = 0.0; t < 300.0; t += 1.1) {
+    for (std::size_t i = 0; i < 10; ++i) {
+      const double v = rwp.speed_at(i, t);
+      EXPECT_TRUE(v == 0.0 || (v >= 1.0 && v <= 10.0));
+    }
+  }
+}
+
+TEST(RandomWaypoint, StartsPaused) {
+  RandomWaypoint rwp(5, small_config(), 3);
+  for (std::size_t i = 0; i < 5; ++i) {
+    const Point p0 = rwp.position_at(i, 0.0);
+    const Point p1 = rwp.position_at(i, 1.0);  // within the 2 s pause
+    EXPECT_EQ(p0, p1);
+    EXPECT_EQ(rwp.speed_at(i, 1.0), 0.0);
+  }
+}
+
+TEST(RandomWaypoint, MovesAfterPause) {
+  RandomWaypoint rwp(5, small_config(), 4);
+  int moved = 0;
+  for (std::size_t i = 0; i < 5; ++i) {
+    const Point p0 = rwp.position_at(i, 0.0);
+    const Point later = rwp.position_at(i, 30.0);
+    if (precinct::geo::distance(p0, later) > 1.0) ++moved;
+  }
+  EXPECT_GE(moved, 4);  // overwhelmingly likely all moved
+}
+
+TEST(RandomWaypoint, DisplacementBoundedBySpeed) {
+  RandomWaypoint rwp(10, small_config(), 5);
+  for (std::size_t i = 0; i < 10; ++i) {
+    Point prev = rwp.position_at(i, 0.0);
+    for (double t = 0.5; t < 100.0; t += 0.5) {
+      const Point cur = rwp.position_at(i, t);
+      // Max speed 10 m/s over 0.5 s => at most 5 m (+ epsilon).
+      EXPECT_LE(precinct::geo::distance(prev, cur), 5.0 + 1e-9);
+      prev = cur;
+    }
+  }
+}
+
+TEST(RandomWaypoint, DeterministicForSameSeed) {
+  RandomWaypoint a(8, small_config(), 42);
+  RandomWaypoint b(8, small_config(), 42);
+  for (double t = 0.0; t < 200.0; t += 7.3) {
+    for (std::size_t i = 0; i < 8; ++i) {
+      EXPECT_EQ(a.position_at(i, t), b.position_at(i, t));
+    }
+  }
+}
+
+TEST(RandomWaypoint, QueryPatternDoesNotPerturbTrajectory) {
+  // Querying one node often must not change another node's path.
+  RandomWaypoint a(4, small_config(), 9);
+  RandomWaypoint b(4, small_config(), 9);
+  for (double t = 0.0; t < 100.0; t += 0.1) (void)a.position_at(0, t);
+  EXPECT_EQ(a.position_at(3, 100.0), b.position_at(3, 100.0));
+}
+
+TEST(RandomWaypoint, RejectsBadConfig) {
+  auto c = small_config();
+  c.v_min = 0.0;
+  EXPECT_THROW(RandomWaypoint(2, c, 1), std::invalid_argument);
+  c = small_config();
+  c.v_max = 0.5;  // < v_min
+  EXPECT_THROW(RandomWaypoint(2, c, 1), std::invalid_argument);
+  c = small_config();
+  c.pause_s = -1.0;
+  EXPECT_THROW(RandomWaypoint(2, c, 1), std::invalid_argument);
+}
+
+
+RandomDirectionConfig rd_config() {
+  RandomDirectionConfig c;
+  c.area = Rect{{0, 0}, {1000, 1000}};
+  c.v_min = 1.0;
+  c.v_max = 10.0;
+  c.pause_s = 2.0;
+  return c;
+}
+
+TEST(RandomDirection, PositionsStayInArea) {
+  RandomDirection rd(15, rd_config(), 3);
+  for (double t = 0.0; t < 400.0; t += 2.3) {
+    for (std::size_t i = 0; i < 15; ++i) {
+      const Point p = rd.position_at(i, t);
+      EXPECT_GE(p.x, 0.0);
+      EXPECT_LE(p.x, 1000.0);
+      EXPECT_GE(p.y, 0.0);
+      EXPECT_LE(p.y, 1000.0);
+    }
+  }
+}
+
+TEST(RandomDirection, LegsEndOnBoundary) {
+  // After enough time each node has completed legs; when paused, the
+  // node sits on (or extremely near) the area boundary.
+  RandomDirection rd(10, rd_config(), 4);
+  int boundary_pauses = 0;
+  for (double t = 50.0; t < 600.0; t += 1.0) {
+    for (std::size_t i = 0; i < 10; ++i) {
+      if (rd.speed_at(i, t) == 0.0) {
+        const Point p = rd.position_at(i, t);
+        const double d_edge =
+            std::min(std::min(p.x, 1000.0 - p.x), std::min(p.y, 1000.0 - p.y));
+        if (d_edge < 1.0) ++boundary_pauses;
+      }
+    }
+  }
+  EXPECT_GT(boundary_pauses, 50);
+}
+
+TEST(RandomDirection, DeterministicForSameSeed) {
+  RandomDirection a(6, rd_config(), 42);
+  RandomDirection b(6, rd_config(), 42);
+  for (double t = 0.0; t < 150.0; t += 3.1) {
+    for (std::size_t i = 0; i < 6; ++i) {
+      EXPECT_EQ(a.position_at(i, t), b.position_at(i, t));
+    }
+  }
+}
+
+TEST(RandomDirection, RejectsBadConfig) {
+  auto c = rd_config();
+  c.v_min = 0.0;
+  EXPECT_THROW(RandomDirection(2, c, 1), std::invalid_argument);
+  c = rd_config();
+  c.pause_s = -1.0;
+  EXPECT_THROW(RandomDirection(2, c, 1), std::invalid_argument);
+}
+
+GaussMarkovConfig gm_config() {
+  GaussMarkovConfig c;
+  c.area = Rect{{0, 0}, {1000, 1000}};
+  c.mean_speed = 5.0;
+  return c;
+}
+
+TEST(GaussMarkov, PositionsStayInArea) {
+  GaussMarkov gm(15, gm_config(), 5);
+  for (double t = 0.0; t < 400.0; t += 1.7) {
+    for (std::size_t i = 0; i < 15; ++i) {
+      const Point p = gm.position_at(i, t);
+      EXPECT_GE(p.x, 0.0);
+      EXPECT_LE(p.x, 1000.0);
+      EXPECT_GE(p.y, 0.0);
+      EXPECT_LE(p.y, 1000.0);
+    }
+  }
+}
+
+TEST(GaussMarkov, SpeedRevertsToMean) {
+  GaussMarkov gm(20, gm_config(), 6);
+  precinct::support::RunningStats speeds;
+  for (double t = 100.0; t < 500.0; t += 1.0) {
+    for (std::size_t i = 0; i < 20; ++i) speeds.add(gm.speed_at(i, t));
+  }
+  EXPECT_NEAR(speeds.mean(), 5.0, 1.0);
+}
+
+TEST(GaussMarkov, MotionIsTemporallyCorrelated) {
+  // Consecutive 1 s displacements should point in similar directions far
+  // more often than random (the model's whole point vs waypoint teleport
+  // turns).  Compare cos-similarity of successive steps.
+  GaussMarkov gm(10, gm_config(), 7);
+  precinct::support::RunningStats cosims;
+  for (std::size_t i = 0; i < 10; ++i) {
+    Point prev = gm.position_at(i, 0.0);
+    Point cur = gm.position_at(i, 1.0);
+    for (double t = 2.0; t < 200.0; t += 1.0) {
+      const Point next = gm.position_at(i, t);
+      const Point v1 = cur - prev;
+      const Point v2 = next - cur;
+      const double n1 = precinct::geo::norm(v1);
+      const double n2 = precinct::geo::norm(v2);
+      if (n1 > 1e-6 && n2 > 1e-6) {
+        cosims.add((v1.x * v2.x + v1.y * v2.y) / (n1 * n2));
+      }
+      prev = cur;
+      cur = next;
+    }
+  }
+  EXPECT_GT(cosims.mean(), 0.5);
+}
+
+TEST(GaussMarkov, DeterministicForSameSeed) {
+  GaussMarkov a(5, gm_config(), 11);
+  GaussMarkov b(5, gm_config(), 11);
+  for (double t = 0.0; t < 100.0; t += 2.7) {
+    for (std::size_t i = 0; i < 5; ++i) {
+      EXPECT_EQ(a.position_at(i, t), b.position_at(i, t));
+    }
+  }
+}
+
+TEST(GaussMarkov, RejectsBadConfig) {
+  auto c = gm_config();
+  c.alpha = 1.5;
+  EXPECT_THROW(GaussMarkov(2, c, 1), std::invalid_argument);
+  c = gm_config();
+  c.mean_speed = 0.0;
+  EXPECT_THROW(GaussMarkov(2, c, 1), std::invalid_argument);
+}
+
+TEST(StaticPlacement, UniformStaysInArea) {
+  const Rect area{{100, 100}, {200, 300}};
+  auto sp = StaticPlacement::uniform(50, area, 7);
+  EXPECT_EQ(sp.node_count(), 50u);
+  for (std::size_t i = 0; i < 50; ++i) {
+    EXPECT_TRUE(area.contains(sp.position_at(i, 0.0)));
+    EXPECT_EQ(sp.speed_at(i, 123.0), 0.0);
+  }
+}
+
+TEST(StaticPlacement, PositionsNeverChange) {
+  auto sp = StaticPlacement::uniform(10, {{0, 0}, {100, 100}}, 8);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(sp.position_at(i, 0.0), sp.position_at(i, 1e6));
+  }
+}
+
+TEST(StaticPlacement, GridCoversArea) {
+  auto sp = StaticPlacement::grid(9, {{0, 0}, {300, 300}});
+  EXPECT_EQ(sp.node_count(), 9u);
+  // 3x3 grid: all cell centers distinct and inside.
+  for (std::size_t i = 0; i < 9; ++i) {
+    for (std::size_t j = i + 1; j < 9; ++j) {
+      EXPECT_GT(precinct::geo::distance(sp.position_at(i, 0), sp.position_at(j, 0)),
+                1.0);
+    }
+  }
+}
+
+TEST(StaticPlacement, ExplicitPositions) {
+  StaticPlacement sp({{1, 2}, {3, 4}});
+  EXPECT_EQ(sp.node_count(), 2u);
+  EXPECT_EQ(sp.position_at(1, 0.0), (Point{3, 4}));
+}
+
+}  // namespace

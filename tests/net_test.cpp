@@ -1,0 +1,301 @@
+// Unit tests for the wireless substrate: delivery semantics, MAC
+// serialization, energy charging, failure injection, message accounting.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "mobility/static_placement.hpp"
+#include "mobility/random_waypoint.hpp"
+#include "net/spatial_grid.hpp"
+#include "net/wireless_net.hpp"
+#include "support/rng.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace precinct;
+using net::NodeId;
+using net::Packet;
+using net::PacketKind;
+
+struct NetFixture : ::testing::Test {
+  // Three nodes on a line, 200 m apart, range 250 m: 0-1 and 1-2 are
+  // links; 0-2 is out of range.
+  NetFixture()
+      : placement({{0, 0}, {200, 0}, {400, 0}}),
+        net(sim, placement, config(), energy::FeeneyModel{}, 1) {}
+
+  static net::WirelessConfig config() {
+    net::WirelessConfig c;
+    c.range_m = 250.0;
+    c.jitter_s = 0.0;  // deterministic timing in tests
+    return c;
+  }
+
+  Packet packet_from(NodeId src, PacketKind kind = PacketKind::kRequest) {
+    Packet p;
+    p.id = net.next_packet_id();
+    p.kind = kind;
+    p.origin = src;
+    p.src = src;
+    p.size_bytes = 100;
+    return p;
+  }
+
+  sim::Simulator sim;
+  mobility::StaticPlacement placement;
+  net::WirelessNet net;
+};
+
+TEST_F(NetFixture, NeighborsRespectRange) {
+  EXPECT_EQ(net.neighbors(0), (std::vector<NodeId>{1}));
+  EXPECT_EQ(net.neighbors(1), (std::vector<NodeId>{0, 2}));
+  EXPECT_TRUE(net.in_range(0, 1));
+  EXPECT_FALSE(net.in_range(0, 2));
+  EXPECT_FALSE(net.in_range(1, 1));
+}
+
+TEST_F(NetFixture, BroadcastReachesInRangeNodesOnly) {
+  std::vector<NodeId> received;
+  net.set_receive_handler(
+      [&](NodeId self, const Packet&) { received.push_back(self); });
+  net.broadcast(packet_from(1));
+  sim.run_all();
+  EXPECT_EQ(received, (std::vector<NodeId>{0, 2}));
+}
+
+TEST_F(NetFixture, BroadcastExcludesSender) {
+  std::vector<NodeId> received;
+  net.set_receive_handler(
+      [&](NodeId self, const Packet&) { received.push_back(self); });
+  net.broadcast(packet_from(0));
+  sim.run_all();
+  EXPECT_EQ(received, (std::vector<NodeId>{1}));
+}
+
+TEST_F(NetFixture, UnicastDeliversToTargetOnly) {
+  std::vector<NodeId> received;
+  net.set_receive_handler(
+      [&](NodeId self, const Packet&) { received.push_back(self); });
+  net.unicast(packet_from(1), 2);
+  sim.run_all();
+  EXPECT_EQ(received, (std::vector<NodeId>{2}));
+  EXPECT_EQ(net.frames_lost(), 0u);
+}
+
+TEST_F(NetFixture, UnicastOutOfRangeIsLost) {
+  int received = 0;
+  net.set_receive_handler([&](NodeId, const Packet&) { ++received; });
+  net.unicast(packet_from(0), 2);  // 400 m apart
+  sim.run_all();
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(net.frames_lost(), 1u);
+}
+
+TEST_F(NetFixture, DeliveryTakesPositiveTime) {
+  double delivered_at = -1.0;
+  net.set_receive_handler(
+      [&](NodeId, const Packet&) { delivered_at = sim.now(); });
+  net.broadcast(packet_from(0));
+  sim.run_all();
+  EXPECT_GT(delivered_at, 0.0);
+  // 100 bytes at 11 Mbps + MAC overhead + propagation + processing.
+  EXPECT_LT(delivered_at, 0.01);
+}
+
+TEST_F(NetFixture, MacSerializesBackToBackFrames) {
+  std::vector<double> deliveries;
+  net.set_receive_handler(
+      [&](NodeId self, const Packet&) {
+        if (self == 1) deliveries.push_back(sim.now());
+      });
+  net.broadcast(packet_from(0));
+  net.broadcast(packet_from(0));  // queued behind the first
+  sim.run_all();
+  ASSERT_EQ(deliveries.size(), 2u);
+  const double gap = deliveries[1] - deliveries[0];
+  // Second frame waits for the first's airtime (>= mac overhead).
+  EXPECT_GE(gap, config().mac_overhead_s * 0.99);
+}
+
+TEST_F(NetFixture, BroadcastChargesSenderAndReceivers) {
+  net.set_receive_handler([](NodeId, const Packet&) {});
+  net.broadcast(packet_from(1));
+  sim.run_all();
+  const auto& acc = net.energy();
+  EXPECT_GT(acc.node(1).broadcast_send_mj, 0.0);
+  EXPECT_GT(acc.node(0).broadcast_recv_mj, 0.0);
+  EXPECT_GT(acc.node(2).broadcast_recv_mj, 0.0);
+  EXPECT_EQ(acc.node(1).broadcast_recv_mj, 0.0);
+}
+
+TEST_F(NetFixture, UnicastChargesOverhearers) {
+  net.set_receive_handler([](NodeId, const Packet&) {});
+  net.unicast(packet_from(1), 0);
+  sim.run_all();
+  const auto& acc = net.energy();
+  EXPECT_GT(acc.node(1).p2p_send_mj, 0.0);
+  EXPECT_GT(acc.node(0).p2p_recv_mj, 0.0);
+  EXPECT_GT(acc.node(2).p2p_discard_mj, 0.0);  // overheard, discarded
+}
+
+TEST_F(NetFixture, KilledNodeNeitherSendsNorReceives) {
+  int received = 0;
+  net.set_receive_handler([&](NodeId, const Packet&) { ++received; });
+  net.kill(1);
+  EXPECT_FALSE(net.is_alive(1));
+  EXPECT_EQ(net.alive_count(), 2u);
+  net.broadcast(packet_from(0));  // only neighbor was 1
+  sim.run_all();
+  EXPECT_EQ(received, 0);
+  net.broadcast(packet_from(1));  // dead sender: dropped
+  sim.run_all();
+  EXPECT_EQ(received, 0);
+}
+
+TEST_F(NetFixture, ReviveRestoresNode) {
+  net.kill(1);
+  net.revive(1);
+  EXPECT_TRUE(net.is_alive(1));
+  int received = 0;
+  net.set_receive_handler([&](NodeId, const Packet&) { ++received; });
+  net.broadcast(packet_from(0));
+  sim.run_all();
+  EXPECT_EQ(received, 1);
+}
+
+TEST_F(NetFixture, DeadNodesAreNotNeighbors) {
+  net.kill(1);
+  EXPECT_TRUE(net.neighbors(0).empty());
+  EXPECT_FALSE(net.in_range(0, 1));
+}
+
+TEST_F(NetFixture, StatsCountSendsAndDeliveries) {
+  net.set_receive_handler([](NodeId, const Packet&) {});
+  net.broadcast(packet_from(1, PacketKind::kRequest));
+  net.unicast(packet_from(1, PacketKind::kResponse), 0);
+  sim.run_all();
+  EXPECT_EQ(net.stats().sends(PacketKind::kRequest), 1u);
+  EXPECT_EQ(net.stats().deliveries(PacketKind::kRequest), 2u);
+  EXPECT_EQ(net.stats().sends(PacketKind::kResponse), 1u);
+  EXPECT_EQ(net.stats().deliveries(PacketKind::kResponse), 1u);
+  EXPECT_EQ(net.stats().bytes_sent(PacketKind::kRequest), 100u);
+  EXPECT_EQ(net.stats().total_sends(), 2u);
+}
+
+TEST_F(NetFixture, ConsistencySendsCoverConsistencyKinds) {
+  net.set_receive_handler([](NodeId, const Packet&) {});
+  net.broadcast(packet_from(1, PacketKind::kInvalidation));
+  net.unicast(packet_from(1, PacketKind::kPoll), 0);
+  net.unicast(packet_from(1, PacketKind::kPollReply), 0);
+  net.unicast(packet_from(1, PacketKind::kUpdatePush), 0);
+  net.unicast(packet_from(1, PacketKind::kPushAck), 0);
+  net.broadcast(packet_from(1, PacketKind::kRequest));  // not consistency
+  sim.run_all();
+  EXPECT_EQ(net.stats().consistency_sends(), 5u);
+}
+
+TEST(MessageStats, ToStringCoversAllKinds) {
+  for (int k = 0; k < 9; ++k) {
+    EXPECT_STRNE(net::to_string(static_cast<PacketKind>(k)), "unknown");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Spatial grid index
+// ---------------------------------------------------------------------------
+
+TEST_F(NetFixture, FramesCarrySenderPosition) {
+  geo::Point seen{-1, -1};
+  net.set_receive_handler([&](NodeId, const Packet& p) {
+    seen = p.src_location;
+  });
+  net.broadcast(packet_from(1));
+  sim.run_all();
+  EXPECT_EQ(seen, (geo::Point{200, 0}));
+}
+
+TEST_F(NetFixture, SnoopHandlerSeesOverheardUnicast) {
+  std::vector<NodeId> snoopers;
+  net.set_receive_handler([](NodeId, const Packet&) {});
+  net.set_snoop_handler([&](NodeId self, const Packet& p) {
+    snoopers.push_back(self);
+    EXPECT_EQ(p.src_location, (geo::Point{200, 0}));
+  });
+  net.unicast(packet_from(1), 0);  // node 2 overhears
+  sim.run_all();
+  EXPECT_EQ(snoopers, (std::vector<NodeId>{2}));
+}
+
+TEST(SpatialGrid, RejectsBadConstruction) {
+  EXPECT_THROW(net::SpatialGrid({{0, 0}, {0, 100}}, 250.0),
+               std::invalid_argument);
+  EXPECT_THROW(net::SpatialGrid({{0, 0}, {100, 100}}, 0.0),
+               std::invalid_argument);
+}
+
+TEST(SpatialGrid, QueryReturnsSupersetOfInRadius) {
+  precinct::support::Rng rng(7);
+  std::vector<precinct::geo::Point> pts;
+  for (int i = 0; i < 300; ++i) {
+    pts.push_back({rng.uniform(0, 1200), rng.uniform(0, 1200)});
+  }
+  std::vector<char> alive(pts.size(), 1);
+  net::SpatialGrid grid({{0, 0}, {1200, 1200}}, 250.0);
+  grid.rebuild(pts, alive);
+  EXPECT_EQ(grid.indexed_count(), pts.size());
+  for (int trial = 0; trial < 50; ++trial) {
+    const precinct::geo::Point q{rng.uniform(0, 1200), rng.uniform(0, 1200)};
+    std::vector<std::uint32_t> candidates;
+    grid.query(q, 250.0, candidates);
+    const std::set<std::uint32_t> cand_set(candidates.begin(),
+                                           candidates.end());
+    for (std::uint32_t i = 0; i < pts.size(); ++i) {
+      if (precinct::geo::distance(pts[i], q) <= 250.0) {
+        EXPECT_TRUE(cand_set.count(i)) << "missed in-radius node " << i;
+      }
+    }
+  }
+}
+
+TEST(SpatialGrid, SkipsDeadNodes) {
+  std::vector<precinct::geo::Point> pts{{10, 10}, {20, 20}};
+  std::vector<char> alive{1, 0};
+  net::SpatialGrid grid({{0, 0}, {100, 100}}, 50.0);
+  grid.rebuild(pts, alive);
+  EXPECT_EQ(grid.indexed_count(), 1u);
+  std::vector<std::uint32_t> out;
+  grid.query({15, 15}, 50.0, out);
+  EXPECT_EQ(out, (std::vector<std::uint32_t>{0}));
+}
+
+TEST(SpatialGrid, NeighborsMatchLinearScanOnMobileNetwork) {
+  // Property: the indexed WirelessNet returns exactly the same neighbor
+  // sets as the scan path, across time, on a large mobile network.
+  mobility::RandomWaypointConfig rwp;
+  rwp.area = {{0, 0}, {2000, 2000}};
+  rwp.v_max = 20.0;
+  mobility::RandomWaypoint mob_a(200, rwp, 99);
+  mobility::RandomWaypoint mob_b(200, rwp, 99);
+
+  net::WirelessConfig with_grid;
+  with_grid.area = rwp.area;
+  with_grid.spatial_index_threshold = 1;  // force the grid on
+  net::WirelessConfig no_grid = with_grid;
+  no_grid.spatial_index_threshold = 10000;  // force the scan
+
+  sim::Simulator sim_a;
+  sim::Simulator sim_b;
+  net::WirelessNet a(sim_a, mob_a, with_grid, energy::FeeneyModel{}, 1);
+  net::WirelessNet b(sim_b, mob_b, no_grid, energy::FeeneyModel{}, 1);
+  for (double t = 0.0; t < 30.0; t += 0.37) {
+    sim_a.run_until(t);
+    sim_b.run_until(t);
+    for (NodeId n = 0; n < 200; n += 17) {
+      EXPECT_EQ(a.neighbors(n), b.neighbors(n)) << "node " << n << " t " << t;
+    }
+  }
+}
+
+}  // namespace

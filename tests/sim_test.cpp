@@ -1,0 +1,221 @@
+// Unit tests for the discrete-event engine: ordering, cancellation,
+// clock semantics, determinism.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "sim/trace.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using precinct::sim::EventHandle;
+using precinct::sim::Simulator;
+
+TEST(Simulator, StartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), 0.0);
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(Simulator, ExecutesInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(3.0, [&] { order.push_back(3); });
+  sim.schedule(1.0, [&] { order.push_back(1); });
+  sim.schedule(2.0, [&] { order.push_back(2); });
+  sim.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, TiesBreakByInsertionOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule(5.0, [&order, i] { order.push_back(i); });
+  }
+  sim.run_all();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Simulator, ClockAdvancesToEventTime) {
+  Simulator sim;
+  double seen = -1.0;
+  sim.schedule(2.5, [&] { seen = sim.now(); });
+  sim.run_all();
+  EXPECT_EQ(seen, 2.5);
+  EXPECT_EQ(sim.now(), 2.5);
+}
+
+TEST(Simulator, RunUntilStopsAtBoundary) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(1.0, [&] { ++fired; });
+  sim.schedule(10.0, [&] { ++fired; });
+  sim.run_until(5.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), 5.0);
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run_until(20.0);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, EventAtExactBoundaryRuns) {
+  Simulator sim;
+  bool fired = false;
+  sim.schedule(5.0, [&] { fired = true; });
+  sim.run_until(5.0);
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, NestedSchedulingFromCallbacks) {
+  Simulator sim;
+  std::vector<double> times;
+  sim.schedule(1.0, [&] {
+    times.push_back(sim.now());
+    sim.schedule(1.0, [&] { times.push_back(sim.now()); });
+  });
+  sim.run_all();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_EQ(times[0], 1.0);
+  EXPECT_EQ(times[1], 2.0);
+}
+
+TEST(Simulator, NegativeDelayClampsToNow) {
+  Simulator sim;
+  sim.schedule(2.0, [&] {
+    sim.schedule(-5.0, [&] { EXPECT_EQ(sim.now(), 2.0); });
+  });
+  sim.run_all();
+}
+
+TEST(Simulator, ScheduleAtPastClampsToNow) {
+  Simulator sim;
+  double fired_at = -1.0;
+  sim.schedule(3.0, [&] {
+    sim.schedule_at(1.0, [&] { fired_at = sim.now(); });
+  });
+  sim.run_all();
+  EXPECT_EQ(fired_at, 3.0);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  bool fired = false;
+  const EventHandle h = sim.schedule(1.0, [&] { fired = true; });
+  EXPECT_TRUE(sim.cancel(h));
+  sim.run_all();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, CancelTwiceIsIdempotent) {
+  Simulator sim;
+  const EventHandle h = sim.schedule(1.0, [] {});
+  EXPECT_TRUE(sim.cancel(h));
+  EXPECT_FALSE(sim.cancel(h));
+  sim.run_all();
+}
+
+TEST(Simulator, CancelInvalidHandleIsNoop) {
+  Simulator sim;
+  EXPECT_FALSE(sim.cancel(EventHandle{}));
+}
+
+TEST(Simulator, CancelOneOfManyAtSameTime) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(1.0, [&] { ++fired; });
+  const EventHandle h = sim.schedule(1.0, [&] { fired += 100; });
+  sim.schedule(1.0, [&] { ++fired; });
+  sim.cancel(h);
+  sim.run_all();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, CountsExecutedEvents) {
+  Simulator sim;
+  for (int i = 0; i < 5; ++i) sim.schedule(i, [] {});
+  const auto h = sim.schedule(6.0, [] {});
+  sim.cancel(h);
+  sim.run_all();
+  EXPECT_EQ(sim.events_executed(), 5u);
+}
+
+TEST(Simulator, RunUntilAdvancesClockWithoutEvents) {
+  Simulator sim;
+  sim.run_until(42.0);
+  EXPECT_EQ(sim.now(), 42.0);
+}
+
+TEST(Simulator, ManyEventsStressOrdering) {
+  Simulator sim;
+  double last = -1.0;
+  precinct::support::Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    sim.schedule(rng.uniform(0.0, 1000.0), [&] {
+      EXPECT_GE(sim.now(), last);
+      last = sim.now();
+    });
+  }
+  sim.run_all();
+  EXPECT_EQ(sim.events_executed(), 10000u);
+}
+
+TEST(Tracer, DisabledByDefault) {
+  precinct::sim::Tracer tracer;
+  tracer.emit(1.0, precinct::sim::TraceCategory::kProtocol, 0, "x");
+  EXPECT_EQ(tracer.size(), 0u);
+  EXPECT_EQ(tracer.total_emitted(), 0u);
+}
+
+TEST(Tracer, CategoryFiltering) {
+  precinct::sim::Tracer tracer;
+  tracer.enable(precinct::sim::TraceCategory::kCache);
+  tracer.emit(1.0, precinct::sim::TraceCategory::kCache, 3, "hit");
+  tracer.emit(2.0, precinct::sim::TraceCategory::kProtocol, 4, "nope");
+  ASSERT_EQ(tracer.size(), 1u);
+  EXPECT_EQ(tracer.events().front().node, 3u);
+  tracer.disable(precinct::sim::TraceCategory::kCache);
+  tracer.emit(3.0, precinct::sim::TraceCategory::kCache, 3, "gone");
+  EXPECT_EQ(tracer.size(), 1u);
+}
+
+TEST(Tracer, RingBufferBounds) {
+  precinct::sim::Tracer tracer(4);
+  tracer.enable_all();
+  for (int i = 0; i < 10; ++i) {
+    tracer.emit(i, precinct::sim::TraceCategory::kRadio, 0,
+                std::to_string(i));
+  }
+  EXPECT_EQ(tracer.size(), 4u);
+  EXPECT_EQ(tracer.total_emitted(), 10u);
+  EXPECT_EQ(tracer.events().front().message, "6");
+  const auto last2 = tracer.last(2);
+  ASSERT_EQ(last2.size(), 2u);
+  EXPECT_EQ(last2[1].message, "9");
+}
+
+TEST(Tracer, DumpFormatsLines) {
+  precinct::sim::Tracer tracer;
+  tracer.enable_all();
+  tracer.emit(12.5, precinct::sim::TraceCategory::kCustody, 7, "moved keys");
+  std::ostringstream os;
+  tracer.dump(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("custody"), std::string::npos);
+  EXPECT_NE(out.find("node 7"), std::string::npos);
+  EXPECT_NE(out.find("moved keys"), std::string::npos);
+}
+
+TEST(Tracer, CategoriesHaveNames) {
+  using precinct::sim::TraceCategory;
+  for (int c = 0; c <= 5; ++c) {
+    EXPECT_STRNE(precinct::sim::to_string(static_cast<TraceCategory>(c)),
+                 "unknown");
+  }
+}
+
+}  // namespace

@@ -1,0 +1,135 @@
+// Unit tests for workload: Zipf sampling and the data catalog.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "support/rng.hpp"
+#include "workload/data_catalog.hpp"
+#include "workload/zipf.hpp"
+
+namespace {
+
+using namespace precinct::workload;
+using precinct::support::Rng;
+
+TEST(Zipf, RejectsBadArguments) {
+  EXPECT_THROW(ZipfGenerator(0, 0.8), std::invalid_argument);
+  EXPECT_THROW(ZipfGenerator(10, -0.1), std::invalid_argument);
+}
+
+TEST(Zipf, PmfSumsToOne) {
+  const ZipfGenerator z(100, 0.8);
+  double total = 0.0;
+  for (std::size_t i = 0; i < 100; ++i) total += z.pmf(i);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(Zipf, PmfMonotoneDecreasing) {
+  const ZipfGenerator z(50, 1.2);
+  for (std::size_t i = 1; i < 50; ++i) {
+    EXPECT_GE(z.pmf(i - 1), z.pmf(i));
+  }
+}
+
+TEST(Zipf, ThetaZeroIsUniform) {
+  const ZipfGenerator z(10, 0.0);
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_NEAR(z.pmf(i), 0.1, 1e-12);
+}
+
+TEST(Zipf, PmfMatchesPowerLaw) {
+  const ZipfGenerator z(1000, 0.8);
+  // pmf(i) / pmf(j) should equal (j+1)^theta / (i+1)^theta.
+  const double ratio = z.pmf(0) / z.pmf(9);
+  EXPECT_NEAR(ratio, std::pow(10.0, 0.8), 1e-9);
+}
+
+TEST(Zipf, SampleFrequenciesTrackPmf) {
+  const ZipfGenerator z(20, 0.8);
+  Rng rng(5);
+  std::vector<int> counts(20, 0);
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) ++counts[z.sample(rng)];
+  for (std::size_t i = 0; i < 20; ++i) {
+    EXPECT_NEAR(static_cast<double>(counts[i]) / kN, z.pmf(i), 0.005)
+        << "rank " << i;
+  }
+}
+
+TEST(Zipf, SampleInRange) {
+  const ZipfGenerator z(7, 2.0);
+  Rng rng(6);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(z.sample(rng), 7u);
+}
+
+TEST(Zipf, PmfThrowsOutOfRange) {
+  const ZipfGenerator z(5, 1.0);
+  EXPECT_THROW((void)z.pmf(5), std::out_of_range);
+}
+
+TEST(DataCatalog, RejectsBadConfig) {
+  DataCatalogConfig c;
+  c.n_items = 0;
+  EXPECT_THROW(DataCatalog(c, 1), std::invalid_argument);
+  c = {};
+  c.min_item_bytes = 0;
+  EXPECT_THROW(DataCatalog(c, 1), std::invalid_argument);
+  c = {};
+  c.max_item_bytes = c.min_item_bytes - 1;
+  EXPECT_THROW(DataCatalog(c, 1), std::invalid_argument);
+}
+
+TEST(DataCatalog, SizesWithinBounds) {
+  DataCatalogConfig c;
+  c.n_items = 500;
+  c.min_item_bytes = 1000;
+  c.max_item_bytes = 2000;
+  const DataCatalog cat(c, 3);
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < cat.size(); ++i) {
+    const auto& item = cat.item_at(i);
+    EXPECT_GE(item.size_bytes, 1000u);
+    EXPECT_LE(item.size_bytes, 2000u);
+    total += item.size_bytes;
+  }
+  EXPECT_EQ(total, cat.total_bytes());
+}
+
+TEST(DataCatalog, KeysAreUniqueAndStable) {
+  const DataCatalog a(DataCatalogConfig{}, 1);
+  const DataCatalog b(DataCatalogConfig{}, 2);  // different seed, same keys
+  std::set<precinct::geo::Key> keys;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    keys.insert(a.key_of(i));
+    EXPECT_EQ(a.key_of(i), b.key_of(i));
+  }
+  EXPECT_EQ(keys.size(), a.size());
+}
+
+TEST(DataCatalog, RankOfInvertsKeyOf) {
+  const DataCatalog cat(DataCatalogConfig{}, 7);
+  for (std::size_t i = 0; i < cat.size(); i += 37) {
+    EXPECT_EQ(cat.rank_of(cat.key_of(i)), i);
+  }
+  EXPECT_THROW((void)cat.rank_of(0xDEADBEEF), std::out_of_range);
+}
+
+TEST(DataCatalog, UpdatesBumpVersions) {
+  DataCatalog cat(DataCatalogConfig{}, 7);
+  const auto key = cat.key_of(3);
+  EXPECT_EQ(cat.item(key).version, 0u);
+  EXPECT_TRUE(cat.is_current(key, 0));
+  EXPECT_EQ(cat.apply_update(key, 10.0), 1u);
+  EXPECT_EQ(cat.apply_update(key, 20.0), 2u);
+  EXPECT_FALSE(cat.is_current(key, 1));
+  EXPECT_TRUE(cat.is_current(key, 2));
+  EXPECT_DOUBLE_EQ(cat.item(key).last_update_s, 20.0);
+}
+
+TEST(DataCatalog, UpdatesIsolatedPerKey) {
+  DataCatalog cat(DataCatalogConfig{}, 7);
+  cat.apply_update(cat.key_of(0), 1.0);
+  EXPECT_EQ(cat.item(cat.key_of(1)).version, 0u);
+}
+
+}  // namespace
