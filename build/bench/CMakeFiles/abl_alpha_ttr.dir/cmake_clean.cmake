@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_alpha_ttr.dir/abl_alpha_ttr.cpp.o"
+  "CMakeFiles/abl_alpha_ttr.dir/abl_alpha_ttr.cpp.o.d"
+  "abl_alpha_ttr"
+  "abl_alpha_ttr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_alpha_ttr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for abl_alpha_ttr.
+# This may be replaced when dependencies are built.

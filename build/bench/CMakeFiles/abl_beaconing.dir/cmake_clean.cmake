@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_beaconing.dir/abl_beaconing.cpp.o"
+  "CMakeFiles/abl_beaconing.dir/abl_beaconing.cpp.o.d"
+  "abl_beaconing"
+  "abl_beaconing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_beaconing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

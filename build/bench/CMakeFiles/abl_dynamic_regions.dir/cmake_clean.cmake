@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_dynamic_regions.dir/abl_dynamic_regions.cpp.o"
+  "CMakeFiles/abl_dynamic_regions.dir/abl_dynamic_regions.cpp.o.d"
+  "abl_dynamic_regions"
+  "abl_dynamic_regions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_dynamic_regions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

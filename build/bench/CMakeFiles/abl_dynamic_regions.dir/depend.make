@@ -1,0 +1,2 @@
+# Empty dependencies file for abl_dynamic_regions.
+# This may be replaced when dependencies are built.

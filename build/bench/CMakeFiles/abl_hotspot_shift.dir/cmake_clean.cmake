@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_hotspot_shift.dir/abl_hotspot_shift.cpp.o"
+  "CMakeFiles/abl_hotspot_shift.dir/abl_hotspot_shift.cpp.o.d"
+  "abl_hotspot_shift"
+  "abl_hotspot_shift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_hotspot_shift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_mobility_models.dir/abl_mobility_models.cpp.o"
+  "CMakeFiles/abl_mobility_models.dir/abl_mobility_models.cpp.o.d"
+  "abl_mobility_models"
+  "abl_mobility_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_mobility_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_retrieval_schemes.dir/abl_retrieval_schemes.cpp.o"
+  "CMakeFiles/abl_retrieval_schemes.dir/abl_retrieval_schemes.cpp.o.d"
+  "abl_retrieval_schemes"
+  "abl_retrieval_schemes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_retrieval_schemes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

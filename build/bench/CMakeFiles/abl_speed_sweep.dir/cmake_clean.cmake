@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_speed_sweep.dir/abl_speed_sweep.cpp.o"
+  "CMakeFiles/abl_speed_sweep.dir/abl_speed_sweep.cpp.o.d"
+  "abl_speed_sweep"
+  "abl_speed_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_speed_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_utility_weights.dir/abl_utility_weights.cpp.o"
+  "CMakeFiles/abl_utility_weights.dir/abl_utility_weights.cpp.o.d"
+  "abl_utility_weights"
+  "abl_utility_weights.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_utility_weights.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

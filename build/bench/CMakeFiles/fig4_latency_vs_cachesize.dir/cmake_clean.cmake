@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_latency_vs_cachesize.dir/fig4_latency_vs_cachesize.cpp.o"
+  "CMakeFiles/fig4_latency_vs_cachesize.dir/fig4_latency_vs_cachesize.cpp.o.d"
+  "fig4_latency_vs_cachesize"
+  "fig4_latency_vs_cachesize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_latency_vs_cachesize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_bytehit_vs_cachesize.dir/fig5_bytehit_vs_cachesize.cpp.o"
+  "CMakeFiles/fig5_bytehit_vs_cachesize.dir/fig5_bytehit_vs_cachesize.cpp.o.d"
+  "fig5_bytehit_vs_cachesize"
+  "fig5_bytehit_vs_cachesize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_bytehit_vs_cachesize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

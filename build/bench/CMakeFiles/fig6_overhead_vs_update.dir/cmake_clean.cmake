@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_overhead_vs_update.dir/fig6_overhead_vs_update.cpp.o"
+  "CMakeFiles/fig6_overhead_vs_update.dir/fig6_overhead_vs_update.cpp.o.d"
+  "fig6_overhead_vs_update"
+  "fig6_overhead_vs_update.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_overhead_vs_update.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig7_fhr_vs_update.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7_fhr_vs_update.
+# This may be replaced when dependencies are built.

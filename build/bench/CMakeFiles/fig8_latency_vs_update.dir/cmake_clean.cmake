@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_latency_vs_update.dir/fig8_latency_vs_update.cpp.o"
+  "CMakeFiles/fig8_latency_vs_update.dir/fig8_latency_vs_update.cpp.o.d"
+  "fig8_latency_vs_update"
+  "fig8_latency_vs_update.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_latency_vs_update.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9a_energy_vs_nodes.dir/fig9a_energy_vs_nodes.cpp.o"
+  "CMakeFiles/fig9a_energy_vs_nodes.dir/fig9a_energy_vs_nodes.cpp.o.d"
+  "fig9a_energy_vs_nodes"
+  "fig9a_energy_vs_nodes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9a_energy_vs_nodes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

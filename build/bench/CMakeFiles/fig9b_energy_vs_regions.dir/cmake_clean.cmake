@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9b_energy_vs_regions.dir/fig9b_energy_vs_regions.cpp.o"
+  "CMakeFiles/fig9b_energy_vs_regions.dir/fig9b_energy_vs_regions.cpp.o.d"
+  "fig9b_energy_vs_regions"
+  "fig9b_energy_vs_regions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9b_energy_vs_regions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

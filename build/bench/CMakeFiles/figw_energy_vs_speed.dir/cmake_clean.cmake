@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figw_energy_vs_speed.dir/figw_energy_vs_speed.cpp.o"
+  "CMakeFiles/figw_energy_vs_speed.dir/figw_energy_vs_speed.cpp.o.d"
+  "figw_energy_vs_speed"
+  "figw_energy_vs_speed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figw_energy_vs_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

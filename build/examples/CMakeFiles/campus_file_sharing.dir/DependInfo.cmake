@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/campus_file_sharing.cpp" "examples/CMakeFiles/campus_file_sharing.dir/campus_file_sharing.cpp.o" "gcc" "examples/CMakeFiles/campus_file_sharing.dir/campus_file_sharing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/precinct_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/precinct_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/precinct_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/precinct_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mobility/CMakeFiles/precinct_mobility.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/precinct_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/precinct_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/consistency/CMakeFiles/precinct_consistency.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/precinct_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/precinct_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/precinct_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/precinct_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

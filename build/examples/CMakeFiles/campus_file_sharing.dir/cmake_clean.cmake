@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/campus_file_sharing.dir/campus_file_sharing.cpp.o"
+  "CMakeFiles/campus_file_sharing.dir/campus_file_sharing.cpp.o.d"
+  "campus_file_sharing"
+  "campus_file_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/campus_file_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/precinct_sim_cli.dir/precinct_sim.cpp.o"
+  "CMakeFiles/precinct_sim_cli.dir/precinct_sim.cpp.o.d"
+  "precinct_sim"
+  "precinct_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/precinct_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

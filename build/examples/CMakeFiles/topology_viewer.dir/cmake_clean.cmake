@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topology_viewer.dir/topology_viewer.cpp.o"
+  "CMakeFiles/topology_viewer.dir/topology_viewer.cpp.o.d"
+  "topology_viewer"
+  "topology_viewer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topology_viewer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traffic_updates.dir/traffic_updates.cpp.o"
+  "CMakeFiles/traffic_updates.dir/traffic_updates.cpp.o.d"
+  "traffic_updates"
+  "traffic_updates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traffic_updates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

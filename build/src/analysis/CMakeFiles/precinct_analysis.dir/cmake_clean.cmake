@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/precinct_analysis.dir/consistency_analysis.cpp.o"
+  "CMakeFiles/precinct_analysis.dir/consistency_analysis.cpp.o.d"
+  "CMakeFiles/precinct_analysis.dir/energy_analysis.cpp.o"
+  "CMakeFiles/precinct_analysis.dir/energy_analysis.cpp.o.d"
+  "libprecinct_analysis.a"
+  "libprecinct_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/precinct_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

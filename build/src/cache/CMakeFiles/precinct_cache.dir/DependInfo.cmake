@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/cache_store.cpp" "src/cache/CMakeFiles/precinct_cache.dir/cache_store.cpp.o" "gcc" "src/cache/CMakeFiles/precinct_cache.dir/cache_store.cpp.o.d"
+  "/root/repo/src/cache/policies.cpp" "src/cache/CMakeFiles/precinct_cache.dir/policies.cpp.o" "gcc" "src/cache/CMakeFiles/precinct_cache.dir/policies.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/precinct_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/precinct_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

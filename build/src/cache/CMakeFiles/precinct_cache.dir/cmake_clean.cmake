@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/precinct_cache.dir/cache_store.cpp.o"
+  "CMakeFiles/precinct_cache.dir/cache_store.cpp.o.d"
+  "CMakeFiles/precinct_cache.dir/policies.cpp.o"
+  "CMakeFiles/precinct_cache.dir/policies.cpp.o.d"
+  "libprecinct_cache.a"
+  "libprecinct_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/precinct_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

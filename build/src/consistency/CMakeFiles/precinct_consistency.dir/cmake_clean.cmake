@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/precinct_consistency.dir/ttr.cpp.o"
+  "CMakeFiles/precinct_consistency.dir/ttr.cpp.o.d"
+  "libprecinct_consistency.a"
+  "libprecinct_consistency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/precinct_consistency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libprecinct_consistency.a"
+)

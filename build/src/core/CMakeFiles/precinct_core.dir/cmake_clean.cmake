@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/precinct_core.dir/config_io.cpp.o"
+  "CMakeFiles/precinct_core.dir/config_io.cpp.o.d"
+  "CMakeFiles/precinct_core.dir/engine.cpp.o"
+  "CMakeFiles/precinct_core.dir/engine.cpp.o.d"
+  "CMakeFiles/precinct_core.dir/engine_consistency.cpp.o"
+  "CMakeFiles/precinct_core.dir/engine_consistency.cpp.o.d"
+  "CMakeFiles/precinct_core.dir/engine_custody.cpp.o"
+  "CMakeFiles/precinct_core.dir/engine_custody.cpp.o.d"
+  "CMakeFiles/precinct_core.dir/engine_search.cpp.o"
+  "CMakeFiles/precinct_core.dir/engine_search.cpp.o.d"
+  "CMakeFiles/precinct_core.dir/metrics.cpp.o"
+  "CMakeFiles/precinct_core.dir/metrics.cpp.o.d"
+  "CMakeFiles/precinct_core.dir/scenario.cpp.o"
+  "CMakeFiles/precinct_core.dir/scenario.cpp.o.d"
+  "CMakeFiles/precinct_core.dir/validate.cpp.o"
+  "CMakeFiles/precinct_core.dir/validate.cpp.o.d"
+  "libprecinct_core.a"
+  "libprecinct_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/precinct_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

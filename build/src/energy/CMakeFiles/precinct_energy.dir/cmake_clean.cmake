@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/precinct_energy.dir/accounting.cpp.o"
+  "CMakeFiles/precinct_energy.dir/accounting.cpp.o.d"
+  "CMakeFiles/precinct_energy.dir/feeney_model.cpp.o"
+  "CMakeFiles/precinct_energy.dir/feeney_model.cpp.o.d"
+  "libprecinct_energy.a"
+  "libprecinct_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/precinct_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

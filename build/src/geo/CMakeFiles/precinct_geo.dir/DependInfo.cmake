@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geo/geo_hash.cpp" "src/geo/CMakeFiles/precinct_geo.dir/geo_hash.cpp.o" "gcc" "src/geo/CMakeFiles/precinct_geo.dir/geo_hash.cpp.o.d"
+  "/root/repo/src/geo/geometry.cpp" "src/geo/CMakeFiles/precinct_geo.dir/geometry.cpp.o" "gcc" "src/geo/CMakeFiles/precinct_geo.dir/geometry.cpp.o.d"
+  "/root/repo/src/geo/region_table.cpp" "src/geo/CMakeFiles/precinct_geo.dir/region_table.cpp.o" "gcc" "src/geo/CMakeFiles/precinct_geo.dir/region_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/precinct_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/precinct_geo.dir/geo_hash.cpp.o"
+  "CMakeFiles/precinct_geo.dir/geo_hash.cpp.o.d"
+  "CMakeFiles/precinct_geo.dir/geometry.cpp.o"
+  "CMakeFiles/precinct_geo.dir/geometry.cpp.o.d"
+  "CMakeFiles/precinct_geo.dir/region_table.cpp.o"
+  "CMakeFiles/precinct_geo.dir/region_table.cpp.o.d"
+  "libprecinct_geo.a"
+  "libprecinct_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/precinct_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

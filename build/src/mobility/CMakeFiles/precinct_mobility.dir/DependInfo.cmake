@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mobility/gauss_markov.cpp" "src/mobility/CMakeFiles/precinct_mobility.dir/gauss_markov.cpp.o" "gcc" "src/mobility/CMakeFiles/precinct_mobility.dir/gauss_markov.cpp.o.d"
+  "/root/repo/src/mobility/random_direction.cpp" "src/mobility/CMakeFiles/precinct_mobility.dir/random_direction.cpp.o" "gcc" "src/mobility/CMakeFiles/precinct_mobility.dir/random_direction.cpp.o.d"
+  "/root/repo/src/mobility/random_waypoint.cpp" "src/mobility/CMakeFiles/precinct_mobility.dir/random_waypoint.cpp.o" "gcc" "src/mobility/CMakeFiles/precinct_mobility.dir/random_waypoint.cpp.o.d"
+  "/root/repo/src/mobility/static_placement.cpp" "src/mobility/CMakeFiles/precinct_mobility.dir/static_placement.cpp.o" "gcc" "src/mobility/CMakeFiles/precinct_mobility.dir/static_placement.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/precinct_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/precinct_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

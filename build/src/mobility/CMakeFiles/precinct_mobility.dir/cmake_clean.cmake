@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/precinct_mobility.dir/gauss_markov.cpp.o"
+  "CMakeFiles/precinct_mobility.dir/gauss_markov.cpp.o.d"
+  "CMakeFiles/precinct_mobility.dir/random_direction.cpp.o"
+  "CMakeFiles/precinct_mobility.dir/random_direction.cpp.o.d"
+  "CMakeFiles/precinct_mobility.dir/random_waypoint.cpp.o"
+  "CMakeFiles/precinct_mobility.dir/random_waypoint.cpp.o.d"
+  "CMakeFiles/precinct_mobility.dir/static_placement.cpp.o"
+  "CMakeFiles/precinct_mobility.dir/static_placement.cpp.o.d"
+  "libprecinct_mobility.a"
+  "libprecinct_mobility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/precinct_mobility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/message_stats.cpp" "src/net/CMakeFiles/precinct_net.dir/message_stats.cpp.o" "gcc" "src/net/CMakeFiles/precinct_net.dir/message_stats.cpp.o.d"
+  "/root/repo/src/net/spatial_grid.cpp" "src/net/CMakeFiles/precinct_net.dir/spatial_grid.cpp.o" "gcc" "src/net/CMakeFiles/precinct_net.dir/spatial_grid.cpp.o.d"
+  "/root/repo/src/net/wireless_net.cpp" "src/net/CMakeFiles/precinct_net.dir/wireless_net.cpp.o" "gcc" "src/net/CMakeFiles/precinct_net.dir/wireless_net.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/precinct_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/precinct_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/precinct_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/precinct_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/mobility/CMakeFiles/precinct_mobility.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/precinct_net.dir/message_stats.cpp.o"
+  "CMakeFiles/precinct_net.dir/message_stats.cpp.o.d"
+  "CMakeFiles/precinct_net.dir/spatial_grid.cpp.o"
+  "CMakeFiles/precinct_net.dir/spatial_grid.cpp.o.d"
+  "CMakeFiles/precinct_net.dir/wireless_net.cpp.o"
+  "CMakeFiles/precinct_net.dir/wireless_net.cpp.o.d"
+  "libprecinct_net.a"
+  "libprecinct_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/precinct_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/routing/expanding_ring.cpp" "src/routing/CMakeFiles/precinct_routing.dir/expanding_ring.cpp.o" "gcc" "src/routing/CMakeFiles/precinct_routing.dir/expanding_ring.cpp.o.d"
+  "/root/repo/src/routing/flood.cpp" "src/routing/CMakeFiles/precinct_routing.dir/flood.cpp.o" "gcc" "src/routing/CMakeFiles/precinct_routing.dir/flood.cpp.o.d"
+  "/root/repo/src/routing/gpsr.cpp" "src/routing/CMakeFiles/precinct_routing.dir/gpsr.cpp.o" "gcc" "src/routing/CMakeFiles/precinct_routing.dir/gpsr.cpp.o.d"
+  "/root/repo/src/routing/neighbor_provider.cpp" "src/routing/CMakeFiles/precinct_routing.dir/neighbor_provider.cpp.o" "gcc" "src/routing/CMakeFiles/precinct_routing.dir/neighbor_provider.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/precinct_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/precinct_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/precinct_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/precinct_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/mobility/CMakeFiles/precinct_mobility.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/precinct_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

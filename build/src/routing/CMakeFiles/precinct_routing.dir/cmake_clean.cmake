@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/precinct_routing.dir/expanding_ring.cpp.o"
+  "CMakeFiles/precinct_routing.dir/expanding_ring.cpp.o.d"
+  "CMakeFiles/precinct_routing.dir/flood.cpp.o"
+  "CMakeFiles/precinct_routing.dir/flood.cpp.o.d"
+  "CMakeFiles/precinct_routing.dir/gpsr.cpp.o"
+  "CMakeFiles/precinct_routing.dir/gpsr.cpp.o.d"
+  "CMakeFiles/precinct_routing.dir/neighbor_provider.cpp.o"
+  "CMakeFiles/precinct_routing.dir/neighbor_provider.cpp.o.d"
+  "libprecinct_routing.a"
+  "libprecinct_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/precinct_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/precinct_sim.dir/simulator.cpp.o"
+  "CMakeFiles/precinct_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/precinct_sim.dir/trace.cpp.o"
+  "CMakeFiles/precinct_sim.dir/trace.cpp.o.d"
+  "libprecinct_sim.a"
+  "libprecinct_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/precinct_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

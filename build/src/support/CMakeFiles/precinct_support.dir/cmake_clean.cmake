@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/precinct_support.dir/json.cpp.o"
+  "CMakeFiles/precinct_support.dir/json.cpp.o.d"
+  "CMakeFiles/precinct_support.dir/kv_file.cpp.o"
+  "CMakeFiles/precinct_support.dir/kv_file.cpp.o.d"
+  "CMakeFiles/precinct_support.dir/rng.cpp.o"
+  "CMakeFiles/precinct_support.dir/rng.cpp.o.d"
+  "CMakeFiles/precinct_support.dir/stats.cpp.o"
+  "CMakeFiles/precinct_support.dir/stats.cpp.o.d"
+  "CMakeFiles/precinct_support.dir/table.cpp.o"
+  "CMakeFiles/precinct_support.dir/table.cpp.o.d"
+  "CMakeFiles/precinct_support.dir/thread_pool.cpp.o"
+  "CMakeFiles/precinct_support.dir/thread_pool.cpp.o.d"
+  "libprecinct_support.a"
+  "libprecinct_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/precinct_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/precinct_workload.dir/data_catalog.cpp.o"
+  "CMakeFiles/precinct_workload.dir/data_catalog.cpp.o.d"
+  "CMakeFiles/precinct_workload.dir/zipf.cpp.o"
+  "CMakeFiles/precinct_workload.dir/zipf.cpp.o.d"
+  "libprecinct_workload.a"
+  "libprecinct_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/precinct_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
