@@ -36,6 +36,31 @@ void BM_EventQueueScheduleRun(benchmark::State& state) {
 }
 BENCHMARK(BM_EventQueueScheduleRun)->Arg(1024)->Arg(16384);
 
+// Schedule/cancel churn: half the scheduled events are cancelled before the
+// queue runs.  The seed's sorted-vector erase made this quadratic; the
+// tombstone cancel keeps it O(1) per cancel.
+void BM_EventQueueCancel(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  support::Rng rng(17);
+  std::vector<sim::EventHandle> handles;
+  handles.reserve(n);
+  for (auto _ : state) {
+    sim::Simulator sim;
+    handles.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+      handles.push_back(sim.schedule(rng.uniform(0.0, 100.0), [] {}));
+    }
+    for (std::size_t i = 0; i < n; i += 2) {
+      benchmark::DoNotOptimize(sim.cancel(handles[i]));
+    }
+    sim.run_all();
+    benchmark::DoNotOptimize(sim.events_executed());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_EventQueueCancel)->Arg(1024)->Arg(16384);
+
 struct RadioFixtureState {
   sim::Simulator sim;
   mobility::StaticPlacement placement;
@@ -55,6 +80,19 @@ void BM_NeighborQuery(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_NeighborQuery)->Arg(80)->Arg(160);
+
+// Same query through the into-scratch overload: no per-call vector.
+void BM_NeighborQueryScratch(benchmark::State& state) {
+  RadioFixtureState fx(static_cast<std::size_t>(state.range(0)), 7);
+  net::NodeId i = 0;
+  std::vector<net::NodeId> scratch;
+  for (auto _ : state) {
+    fx.net.neighbors(i, scratch);
+    benchmark::DoNotOptimize(scratch.size());
+    i = (i + 1) % fx.net.node_count();
+  }
+}
+BENCHMARK(BM_NeighborQueryScratch)->Arg(80)->Arg(160);
 
 void BM_GpsrNextHop(benchmark::State& state) {
   RadioFixtureState fx(static_cast<std::size_t>(state.range(0)), 11);
@@ -80,6 +118,20 @@ void BM_GabrielPlanarization(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GabrielPlanarization)->Arg(80)->Arg(160);
+
+// Epoch-cached planarization: after the first lap every call is a cache
+// hit until the topology epoch bumps.  Compare against the uncached
+// BM_GabrielPlanarization above.
+void BM_GabrielPlanarizationCached(benchmark::State& state) {
+  RadioFixtureState fx(static_cast<std::size_t>(state.range(0)), 13);
+  routing::Gpsr gpsr(fx.net);
+  net::NodeId i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gpsr.planar_neighbors_cached(i).size());
+    i = (i + 1) % fx.net.node_count();
+  }
+}
+BENCHMARK(BM_GabrielPlanarizationCached)->Arg(80)->Arg(160);
 
 void BM_CacheInsertEvict(benchmark::State& state) {
   support::Rng rng(5);

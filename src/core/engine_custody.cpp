@@ -165,7 +165,7 @@ net::NodeId PrecinctEngine::pick_custody_target(net::NodeId mover,
     }
     const double dist = geo::distance(net_.position(i), r->center);
     bool flood_reachable = false;
-    for (const net::NodeId nb : net_.neighbors(i)) {
+    for (const net::NodeId nb : net_.neighbors_cached(i)) {
       if (nb != mover && peers_[nb].region == region) {
         flood_reachable = true;
         break;

@@ -32,6 +32,7 @@ void SpatialGrid::rebuild(const std::vector<geo::Point>& positions,
                           const std::vector<char>& alive) {
   for (auto& cell : cells_) cell.clear();
   count_ = 0;
+  ++epoch_;
   for (std::size_t i = 0; i < positions.size(); ++i) {
     if (i < alive.size() && !alive[i]) continue;
     cells_[cell_of(positions[i])].push_back(static_cast<std::uint32_t>(i));

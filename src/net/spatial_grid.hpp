@@ -36,6 +36,10 @@ class SpatialGrid {
   [[nodiscard]] std::size_t indexed_count() const noexcept { return count_; }
   [[nodiscard]] double cell_size() const noexcept { return cell_m_; }
 
+  /// Monotone rebuild counter: bumped on every rebuild(), so callers can
+  /// key caches of derived neighborhood data on it.
+  [[nodiscard]] std::uint64_t epoch() const noexcept { return epoch_; }
+
  private:
   [[nodiscard]] std::size_t cell_of(geo::Point p) const noexcept;
 
@@ -45,6 +49,7 @@ class SpatialGrid {
   std::size_t ny_;
   std::vector<std::vector<std::uint32_t>> cells_;
   std::size_t count_ = 0;
+  std::uint64_t epoch_ = 0;
 };
 
 }  // namespace precinct::net

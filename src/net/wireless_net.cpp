@@ -16,7 +16,8 @@ WirelessNet::WirelessNet(sim::Simulator& simulator,
       rng_(seed),
       n_nodes_(mobility.node_count()),
       alive_(mobility.node_count(), 1),
-      busy_until_(mobility.node_count(), 0.0) {
+      busy_until_(mobility.node_count(), 0.0),
+      neighbor_cache_(mobility.node_count()) {
   if (n_nodes_ >= config_.spatial_index_threshold) {
     grid_ = std::make_unique<SpatialGrid>(config_.area, config_.range_m);
     grid_positions_.resize(n_nodes_);
@@ -34,14 +35,15 @@ void WirelessNet::refresh_grid() {
   }
   grid_->rebuild(grid_positions_, alive_);
   grid_time_ = now;
+  ++topology_epoch_;
 }
 
 geo::Point WirelessNet::position(NodeId node) {
   return mobility_.position_at(node, sim_.now());
 }
 
-std::vector<NodeId> WirelessNet::neighbors(NodeId node) {
-  std::vector<NodeId> out;
+void WirelessNet::compute_neighbors(NodeId node, std::vector<NodeId>& out) {
+  out.clear();
   const geo::Point p = position(node);
   const double r2 = config_.range_m * config_.range_m;
   if (grid_ != nullptr) {
@@ -57,13 +59,33 @@ std::vector<NodeId> WirelessNet::neighbors(NodeId node) {
       if (geo::distance_sq(p, position(i)) <= r2) out.push_back(i);
     }
     std::sort(out.begin(), out.end());  // match scan order for determinism
-    return out;
+    return;
   }
   for (NodeId i = 0; i < n_nodes_; ++i) {
     if (i == node || !alive_[i]) continue;
     if (geo::distance_sq(p, position(i)) <= r2) out.push_back(i);
   }
-  return out;
+}
+
+const std::vector<NodeId>& WirelessNet::neighbors_cached(NodeId node) {
+  NeighborCache& c = neighbor_cache_.at(node);
+  const double now = sim_.now();
+  if (!config_.neighbor_cache || c.epoch != topology_epoch_ || c.at != now) {
+    compute_neighbors(node, c.ids);
+    // Stamp after computing: the computation itself may rebuild the grid
+    // and bump the epoch.
+    c.epoch = topology_epoch_;
+    c.at = now;
+  }
+  return c.ids;
+}
+
+std::vector<NodeId> WirelessNet::neighbors(NodeId node) {
+  return neighbors_cached(node);
+}
+
+void WirelessNet::neighbors(NodeId node, std::vector<NodeId>& out) {
+  out = neighbors_cached(node);
 }
 
 bool WirelessNet::in_range(NodeId a, NodeId b) {
@@ -104,8 +126,10 @@ void WirelessNet::deliver_broadcast(Packet packet) {
   packet.src_location = position(packet.src);
   energy_.charge(packet.src, energy::RadioOp::kBroadcastSend,
                  packet.size_bytes);
-  // Snapshot the neighborhood at delivery time.
-  const auto receivers = neighbors(packet.src);
+  // Snapshot the neighborhood at delivery time (into a reused scratch
+  // vector — snoop/receive hooks may themselves query neighborhoods).
+  neighbors(packet.src, deliver_scratch_);
+  const auto& receivers = deliver_scratch_;
   for (const NodeId receiver : receivers) {
     energy_.charge(receiver, energy::RadioOp::kBroadcastRecv,
                    packet.size_bytes);
@@ -135,7 +159,8 @@ void WirelessNet::deliver_unicast(Packet packet, NodeId next_hop) {
   if (!alive_.at(packet.src)) return;
   packet.src_location = position(packet.src);
   energy_.charge(packet.src, energy::RadioOp::kP2pSend, packet.size_bytes);
-  const auto nearby = neighbors(packet.src);
+  neighbors(packet.src, deliver_scratch_);
+  const auto& nearby = deliver_scratch_;
   bool reached = false;
   for (const NodeId n : nearby) {
     if (n == next_hop) {
@@ -161,11 +186,15 @@ void WirelessNet::deliver_unicast(Packet packet, NodeId next_hop) {
   }
 }
 
-void WirelessNet::kill(NodeId node) { alive_.at(node) = 0; }
+void WirelessNet::kill(NodeId node) {
+  alive_.at(node) = 0;
+  ++topology_epoch_;  // invalidate every cached neighborhood
+}
 
 void WirelessNet::revive(NodeId node) {
   alive_.at(node) = 1;
   busy_until_.at(node) = sim_.now();
+  ++topology_epoch_;
 }
 
 std::size_t WirelessNet::alive_count() const noexcept {

@@ -39,6 +39,11 @@ struct WirelessConfig {
   double proc_delay_s = 0.3e-3;    ///< per-hop protocol processing
   double jitter_s = 1.0e-3;        ///< random forwarding jitter (flood
                                    ///< de-synchronization), uniform [0, j)
+  /// Cache per-node neighbor lists (and, in GPSR, planarizations) keyed on
+  /// (topology epoch, sim time).  Results are byte-identical with or
+  /// without the cache — it only skips recomputation within one event
+  /// timestamp; disable to cross-check determinism.
+  bool neighbor_cache = true;
 };
 
 /// Upper-layer receive hook: (receiving node, packet).  Unicast frames are
@@ -79,8 +84,27 @@ class WirelessNet {
   /// Current position of a node.
   [[nodiscard]] geo::Point position(NodeId node);
 
-  /// Live nodes within radio range of `node` (excluding itself).
+  /// Live nodes within radio range of `node` (excluding itself), sorted.
   [[nodiscard]] std::vector<NodeId> neighbors(NodeId node);
+
+  /// Into-scratch overload: replaces `out`'s contents with the neighbor
+  /// list (reusing its capacity, so steady-state queries do not allocate).
+  void neighbors(NodeId node, std::vector<NodeId>& out);
+
+  /// Zero-copy access to the cached neighbor list.  The reference is valid
+  /// until the next topology change (grid rebuild, kill/revive) or sim
+  /// time advance; copy it if the neighborhood must be snapshotted.
+  [[nodiscard]] const std::vector<NodeId>& neighbors_cached(NodeId node);
+
+  /// Bumped whenever cached neighborhoods may change independently of sim
+  /// time: spatial-grid rebuilds and node kill/revive.
+  [[nodiscard]] std::uint64_t topology_epoch() const noexcept {
+    return topology_epoch_;
+  }
+
+  [[nodiscard]] bool neighbor_cache_enabled() const noexcept {
+    return config_.neighbor_cache;
+  }
 
   /// True when a direct radio link exists between two live nodes now.
   [[nodiscard]] bool in_range(NodeId a, NodeId b);
@@ -130,6 +154,9 @@ class WirelessNet {
   /// Refresh the spatial index if it is stale; no-op when disabled.
   void refresh_grid();
 
+  /// Uncached neighbor computation into `out` (cleared first).
+  void compute_neighbors(NodeId node, std::vector<NodeId>& out);
+
   sim::Simulator& sim_;
   mobility::MobilityModel& mobility_;
   WirelessConfig config_;
@@ -149,6 +176,16 @@ class WirelessNet {
   double grid_time_ = -1.0;
   std::vector<geo::Point> grid_positions_;
   std::vector<std::uint32_t> grid_scratch_;
+
+  // Per-node neighbor cache, keyed on (topology_epoch_, sim time).
+  struct NeighborCache {
+    std::uint64_t epoch = 0;  // 0 never matches a live epoch
+    double at = -1.0;
+    std::vector<NodeId> ids;
+  };
+  std::uint64_t topology_epoch_ = 1;
+  std::vector<NeighborCache> neighbor_cache_;
+  std::vector<NodeId> deliver_scratch_;  // receiver snapshot per delivery
 };
 
 }  // namespace precinct::net

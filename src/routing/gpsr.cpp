@@ -25,7 +25,8 @@ std::optional<net::NodeId> Gpsr::greedy_next_hop(net::NodeId self,
   const double my_dist = geo::distance(here, dest);
   net::NodeId best = net::kNoNode;
   double best_dist = my_dist;
-  for (const net::NodeId n : provider_->neighbors_of(self)) {
+  provider_->neighbors_into(self, scratch_neighbors_);
+  for (const net::NodeId n : scratch_neighbors_) {
     const double d = geo::distance(provider_->position_of(self, n), dest);
     if (d < best_dist || (d == best_dist && best != net::kNoNode && n < best)) {
       best_dist = d;
@@ -36,11 +37,12 @@ std::optional<net::NodeId> Gpsr::greedy_next_hop(net::NodeId self,
   return best;
 }
 
-std::vector<net::NodeId> Gpsr::planar_neighbors(net::NodeId self) {
+void Gpsr::compute_planar(net::NodeId self, std::vector<net::NodeId>& out) {
   const geo::Point here = net_.position(self);
-  const auto all = provider_->neighbors_of(self);
-  std::vector<net::NodeId> planar;
-  planar.reserve(all.size());
+  provider_->neighbors_into(self, scratch_neighbors_);
+  const auto& all = scratch_neighbors_;
+  out.clear();
+  out.reserve(all.size());
   for (const net::NodeId v : all) {
     const geo::Point pv = provider_->position_of(self, v);
     const geo::Point mid{(here.x + pv.x) * 0.5, (here.y + pv.y) * 0.5};
@@ -50,14 +52,35 @@ std::vector<net::NodeId> Gpsr::planar_neighbors(net::NodeId self) {
           return w != v && geo::distance_sq(provider_->position_of(self, w),
                                             mid) < radius_sq;
         });
-    if (!witnessed) planar.push_back(v);
+    if (!witnessed) out.push_back(v);
   }
-  return planar;
+}
+
+const std::vector<net::NodeId>& Gpsr::planar_neighbors_cached(
+    net::NodeId self) {
+  if (planar_cache_.size() < net_.node_count()) {
+    planar_cache_.resize(net_.node_count());
+  }
+  PlanarCache& c = planar_cache_[self];
+  const double now = net_.simulator().now();
+  if (!net_.neighbor_cache_enabled() || c.at != now ||
+      c.version != provider_->knowledge_version(self)) {
+    compute_planar(self, c.ids);
+    // Stamp after computing: the neighbor query may rebuild the spatial
+    // grid and advance the provider's version.
+    c.version = provider_->knowledge_version(self);
+    c.at = now;
+  }
+  return c.ids;
+}
+
+std::vector<net::NodeId> Gpsr::planar_neighbors(net::NodeId self) {
+  return planar_neighbors_cached(self);
 }
 
 std::optional<net::NodeId> Gpsr::perimeter_next_hop(net::NodeId self,
                                                     net::Packet& packet) {
-  const auto planar = planar_neighbors(self);
+  const auto& planar = planar_neighbors_cached(self);
   if (planar.empty()) return std::nullopt;
   const geo::Point here = net_.position(self);
 

@@ -54,13 +54,30 @@ class Gpsr {
   /// circle whose diameter is the segment self–v.
   [[nodiscard]] std::vector<net::NodeId> planar_neighbors(net::NodeId self);
 
+  /// Cached planarization: recomputed only when the provider's knowledge
+  /// version or the sim time changes, so forwarding many packets through a
+  /// node within one topology epoch planarizes once.  The reference stays
+  /// valid until `self`'s entry is next recomputed (entries are per node).
+  [[nodiscard]] const std::vector<net::NodeId>& planar_neighbors_cached(
+      net::NodeId self);
+
  private:
   [[nodiscard]] std::optional<net::NodeId> perimeter_next_hop(
       net::NodeId self, net::Packet& packet);
 
+  void compute_planar(net::NodeId self, std::vector<net::NodeId>& out);
+
+  struct PlanarCache {
+    std::uint64_t version = 0;  // 0 never matches a live version
+    double at = -1.0;
+    std::vector<net::NodeId> ids;
+  };
+
   net::WirelessNet& net_;
   std::unique_ptr<OracleNeighborProvider> owned_;
   NeighborProvider* provider_;
+  std::vector<PlanarCache> planar_cache_;
+  std::vector<net::NodeId> scratch_neighbors_;
 };
 
 }  // namespace precinct::routing

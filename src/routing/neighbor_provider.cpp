@@ -7,23 +7,35 @@ namespace precinct::routing {
 BeaconNeighborProvider::BeaconNeighborProvider(net::WirelessNet& network,
                                                std::size_t n_nodes,
                                                double lifetime_s)
-    : net_(network), lifetime_s_(lifetime_s), tables_(n_nodes) {}
+    : net_(network),
+      lifetime_s_(lifetime_s),
+      tables_(n_nodes),
+      versions_(n_nodes, 1) {}
 
 void BeaconNeighborProvider::on_beacon(net::NodeId receiver,
                                        net::NodeId source, geo::Point pos,
                                        double now_s) {
   tables_.at(receiver)[source] = Entry{pos, now_s};
+  ++versions_.at(receiver);
 }
 
 void BeaconNeighborProvider::clear_node(net::NodeId node) {
   tables_.at(node).clear();
+  ++versions_.at(node);
 }
 
 std::vector<net::NodeId> BeaconNeighborProvider::neighbors_of(
     net::NodeId self) {
+  std::vector<net::NodeId> out;
+  neighbors_into(self, out);
+  return out;
+}
+
+void BeaconNeighborProvider::neighbors_into(net::NodeId self,
+                                            std::vector<net::NodeId>& out) {
   const double now = net_.simulator().now();
   auto& table = tables_.at(self);
-  std::vector<net::NodeId> out;
+  out.clear();
   out.reserve(table.size());
   for (auto it = table.begin(); it != table.end();) {
     if (now - it->second.heard_at > lifetime_s_) {
@@ -34,7 +46,6 @@ std::vector<net::NodeId> BeaconNeighborProvider::neighbors_of(
     }
   }
   std::sort(out.begin(), out.end());  // deterministic order
-  return out;
 }
 
 geo::Point BeaconNeighborProvider::position_of(net::NodeId self,

@@ -31,6 +31,24 @@ class NeighborProvider {
   /// by neighbors_of(self) (and for self itself).
   [[nodiscard]] virtual geo::Point position_of(net::NodeId self,
                                                net::NodeId node) = 0;
+
+  /// Into-scratch variant of neighbors_of: replaces `out`'s contents,
+  /// reusing its capacity.  Default falls back to the allocating call.
+  virtual void neighbors_into(net::NodeId self, std::vector<net::NodeId>& out) {
+    out = neighbors_of(self);
+  }
+
+  /// Monotone version of `self`'s neighborhood knowledge: at a fixed sim
+  /// time, neighbors_of(self) cannot change while this value is stable.
+  /// Callers key derived caches (e.g. GPSR planarization) on it.  The
+  /// default always invalidates, which is safe for any provider.
+  [[nodiscard]] virtual std::uint64_t knowledge_version(net::NodeId self) {
+    (void)self;
+    return ++fallback_version_;
+  }
+
+ private:
+  std::uint64_t fallback_version_ = 0;
 };
 
 /// Perfect knowledge straight from the radio substrate.
@@ -43,9 +61,16 @@ class OracleNeighborProvider final : public NeighborProvider {
       net::NodeId self) override {
     return net_.neighbors(self);
   }
+  void neighbors_into(net::NodeId self,
+                      std::vector<net::NodeId>& out) override {
+    net_.neighbors(self, out);
+  }
   [[nodiscard]] geo::Point position_of(net::NodeId,
                                        net::NodeId node) override {
     return net_.position(node);
+  }
+  [[nodiscard]] std::uint64_t knowledge_version(net::NodeId) override {
+    return net_.topology_epoch();
   }
 
  private:
@@ -69,8 +94,14 @@ class BeaconNeighborProvider final : public NeighborProvider {
 
   [[nodiscard]] std::vector<net::NodeId> neighbors_of(
       net::NodeId self) override;
+  void neighbors_into(net::NodeId self,
+                      std::vector<net::NodeId>& out) override;
   [[nodiscard]] geo::Point position_of(net::NodeId self,
                                        net::NodeId node) override;
+  /// Bumped on every beacon receipt / table clear for `self`.
+  [[nodiscard]] std::uint64_t knowledge_version(net::NodeId self) override {
+    return versions_.at(self);
+  }
 
   [[nodiscard]] double lifetime_s() const noexcept { return lifetime_s_; }
   /// Live (unexpired) entry count for a node's table.
@@ -85,6 +116,7 @@ class BeaconNeighborProvider final : public NeighborProvider {
   net::WirelessNet& net_;
   double lifetime_s_;
   std::vector<std::unordered_map<net::NodeId, Entry>> tables_;
+  std::vector<std::uint64_t> versions_;
 };
 
 }  // namespace precinct::routing

@@ -1,0 +1,161 @@
+// Small-buffer-optimized, move-only callback for simulator events.
+//
+// std::function heap-allocates every non-trivial capture; on the event hot
+// path that is one malloc/free per scheduled event.  EventCallback stores
+// captures up to kInlineBytes directly in the object (and thus directly in
+// the simulator's pooled event slot), so steady-state scheduling performs
+// no heap allocation at all.  Captures larger than the threshold fall back
+// to a single heap allocation, exactly like std::function.
+//
+// Layout note: the dispatch fields come first and storage_ last, so for
+// small captures every byte the hot path touches sits at the front of the
+// object — the simulator aligns its slots such that those bytes share one
+// cache line.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace precinct::sim {
+
+class EventCallback {
+ public:
+  /// Captures at or below this size (and at most pointer/double alignment)
+  /// are stored inline — no heap.  48 bytes covers the engine's timer and
+  /// retry closures (a this-pointer plus a handful of ids and doubles);
+  /// radio delivery closures capturing a whole net::Packet by value take
+  /// the one-allocation fallback, exactly as they did under std::function.
+  static constexpr std::size_t kInlineBytes = 48;
+  static constexpr std::size_t kInlineAlign = alignof(double);
+  /// Trivial captures at or below this size move with a fixed-size copy of
+  /// this many bytes instead of the whole buffer (one cache line's worth
+  /// of the object instead of two).
+  static constexpr std::size_t kSmallBytes = 24;
+
+  EventCallback() noexcept = default;
+
+  template <typename F,
+            std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, EventCallback> &&
+                    std::is_invocable_r_v<void, std::decay_t<F>&>,
+                int> = 0>
+  EventCallback(F&& f) {  // NOLINT(google-explicit-constructor): converting
+                          // ctor is the point — call sites pass lambdas.
+    using D = std::decay_t<F>;
+    if constexpr (sizeof(D) <= kInlineBytes && alignof(D) <= kInlineAlign &&
+                  std::is_nothrow_move_constructible_v<D>) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(f));
+      on_heap_ = false;
+      invoke_ = [](void* p) { (*static_cast<D*>(p))(); };
+      if constexpr (std::is_trivially_copyable_v<D> &&
+                    std::is_trivially_destructible_v<D>) {
+        // Most captures (this-pointers, ids, doubles) are trivial: moves
+        // become a constant-size memcpy and destruction a no-op, with no
+        // indirect manage_ call on the scheduling hot path.
+        manage_ = nullptr;
+        small_ = sizeof(D) <= kSmallBytes;
+      } else {
+        manage_ = [](Op op, void* dst, void* src) {
+          switch (op) {
+            case Op::kMoveDestroy: {
+              auto* s = static_cast<D*>(src);
+              ::new (dst) D(std::move(*s));
+              s->~D();
+              break;
+            }
+            case Op::kDestroy:
+              static_cast<D*>(dst)->~D();
+              break;
+          }
+        };
+      }
+    } else {
+      D* p = new D(std::forward<F>(f));
+      std::memcpy(static_cast<void*>(storage_), &p, sizeof(p));
+      on_heap_ = true;
+      invoke_ = [](void* q) { (*static_cast<D*>(q))(); };
+      manage_ = [](Op op, void* dst, void*) {
+        if (op == Op::kDestroy) delete static_cast<D*>(dst);
+      };
+    }
+  }
+
+  EventCallback(EventCallback&& other) noexcept { move_from(other); }
+
+  EventCallback& operator=(EventCallback&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  EventCallback(const EventCallback&) = delete;
+  EventCallback& operator=(const EventCallback&) = delete;
+
+  ~EventCallback() { reset(); }
+
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return invoke_ != nullptr;
+  }
+
+  void operator()() { invoke_(target()); }
+
+  /// Destroy the held callable (and its captures) now; becomes empty.
+  void reset() noexcept {
+    if (invoke_ == nullptr) return;
+    if (manage_ != nullptr) manage_(Op::kDestroy, target(), nullptr);
+    invoke_ = nullptr;
+  }
+
+ private:
+  enum class Op { kMoveDestroy, kDestroy };
+  using InvokeFn = void (*)(void*);
+  using ManageFn = void (*)(Op, void*, void*);
+
+  [[nodiscard]] void* target() noexcept {
+    if (!on_heap_) return storage_;
+    void* p = nullptr;
+    std::memcpy(&p, static_cast<const void*>(storage_), sizeof(p));
+    return p;
+  }
+
+  void move_from(EventCallback& other) noexcept {
+    invoke_ = other.invoke_;
+    manage_ = other.manage_;
+    on_heap_ = other.on_heap_;
+    small_ = other.small_;
+    if (invoke_ == nullptr) return;
+    if (on_heap_) {
+      // Ownership of the heap block transfers with the stored pointer.
+      std::memcpy(static_cast<void*>(storage_), other.storage_,
+                  sizeof(void*));
+    } else if (manage_ == nullptr) {
+      // Constant-size copies compile to a handful of vector moves, cheaper
+      // than a dynamic-length memcpy call.  Trailing uninitialized bytes
+      // are unsigned char, so copying them is defined.
+      if (small_) {
+        std::memcpy(static_cast<void*>(storage_), other.storage_,
+                    kSmallBytes);
+      } else {
+        std::memcpy(static_cast<void*>(storage_), other.storage_,
+                    kInlineBytes);
+      }
+    } else {
+      manage_(Op::kMoveDestroy, storage_, other.storage_);
+    }
+    other.invoke_ = nullptr;
+  }
+
+  InvokeFn invoke_ = nullptr;
+  ManageFn manage_ = nullptr;  // nullptr: trivial inline callable
+  bool on_heap_ = false;
+  bool small_ = false;  // trivial and <= kSmallBytes: short fixed-size move
+  alignas(kInlineAlign) unsigned char storage_[kInlineBytes];
+};
+
+}  // namespace precinct::sim

@@ -4,30 +4,41 @@
 // ties break by insertion order and every run with the same seed replays
 // identically.  The engine is single-threaded by design — parallelism in
 // this codebase lives one level up, across independent scenario runs.
+//
+// Hot-path internals (DESIGN.md §"Event-queue internals"): events live in a
+// chunked slot arena (stable addresses, intrusive free list, no realloc
+// moves) and are ordered by an indexed 4-ary min-heap of 16-byte
+// (time, seq|slot) entries.  Callbacks are small-buffer-optimized
+// (EventCallback), so steady-state scheduling allocates nothing; cancel()
+// is an O(1) tombstone on the pooled slot, skipped when popped.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <memory>
 #include <vector>
+
+#include "sim/event_callback.hpp"
 
 namespace precinct::sim {
 
 /// Simulation time in seconds.
 using SimTime = double;
 
-/// Handle used to cancel a scheduled event.  Cancellation is lazy: the
-/// event stays queued but its callback is skipped when popped.
+/// Handle used to cancel a scheduled event.  Holds the event's pool slot
+/// and the slot's generation at scheduling time, so a handle kept past the
+/// event's execution (and the slot's reuse) can never cancel a stranger.
 class EventHandle {
  public:
   EventHandle() = default;
 
-  [[nodiscard]] bool valid() const noexcept { return id_ != 0; }
+  [[nodiscard]] bool valid() const noexcept { return gen_ != 0; }
 
  private:
   friend class Simulator;
-  explicit EventHandle(std::uint64_t id) noexcept : id_(id) {}
-  std::uint64_t id_ = 0;
+  EventHandle(std::uint32_t slot, std::uint32_t gen) noexcept
+      : slot_(slot), gen_(gen) {}
+  std::uint32_t slot_ = 0;
+  std::uint32_t gen_ = 0;  // 0 = invalid (live slots start at generation 1)
 };
 
 /// Event-driven simulator with a monotonically advancing clock.
@@ -42,13 +53,19 @@ class Simulator {
   [[nodiscard]] SimTime now() const noexcept { return now_; }
 
   /// Schedule `fn` to run `delay` seconds from now (delay clamped to >= 0).
-  EventHandle schedule(SimTime delay, std::function<void()> fn);
+  EventHandle schedule(SimTime delay, EventCallback fn) {
+    const SimTime d = delay > 0.0 ? delay : 0.0;
+    return schedule_impl(now_ + d, std::move(fn));
+  }
 
   /// Schedule `fn` at an absolute time (clamped to >= now()).
-  EventHandle schedule_at(SimTime when, std::function<void()> fn);
+  EventHandle schedule_at(SimTime when, EventCallback fn) {
+    return schedule_impl(when > now_ ? when : now_, std::move(fn));
+  }
 
-  /// Cancel a previously scheduled event.  No-op if already fired or
-  /// already cancelled.  Returns true if the event was live.
+  /// Cancel a previously scheduled event: O(1) tombstone on the pooled
+  /// slot.  No-op if already fired or already cancelled.  Returns true if
+  /// the event was live.
   bool cancel(EventHandle h);
 
   /// Run events until the queue drains or the clock passes `end_time`.
@@ -65,31 +82,85 @@ class Simulator {
   }
 
   /// Number of events currently pending (including cancelled-but-queued).
-  [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
+  [[nodiscard]] std::size_t pending() const noexcept {
+    return heap_.size() + (run_.size() - run_pos_);
+  }
+
+  /// Pre-size the slot pool and heap for `n` concurrently pending events.
+  void reserve(std::size_t n);
 
  private:
-  struct Event {
-    SimTime time;
-    std::uint64_t seq;  // insertion order breaks time ties deterministically
-    std::uint64_t id;
-    std::function<void()> fn;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const noexcept {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
+  // Bookkeeping fields lead and the callback's storage sits last, so
+  // scheduling or firing an event with a small capture touches only the
+  // front of the slot — usually a single cache line.
+  struct Slot {
+    std::uint32_t generation = 1;
+    std::uint32_t next_free = 0;  // intrusive free list link
+    bool live = false;            // scheduled, not yet fired or recycled
+    bool cancelled = false;       // tombstone: recycle silently when popped
+    EventCallback fn;
   };
 
-  [[nodiscard]] bool is_cancelled(std::uint64_t id) const;
-  void forget_cancelled(std::uint64_t id);
+  // Heap entries pack (seq, slot) into one key: seq in the high 40 bits so
+  // key order *is* insertion order (seq is unique), slot in the low 24.
+  // Bounds: < 2^24 concurrently pending events, < 2^40 events per run.
+  struct HeapEntry {
+    SimTime time;
+    std::uint64_t key;
+  };
+  static constexpr unsigned kSlotBits = 24;
+  static constexpr std::uint32_t kSlotMask = (1u << kSlotBits) - 1u;
+  static constexpr std::uint32_t kNullSlot = ~0u;
+  static constexpr std::size_t kArity = 4;
+  // Slots live in fixed 512-entry blocks: addresses stay stable across
+  // arena growth, so a running callback's captures never move under it.
+  static constexpr unsigned kBlockShift = 9;
+  static constexpr std::size_t kBlockSize = std::size_t{1} << kBlockShift;
+
+  // Bitwise ops on purpose: all three compares evaluate unconditionally and
+  // combine without branches, so the heap sifts (whose outcomes are
+  // data-random and unpredictable) compile to cmov instead of mispredicts.
+  static bool before(const HeapEntry& a, const HeapEntry& b) noexcept {
+    return (a.time < b.time) |
+           ((a.time == b.time) & (a.key < b.key));
+  }
+
+  [[nodiscard]] Slot& slot_ref(std::uint32_t slot) noexcept {
+    return blocks_[slot >> kBlockShift][slot & (kBlockSize - 1)];
+  }
+
+  // Draining a large batch pops ready events through a sorted run instead
+  // of one-by-one heap pops: refill_run() moves every entry with
+  // time <= bound out of the heap, sorts them (bucket sort on the time's
+  // bit pattern — order-preserving for the engine's non-negative times —
+  // with a comparison-sort fallback on skew), and drain() then consumes
+  // the run sequentially, merging against the heap root for events
+  // scheduled mid-drain.  The merge uses the same (time, key) order as the
+  // heap, so execution order is bit-identical to pure heap pops.
+  static constexpr std::size_t kBatchMin = 64;
+
+  EventHandle schedule_impl(SimTime when, EventCallback&& fn);
+  [[nodiscard]] std::uint32_t alloc_slot();
+  void recycle_slot(std::uint32_t slot);
+  void heap_push(HeapEntry entry);
+  void heap_pop_root();
+  void heapify();
+  void refill_run(SimTime bound);
+  void sort_run();
+  /// Pops ready events (time <= bound) and executes non-cancelled ones.
+  void drain(SimTime bound);
 
   SimTime now_ = 0.0;
   std::uint64_t next_seq_ = 0;
-  std::uint64_t next_id_ = 1;
   std::uint64_t executed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
-  std::vector<std::uint64_t> cancelled_;  // sorted id list; stays tiny
+  std::vector<HeapEntry> heap_;
+  std::vector<HeapEntry> run_;   // sorted ready batch, consumed from run_pos_
+  std::size_t run_pos_ = 0;
+  std::vector<HeapEntry> sort_scratch_;
+  std::vector<std::uint32_t> bucket_hist_;
+  std::vector<std::unique_ptr<Slot[]>> blocks_;
+  std::uint32_t next_unused_ = 0;      // first never-allocated slot index
+  std::uint32_t free_head_ = kNullSlot;
 };
 
 }  // namespace precinct::sim

@@ -3,8 +3,13 @@
 #include <algorithm>
 #include <atomic>
 #include <exception>
+#include <memory>
 
 namespace precinct::support {
+
+namespace {
+thread_local bool t_in_pool_worker = false;
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t n_threads) {
   if (n_threads == 0) {
@@ -25,6 +30,13 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool(0);
+  return pool;
+}
+
+bool ThreadPool::in_worker() noexcept { return t_in_pool_worker; }
+
 std::future<void> ThreadPool::submit(std::function<void()> task) {
   std::packaged_task<void()> packaged(std::move(task));
   auto fut = packaged.get_future();
@@ -37,6 +49,7 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
 }
 
 void ThreadPool::worker_loop() {
+  t_in_pool_worker = true;
   for (;;) {
     std::packaged_task<void()> task;
     {
@@ -50,36 +63,82 @@ void ThreadPool::worker_loop() {
   }
 }
 
-void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
-                  std::size_t n_threads) {
-  if (n == 0) return;
-  if (n == 1) {
-    fn(0);
-    return;
-  }
-  ThreadPool pool(n_threads == 0 ? std::min<std::size_t>(
-                                       n, std::max<std::size_t>(
-                                              1, std::thread::hardware_concurrency()))
-                                 : n_threads);
+namespace {
+
+/// Shared state of one parallel_for call.  Helpers (pool workers) and the
+/// caller claim indices from `next`; the caller waits until every claimed
+/// index has finished.  Kept alive by shared_ptr: helper tasks that start
+/// after the caller returned see next >= n and exit untouched.
+struct ForState {
+  const std::function<void(std::size_t)>* fn = nullptr;
+  std::size_t n = 0;
   std::atomic<std::size_t> next{0};
-  std::vector<std::future<void>> futures;
-  futures.reserve(pool.size());
-  for (std::size_t t = 0; t < pool.size(); ++t) {
-    futures.push_back(pool.submit([&] {
-      for (std::size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
-        fn(i);
+  std::atomic<std::size_t> in_flight{0};
+  std::mutex mutex;
+  std::condition_variable done_cv;
+  std::exception_ptr error;
+
+  void drain() {
+    for (;;) {
+      in_flight.fetch_add(1, std::memory_order_acq_rel);
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) {
+        finish_one();
+        return;
       }
-    }));
-  }
-  std::exception_ptr first_error;
-  for (auto& f : futures) {
-    try {
-      f.get();
-    } catch (...) {
-      if (!first_error) first_error = std::current_exception();
+      try {
+        (*fn)(i);
+      } catch (...) {
+        {
+          const std::scoped_lock lock(mutex);
+          if (!error) error = std::current_exception();
+        }
+        next.store(n, std::memory_order_relaxed);  // abandon the rest
+      }
+      finish_one();
     }
   }
-  if (first_error) std::rethrow_exception(first_error);
+
+  void finish_one() {
+    if (in_flight.fetch_sub(1, std::memory_order_acq_rel) == 1 &&
+        next.load(std::memory_order_relaxed) >= n) {
+      const std::scoped_lock lock(mutex);
+      done_cv.notify_all();
+    }
+  }
+};
+
+}  // namespace
+
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                  std::size_t max_parallelism) {
+  if (n == 0) return;
+  if (n == 1 || max_parallelism == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  ThreadPool& pool = ThreadPool::global();
+  auto state = std::make_shared<ForState>();
+  state->fn = &fn;
+  state->n = n;
+  // The caller covers one share; helpers cover the rest.  Helpers only run
+  // on idle workers, so a nested call from inside the pool degrades to the
+  // caller draining its whole batch inline — never a deadlock, never a
+  // thread spawn.
+  std::size_t helpers = std::min(pool.size(), n - 1);
+  if (max_parallelism != 0) {
+    helpers = std::min(helpers, max_parallelism - 1);
+  }
+  for (std::size_t t = 0; t < helpers; ++t) {
+    pool.submit([state] { state->drain(); });
+  }
+  state->drain();
+  std::unique_lock lock(state->mutex);
+  state->done_cv.wait(lock, [&] {
+    return state->next.load(std::memory_order_relaxed) >= n &&
+           state->in_flight.load(std::memory_order_acquire) == 0;
+  });
+  if (state->error) std::rethrow_exception(state->error);
 }
 
 }  // namespace precinct::support

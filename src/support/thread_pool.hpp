@@ -1,9 +1,15 @@
-// Minimal work-stealing-free thread pool + parallel_for used to fan
-// independent simulation runs (sweep points, seeds) across cores.
+// Persistent thread pool + parallel_for used to fan independent
+// simulation runs (sweep points, seeds) across cores.
 //
 // Simulations themselves are single-threaded and deterministic; only the
 // *sweep* is parallel, so there is no shared mutable state between tasks
 // (CP.2/CP.3: each task owns its scenario and returns its metrics).
+//
+// parallel_for shares one process-wide pool (no per-call thread spawning)
+// and the calling thread helps execute its own batch, so nested calls —
+// run_sweep points fanning run_seeds replications — neither deadlock nor
+// oversubscribe: an inner call runs inline on its worker while idle
+// workers steal shares of it.
 #pragma once
 
 #include <condition_variable>
@@ -31,6 +37,13 @@ class ThreadPool {
   /// Enqueue a task; the future resolves when it has run.
   std::future<void> submit(std::function<void()> task);
 
+  /// Process-wide persistent pool (hardware_concurrency workers), created
+  /// on first use and joined at program exit.
+  static ThreadPool& global();
+
+  /// True when called from a worker thread of any ThreadPool.
+  [[nodiscard]] static bool in_worker() noexcept;
+
  private:
   void worker_loop();
 
@@ -41,9 +54,12 @@ class ThreadPool {
   bool stopping_ = false;
 };
 
-/// Run fn(i) for i in [0, n) across a transient pool and wait for all.
-/// Exceptions from tasks propagate to the caller (first one rethrown).
+/// Run fn(i) for i in [0, n) across the global pool and wait for all.
+/// The caller participates (claims indices itself), so calls from inside a
+/// pool worker complete without new threads and without deadlock.  The
+/// first exception thrown by fn is rethrown after remaining indices are
+/// abandoned.  `max_parallelism` (0 = unlimited) caps worker fan-out.
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
-                  std::size_t n_threads = 0);
+                  std::size_t max_parallelism = 0);
 
 }  // namespace precinct::support

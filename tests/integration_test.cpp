@@ -300,4 +300,45 @@ TEST_P(ScenarioInvariants, AccountingIdentitiesHold) {
 INSTANTIATE_TEST_SUITE_P(SeedSweep, ScenarioInvariants,
                          ::testing::Values(101, 202, 303, 404, 505));
 
+// The per-node neighbor cache (DESIGN.md, "Cached neighborhoods") is a pure
+// memoization: flipping it on or off must not change a single metric of a
+// fixed-seed run.  Guards against the cache ever observing stale topology.
+TEST(Integration, NeighborCacheDoesNotChangeResults) {
+  auto cfg = small_mobile(424242);
+  cfg.n_nodes = 40;
+  cfg.warmup_s = 50;
+  cfg.measure_s = 200;
+
+  auto cached = cfg;
+  cached.wireless.neighbor_cache = true;
+  auto uncached = cfg;
+  uncached.wireless.neighbor_cache = false;
+
+  const Metrics a = core::merge_metrics(core::run_seeds(cached, 2));
+  const Metrics b = core::merge_metrics(core::run_seeds(uncached, 2));
+
+  EXPECT_EQ(a.requests_issued, b.requests_issued);
+  EXPECT_EQ(a.requests_completed, b.requests_completed);
+  EXPECT_EQ(a.requests_failed, b.requests_failed);
+  EXPECT_EQ(a.own_cache_hits, b.own_cache_hits);
+  EXPECT_EQ(a.regional_hits, b.regional_hits);
+  EXPECT_EQ(a.en_route_hits, b.en_route_hits);
+  EXPECT_EQ(a.home_region_hits, b.home_region_hits);
+  EXPECT_EQ(a.replica_hits, b.replica_hits);
+  EXPECT_EQ(a.latency_s.count(), b.latency_s.count());
+  EXPECT_EQ(a.latency_s.sum(), b.latency_s.sum());
+  EXPECT_EQ(a.latency_s.min(), b.latency_s.min());
+  EXPECT_EQ(a.latency_s.max(), b.latency_s.max());
+  EXPECT_EQ(a.bytes_requested, b.bytes_requested);
+  EXPECT_EQ(a.bytes_hit, b.bytes_hit);
+  EXPECT_EQ(a.energy_total_mj, b.energy_total_mj);
+  EXPECT_EQ(a.energy_broadcast_mj, b.energy_broadcast_mj);
+  EXPECT_EQ(a.energy_p2p_mj, b.energy_p2p_mj);
+  EXPECT_EQ(a.messages_sent, b.messages_sent);
+  EXPECT_EQ(a.bytes_sent, b.bytes_sent);
+  EXPECT_EQ(a.consistency_messages, b.consistency_messages);
+  EXPECT_EQ(a.frames_lost, b.frames_lost);
+  EXPECT_EQ(a.events_executed, b.events_executed);
+}
+
 }  // namespace

@@ -2,6 +2,10 @@
 // clock semantics, determinism.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -9,6 +13,23 @@
 #include "sim/simulator.hpp"
 #include "sim/trace.hpp"
 #include "support/rng.hpp"
+
+// Counting replacements for the global allocator, used by the
+// SteadyStateSchedulingIsAllocationFree test below.  Replacement functions
+// must live at global scope; the default operator new[]/delete[] route
+// through these, so counting the scalar forms covers array news too.
+namespace alloc_probe {
+std::atomic<std::uint64_t> count{0};
+}  // namespace alloc_probe
+
+void* operator new(std::size_t size) {
+  alloc_probe::count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
 
 namespace {
 
@@ -162,6 +183,145 @@ TEST(Simulator, ManyEventsStressOrdering) {
   }
   sim.run_all();
   EXPECT_EQ(sim.events_executed(), 10000u);
+}
+
+TEST(Simulator, SteadyStateSchedulingIsAllocationFree) {
+  // Captures at or below EventCallback::kInlineBytes live inside the pooled
+  // slot, so once the arena and heap buffers have grown to working size,
+  // schedule/run cycles perform zero heap allocations.
+  struct Capture {  // 40 bytes: trivially copyable, inline-eligible
+    void* a;
+    double b;
+    std::uint64_t c;
+    std::uint64_t d;
+    std::uint64_t e;
+  };
+  static_assert(sizeof(Capture) <= precinct::sim::EventCallback::kInlineBytes);
+  Simulator sim;
+  std::uint64_t sink = 0;
+  const auto cycle = [&] {
+    for (int i = 0; i < 2000; ++i) {
+      const Capture cap{&sink, 0.25 * i, static_cast<std::uint64_t>(i), 1, 2};
+      sim.schedule(static_cast<double>(i % 97), [cap] {
+        *static_cast<std::uint64_t*>(cap.a) += cap.c;
+      });
+    }
+    sim.run_all();
+  };
+  for (int warmup = 0; warmup < 3; ++warmup) cycle();
+  const std::uint64_t before =
+      alloc_probe::count.load(std::memory_order_relaxed);
+  for (int round = 0; round < 3; ++round) cycle();
+  const std::uint64_t after =
+      alloc_probe::count.load(std::memory_order_relaxed);
+  EXPECT_EQ(after, before);
+  EXPECT_EQ(sink, 6u * (2000u * 1999u / 2u));
+}
+
+TEST(Simulator, CancelAfterFireReturnsFalse) {
+  Simulator sim;
+  bool fired = false;
+  const EventHandle h = sim.schedule(1.0, [&] { fired = true; });
+  sim.run_all();
+  EXPECT_TRUE(fired);
+  EXPECT_FALSE(sim.cancel(h));
+}
+
+TEST(Simulator, StaleHandleCannotCancelRecycledSlot) {
+  Simulator sim;
+  const EventHandle stale = sim.schedule(1.0, [] {});
+  sim.run_all();  // fires; the pool slot is recycled
+  bool fired = false;
+  sim.schedule(1.0, [&] { fired = true; });  // typically reuses that slot
+  EXPECT_FALSE(sim.cancel(stale));  // generation mismatch: must not cancel
+  sim.run_all();
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, SelfCancelInsideCallbackIsNoop) {
+  Simulator sim;
+  EventHandle h;
+  int count = 0;
+  h = sim.schedule(1.0, [&] {
+    ++count;
+    EXPECT_FALSE(sim.cancel(h));  // already firing: too late to cancel
+  });
+  sim.run_all();
+  EXPECT_EQ(count, 1);
+}
+
+TEST(Simulator, CancelledEventStillAdvancesClock) {
+  Simulator sim;
+  const EventHandle h = sim.schedule(7.0, [] {});
+  sim.cancel(h);
+  sim.run_all();
+  EXPECT_EQ(sim.now(), 7.0);
+  EXPECT_EQ(sim.events_executed(), 0u);
+}
+
+TEST(Simulator, MassSameTimestampKeepsInsertionOrder) {
+  // Large enough to engage the batch drain, with every event tied on time:
+  // order must still be exactly insertion order.
+  Simulator sim;
+  constexpr int kN = 5000;
+  std::vector<int> order;
+  order.reserve(kN);
+  for (int i = 0; i < kN; ++i) {
+    sim.schedule(1.0, [&order, i] { order.push_back(i); });
+  }
+  sim.run_all();
+  ASSERT_EQ(order.size(), static_cast<std::size_t>(kN));
+  for (int i = 0; i < kN; ++i) {
+    ASSERT_EQ(order[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(Simulator, CancelDuringDrainSkipsQueuedEvent) {
+  // The victim is already sorted into the ready batch when the canceller
+  // runs; the tombstone must still suppress it.
+  Simulator sim;
+  bool victim_fired = false;
+  for (int i = 0; i < 100; ++i) sim.schedule(1.0 + i, [] {});
+  const EventHandle victim =
+      sim.schedule(150.0, [&] { victim_fired = true; });
+  sim.schedule(2.5, [&] { EXPECT_TRUE(sim.cancel(victim)); });
+  sim.run_all();
+  EXPECT_FALSE(victim_fired);
+  EXPECT_EQ(sim.now(), 150.0);
+}
+
+TEST(Simulator, NestedRunUntilHonorsBoundDuringBatchDrain) {
+  Simulator sim;
+  int fired = 0;
+  double nested_now = 0.0;
+  int fired_at_nested_return = -1;
+  for (int i = 1; i <= 200; ++i) {
+    sim.schedule(static_cast<double>(i), [&] { ++fired; });
+  }
+  sim.schedule(5.5, [&] {
+    sim.run_until(50.0);  // must consume exactly the events at t in (5.5, 50]
+    nested_now = sim.now();
+    fired_at_nested_return = fired;
+  });
+  sim.run_all();
+  EXPECT_EQ(nested_now, 50.0);
+  EXPECT_EQ(fired_at_nested_return, 50);
+  EXPECT_EQ(fired, 200);
+}
+
+TEST(Simulator, HandlesStayDeadAcrossManyRecycles) {
+  Simulator sim;
+  std::vector<EventHandle> old;
+  for (int round = 0; round < 5; ++round) {
+    for (const EventHandle& h : old) EXPECT_FALSE(sim.cancel(h));
+    std::vector<EventHandle> fresh;
+    for (int i = 0; i < 64; ++i) {
+      fresh.push_back(sim.schedule(0.5, [] {}));
+    }
+    sim.run_all();
+    old = fresh;
+  }
+  EXPECT_EQ(sim.events_executed(), 5u * 64u);
 }
 
 TEST(Tracer, DisabledByDefault) {

@@ -240,6 +240,49 @@ TEST(ParallelFor, RethrowsFirstError) {
       std::logic_error);
 }
 
+TEST(ParallelFor, NestedCallsCompleteWithoutDeadlock) {
+  // Outer points fan inner replications into the same global pool, the
+  // run_sweep-over-run_seeds shape.  Inner calls run inline on their worker
+  // (or caller) while idle workers steal shares, so every (i, j) pair must
+  // execute exactly once and no thread may block forever.
+  constexpr std::size_t kOuter = 8;
+  constexpr std::size_t kInner = 16;
+  std::vector<std::atomic<int>> hits(kOuter * kInner);
+  parallel_for(kOuter, [&](std::size_t i) {
+    parallel_for(kInner, [&, i](std::size_t j) { ++hits[i * kInner + j]; });
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, NestedErrorPropagatesToOuterCaller) {
+  EXPECT_THROW(parallel_for(4,
+                            [](std::size_t i) {
+                              parallel_for(4, [i](std::size_t j) {
+                                if (i == 2 && j == 3) {
+                                  throw std::runtime_error("inner");
+                                }
+                              });
+                            }),
+               std::runtime_error);
+}
+
+TEST(ParallelFor, ReusesGlobalPoolAcrossCalls) {
+  // The process-wide pool persists between calls; repeated fan-outs must
+  // not spawn threads per call or lose coverage.
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int> count{0};
+    parallel_for(32, [&](std::size_t) { ++count; });
+    ASSERT_EQ(count.load(), 32);
+  }
+}
+
+TEST(ThreadPool, InWorkerDetectsPoolThreads) {
+  EXPECT_FALSE(ThreadPool::in_worker());
+  auto fut = ThreadPool::global().submit(
+      [] { EXPECT_TRUE(ThreadPool::in_worker()); });
+  fut.get();
+}
+
 TEST(Table, FormatsAlignedColumns) {
   Table t({"name", "value"});
   t.add_row({"alpha", "1.5"});
