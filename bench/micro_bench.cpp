@@ -8,6 +8,7 @@
 #include "mobility/random_waypoint.hpp"
 #include "mobility/static_placement.hpp"
 #include "net/wireless_net.hpp"
+#include "routing/flood.hpp"
 #include "routing/gpsr.hpp"
 #include "sim/simulator.hpp"
 #include "net/spatial_grid.hpp"
@@ -93,6 +94,69 @@ void BM_NeighborQueryScratch(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_NeighborQueryScratch)->Arg(80)->Arg(160);
+
+// Network-wide flood from a rotating origin: every receiver re-broadcasts
+// once (flood dedup + TTL), so one iteration exercises the full radio
+// fan-out path — airtime reservation, per-receiver energy charging, and
+// one delivery closure per (forwarder, neighbor) pair.
+void BM_BroadcastFanout(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  RadioFixtureState fx(n, 23);
+  routing::FloodController flood(n);
+  std::uint64_t delivered = 0;
+  fx.net.set_receive_handler(
+      [&](net::NodeId node, const net::Packet& p) {
+        ++delivered;
+        if (!flood.mark_seen(node, p.id)) return;
+        if (!routing::FloodController::ttl_allows_forward(p)) return;
+        net::Packet fwd = p;
+        fwd.ttl -= 1;
+        fwd.hops += 1;
+        fwd.src = node;
+        fx.net.broadcast(fwd);
+      });
+  net::NodeId origin = 0;
+  for (auto _ : state) {
+    flood.clear();
+    net::Packet p;
+    p.id = fx.net.next_packet_id();
+    p.mode = net::RouteMode::kNetworkFlood;
+    p.origin = origin;
+    p.src = origin;
+    p.size_bytes = 96;
+    p.ttl = 8;
+    flood.mark_seen(origin, p.id);
+    fx.net.broadcast(p);
+    fx.sim.run_all();
+    origin = static_cast<net::NodeId>((origin + 1) % n);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(delivered));
+}
+BENCHMARK(BM_BroadcastFanout)->Arg(80)->Arg(160);
+
+// Flood dedup table: each round every node marks a fresh packet id and
+// re-checks it as duplicates arrive from neighbors; rounds are separated
+// by clear() (per-scenario reset).
+void BM_FloodSeen(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  routing::FloodController flood(n);
+  std::uint64_t id = 0;
+  std::int64_t ops = 0;
+  for (auto _ : state) {
+    flood.clear();
+    for (int round = 0; round < 16; ++round) {
+      ++id;
+      for (net::NodeId node = 0; node < n; ++node) {
+        benchmark::DoNotOptimize(flood.mark_seen(node, id));
+        benchmark::DoNotOptimize(flood.mark_seen(node, id));  // dup path
+        benchmark::DoNotOptimize(flood.has_seen(node, id));
+        ops += 3;
+      }
+    }
+  }
+  state.SetItemsProcessed(ops);
+}
+BENCHMARK(BM_FloodSeen)->Arg(80)->Arg(160);
 
 void BM_GpsrNextHop(benchmark::State& state) {
   RadioFixtureState fx(static_cast<std::size_t>(state.range(0)), 11);

@@ -1,0 +1,123 @@
+// Determinism fingerprint: runs a spread of fixed-seed scenarios and
+// prints every Metrics field with full precision.  Diff the output of two
+// builds to prove a change is metrics-identical (the bar every
+// performance PR must clear — see DESIGN.md §7).
+//
+// All fields except the last are workload-observable and must match
+// byte-for-byte across any behaviour-preserving change.
+// `events_executed` is a scheduling-efficiency diagnostic: a change that
+// batches or elides simulator events (e.g. fan-out batching) legitimately
+// lowers it without touching protocol behaviour.
+//
+// Usage: metrics_fingerprint [> fingerprint.txt]
+#include <cinttypes>
+#include <cstdio>
+
+#include "core/scenario.hpp"
+
+namespace {
+
+using namespace precinct;
+using core::Metrics;
+using core::PrecinctConfig;
+
+void dump(const char* name, const Metrics& m) {
+  std::printf("[%s]\n", name);
+  std::printf("requests_issued=%" PRIu64 "\n", m.requests_issued);
+  std::printf("requests_completed=%" PRIu64 "\n", m.requests_completed);
+  std::printf("requests_failed=%" PRIu64 "\n", m.requests_failed);
+  std::printf("own_cache_hits=%" PRIu64 "\n", m.own_cache_hits);
+  std::printf("regional_hits=%" PRIu64 "\n", m.regional_hits);
+  std::printf("en_route_hits=%" PRIu64 "\n", m.en_route_hits);
+  std::printf("home_region_hits=%" PRIu64 "\n", m.home_region_hits);
+  std::printf("replica_hits=%" PRIu64 "\n", m.replica_hits);
+  std::printf("latency_count=%zu\n", m.latency_s.count());
+  std::printf("latency_sum=%a\n", m.latency_s.sum());
+  std::printf("latency_min=%a\n", m.latency_s.min());
+  std::printf("latency_max=%a\n", m.latency_s.max());
+  std::printf("bytes_requested=%" PRIu64 "\n", m.bytes_requested);
+  std::printf("bytes_hit=%" PRIu64 "\n", m.bytes_hit);
+  std::printf("updates_initiated=%" PRIu64 "\n", m.updates_initiated);
+  std::printf("cache_served_valid=%" PRIu64 "\n", m.cache_served_valid);
+  std::printf("false_hits=%" PRIu64 "\n", m.false_hits);
+  std::printf("polls_sent=%" PRIu64 "\n", m.polls_sent);
+  std::printf("consistency_messages=%" PRIu64 "\n", m.consistency_messages);
+  std::printf("energy_total_mj=%a\n", m.energy_total_mj);
+  std::printf("energy_broadcast_mj=%a\n", m.energy_broadcast_mj);
+  std::printf("energy_p2p_mj=%a\n", m.energy_p2p_mj);
+  std::printf("messages_sent=%" PRIu64 "\n", m.messages_sent);
+  std::printf("bytes_sent=%" PRIu64 "\n", m.bytes_sent);
+  std::printf("frames_lost=%" PRIu64 "\n", m.frames_lost);
+  std::printf("custody_handoffs=%" PRIu64 "\n", m.custody_handoffs);
+  std::printf("events_executed=%" PRIu64 "\n", m.events_executed);
+  std::printf("\n");
+}
+
+PrecinctConfig base(std::uint64_t seed) {
+  PrecinctConfig c;
+  c.n_nodes = 60;
+  c.warmup_s = 60;
+  c.measure_s = 240;
+  c.seed = seed;
+  return c;
+}
+
+}  // namespace
+
+int main() {
+  {
+    // Default PReCinCt stack under mobility.
+    dump("precinct_mobile_s7", core::run_scenario(base(7)));
+  }
+  {
+    // Flooding baseline: the heaviest broadcast fan-out workload.
+    auto c = base(11);
+    c.retrieval = core::RetrievalScheme::kFlooding;
+    c.measure_s = 150;
+    dump("flooding_s11", core::run_scenario(c));
+  }
+  {
+    // Expanding-ring baseline (repeated scoped floods).
+    auto c = base(13);
+    c.retrieval = core::RetrievalScheme::kExpandingRing;
+    c.measure_s = 150;
+    dump("ring_s13", core::run_scenario(c));
+  }
+  {
+    // Consistency: pushes, polls, acks over geographic routing.
+    auto c = base(17);
+    c.updates_enabled = true;
+    c.consistency = consistency::Mode::kPushAdaptivePull;
+    c.mean_update_interval_s = 45.0;
+    dump("adaptive_pull_s17", core::run_scenario(c));
+  }
+  {
+    // Plain-Push: network-wide invalidation floods.
+    auto c = base(19);
+    c.updates_enabled = true;
+    c.consistency = consistency::Mode::kPlainPush;
+    c.mean_update_interval_s = 45.0;
+    c.measure_s = 150;
+    dump("plain_push_s19", core::run_scenario(c));
+  }
+  {
+    // Churn + dynamic regions: custody handoffs, kills, revives,
+    // region-table dissemination floods.
+    auto c = base(23);
+    c.dynamic_regions = true;
+    c.crash_rate_per_s = 0.02;
+    c.join_rate_per_s = 0.02;
+    c.graceful_fraction = 0.5;
+    dump("churn_dynamic_s23", core::run_scenario(c));
+  }
+  {
+    // Large static network: spatial grid index on (>=128 nodes).
+    auto c = base(29);
+    c.n_nodes = 160;
+    c.area = {{0, 0}, {1800, 1800}};
+    c.regions_x = c.regions_y = 4;
+    c.measure_s = 120;
+    dump("large_grid_s29", core::run_scenario(c));
+  }
+  return 0;
+}

@@ -214,7 +214,14 @@ class PrecinctEngine {
   void serve_from_copy(net::NodeId self, const net::Packet& request,
                        const cache::CacheEntry& entry, HitClass hit_class);
   void finish_responder_poll(std::uint64_t poll_id);
-  void forward_geographic(net::NodeId self, net::Packet packet);
+  /// Forward a pooled frame by position (GPSR + final-hop unicast + void
+  /// recovery).  The ref must be uniquely held — per-hop fields are
+  /// mutated in place before the frame is handed to the radio.
+  void forward_geographic(net::NodeId self, net::PacketRef packet);
+  /// Pool-wrap a received or stack-built packet and forward it.
+  void forward_geographic(net::NodeId self, const net::Packet& packet) {
+    forward_geographic(self, net_.make_ref(packet));
+  }
   void flood_forward(net::NodeId self, const net::Packet& packet);
 
   // -- consistency ------------------------------------------------------------------

@@ -187,15 +187,15 @@ void PrecinctEngine::handle_update_push(net::NodeId self,
         return;
       }
       if (peers_[self].region == packet.dest_region) {
-        net::Packet scoped = packet;
-        scoped.mode = net::RouteMode::kRegionFlood;
-        scoped.ttl = config_.region_flood_ttl;
-        scoped.src = self;
-        scoped.id = net_.next_packet_id();
-        flood_.mark_seen(self, scoped.id);
-        peers_[self].cache.refresh(scoped.key, scoped.version,
-                                   sim_.now() + custodian_ttr_s(scoped.key));
-        net_.broadcast(scoped);
+        net::PacketRef scoped = net_.make_ref(packet);
+        scoped->mode = net::RouteMode::kRegionFlood;
+        scoped->ttl = config_.region_flood_ttl;
+        scoped->src = self;
+        scoped->id = net_.next_packet_id();
+        flood_.mark_seen(self, scoped->id);
+        peers_[self].cache.refresh(scoped->key, scoped->version,
+                                   sim_.now() + custodian_ttr_s(scoped->key));
+        net_.broadcast(std::move(scoped));
         return;
       }
       forward_geographic(self, packet);
@@ -251,13 +251,13 @@ void PrecinctEngine::handle_poll(net::NodeId self, const net::Packet& packet) {
         return;
       }
       if (peers_[self].region == packet.dest_region) {
-        net::Packet scoped = packet;
-        scoped.mode = net::RouteMode::kRegionFlood;
-        scoped.ttl = config_.region_flood_ttl;
-        scoped.src = self;
-        scoped.id = net_.next_packet_id();
-        flood_.mark_seen(self, scoped.id);
-        net_.broadcast(scoped);
+        net::PacketRef scoped = net_.make_ref(packet);
+        scoped->mode = net::RouteMode::kRegionFlood;
+        scoped->ttl = config_.region_flood_ttl;
+        scoped->src = self;
+        scoped->id = net_.next_packet_id();
+        flood_.mark_seen(self, scoped->id);
+        net_.broadcast(std::move(scoped));
         return;
       }
       forward_geographic(self, packet);

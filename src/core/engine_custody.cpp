@@ -42,13 +42,14 @@ void PrecinctEngine::commit_region_change(net::NodeId initiator) {
   // §2.1: "the peer needs to disseminate the update to all other peers in
   // the whole network."  One network-wide flood carrying the region table
   // (16 B of center+extent per region on the air).
-  net::Packet packet = make_packet(net::PacketKind::kRegionUpdate, initiator,
-                                   /*key=*/regions_.version());
-  packet.mode = net::RouteMode::kNetworkFlood;
-  packet.ttl = config_.network_flood_ttl;
-  packet.size_bytes = net::kHeaderBytes + 16 * regions_.size();
-  flood_.mark_seen(initiator, packet.id);
-  net_.broadcast(packet);
+  net::PacketRef packet = net_.make_ref(
+      make_packet(net::PacketKind::kRegionUpdate, initiator,
+                  /*key=*/regions_.version()));
+  packet->mode = net::RouteMode::kNetworkFlood;
+  packet->ttl = config_.network_flood_ttl;
+  packet->size_bytes = net::kHeaderBytes + 16 * regions_.size();
+  flood_.mark_seen(initiator, packet->id);
+  net_.broadcast(std::move(packet));
 
   // The simulation keeps one shared table, so adoption of the new table
   // is immediate; every peer re-derives its region from it.

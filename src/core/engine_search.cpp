@@ -557,13 +557,13 @@ void PrecinctEngine::handle_request(net::NodeId self,
       if (peers_[self].region == packet.dest_region) {
         // First node inside the destination region: become the broadcast
         // point and flood locally (§2.2).
-        net::Packet scoped = packet;
-        scoped.mode = net::RouteMode::kRegionFlood;
-        scoped.ttl = config_.region_flood_ttl;
-        scoped.src = self;
-        scoped.id = net_.next_packet_id();
-        flood_.mark_seen(self, scoped.id);
-        net_.broadcast(scoped);
+        net::PacketRef scoped = net_.make_ref(packet);
+        scoped->mode = net::RouteMode::kRegionFlood;
+        scoped->ttl = config_.region_flood_ttl;
+        scoped->src = self;
+        scoped->id = net_.next_packet_id();
+        flood_.mark_seen(self, scoped->id);
+        net_.broadcast(std::move(scoped));
         return;
       }
       forward_geographic(self, packet);
@@ -620,7 +620,9 @@ void PrecinctEngine::handle_response(net::NodeId self,
   forward_geographic(self, packet);
 }
 
-void PrecinctEngine::forward_geographic(net::NodeId self, net::Packet packet) {
+void PrecinctEngine::forward_geographic(net::NodeId self,
+                                        net::PacketRef ref) {
+  net::Packet& packet = *ref;  // sole reference until the radio shares it
   if (packet.ttl <= 0) {
     ++route_drops_ttl_;
     return;
@@ -632,7 +634,8 @@ void PrecinctEngine::forward_geographic(net::NodeId self, net::Packet packet) {
   if (packet.dest_node != net::kNoNode && packet.dest_node != self &&
       net_.in_range(self, packet.dest_node)) {
     packet.src = self;
-    net_.unicast(packet, packet.dest_node);
+    const net::NodeId dest = packet.dest_node;
+    net_.unicast(std::move(ref), dest);
     return;
   }
   // next_hop must see src = previous hop: the perimeter right-hand rule
@@ -645,26 +648,25 @@ void PrecinctEngine::forward_geographic(net::NodeId self, net::Packet packet) {
     // broadcast (paper assumption iii: messages eventually reach the
     // correct node); receivers gate themselves in on_receive.
     if (flood_.mark_seen(self, packet.id)) {
-      net::Packet rec = packet;
-      rec.recovery = true;
-      rec.perimeter = false;
-      rec.perimeter_entry_node = net::kNoNode;
-      rec.perimeter_first_hop = net::kNoNode;
-      net_.broadcast(rec);
+      packet.recovery = true;
+      packet.perimeter = false;
+      packet.perimeter_entry_node = net::kNoNode;
+      packet.perimeter_first_hop = net::kNoNode;
+      net_.broadcast(std::move(ref));
     }
     return;
   }
-  net_.unicast(packet, *next);
+  net_.unicast(std::move(ref), *next);
 }
 
 void PrecinctEngine::flood_forward(net::NodeId self,
                                    const net::Packet& packet) {
   if (!routing::FloodController::ttl_allows_forward(packet)) return;
-  net::Packet fwd = packet;
-  fwd.ttl -= 1;
-  fwd.hops += 1;
-  fwd.src = self;
-  net_.broadcast(fwd);
+  net::PacketRef fwd = net_.make_ref(packet);
+  fwd->ttl -= 1;
+  fwd->hops += 1;
+  fwd->src = self;
+  net_.broadcast(std::move(fwd));
 }
 
 }  // namespace precinct::core

@@ -1,0 +1,191 @@
+// Pooled, intrusively ref-counted radio frames.
+//
+// Every queued transmission used to capture a full Packet (~200 bytes) by
+// value in its scheduled closure — past EventCallback's 48-byte inline
+// threshold, so the radio heap-allocated once per send plus once per
+// receiver.  A PacketBuf is acquired from a free-list arena instead; the
+// 16-byte PacketRef handle is what closures capture, so a broadcast to k
+// receivers shares one frame under k+1 references and the whole fan-out
+// fits the inline event storage.  Frames recycle on last release;
+// steady-state traffic allocates nothing.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "net/packet.hpp"
+
+namespace precinct::net {
+
+class PacketBufPool;
+
+/// One pooled frame: the Packet payload plus the pool's intrusive
+/// bookkeeping.  Never created directly — PacketBufPool::acquire hands
+/// out PacketRefs to arena slots.
+struct PacketBuf {
+  Packet packet;
+  std::uint32_t refs = 0;
+  std::uint32_t gen = 1;  ///< bumped on recycle; stale handles assert
+  PacketBufPool* pool = nullptr;
+  PacketBuf* next_free = nullptr;
+};
+
+/// Shared handle to a pooled frame: copy bumps the refcount, destruction
+/// drops it, and the frame returns to its pool's free list when the last
+/// reference dies.  16 bytes (pointer + acquisition generation), so a
+/// radio delivery closure capturing {net, ref, receiver} stays well under
+/// the EventCallback inline threshold.
+///
+/// The generation makes use-after-release loud: dereferencing a handle
+/// whose frame was recycled trips an assert instead of silently reading
+/// whatever packet reused the slot.  Mutate the packet only while the
+/// frame is uniquely referenced (use_count() == 1) — the radio stamps
+/// src_location before any receiver closure shares the frame.
+class PacketRef {
+ public:
+  PacketRef() noexcept = default;
+  PacketRef(const PacketRef& other) noexcept
+      : buf_(other.buf_), gen_(other.gen_) {
+    if (buf_ != nullptr) ++buf_->refs;
+  }
+  PacketRef(PacketRef&& other) noexcept
+      : buf_(std::exchange(other.buf_, nullptr)), gen_(other.gen_) {}
+  PacketRef& operator=(const PacketRef& other) noexcept {
+    PacketRef tmp(other);
+    swap(tmp);
+    return *this;
+  }
+  PacketRef& operator=(PacketRef&& other) noexcept {
+    PacketRef tmp(std::move(other));
+    swap(tmp);
+    return *this;
+  }
+  ~PacketRef() { reset(); }
+
+  /// Drop this reference (recycling the frame if it was the last one);
+  /// the handle becomes empty.
+  void reset() noexcept;
+
+  void swap(PacketRef& other) noexcept {
+    std::swap(buf_, other.buf_);
+    std::swap(gen_, other.gen_);
+  }
+
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return buf_ != nullptr;
+  }
+  /// True while the handle refers to a live, un-recycled frame.
+  [[nodiscard]] bool valid() const noexcept {
+    return buf_ != nullptr && buf_->gen == gen_;
+  }
+  [[nodiscard]] std::uint32_t use_count() const noexcept {
+    return buf_ != nullptr ? buf_->refs : 0;
+  }
+
+  [[nodiscard]] Packet& operator*() const noexcept {
+    assert(valid());
+    return buf_->packet;
+  }
+  [[nodiscard]] Packet* operator->() const noexcept {
+    assert(valid());
+    return &buf_->packet;
+  }
+
+ private:
+  friend class PacketBufPool;
+  PacketRef(PacketBuf* buf, std::uint32_t gen) noexcept
+      : buf_(buf), gen_(gen) {}
+
+  PacketBuf* buf_ = nullptr;
+  std::uint32_t gen_ = 0;
+};
+static_assert(sizeof(PacketRef) == 16);
+
+/// Free-list arena of PacketBufs.  Frames live in chunked blocks (stable
+/// addresses), grow on demand, and recycle in LIFO order — the hottest
+/// slot is the one just released, still warm in cache.
+///
+/// Lifetime: the radio owns the pool, but pending simulator events can
+/// hold PacketRefs that outlive the radio — the simulator is declared
+/// before the radio in Scenario and the test fixtures, so queued events
+/// are destroyed after it.  The pool is therefore heap-allocated and
+/// retire()d instead of deleted: it self-destructs once the last
+/// outstanding reference drains.
+class PacketBufPool {
+ public:
+  /// Frames per arena block.  128 frames ≈ 30 KiB — more in-flight
+  /// transmissions than any scenario's MAC queues sustain, so growth is
+  /// a warm-up event, not a steady-state one.
+  static constexpr std::size_t kBlockFrames = 128;
+
+  PacketBufPool() = default;
+  PacketBufPool(const PacketBufPool&) = delete;
+  PacketBufPool& operator=(const PacketBufPool&) = delete;
+
+  /// Copy `packet` into a fresh frame and return the (sole) reference.
+  [[nodiscard]] PacketRef acquire(const Packet& packet) {
+    assert(!retired_);
+    if (free_ == nullptr) grow();
+    PacketBuf* buf = free_;
+    free_ = buf->next_free;
+    buf->next_free = nullptr;
+    buf->packet = packet;
+    buf->refs = 1;
+    ++in_use_;
+    return PacketRef(buf, buf->gen);
+  }
+
+  /// The owner is going away: self-delete once every outstanding
+  /// reference has been released (immediately, if none are).
+  void retire() noexcept {
+    retired_ = true;
+    if (in_use_ == 0) delete this;
+  }
+
+  [[nodiscard]] std::size_t in_use() const noexcept { return in_use_; }
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    return blocks_.size() * kBlockFrames;
+  }
+
+ private:
+  friend class PacketRef;
+
+  void recycle(PacketBuf* buf) noexcept {
+    ++buf->gen;  // invalidate any stale handle to the old acquisition
+    buf->next_free = free_;
+    free_ = buf;
+    assert(in_use_ > 0);
+    --in_use_;
+    if (retired_ && in_use_ == 0) delete this;
+  }
+
+  void grow() {
+    auto block = std::make_unique<PacketBuf[]>(kBlockFrames);
+    // Thread the block onto the free list back to front, so frames hand
+    // out in address order.
+    for (std::size_t i = kBlockFrames; i-- > 0;) {
+      block[i].pool = this;
+      block[i].next_free = free_;
+      free_ = &block[i];
+    }
+    blocks_.push_back(std::move(block));
+  }
+
+  std::vector<std::unique_ptr<PacketBuf[]>> blocks_;
+  PacketBuf* free_ = nullptr;
+  std::size_t in_use_ = 0;
+  bool retired_ = false;
+};
+
+inline void PacketRef::reset() noexcept {
+  if (buf_ == nullptr) return;
+  PacketBuf* buf = std::exchange(buf_, nullptr);
+  assert(buf->refs > 0);
+  if (--buf->refs == 0) buf->pool->recycle(buf);
+}
+
+}  // namespace precinct::net

@@ -17,12 +17,31 @@ WirelessNet::WirelessNet(sim::Simulator& simulator,
       n_nodes_(mobility.node_count()),
       alive_(mobility.node_count(), 1),
       busy_until_(mobility.node_count(), 0.0),
+      pool_(new PacketBufPool),
       neighbor_cache_(mobility.node_count()) {
+  // One-time size validation; the hot paths below index unchecked.
+  assert(alive_.size() == n_nodes_);
+  assert(busy_until_.size() == n_nodes_);
+  assert(neighbor_cache_.size() == n_nodes_);
   if (n_nodes_ >= config_.spatial_index_threshold) {
     grid_ = std::make_unique<SpatialGrid>(config_.area, config_.range_m);
     grid_positions_.resize(n_nodes_);
   }
+  // At most one fan-out batch per sender can be in flight: a sender's
+  // frames serialize through a MAC window (>= mac_overhead_s) longer than
+  // the processing delay a batch lives for.  Pre-sizing n snapshot
+  // vectors to the receiver cap makes broadcast delivery allocation-free
+  // from the first frame (acquire_rx_list still degrades gracefully if
+  // the bound is ever exceeded).
+  rx_free_.reserve(n_nodes_);
+  for (std::size_t i = 0; i < n_nodes_; ++i) {
+    std::vector<NodeId> v;
+    v.reserve(n_nodes_ > 0 ? n_nodes_ - 1 : 0);
+    rx_free_.push_back(std::move(v));
+  }
 }
+
+WirelessNet::~WirelessNet() { pool_->retire(); }
 
 void WirelessNet::refresh_grid() {
   const double now = sim_.now();
@@ -68,7 +87,8 @@ void WirelessNet::compute_neighbors(NodeId node, std::vector<NodeId>& out) {
 }
 
 const std::vector<NodeId>& WirelessNet::neighbors_cached(NodeId node) {
-  NeighborCache& c = neighbor_cache_.at(node);
+  assert(node < n_nodes_);
+  NeighborCache& c = neighbor_cache_[node];
   const double now = sim_.now();
   if (!config_.neighbor_cache || c.epoch != topology_epoch_ || c.at != now) {
     compute_neighbors(node, c.ids);
@@ -85,11 +105,15 @@ std::vector<NodeId> WirelessNet::neighbors(NodeId node) {
 }
 
 void WirelessNet::neighbors(NodeId node, std::vector<NodeId>& out) {
-  out = neighbors_cached(node);
+  // Snapshot overload: element copy into `out`'s existing capacity.  Hot
+  // paths that do not need a snapshot iterate neighbors_cached directly.
+  const std::vector<NodeId>& ids = neighbors_cached(node);
+  out.assign(ids.begin(), ids.end());
 }
 
 bool WirelessNet::in_range(NodeId a, NodeId b) {
-  if (!alive_.at(a) || !alive_.at(b) || a == b) return false;
+  assert(a < n_nodes_ && b < n_nodes_);
+  if (!alive_[a] || !alive_[b] || a == b) return false;
   return geo::distance_sq(position(a), position(b)) <=
          config_.range_m * config_.range_m;
 }
@@ -104,73 +128,100 @@ double WirelessNet::tx_duration(std::size_t bytes, bool unicast) const {
 double WirelessNet::reserve_airtime(NodeId sender, double tx_time) {
   // Half-duplex MAC: a node's frames serialize through its own queue.  A
   // small random jitter decorrelates simultaneous flood forwarders.
-  double& busy = busy_until_.at(sender);
+  assert(sender < n_nodes_);
+  double& busy = busy_until_[sender];
   const double start =
       std::max(sim_.now(), busy) + rng_.uniform(0.0, config_.jitter_s);
   busy = start + tx_time;
   return busy;  // time the last bit hits the air
 }
 
-void WirelessNet::broadcast(const Packet& packet) {
-  assert(packet.src != kNoNode);
-  if (!alive_.at(packet.src)) return;
-  stats_.count_send(packet.kind, packet.size_bytes);
+void WirelessNet::broadcast(PacketRef packet) {
+  const Packet& p = *packet;
+  assert(p.src != kNoNode);
+  assert(p.src < n_nodes_);
+  if (!alive_[p.src]) return;
+  stats_.count_send(p.kind, p.size_bytes);
   const double done =
-      reserve_airtime(packet.src, tx_duration(packet.size_bytes, false));
+      reserve_airtime(p.src, tx_duration(p.size_bytes, false));
+  // {this, ref}: 24 bytes, inline in the event slot.
   sim_.schedule_at(done + config_.propagation_s,
-                   [this, packet] { deliver_broadcast(packet); });
+                   [this, packet = std::move(packet)] {
+                     deliver_broadcast(packet);
+                   });
 }
 
-void WirelessNet::deliver_broadcast(Packet packet) {
-  if (!alive_.at(packet.src)) return;  // died while the frame was queued
-  packet.src_location = position(packet.src);
-  energy_.charge(packet.src, energy::RadioOp::kBroadcastSend,
-                 packet.size_bytes);
-  // Snapshot the neighborhood at delivery time (into a reused scratch
-  // vector — snoop/receive hooks may themselves query neighborhoods).
-  neighbors(packet.src, deliver_scratch_);
-  const auto& receivers = deliver_scratch_;
+void WirelessNet::deliver_broadcast(const PacketRef& packet) {
+  Packet& p = *packet;
+  assert(p.src < n_nodes_);
+  if (!alive_[p.src]) return;  // died while the frame was queued
+  // Sole owner until the receiver closures below share the frame, so
+  // stamping the transmit position here is race-free.
+  p.src_location = position(p.src);
+  energy_.charge(p.src, energy::RadioOp::kBroadcastSend, p.size_bytes);
+  // Iterate the cached neighborhood by reference: the loops below only
+  // charge energy/stats and schedule closures — nothing reenters the
+  // neighbor cache before the last use.
+  const std::vector<NodeId>& receivers = neighbors_cached(p.src);
   for (const NodeId receiver : receivers) {
-    energy_.charge(receiver, energy::RadioOp::kBroadcastRecv,
-                   packet.size_bytes);
-    stats_.count_delivery(packet.kind);
+    energy_.charge(receiver, energy::RadioOp::kBroadcastRecv, p.size_bytes);
+    stats_.count_delivery(p.kind);
   }
-  if (!on_receive_) return;
-  for (const NodeId receiver : receivers) {
-    // Deliver after the receiver's protocol processing delay.
-    sim_.schedule(config_.proc_delay_s, [this, receiver, packet] {
-      if (alive_.at(receiver)) on_receive_(receiver, packet);
-    });
-  }
+  if (!on_receive_ || receivers.empty()) return;
+  // Every receiver is delivered at the same instant (+proc_delay_s), and
+  // the per-receiver events used to get consecutive tie-break sequence
+  // numbers — nothing could interleave between them.  So one batch event
+  // walking a snapshot of the receiver set executes the exact same handler
+  // sequence while paying for a single queue insertion instead of |R|.
+  // {this, ref, vector}: 48 bytes, exactly the event slot's inline limit.
+  std::vector<NodeId> rx = acquire_rx_list();
+  rx.assign(receivers.begin(), receivers.end());
+  sim_.schedule(config_.proc_delay_s,
+                [this, packet, rx = std::move(rx)]() mutable {
+                  for (const NodeId receiver : rx) {
+                    if (alive_[receiver]) on_receive_(receiver, *packet);
+                  }
+                  release_rx_list(std::move(rx));
+                });
 }
 
-void WirelessNet::unicast(const Packet& packet, NodeId next_hop) {
-  assert(packet.src != kNoNode && next_hop != kNoNode);
-  if (!alive_.at(packet.src)) return;
-  stats_.count_send(packet.kind, packet.size_bytes);
+void WirelessNet::unicast(PacketRef packet, NodeId next_hop) {
+  const Packet& p = *packet;
+  assert(p.src != kNoNode && next_hop != kNoNode);
+  assert(p.src < n_nodes_);
+  if (!alive_[p.src]) return;
+  stats_.count_send(p.kind, p.size_bytes);
   const double done =
-      reserve_airtime(packet.src, tx_duration(packet.size_bytes, true));
-  sim_.schedule_at(done + config_.propagation_s, [this, packet, next_hop] {
-    deliver_unicast(packet, next_hop);
-  });
+      reserve_airtime(p.src, tx_duration(p.size_bytes, true));
+  sim_.schedule_at(done + config_.propagation_s,
+                   [this, packet = std::move(packet), next_hop]() mutable {
+                     deliver_unicast(std::move(packet), next_hop);
+                   });
 }
 
-void WirelessNet::deliver_unicast(Packet packet, NodeId next_hop) {
-  if (!alive_.at(packet.src)) return;
-  packet.src_location = position(packet.src);
-  energy_.charge(packet.src, energy::RadioOp::kP2pSend, packet.size_bytes);
-  neighbors(packet.src, deliver_scratch_);
-  const auto& nearby = deliver_scratch_;
+void WirelessNet::deliver_unicast(PacketRef packet, NodeId next_hop) {
+  Packet& p = *packet;
+  assert(p.src < n_nodes_);
+  if (!alive_[p.src]) return;
+  p.src_location = position(p.src);
+  energy_.charge(p.src, energy::RadioOp::kP2pSend, p.size_bytes);
+  // Snapshot the neighborhood (reusing the scratch vector's capacity):
+  // the snoop hook runs inline below and may itself query neighborhoods,
+  // invalidating a cached reference mid-loop.
+  {
+    const std::vector<NodeId>& ids = neighbors_cached(p.src);
+    deliver_scratch_.assign(ids.begin(), ids.end());
+  }
   bool reached = false;
-  for (const NodeId n : nearby) {
+  for (const NodeId n : deliver_scratch_) {
     if (n == next_hop) {
-      energy_.charge(n, energy::RadioOp::kP2pRecv, packet.size_bytes);
+      energy_.charge(n, energy::RadioOp::kP2pRecv, p.size_bytes);
       reached = true;
     } else {
       // Overhearers pay the promiscuous receive-and-discard cost — and,
       // if the upper layer snoops, learn the sender's position.
-      energy_.charge(n, energy::RadioOp::kP2pDiscard, packet.size_bytes);
-      if (on_snoop_) on_snoop_(n, packet);
+      energy_.charge(n, energy::RadioOp::kP2pDiscard, p.size_bytes);
+      if (on_snoop_) on_snoop_(n, p);
     }
   }
   if (!reached) {
@@ -178,22 +229,25 @@ void WirelessNet::deliver_unicast(Packet packet, NodeId next_hop) {
     ++frames_lost_;
     return;
   }
-  stats_.count_delivery(packet.kind);
+  stats_.count_delivery(p.kind);
   if (on_receive_) {
-    sim_.schedule(config_.proc_delay_s, [this, next_hop, packet] {
-      if (alive_.at(next_hop)) on_receive_(next_hop, packet);
-    });
+    sim_.schedule(config_.proc_delay_s,
+                  [this, packet = std::move(packet), next_hop] {
+                    if (alive_[next_hop]) on_receive_(next_hop, *packet);
+                  });
   }
 }
 
 void WirelessNet::kill(NodeId node) {
-  alive_.at(node) = 0;
+  assert(node < n_nodes_);
+  alive_[node] = 0;
   ++topology_epoch_;  // invalidate every cached neighborhood
 }
 
 void WirelessNet::revive(NodeId node) {
-  alive_.at(node) = 1;
-  busy_until_.at(node) = sim_.now();
+  assert(node < n_nodes_);
+  alive_[node] = 1;
+  busy_until_[node] = sim_.now();
   ++topology_epoch_;
 }
 

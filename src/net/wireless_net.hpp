@@ -17,6 +17,7 @@
 #include "mobility/mobility_model.hpp"
 #include "net/message_stats.hpp"
 #include "net/packet.hpp"
+#include "net/packet_pool.hpp"
 #include "net/spatial_grid.hpp"
 #include "sim/simulator.hpp"
 #include "support/rng.hpp"
@@ -64,6 +65,10 @@ class WirelessNet {
   WirelessNet(const WirelessNet&) = delete;
   WirelessNet& operator=(const WirelessNet&) = delete;
 
+  /// Retires the frame pool: frames referenced by still-queued delivery
+  /// events stay alive until those events are destroyed.
+  ~WirelessNet();
+
   /// Register the upper layer.  Must be set before any traffic flows.
   void set_receive_handler(ReceiveHandler handler) {
     on_receive_ = std::move(handler);
@@ -109,15 +114,26 @@ class WirelessNet {
   /// True when a direct radio link exists between two live nodes now.
   [[nodiscard]] bool in_range(NodeId a, NodeId b);
 
-  /// Queue a broadcast frame from `packet.src`.  Every live in-range node
-  /// receives it; all receivers pay broadcast-receive energy.
-  void broadcast(const Packet& packet);
+  /// Copy `packet` into a pooled frame (see packet_pool.hpp).  Forwarding
+  /// paths acquire once and hand the ref to broadcast/unicast; every
+  /// queued closure then shares the frame instead of copying the packet.
+  [[nodiscard]] PacketRef make_ref(const Packet& packet) {
+    return pool_->acquire(packet);
+  }
 
-  /// Queue a unicast frame from `packet.src` to `next_hop`.  The target
+  /// Queue a broadcast frame from `packet->src`.  Every live in-range node
+  /// receives it; all receivers pay broadcast-receive energy.
+  void broadcast(PacketRef packet);
+  void broadcast(const Packet& packet) { broadcast(make_ref(packet)); }
+
+  /// Queue a unicast frame from `packet->src` to `next_hop`.  The target
   /// pays p2p-receive energy; other in-range nodes overhear and pay the
   /// discard cost.  If the link is down at transmit time the frame is
   /// lost (counted in frames_lost()).
-  void unicast(const Packet& packet, NodeId next_hop);
+  void unicast(PacketRef packet, NodeId next_hop);
+  void unicast(const Packet& packet, NodeId next_hop) {
+    unicast(make_ref(packet), next_hop);
+  }
 
   // -- failure injection (paper §2.4) --------------------------------------
 
@@ -140,6 +156,11 @@ class WirelessNet {
 
   [[nodiscard]] sim::Simulator& simulator() noexcept { return sim_; }
 
+  /// Frame-pool diagnostics (tests assert recycling and bounded growth).
+  [[nodiscard]] const PacketBufPool& frame_pool() const noexcept {
+    return *pool_;
+  }
+
   /// Fresh unique packet id.
   [[nodiscard]] std::uint64_t next_packet_id() noexcept { return next_id_++; }
 
@@ -147,8 +168,8 @@ class WirelessNet {
   /// Serialize through the sender's MAC: returns the time the frame hits
   /// the air, updating the sender's busy window.
   double reserve_airtime(NodeId sender, double tx_time);
-  void deliver_broadcast(Packet packet);
-  void deliver_unicast(Packet packet, NodeId next_hop);
+  void deliver_broadcast(const PacketRef& packet);
+  void deliver_unicast(PacketRef packet, NodeId next_hop);
   [[nodiscard]] double tx_duration(std::size_t bytes, bool unicast) const;
 
   /// Refresh the spatial index if it is stale; no-op when disabled.
@@ -156,6 +177,24 @@ class WirelessNet {
 
   /// Uncached neighbor computation into `out` (cleared first).
   void compute_neighbors(NodeId node, std::vector<NodeId>& out);
+
+  /// Receiver-snapshot recycling for batched broadcast delivery: each
+  /// in-flight broadcast carries one snapshot vector; returned vectors
+  /// keep their capacity.  Reserving the hard receiver cap (n-1) up front
+  /// means every pooled vector allocates exactly once in its lifetime, so
+  /// steady-state fan-out never touches the heap.
+  [[nodiscard]] std::vector<NodeId> acquire_rx_list() {
+    std::vector<NodeId> v;
+    if (!rx_free_.empty()) {
+      v = std::move(rx_free_.back());
+      rx_free_.pop_back();
+    }
+    v.reserve(n_nodes_ > 0 ? n_nodes_ - 1 : 0);
+    return v;
+  }
+  void release_rx_list(std::vector<NodeId>&& v) {
+    rx_free_.push_back(std::move(v));
+  }
 
   sim::Simulator& sim_;
   mobility::MobilityModel& mobility_;
@@ -171,6 +210,11 @@ class WirelessNet {
   std::uint64_t next_id_ = 1;
   std::uint64_t frames_lost_ = 0;
 
+  /// Frame arena.  Heap-allocated and retired (not deleted) in the dtor:
+  /// queued delivery events own PacketRefs and are destroyed with the
+  /// simulator, which outlives the radio.
+  PacketBufPool* pool_;
+
   // Spatial index (used when node_count >= spatial_index_threshold).
   std::unique_ptr<SpatialGrid> grid_;
   double grid_time_ = -1.0;
@@ -185,7 +229,8 @@ class WirelessNet {
   };
   std::uint64_t topology_epoch_ = 1;
   std::vector<NeighborCache> neighbor_cache_;
-  std::vector<NodeId> deliver_scratch_;  // receiver snapshot per delivery
+  std::vector<NodeId> deliver_scratch_;  // unicast snoop snapshot
+  std::vector<std::vector<NodeId>> rx_free_;  // recycled fan-out snapshots
 };
 
 }  // namespace precinct::net

@@ -1,20 +1,91 @@
 #include "routing/flood.hpp"
 
+#include <algorithm>
+
 namespace precinct::routing {
 
+namespace {
+
+[[nodiscard]] std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+FloodController::FloodController(std::size_t n_nodes)
+    : slots_(round_up_pow2(std::max<std::size_t>(256, n_nodes * 8))) {
+  mask_ = slots_.size() - 1;
+}
+
+std::uint64_t FloodController::mix(net::NodeId node,
+                                   std::uint64_t id) noexcept {
+  // splitmix64 finalizer over the combined pair: packet ids are
+  // sequential, so the raw bits must be scattered before masking.
+  std::uint64_t x =
+      id + 0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(node) + 1);
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
 bool FloodController::mark_seen(net::NodeId node, std::uint64_t id) {
-  const bool inserted = seen_.at(node).insert(id).second;
-  if (!inserted) ++dups_;
-  return inserted;
+  // Keep the load factor under 3/4; growing up front keeps the probe
+  // below valid for the whole insertion.
+  if ((size_ + 1) * 4 > slots_.size() * 3) grow();
+  std::size_t i = static_cast<std::size_t>(mix(node, id)) & mask_;
+  while (true) {
+    Slot& s = slots_[i];
+    if (s.gen != gen_) {  // empty (or stale from a cleared generation)
+      s.id = id;
+      s.node = node;
+      s.gen = gen_;
+      ++size_;
+      return true;
+    }
+    if (s.id == id && s.node == node) {
+      ++dups_;
+      return false;
+    }
+    i = (i + 1) & mask_;
+  }
 }
 
 bool FloodController::has_seen(net::NodeId node, std::uint64_t id) const {
-  const auto& s = seen_.at(node);
-  return s.find(id) != s.end();
+  std::size_t i = static_cast<std::size_t>(mix(node, id)) & mask_;
+  while (true) {
+    const Slot& s = slots_[i];
+    if (s.gen != gen_) return false;
+    if (s.id == id && s.node == node) return true;
+    i = (i + 1) & mask_;
+  }
+}
+
+void FloodController::grow() {
+  std::vector<Slot> old = std::move(slots_);
+  slots_.assign(old.size() * 2, Slot{});
+  mask_ = slots_.size() - 1;
+  for (const Slot& s : old) {
+    if (s.gen != gen_) continue;  // stale generations are dropped
+    std::size_t i = static_cast<std::size_t>(mix(s.node, s.id)) & mask_;
+    while (slots_[i].gen == gen_) i = (i + 1) & mask_;
+    slots_[i] = s;
+  }
 }
 
 void FloodController::clear() {
-  for (auto& s : seen_) s.clear();
+  ++gen_;
+  if (gen_ == 0) {
+    // Generation counter wrapped: entries stamped with the reused values
+    // would read as live, so pay one full reset every 2^32 clears.
+    std::fill(slots_.begin(), slots_.end(), Slot{});
+    gen_ = 1;
+  }
+  size_ = 0;
   dups_ = 0;
 }
 

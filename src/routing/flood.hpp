@@ -4,18 +4,28 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_set>
 #include <vector>
 
 #include "net/packet.hpp"
 
 namespace precinct::routing {
 
-/// Per-node flood state: remembers which packet ids this node has already
+/// Per-node flood state: remembers which packet ids each node has already
 /// processed so each flood visits a node at most once.
+///
+/// Stored as one flat open-addressing table over (node, id) pairs instead
+/// of a per-node std::unordered_set — a flood round touches every node
+/// once, so per-node sets meant one cache-missing hash container per hop.
+/// Slots are generation-stamped: a slot whose gen differs from the current
+/// generation counts as empty, which makes clear() an O(1) generation
+/// bump (entries are never deleted individually, so probe chains stay
+/// intact).
 class FloodController {
  public:
-  explicit FloodController(std::size_t n_nodes) : seen_(n_nodes) {}
+  /// `n_nodes` sizes the initial table: one flood round marks about one
+  /// entry per node, so start with room for a few rounds and grow by
+  /// doubling as ids accumulate over the run.
+  explicit FloodController(std::size_t n_nodes);
 
   /// Record that `node` processed packet `id`.  Returns true the first
   /// time, false on duplicates.
@@ -31,14 +41,35 @@ class FloodController {
     return packet.ttl > 1;
   }
 
-  /// Drop all memory (e.g. between measurement phases).
+  /// Drop all memory (e.g. between measurement phases).  O(1): bumps the
+  /// generation, leaving the table's capacity in place.
   void clear();
 
   /// Total duplicate suppressions observed (diagnostics).
   [[nodiscard]] std::uint64_t duplicates() const noexcept { return dups_; }
 
+  /// Live (current-generation) entries — diagnostics and tests.
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    return slots_.size();
+  }
+
  private:
-  std::vector<std::unordered_set<std::uint64_t>> seen_;
+  struct Slot {
+    std::uint64_t id = 0;
+    net::NodeId node = 0;
+    std::uint32_t gen = 0;  ///< 0 never matches a live generation
+  };
+  static_assert(sizeof(Slot) == 16);
+
+  [[nodiscard]] static std::uint64_t mix(net::NodeId node,
+                                         std::uint64_t id) noexcept;
+  void grow();
+
+  std::vector<Slot> slots_;  // power-of-two size
+  std::size_t mask_ = 0;
+  std::size_t size_ = 0;  // live entries in the current generation
+  std::uint32_t gen_ = 1;
   std::uint64_t dups_ = 0;
 };
 

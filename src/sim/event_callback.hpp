@@ -26,9 +26,11 @@ class EventCallback {
  public:
   /// Captures at or below this size (and at most pointer/double alignment)
   /// are stored inline — no heap.  48 bytes covers the engine's timer and
-  /// retry closures (a this-pointer plus a handful of ids and doubles);
-  /// radio delivery closures capturing a whole net::Packet by value take
-  /// the one-allocation fallback, exactly as they did under std::function.
+  /// retry closures (a this-pointer plus a handful of ids and doubles) and
+  /// the radio's delivery closures, which capture a 16-byte pooled
+  /// PacketRef (see net/packet_pool.hpp) instead of a whole net::Packet —
+  /// the batched fan-out closure {this, PacketRef, snapshot vector} fills
+  /// the limit exactly.
   static constexpr std::size_t kInlineBytes = 48;
   static constexpr std::size_t kInlineAlign = alignof(double);
   /// Trivial captures at or below this size move with a fixed-size copy of

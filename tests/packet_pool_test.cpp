@@ -1,0 +1,161 @@
+// Unit tests for the pooled ref-counted packet frames (net/packet_pool.hpp):
+// refcount drop-to-zero recycling, handle invalidation after release,
+// retire-with-outstanding-references, and bounded pool growth under a
+// network-wide flood.
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "mobility/static_placement.hpp"
+#include "net/packet_pool.hpp"
+#include "net/wireless_net.hpp"
+#include "routing/flood.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace precinct;
+using net::NodeId;
+using net::Packet;
+using net::PacketBufPool;
+using net::PacketRef;
+
+Packet make_test_packet(std::uint64_t id) {
+  Packet p;
+  p.id = id;
+  p.src = 0;
+  p.origin = 0;
+  p.size_bytes = 96;
+  return p;
+}
+
+TEST(PacketPool, AcquireCopiesPacketAndCountsReferences) {
+  auto* pool = new PacketBufPool;
+  {
+    PacketRef a = pool->acquire(make_test_packet(42));
+    EXPECT_TRUE(a);
+    EXPECT_TRUE(a.valid());
+    EXPECT_EQ(a->id, 42u);
+    EXPECT_EQ(a.use_count(), 1u);
+    EXPECT_EQ(pool->in_use(), 1u);
+    EXPECT_EQ(pool->capacity(), PacketBufPool::kBlockFrames);
+
+    PacketRef b = a;  // copy shares the frame
+    EXPECT_EQ(a.use_count(), 2u);
+    EXPECT_EQ(&*a, &*b);
+    EXPECT_EQ(pool->in_use(), 1u);  // still one frame
+
+    PacketRef c = std::move(b);  // move transfers, no bump
+    EXPECT_FALSE(b);             // NOLINT(bugprone-use-after-move)
+    EXPECT_EQ(c.use_count(), 2u);
+  }
+  EXPECT_EQ(pool->in_use(), 0u);  // all refs released -> recycled
+  pool->retire();
+}
+
+TEST(PacketPool, LastReleaseRecyclesFrameForReuse) {
+  auto* pool = new PacketBufPool;
+  Packet* slot = nullptr;
+  {
+    PacketRef a = pool->acquire(make_test_packet(1));
+    slot = &*a;
+  }
+  EXPECT_EQ(pool->in_use(), 0u);
+  // LIFO free list: the next acquire reuses the frame just released.
+  PacketRef b = pool->acquire(make_test_packet(2));
+  EXPECT_EQ(&*b, slot);
+  EXPECT_EQ(b->id, 2u);
+  EXPECT_EQ(pool->capacity(), PacketBufPool::kBlockFrames);  // no growth
+  b.reset();
+  pool->retire();
+}
+
+TEST(PacketPool, ReleasedHandleIsInvalid) {
+  auto* pool = new PacketBufPool;
+  PacketRef a = pool->acquire(make_test_packet(7));
+  PacketRef b = a;
+  a.reset();
+  EXPECT_FALSE(a);
+  EXPECT_FALSE(a.valid());  // released handle no longer refers to a frame
+  EXPECT_TRUE(b.valid());   // surviving reference unaffected
+  EXPECT_EQ(b.use_count(), 1u);
+  b.reset();
+  EXPECT_FALSE(b.valid());
+  EXPECT_EQ(pool->in_use(), 0u);
+  pool->retire();
+}
+
+TEST(PacketPool, GrowsByBlocksWhenExhausted) {
+  auto* pool = new PacketBufPool;
+  std::vector<PacketRef> held;
+  for (std::uint64_t i = 0; i <= PacketBufPool::kBlockFrames; ++i) {
+    held.push_back(pool->acquire(make_test_packet(i)));
+  }
+  EXPECT_EQ(pool->in_use(), PacketBufPool::kBlockFrames + 1);
+  EXPECT_EQ(pool->capacity(), 2 * PacketBufPool::kBlockFrames);
+  // Block chunking keeps frame addresses stable across growth.
+  EXPECT_EQ(held.front()->id, 0u);
+  EXPECT_TRUE(held.front().valid());
+  held.clear();
+  EXPECT_EQ(pool->in_use(), 0u);
+  pool->retire();
+}
+
+TEST(PacketPool, RetireWithOutstandingReferencesDefersDestruction) {
+  auto* pool = new PacketBufPool;
+  {
+    PacketRef ref = pool->acquire(make_test_packet(11));
+    pool->retire();  // owner gone; outstanding ref keeps the arena alive
+    EXPECT_TRUE(ref.valid());
+    EXPECT_EQ(ref->id, 11u);
+  }  // last release self-destructs the pool (leak/UAF caught under ASan)
+}
+
+// Pool behaviour under a real network-wide flood: every node rebroadcasts
+// once, sharing frames across per-receiver delivery closures.  After the
+// flood drains every frame must be back on the free list, and repeating
+// the flood must not grow the arena (steady state).
+TEST(PacketPool, NetworkFloodRecyclesAndReachesSteadyState) {
+  sim::Simulator sim;
+  auto placement = mobility::StaticPlacement::uniform(
+      40, {{0, 0}, {800, 800}}, /*seed=*/5);
+  net::WirelessConfig config;
+  config.area = {{0, 0}, {800, 800}};
+  net::WirelessNet net(sim, placement, config, energy::FeeneyModel{}, 5);
+  routing::FloodController flood(40);
+  std::uint64_t delivered = 0;
+  net.set_receive_handler([&](NodeId node, const Packet& p) {
+    ++delivered;
+    if (!flood.mark_seen(node, p.id)) return;
+    if (!routing::FloodController::ttl_allows_forward(p)) return;
+    net::PacketRef fwd = net.make_ref(p);
+    fwd->ttl -= 1;
+    fwd->hops += 1;
+    fwd->src = node;
+    net.broadcast(std::move(fwd));
+  });
+
+  const auto run_flood = [&](NodeId origin) {
+    flood.clear();
+    Packet p = make_test_packet(net.next_packet_id());
+    p.src = p.origin = origin;
+    p.mode = net::RouteMode::kNetworkFlood;
+    p.ttl = 8;
+    flood.mark_seen(origin, p.id);
+    net.broadcast(p);
+    sim.run_all();
+  };
+
+  run_flood(0);
+  EXPECT_GT(delivered, 0u);
+  EXPECT_EQ(net.frame_pool().in_use(), 0u);  // fully drained -> recycled
+  const std::size_t settled = net.frame_pool().capacity();
+  EXPECT_GE(settled, PacketBufPool::kBlockFrames);
+
+  for (NodeId origin = 1; origin < 5; ++origin) run_flood(origin);
+  EXPECT_EQ(net.frame_pool().in_use(), 0u);
+  EXPECT_EQ(net.frame_pool().capacity(), settled);  // no steady-state growth
+}
+
+}  // namespace

@@ -285,6 +285,37 @@ TEST(FloodController, ClearResets) {
   EXPECT_EQ(fc.duplicates(), 0u);
 }
 
+TEST(FloodController, GrowthPreservesEntries) {
+  routing::FloodController fc(1);
+  for (std::uint64_t id = 1; id <= 1000; ++id) {
+    EXPECT_TRUE(fc.mark_seen(0, id));
+  }
+  EXPECT_EQ(fc.size(), 1000u);
+  EXPECT_GE(fc.capacity(), 1334u);  // stayed under 3/4 load while doubling
+  for (std::uint64_t id = 1; id <= 1000; ++id) {
+    EXPECT_TRUE(fc.has_seen(0, id));
+    EXPECT_FALSE(fc.has_seen(1, id));  // per-node state intact after rehash
+  }
+  EXPECT_EQ(fc.duplicates(), 0u);
+}
+
+TEST(FloodController, ClearKeepsCapacityAndDropsEntries) {
+  routing::FloodController fc(4);
+  for (std::uint64_t id = 1; id <= 100; ++id) fc.mark_seen(2, id);
+  const std::size_t cap = fc.capacity();
+  fc.clear();  // generation bump, not a table wipe
+  EXPECT_EQ(fc.size(), 0u);
+  EXPECT_EQ(fc.capacity(), cap);
+  for (std::uint64_t id = 1; id <= 100; ++id) {
+    EXPECT_FALSE(fc.has_seen(2, id));
+  }
+  // Stale slots from the old generation are reusable insert targets.
+  for (std::uint64_t id = 1; id <= 100; ++id) {
+    EXPECT_TRUE(fc.mark_seen(2, id));
+  }
+  EXPECT_EQ(fc.size(), 100u);
+}
+
 TEST(FloodController, TtlGate) {
   net::Packet p;
   p.ttl = 2;
