@@ -11,10 +11,10 @@ int main() {
   pb::print_header("Ablation — retrieval schemes",
                    "static 600x600 m, 40 nodes, no dynamic cache");
 
-  const std::vector<std::pair<const char*, core::RetrievalScheme>> schemes{
-      {"PReCinCt", core::RetrievalScheme::kPrecinct},
-      {"Flooding", core::RetrievalScheme::kFlooding},
-      {"Expanding Ring", core::RetrievalScheme::kExpandingRing},
+  const std::vector<std::pair<const char*, core::RetrievalKind>> schemes{
+      {"PReCinCt", core::RetrievalKind::kPrecinct},
+      {"Flooding", core::RetrievalKind::kFlooding},
+      {"Expanding Ring", core::RetrievalKind::kExpandingRing},
   };
   std::vector<core::PrecinctConfig> points;
   for (const auto& [name, scheme] : schemes) {

@@ -25,7 +25,7 @@ int main() {
 
   std::vector<core::PrecinctConfig> points;
   for (const auto scheme :
-       {core::RetrievalScheme::kPrecinct, core::RetrievalScheme::kFlooding}) {
+       {core::RetrievalKind::kPrecinct, core::RetrievalKind::kFlooding}) {
     for (const Scale& s : scales) {
       auto c = pb::mobile_base();
       c.retrieval = scheme;

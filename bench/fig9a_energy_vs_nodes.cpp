@@ -19,7 +19,7 @@ int main() {
 
   std::vector<core::PrecinctConfig> points;
   for (const auto scheme :
-       {core::RetrievalScheme::kPrecinct, core::RetrievalScheme::kFlooding}) {
+       {core::RetrievalKind::kPrecinct, core::RetrievalKind::kFlooding}) {
     for (const std::size_t n : node_counts) {
       auto c = pb::static_base();
       c.retrieval = scheme;

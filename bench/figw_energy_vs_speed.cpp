@@ -10,10 +10,10 @@ int main() {
   using namespace precinct;
   namespace pb = precinct::bench;
 
-  const std::vector<std::pair<const char*, core::RetrievalScheme>> schemes{
-      {"PReCinCt", core::RetrievalScheme::kPrecinct},
-      {"Expanding Ring", core::RetrievalScheme::kExpandingRing},
-      {"Flooding", core::RetrievalScheme::kFlooding},
+  const std::vector<std::pair<const char*, core::RetrievalKind>> schemes{
+      {"PReCinCt", core::RetrievalKind::kPrecinct},
+      {"Expanding Ring", core::RetrievalKind::kExpandingRing},
+      {"Flooding", core::RetrievalKind::kFlooding},
   };
 
   pb::print_header(

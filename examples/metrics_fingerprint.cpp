@@ -72,14 +72,14 @@ int main() {
   {
     // Flooding baseline: the heaviest broadcast fan-out workload.
     auto c = base(11);
-    c.retrieval = core::RetrievalScheme::kFlooding;
+    c.retrieval = core::RetrievalKind::kFlooding;
     c.measure_s = 150;
     dump("flooding_s11", core::run_scenario(c));
   }
   {
     // Expanding-ring baseline (repeated scoped floods).
     auto c = base(13);
-    c.retrieval = core::RetrievalScheme::kExpandingRing;
+    c.retrieval = core::RetrievalKind::kExpandingRing;
     c.measure_s = 150;
     dump("ring_s13", core::run_scenario(c));
   }

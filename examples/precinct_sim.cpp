@@ -115,11 +115,11 @@ class ArgParser {
   std::vector<std::string> args_;
 };
 
-precinct::core::RetrievalScheme retrieval_from(const std::string& name) {
-  if (name == "precinct") return precinct::core::RetrievalScheme::kPrecinct;
-  if (name == "flooding") return precinct::core::RetrievalScheme::kFlooding;
+precinct::core::RetrievalKind retrieval_from(const std::string& name) {
+  if (name == "precinct") return precinct::core::RetrievalKind::kPrecinct;
+  if (name == "flooding") return precinct::core::RetrievalKind::kFlooding;
   if (name == "expanding-ring") {
-    return precinct::core::RetrievalScheme::kExpandingRing;
+    return precinct::core::RetrievalKind::kExpandingRing;
   }
   throw std::invalid_argument("unknown retrieval scheme: " + name);
 }

@@ -19,13 +19,13 @@ namespace precinct::core {
 
 /// Which data retrieval scheme the network runs (§6.2 compares PReCinCt
 /// against the two unstructured-P2P baselines).
-enum class RetrievalScheme : std::uint8_t {
+enum class RetrievalKind : std::uint8_t {
   kPrecinct,       ///< region hash + GPSR + localized flood
   kFlooding,       ///< network-wide flood per request
   kExpandingRing,  ///< TTL-doubling ring search
 };
 
-[[nodiscard]] const char* to_string(RetrievalScheme scheme) noexcept;
+[[nodiscard]] const char* to_string(RetrievalKind scheme) noexcept;
 
 struct PrecinctConfig {
   // -- topology & regions (paper: 1200x1200 m, 9 equal regions) ------------
@@ -76,6 +76,10 @@ struct PrecinctConfig {
 
   // -- consistency (§4) -------------------------------------------------------
   consistency::Mode consistency = consistency::Mode::kNone;
+  /// Consistency scheme by registry name; overrides `consistency` when
+  /// non-empty.  Lets externally registered schemes (SchemeRegistry) be
+  /// selected from configs without extending the enum.
+  std::string consistency_scheme;
   double ttr_alpha = 0.5;       ///< Eq. 2's alpha
   double ttr_initial_s = 30.0;  ///< TTR seed before any update is seen
   /// Retransmissions of an unacknowledged update push (0 = fire and
@@ -96,7 +100,10 @@ struct PrecinctConfig {
   bool beacon_piggyback = true;
 
   // -- retrieval ---------------------------------------------------------------
-  RetrievalScheme retrieval = RetrievalScheme::kPrecinct;
+  RetrievalKind retrieval = RetrievalKind::kPrecinct;
+  /// Retrieval scheme by registry name; overrides `retrieval` when
+  /// non-empty (same extension hook as consistency_scheme).
+  std::string retrieval_scheme;
   routing::ExpandingRingConfig ring;
   int region_flood_ttl = 8;       ///< TTL for localized floods
   int network_flood_ttl = 32;     ///< TTL for the flooding baseline

@@ -8,12 +8,32 @@ namespace precinct::core {
 
 namespace {
 
-RetrievalScheme retrieval_from_name(const std::string& name) {
-  if (name == "precinct") return RetrievalScheme::kPrecinct;
-  if (name == "flooding") return RetrievalScheme::kFlooding;
-  if (name == "expanding-ring") return RetrievalScheme::kExpandingRing;
-  throw std::invalid_argument("config: unknown retrieval scheme '" + name +
-                              "'");
+/// Built-in names map onto the enum; anything else is kept as a registry
+/// name for validate()/SchemeRegistry to resolve.
+void set_retrieval(PrecinctConfig& c, const std::string& name) {
+  c.retrieval_scheme.clear();
+  if (name == "precinct") {
+    c.retrieval = RetrievalKind::kPrecinct;
+  } else if (name == "flooding") {
+    c.retrieval = RetrievalKind::kFlooding;
+  } else if (name == "expanding-ring") {
+    c.retrieval = RetrievalKind::kExpandingRing;
+  } else {
+    c.retrieval_scheme = name;
+  }
+}
+
+void set_consistency(PrecinctConfig& c, const std::string& name) {
+  c.consistency_scheme.clear();
+  try {
+    c.consistency = consistency::mode_from_string(name);
+  } catch (const std::invalid_argument&) {
+    c.consistency_scheme = name;  // externally registered scheme
+  }
+  if (c.consistency != consistency::Mode::kNone ||
+      !c.consistency_scheme.empty()) {
+    c.updates_enabled = true;
+  }
 }
 
 }  // namespace
@@ -86,18 +106,13 @@ PrecinctConfig config_from_kv(const support::KvFile& kv, PrecinctConfig base) {
              c.cache_fraction = kv.get_number("cache", 0.02);
            }},
           {"consistency",
-           [&](const std::string& v) {
-             c.consistency = consistency::mode_from_string(v);
-             if (c.consistency != consistency::Mode::kNone) {
-               c.updates_enabled = true;
-             }
-           }},
+           [&](const std::string& v) { set_consistency(c, v); }},
           {"ttr_alpha",
            [&](const std::string&) {
              c.ttr_alpha = kv.get_number("ttr_alpha", 0.5);
            }},
           {"retrieval",
-           [&](const std::string& v) { c.retrieval = retrieval_from_name(v); }},
+           [&](const std::string& v) { set_retrieval(c, v); }},
           {"replicas",
            [&](const std::string&) {
              c.replica_count =

@@ -1,0 +1,178 @@
+// ConsistencyScheme — the cache-consistency strategy axis (paper §4,
+// Fig 6–8).  The base class owns the machinery every scheme shares: the
+// per-key TTR estimators, the reliable push channel (pushes + custodian
+// acks + retries), poll service at the home region and the consistency
+// packet handlers.  Concrete schemes decide how an update propagates and
+// when a cached copy must be validated before being served.
+//
+// Schemes communicate with the rest of the stack only via packets and
+// the EngineContext (DESIGN.md §8).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "consistency/ttr.hpp"
+#include "core/engine_context.hpp"
+#include "net/packet_dispatch.hpp"
+
+namespace precinct::core {
+
+class ConsistencyScheme {
+ public:
+  explicit ConsistencyScheme(EngineContext& ctx) noexcept : ctx_(ctx) {}
+  virtual ~ConsistencyScheme() = default;
+
+  ConsistencyScheme(const ConsistencyScheme&) = delete;
+  ConsistencyScheme& operator=(const ConsistencyScheme&) = delete;
+
+  /// Registry name ("none", "plain-push", "pull-every-time",
+  /// "push-adaptive-pull", ...).
+  [[nodiscard]] virtual const char* name() const noexcept = 0;
+
+  /// Claim the packet kinds this module owns (kUpdatePush, kPoll,
+  /// kPollReply, kInvalidation, kPushAck).
+  void register_handlers(net::PacketDispatcher& dispatch);
+
+  /// One write at `peer` to `key`: bumps the catalog version, applies it
+  /// to the updater's own copies, then propagates per the scheme.
+  void initiate_update(net::NodeId peer, geo::Key key);
+
+  /// Does a copy with this much TTR left need validating before being
+  /// served?  Consulted by the retrieval scheme on every cached serve.
+  [[nodiscard]] virtual bool needs_validation(
+      double ttr_remaining_s) const noexcept = 0;
+
+  /// Whether the workload should schedule update traffic at all ("none"
+  /// returns false; the read-only workload skips the generators).
+  [[nodiscard]] virtual bool generates_updates() const noexcept {
+    return true;
+  }
+
+  /// Route a poll toward `key`'s home region.  Returns false when there
+  /// is no home region to poll.
+  bool send_poll(net::NodeId from, geo::Key key, std::uint64_t correlation_id,
+                 std::uint64_t known_version);
+
+  /// TTR the home/replica custodian would stamp on a copy of `key` now.
+  [[nodiscard]] double custodian_ttr_s(geo::Key key) const;
+
+ protected:
+  /// Scheme-specific propagation of a committed write (flood an
+  /// invalidation, push to the key's regions, or nothing).
+  virtual void propagate_update(net::NodeId peer, geo::Key key,
+                                std::uint64_t version) = 0;
+
+  /// Push phase (Figure 2): route the update to the home region and
+  /// every replica region; flooding inside those regions locates the
+  /// peer holding the custody copy.
+  void push_to_key_regions(net::NodeId peer, geo::Key key,
+                           std::uint64_t version);
+
+  EngineContext& ctx_;
+
+ private:
+  /// An update push awaiting its custodian acknowledgement; re-sent on
+  /// timeout (the paper assumes updates reliably reach the home region,
+  /// which over lossy geographic routing requires an ack + retry).
+  struct PendingPush {
+    net::NodeId updater = net::kNoNode;
+    geo::Key key = 0;
+    geo::RegionId region = geo::kInvalidRegion;
+    std::uint64_t version = 0;
+    int retries_left = 0;
+    sim::EventHandle timeout;
+  };
+
+  void push_update_to_region(net::NodeId peer, geo::Key key,
+                             geo::RegionId region, std::uint64_t version);
+  void send_push_packet(std::uint64_t push_id);
+  void maybe_ack_push(net::NodeId self, const net::Packet& packet);
+  /// Returns true when `self` held custody and applied the update.
+  bool apply_custodian_update(net::NodeId self, const net::Packet& packet);
+
+  void handle_update_push(net::NodeId self, const net::Packet& packet);
+  void handle_poll(net::NodeId self, const net::Packet& packet);
+  void handle_poll_reply(net::NodeId self, const net::Packet& packet);
+  void handle_invalidation(net::NodeId self, const net::Packet& packet);
+  void handle_push_ack(net::NodeId self, const net::Packet& packet);
+
+  std::unordered_map<std::uint64_t, PendingPush> pending_pushes_;
+  std::unordered_map<geo::Key, consistency::TtrEstimator> ttr_;
+};
+
+/// Read-only workload: no consistency traffic, nothing to validate.
+class NoConsistency final : public ConsistencyScheme {
+ public:
+  using ConsistencyScheme::ConsistencyScheme;
+  [[nodiscard]] const char* name() const noexcept override { return "none"; }
+  [[nodiscard]] bool needs_validation(double) const noexcept override {
+    return false;
+  }
+  [[nodiscard]] bool generates_updates() const noexcept override {
+    return false;
+  }
+
+ protected:
+  void propagate_update(net::NodeId, geo::Key, std::uint64_t) override {}
+};
+
+/// Plain-Push (Cao & Liu): the updater floods the update/invalidation to
+/// the entire network.  Stateless but very expensive; the pushed
+/// invalidations are the only staleness signal, so no validation.
+class PlainPush final : public ConsistencyScheme {
+ public:
+  using ConsistencyScheme::ConsistencyScheme;
+  [[nodiscard]] const char* name() const noexcept override {
+    return "plain-push";
+  }
+  [[nodiscard]] bool needs_validation(double) const noexcept override {
+    return false;
+  }
+
+ protected:
+  void propagate_update(net::NodeId peer, geo::Key key,
+                        std::uint64_t version) override;
+};
+
+/// Pull-Every-time (Gwertzman & Seltzer): every request served from a
+/// cached copy first polls the data's home region to validate it.
+class PullEveryTime final : public ConsistencyScheme {
+ public:
+  using ConsistencyScheme::ConsistencyScheme;
+  [[nodiscard]] const char* name() const noexcept override {
+    return "pull-every-time";
+  }
+  [[nodiscard]] bool needs_validation(double) const noexcept override {
+    return true;  // validate on every cached serve
+  }
+
+ protected:
+  void propagate_update(net::NodeId peer, geo::Key key,
+                        std::uint64_t version) override {
+    push_to_key_regions(peer, key, version);
+  }
+};
+
+/// Push with Adaptive Pull — the paper's scheme: updates are pushed only
+/// to the home and replica regions; cached copies carry a TTR and peers
+/// poll the home region only after it expires.
+class PushAdaptivePull final : public ConsistencyScheme {
+ public:
+  using ConsistencyScheme::ConsistencyScheme;
+  [[nodiscard]] const char* name() const noexcept override {
+    return "push-adaptive-pull";
+  }
+  [[nodiscard]] bool needs_validation(
+      double ttr_remaining_s) const noexcept override {
+    return ttr_remaining_s <= 0.0;  // poll only after the TTR lapses
+  }
+
+ protected:
+  void propagate_update(net::NodeId peer, geo::Key key,
+                        std::uint64_t version) override {
+    push_to_key_regions(peer, key, version);
+  }
+};
+
+}  // namespace precinct::core

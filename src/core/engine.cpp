@@ -1,11 +1,28 @@
 #include "core/engine.hpp"
 
-#include <algorithm>
-#include <cassert>
-#include <limits>
-#include <ranges>
+#include <cmath>
+#include <string>
+
+#include "core/scheme_registry.hpp"
 
 namespace precinct::core {
+
+namespace {
+
+/// Effective scheme names: the free-form config strings win; otherwise
+/// the enum fields map to the built-in names.
+std::string retrieval_name(const PrecinctConfig& config) {
+  return config.retrieval_scheme.empty() ? to_string(config.retrieval)
+                                         : config.retrieval_scheme;
+}
+
+std::string consistency_name(const PrecinctConfig& config) {
+  return config.consistency_scheme.empty()
+             ? consistency::to_string(config.consistency)
+             : config.consistency_scheme;
+}
+
+}  // namespace
 
 PrecinctEngine::PrecinctEngine(const PrecinctConfig& config,
                                sim::Simulator& simulator,
@@ -27,7 +44,9 @@ PrecinctEngine::PrecinctEngine(const PrecinctConfig& config,
       gpsr_(beacons_ ? std::make_unique<routing::Gpsr>(network, *beacons_)
                      : std::make_unique<routing::Gpsr>(network)),
       flood_(network.node_count()),
-      rng_(support::hash_combine(config.seed, 0xEC61)) {
+      rng_(support::hash_combine(config.seed, 0xEC61)),
+      ctx_(config_, sim_, net_, regions_, hash_, catalog_, zipf_, *gpsr_,
+           flood_, rng_, peers_, metrics_) {
   const std::size_t capacity =
       config_.cache_capacity_bytes(catalog_.total_bytes());
   peers_.reserve(net_.node_count());
@@ -37,12 +56,25 @@ PrecinctEngine::PrecinctEngine(const PrecinctConfig& config,
                                            config_.gdld_weights),
                         rng_.split(i));
   }
-  // Normalize region distance by a representative region diameter so the
-  // utility's wd weight is unit-comparable across region-count sweeps.
-  if (!regions_.empty()) {
-    const geo::Rect& extent = regions_.regions().front().extent;
-    region_diameter_ = std::hypot(extent.width(), extent.height());
-  }
+  ctx_.beacons = beacons_.get();
+  ctx_.refresh_region_diameter();
+
+  // Resolve the strategy modules by name and wire them into the context,
+  // then let each claim the packet kinds it owns.
+  const SchemeRegistry& registry = SchemeRegistry::instance();
+  retrieval_ = registry.make_retrieval(retrieval_name(config_), ctx_);
+  consistency_ = registry.make_consistency(consistency_name(config_), ctx_);
+  custody_ = std::make_unique<CustodyManager>(ctx_);
+  workload_ = std::make_unique<WorkloadDriver>(ctx_);
+  ctx_.retrieval = retrieval_.get();
+  ctx_.consistency = consistency_.get();
+  ctx_.custody = custody_.get();
+  ctx_.workload = workload_.get();
+  retrieval_->register_handlers(dispatch_);
+  consistency_->register_handlers(dispatch_);
+  custody_->register_handlers(dispatch_);
+  workload_->register_handlers(dispatch_);
+
   net_.set_receive_handler(
       [this](net::NodeId self, const net::Packet& packet) {
         on_receive(self, packet);
@@ -56,204 +88,48 @@ PrecinctEngine::PrecinctEngine(const PrecinctConfig& config,
   }
 }
 
-// ---------------------------------------------------------------------------
-// setup & drivers
-// ---------------------------------------------------------------------------
-
 void PrecinctEngine::initialize() {
   for (net::NodeId i = 0; i < net_.node_count(); ++i) {
     peers_[i].region = regions_.containing(net_.position(i));
   }
-  place_initial_copies();
+  custody_->place_initial_copies();
   for (net::NodeId i = 0; i < net_.node_count(); ++i) {
-    schedule_next_request(i);
-    if (config_.updates_enabled &&
-        config_.consistency != consistency::Mode::kNone) {
-      schedule_next_update(i);
+    workload_->schedule_next_request(i);
+    if (config_.updates_enabled && consistency_->generates_updates()) {
+      workload_->schedule_next_update(i);
     }
   }
-  if (config_.mobile) schedule_region_checks();
-  if (config_.crash_rate_per_s > 0.0) schedule_crashes();
-  if (config_.join_rate_per_s > 0.0) schedule_joins();
+  if (config_.mobile) workload_->schedule_region_checks();
+  if (config_.crash_rate_per_s > 0.0) workload_->schedule_crashes();
+  if (config_.join_rate_per_s > 0.0) workload_->schedule_joins();
   if (config_.use_beacons) {
-    for (net::NodeId i = 0; i < net_.node_count(); ++i) schedule_beacon(i);
-  }
-  if (config_.dynamic_regions) {
-    sim_.schedule(config_.region_reconfig_interval_s,
-                  [this] { maybe_rebalance_regions(); });
-  }
-}
-
-// ---------------------------------------------------------------------------
-// region management (§2.1)
-// ---------------------------------------------------------------------------
-
-void PrecinctEngine::place_initial_copies() {
-  // Deploy every item's custody copy at a peer in its home region (and a
-  // replica at the replica region, §2.4).  Deployment routes through the
-  // same region-scoped flood the protocol uses, so custody must land in
-  // the region's *flood-connected main component*: pick the largest
-  // intra-region component and take its member nearest the center.  This
-  // is the network's initial state, not protocol traffic.
-  const auto region_components = [&](geo::RegionId region) {
-    std::vector<std::vector<net::NodeId>> components;
-    std::vector<net::NodeId> members;
     for (net::NodeId i = 0; i < net_.node_count(); ++i) {
-      if (net_.is_alive(i) && peers_[i].region == region) members.push_back(i);
-    }
-    std::vector<char> visited(members.size(), 0);
-    for (std::size_t s = 0; s < members.size(); ++s) {
-      if (visited[s]) continue;
-      std::vector<net::NodeId> component;
-      std::vector<std::size_t> stack{s};
-      visited[s] = 1;
-      while (!stack.empty()) {
-        const std::size_t u = stack.back();
-        stack.pop_back();
-        component.push_back(members[u]);
-        for (std::size_t v = 0; v < members.size(); ++v) {
-          if (!visited[v] && net_.in_range(members[u], members[v])) {
-            visited[v] = 1;
-            stack.push_back(v);
-          }
-        }
-      }
-      components.push_back(std::move(component));
-    }
-    return components;
-  };
-  // Cache per-region placements: the main component is a property of the
-  // initial topology, not of the key.
-  std::unordered_map<geo::RegionId, std::vector<net::NodeId>> main_component;
-  for (const geo::Region& r : regions_.regions()) {
-    auto components = region_components(r.id);
-    std::size_t best = 0;
-    for (std::size_t i = 1; i < components.size(); ++i) {
-      if (components[i].size() > components[best].size()) best = i;
-    }
-    main_component.emplace(
-        r.id, components.empty() ? std::vector<net::NodeId>{}
-                                 : std::move(components[best]));
-  }
-  for (std::size_t rank = 0; rank < catalog_.size(); ++rank) {
-    const workload::DataItem& item = catalog_.item_at(rank);
-    const auto place = [&](geo::RegionId region,
-                           net::NodeId exclude) -> net::NodeId {
-      const geo::Region* r = regions_.find(region);
-      if (r == nullptr) return net::kNoNode;
-      net::NodeId best = net::kNoNode;
-      double best_d = std::numeric_limits<double>::infinity();
-      const auto it = main_component.find(region);
-      if (it != main_component.end()) {
-        for (const net::NodeId i : it->second) {
-          if (i == exclude) continue;
-          const double d = geo::distance(net_.position(i), r->center);
-          if (d < best_d) {
-            best_d = d;
-            best = i;
-          }
-        }
-      }
-      if (best != net::kNoNode) return best;
-      // Region empty (or only the excluded peer): global nearest fallback.
-      for (net::NodeId i = 0; i < net_.node_count(); ++i) {
-        if (i == exclude || !net_.is_alive(i)) continue;
-        const double d = geo::distance(net_.position(i), r->center);
-        if (d < best_d) {
-          best_d = d;
-          best = i;
-        }
-      }
-      return best;
-    };
-    cache::CacheEntry entry;
-    entry.key = item.key;
-    entry.size_bytes = item.size_bytes;
-    entry.version = item.version;
-    net::NodeId previous = net::kNoNode;
-    for (const geo::RegionId region :
-         hash_.key_regions(item.key, regions_, config_.replica_count)) {
-      const net::NodeId holder = place(region, previous);
-      if (holder != net::kNoNode) {
-        peers_[holder].cache.put_static(entry);
-        previous = holder;
-      }
+      workload_->schedule_beacon(i);
     }
   }
+  if (config_.dynamic_regions) custody_->schedule_rebalance();
 }
 
-geo::Key PrecinctEngine::sample_key(net::NodeId peer) {
-  std::size_t rank = zipf_.sample(peers_[peer].rng);
-  if (config_.hotspot_rotation_interval_s > 0.0) {
-    const auto rotations = static_cast<std::size_t>(
-        sim_.now() / config_.hotspot_rotation_interval_s);
-    rank = (rank + rotations * config_.hotspot_shift) % catalog_.size();
+void PrecinctEngine::on_receive(net::NodeId self, const net::Packet& raw) {
+  net::Packet packet = raw;
+  // Piggybacked position learning: any frame heard from src is as good
+  // as a beacon from it.
+  if (beacons_ != nullptr && config_.beacon_piggyback &&
+      packet.src != net::kNoNode) {
+    beacons_->on_beacon(self, packet.src, packet.src_location, sim_.now());
   }
-  return catalog_.key_of(rank);
-}
-
-void PrecinctEngine::schedule_next_request(net::NodeId peer) {
-  const double wait =
-      peers_[peer].rng.exponential(config_.mean_request_interval_s);
-  const std::uint32_t generation = peers_[peer].generation;
-  sim_.schedule(wait, [this, peer, generation] {
-    if (net_.is_alive(peer) && peers_[peer].generation == generation) {
-      issue_request(peer, sample_key(peer));
-      schedule_next_request(peer);
+  if (packet.recovery) {
+    // Void-recovery admission: participate at most once per packet, and
+    // only when strictly closer to the destination than the stuck node —
+    // progress stays monotone, so recovery cannot storm.
+    if (!flood_.mark_seen(self, packet.id)) return;
+    if (geo::distance(net_.position(self), packet.dest_location) >=
+        geo::distance(net_.position(packet.src), packet.dest_location)) {
+      return;
     }
-  });
-}
-
-void PrecinctEngine::schedule_next_update(net::NodeId peer) {
-  const double wait =
-      peers_[peer].rng.exponential(config_.mean_update_interval_s);
-  const std::uint32_t generation = peers_[peer].generation;
-  sim_.schedule(wait, [this, peer, generation] {
-    if (net_.is_alive(peer) && peers_[peer].generation == generation) {
-      issue_update(peer, sample_key(peer));
-      schedule_next_update(peer);
-    }
-  });
-}
-
-void PrecinctEngine::schedule_region_checks() {
-  for (net::NodeId i = 0; i < net_.node_count(); ++i) {
-    // Stagger checks so the whole fleet doesn't probe at the same instant.
-    const double offset =
-        peers_[i].rng.uniform(0.0, config_.region_check_interval_s);
-    sim_.schedule(offset, [this, i] { check_region(i); });
+    packet.recovery = false;
   }
-}
-
-void PrecinctEngine::schedule_beacon(net::NodeId peer) {
-  // Jittered periodic position broadcast (GPSR neighbor discovery).
-  const double wait = config_.beacon_interval_s *
-                      (0.75 + 0.5 * peers_[peer].rng.uniform());
-  const std::uint32_t generation = peers_[peer].generation;
-  sim_.schedule(wait, [this, peer, generation] {
-    if (!net_.is_alive(peer) || peers_[peer].generation != generation) return;
-    // Piggybacking (GPSR): recent data traffic already announced our
-    // position to everyone in range; skip the redundant beacon.
-    const bool traffic_recent =
-        config_.beacon_piggyback &&
-        sim_.now() - net_.last_transmission_s(peer) <
-            config_.beacon_interval_s;
-    if (!traffic_recent) {
-      net::Packet beacon = make_packet(net::PacketKind::kBeacon, peer, 0);
-      beacon.size_bytes = 32;  // id + position + checksum
-      beacon.ttl = 1;          // never forwarded
-      net_.broadcast(beacon);
-    }
-    schedule_beacon(peer);
-  });
-}
-
-void PrecinctEngine::handle_beacon(net::NodeId self,
-                                   const net::Packet& packet) {
-  if (beacons_ != nullptr) {
-    beacons_->on_beacon(self, packet.origin, packet.origin_location,
-                        sim_.now());
-  }
+  dispatch_.dispatch(self, packet);
 }
 
 // ---------------------------------------------------------------------------
@@ -274,7 +150,7 @@ void PrecinctEngine::take_timeline_sample() {
 }
 
 void PrecinctEngine::start_measurement() {
-  measuring_ = true;
+  ctx_.measuring = true;
   measure_start_ = sim_.now();
   metrics_ = Metrics{};
   const auto energy_now = net_.energy().network_total();
@@ -288,6 +164,7 @@ void PrecinctEngine::start_measurement() {
   bytes_at_start_ = net_.stats().total_bytes();
   consistency_msgs_at_start_ = net_.stats().consistency_sends();
   frames_lost_at_start_ = net_.frames_lost();
+  route_drops_at_start_ = ctx_.route_drops;
   if (config_.sample_interval_s > 0.0) {
     sim_.schedule(config_.sample_interval_s,
                   [this] { take_timeline_sample(); });
@@ -308,100 +185,14 @@ Metrics PrecinctEngine::finalize() {
       net_.stats().consistency_sends() - consistency_msgs_at_start_;
   metrics_.frames_lost = net_.frames_lost() - frames_lost_at_start_;
   metrics_.events_executed = sim_.events_executed();
+  metrics_.routing.drops_void =
+      ctx_.route_drops.drops_void - route_drops_at_start_.drops_void;
+  metrics_.routing.drops_ttl =
+      ctx_.route_drops.drops_ttl - route_drops_at_start_.drops_ttl;
   // Requests still in flight at the end of the window count as failed so
   // success_ratio is conservative.
-  for (const auto& [id, p] : pending_) {
-    if (p.measured) ++metrics_.requests_failed;
-  }
+  metrics_.requests_failed += retrieval_->measured_pending();
   return metrics_;
-}
-
-// ---------------------------------------------------------------------------
-// request path (requester side)
-// ---------------------------------------------------------------------------
-
-// ---------------------------------------------------------------------------
-// receive dispatch
-// ---------------------------------------------------------------------------
-
-// ---------------------------------------------------------------------------
-// consistency (§4)
-// ---------------------------------------------------------------------------
-
-// ---------------------------------------------------------------------------
-// custody & mobility (§2.3, §2.4)
-// ---------------------------------------------------------------------------
-
-// ---------------------------------------------------------------------------
-// forwarding primitives
-// ---------------------------------------------------------------------------
-
-// ---------------------------------------------------------------------------
-// small helpers
-// ---------------------------------------------------------------------------
-
-PrecinctEngine::Copy PrecinctEngine::find_copy(net::NodeId peer,
-                                               geo::Key key) const {
-  const Peer& p = peers_[peer];
-  if (const cache::CacheEntry* custody = p.cache.find_static(key)) {
-    return {custody, true};
-  }
-  if (const cache::CacheEntry* cached = p.cache.find(key)) {
-    return {cached, false};
-  }
-  return {};
-}
-
-std::optional<std::uint64_t> PrecinctEngine::authoritative_version(
-    geo::Key key) const {
-  const geo::RegionId home = hash_.home_region(key, regions_);
-  const geo::RegionId replica = hash_.replica_region(key, regions_);
-  std::optional<std::uint64_t> from_replica;
-  for (net::NodeId i = 0; i < net_.node_count(); ++i) {
-    if (!net_.is_alive(i)) continue;
-    const cache::CacheEntry* custody = peers_[i].cache.find_static(key);
-    if (custody == nullptr) continue;
-    if (peers_[i].region == home) return custody->version;
-    if (peers_[i].region == replica) from_replica = custody->version;
-  }
-  return from_replica;
-}
-
-double PrecinctEngine::region_distance(geo::RegionId a,
-                                       geo::RegionId b) const {
-  const geo::Region* ra = regions_.find(a);
-  const geo::Region* rb = regions_.find(b);
-  if (ra == nullptr || rb == nullptr) return 0.0;
-  return geo::distance(ra->center, rb->center);
-}
-
-net::Packet PrecinctEngine::make_packet(net::PacketKind kind,
-                                        net::NodeId origin, geo::Key key) {
-  net::Packet packet;
-  packet.id = net_.next_packet_id();
-  packet.kind = kind;
-  packet.origin = origin;
-  packet.src = origin;
-  packet.origin_location = net_.position(origin);
-  packet.key = key;
-  packet.size_bytes = net::kHeaderBytes;
-  packet.created_at = sim_.now();
-  return packet;
-}
-
-bool PrecinctEngine::in_region(net::NodeId node, geo::RegionId region) {
-  const geo::Region* r = regions_.find(region);
-  return r != nullptr && r->extent.contains(net_.position(node));
-}
-
-std::size_t PrecinctEngine::custody_count(geo::Key key) const {
-  std::size_t count = 0;
-  for (net::NodeId i = 0; i < net_.node_count(); ++i) {
-    if (net_.is_alive(i) && peers_[i].cache.find_static(key) != nullptr) {
-      ++count;
-    }
-  }
-  return count;
 }
 
 }  // namespace precinct::core

@@ -1,34 +1,30 @@
-// PrecinctEngine — the protocol layer: every peer's PReCinCt state machine
-// (data search, cooperative caching, consistency, custody management and
-// fault handling) plus the two baseline retrieval schemes, driven by the
-// discrete-event simulator through the wireless substrate.
+// PrecinctEngine — thin facade over the layered protocol modules.
 //
-// The engine owns all per-peer state.  Peers never share state except via
-// packets; the engine is simply where all their handlers live (the whole
-// simulation is single-threaded, see sim/simulator.hpp).
+// The engine owns the simulation substrate (radio hookup, regions,
+// catalog, per-peer state, metrics) and wires the pluggable modules
+// together through an EngineContext: the RetrievalScheme (data search),
+// the ConsistencyScheme (updates/validation), the CustodyManager
+// (placement, handoff, churn, region management) and the WorkloadDriver
+// (request/update/beacon generators, failure injection).  Received
+// packets route to the owning module through a typed per-PacketKind
+// dispatch table; which scheme implementations run is resolved by name
+// through the SchemeRegistry, so new schemes plug in without touching
+// this file.  See DESIGN.md §8.
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
-#include "cache/cache_store.hpp"
-#include "consistency/ttr.hpp"
 #include "core/config.hpp"
+#include "core/consistency_scheme.hpp"
+#include "core/custody_manager.hpp"
+#include "core/engine_context.hpp"
 #include "core/metrics.hpp"
-#include "geo/geo_hash.hpp"
-#include "geo/region_table.hpp"
-#include "net/wireless_net.hpp"
-#include "routing/flood.hpp"
-#include "routing/gpsr.hpp"
-#include "routing/neighbor_provider.hpp"
-#include "sim/simulator.hpp"
-#include "sim/trace.hpp"
-#include "support/rng.hpp"
-#include "workload/data_catalog.hpp"
-#include "workload/zipf.hpp"
+#include "core/retrieval_scheme.hpp"
+#include "core/workload_driver.hpp"
+#include "net/packet_dispatch.hpp"
 
 namespace precinct::core {
 
@@ -54,14 +50,20 @@ class PrecinctEngine {
   // -- direct drivers (used by tests and examples) ---------------------------
 
   /// Issue one data request at `peer` for `key` right now.
-  void issue_request(net::NodeId peer, geo::Key key);
+  void issue_request(net::NodeId peer, geo::Key key) {
+    retrieval_->issue(peer, key, /*prefetch=*/false);
+  }
 
   /// Issue an uncounted background fetch (prefetching): traffic and
   /// energy are charged but request metrics are not touched.
-  void issue_prefetch(net::NodeId peer, geo::Key key);
+  void issue_prefetch(net::NodeId peer, geo::Key key) {
+    retrieval_->issue(peer, key, /*prefetch=*/true);
+  }
 
   /// Initiate one update at `peer` for `key` right now.
-  void issue_update(net::NodeId peer, geo::Key key);
+  void issue_update(net::NodeId peer, geo::Key key) {
+    consistency_->initiate_update(peer, key);
+  }
 
   // -- introspection -----------------------------------------------------------
 
@@ -77,20 +79,40 @@ class PrecinctEngine {
   [[nodiscard]] const geo::GeoHash& geo_hash() const noexcept { return hash_; }
   [[nodiscard]] const Metrics& metrics() const noexcept { return metrics_; }
   [[nodiscard]] std::size_t pending_requests() const noexcept {
-    return pending_.size();
+    return retrieval_->pending_count();
   }
   /// Custodian (static-space holder) count for a key across live peers.
-  [[nodiscard]] std::size_t custody_count(geo::Key key) const;
+  [[nodiscard]] std::size_t custody_count(geo::Key key) const {
+    return custody_->custody_count(key);
+  }
+  /// Lifetime geographic-forwarding drop counters (the measurement-window
+  /// delta is surfaced as Metrics::routing by finalize()).
+  [[nodiscard]] const RoutingStats& routing_stats() const noexcept {
+    return ctx_.route_drops;
+  }
+  /// The receive-path dispatch table (introspection for tests).
+  [[nodiscard]] const net::PacketDispatcher& dispatcher() const noexcept {
+    return dispatch_;
+  }
+  /// Names of the installed scheme implementations.
+  [[nodiscard]] const char* retrieval_scheme_name() const noexcept {
+    return retrieval_->name();
+  }
+  [[nodiscard]] const char* consistency_scheme_name() const noexcept {
+    return consistency_->name();
+  }
 
   /// Crash a peer mid-run; `graceful` hands custody off first (§2.4).
-  void fail_peer(net::NodeId peer, bool graceful);
+  void fail_peer(net::NodeId peer, bool graceful) {
+    custody_->fail_peer(peer, graceful);
+  }
 
   /// Bring a crashed peer back with fresh state (empty caches, no
   /// custody); it resumes issuing requests and beaconing.
-  void revive_peer(net::NodeId peer);
+  void revive_peer(net::NodeId peer) { custody_->revive_peer(peer); }
 
   /// Attach an event tracer (nullptr detaches).  Not owned.
-  void set_tracer(sim::Tracer* tracer) noexcept { tracer_ = tracer; }
+  void set_tracer(sim::Tracer* tracer) noexcept { ctx_.tracer = tracer; }
 
   // -- region management (§2.1) ----------------------------------------------
 
@@ -99,190 +121,27 @@ class PrecinctEngine {
   /// every key whose home/replica set changed.  Returns the new region's
   /// id, or nullopt if either id is unknown.
   std::optional<geo::RegionId> merge_regions(geo::RegionId a, geo::RegionId b,
-                                             net::NodeId initiator);
+                                             net::NodeId initiator) {
+    return custody_->merge_regions(a, b, initiator);
+  }
 
   /// Separate a region into two halves (same dissemination/relocation
   /// protocol as merge_regions).
   std::optional<std::pair<geo::RegionId, geo::RegionId>> separate_region(
-      geo::RegionId id, net::NodeId initiator);
+      geo::RegionId id, net::NodeId initiator) {
+    return custody_->separate_region(id, initiator);
+  }
 
   /// Peer count per region id (live peers only).
-  [[nodiscard]] std::size_t region_population(geo::RegionId region) const;
+  [[nodiscard]] std::size_t region_population(geo::RegionId region) const {
+    return custody_->region_population(region);
+  }
 
  private:
-  // -- per-peer state ----------------------------------------------------------
-  struct Peer {
-    cache::CacheStore cache;
-    geo::RegionId region = geo::kInvalidRegion;
-    support::Rng rng;
-    /// Bumped on revival; scheduled per-peer loops (requests, updates,
-    /// beacons, region checks) die when their generation goes stale, so
-    /// a crash/rejoin cycle cannot double the workload.
-    std::uint32_t generation = 0;
-
-    Peer(std::size_t capacity_bytes,
-         std::unique_ptr<cache::ReplacementPolicy> policy, support::Rng r)
-        : cache(capacity_bytes, std::move(policy)), rng(r) {}
-  };
-
-  /// Latency charged to a request served from the peer's own cache: one
-  /// protocol processing delay, no radio time.
-  static constexpr double kLocalServeLatency = 1e-3;
-
-  // -- requester-side request tracking ----------------------------------------
-  enum class Phase : std::uint8_t {
-    kRegional,  ///< waiting on the local-region flood
-    kHome,      ///< waiting on the home-region lookup
-    kReplica,   ///< waiting on the replica-region fallback
-    kValidate,  ///< have a cached/served copy, polling the home region
-    kRing,      ///< expanding-ring baseline: waiting on the current ring
-    kFlood,     ///< flooding baseline: waiting on the network flood
-  };
-  struct Pending {
-    geo::Key key = 0;
-    net::NodeId requester = net::kNoNode;
-    double created_at = 0.0;
-    bool measured = false;
-    bool prefetch = false;  ///< background fetch: no metrics, no cascading
-    Phase phase = Phase::kRegional;
-    int ring_index = 0;
-    std::size_t lookup_index = 0;   ///< 0 = home, i > 0 = i-th replica
-    bool probed_own_region = false; ///< regional probe already flooded it
-    sim::EventHandle timeout;
-    // Candidate copy awaiting validation (kValidate).
-    bool has_candidate = false;
-    bool candidate_own = false;  ///< candidate is the requester's own copy
-    HitClass candidate_class = HitClass::kOwnCache;
-    std::uint64_t candidate_version = 0;
-    std::size_t candidate_bytes = 0;
-    geo::RegionId candidate_region = geo::kInvalidRegion;
-  };
-
-  // -- receive dispatch ---------------------------------------------------------
+  /// Receive-path prelude shared by every packet kind (position
+  /// piggybacking, void-recovery gating), then table dispatch.
   void on_receive(net::NodeId self, const net::Packet& packet);
-  void handle_request(net::NodeId self, const net::Packet& packet);
-  void handle_response(net::NodeId self, const net::Packet& packet);
-  void handle_update_push(net::NodeId self, const net::Packet& packet);
-  void handle_poll(net::NodeId self, const net::Packet& packet);
-  void handle_poll_reply(net::NodeId self, const net::Packet& packet);
-  void handle_invalidation(net::NodeId self, const net::Packet& packet);
-  void handle_key_transfer(net::NodeId self, const net::Packet& packet);
-  void handle_beacon(net::NodeId self, const net::Packet& packet);
-
-  // -- requester-side flow --------------------------------------------------------
-  void issue_request_internal(net::NodeId peer, geo::Key key, bool prefetch);
-  /// Fire popularity-gradient prefetches after a remote fetch (extension).
-  void maybe_prefetch(net::NodeId peer);
-  void serve_from_own_cache(net::NodeId peer, std::uint64_t request_id,
-                            const cache::CacheEntry& entry, bool is_custody);
-  void start_regional_probe(std::uint64_t request_id);
-  void start_remote_lookup(std::uint64_t request_id,
-                           std::size_t lookup_index);
-  void start_baseline_flood(std::uint64_t request_id);
-  void start_validation(std::uint64_t request_id);
-  /// Route a poll toward the key's home region.  Returns false when there
-  /// is no home region to poll.
-  bool send_poll(net::NodeId from, geo::Key key, std::uint64_t correlation_id,
-                 std::uint64_t known_version);
-  void complete_request(std::uint64_t request_id, HitClass hit_class,
-                        std::uint64_t version, std::size_t item_bytes,
-                        double ttr_remaining_s, geo::RegionId responder_region,
-                        bool validated);
-  void fail_request(std::uint64_t request_id);
-  void on_timeout(std::uint64_t request_id, Phase phase);
-  [[nodiscard]] bool scheme_needs_validation(double ttr_remaining_s) const;
-
-  // -- responder-side helpers --------------------------------------------------------
-  struct Copy {
-    const cache::CacheEntry* entry = nullptr;
-    bool is_custody = false;
-  };
-  /// A responder validating its own expired-TTR copy before serving: the
-  /// original request is parked until the home region answers the poll.
-  struct ResponderPoll {
-    net::NodeId responder = net::kNoNode;
-    net::Packet request;  ///< the request being served
-    HitClass hit_class = HitClass::kRegionalCache;
-    sim::EventHandle timeout;
-  };
-  [[nodiscard]] Copy find_copy(net::NodeId peer, geo::Key key) const;
-  void send_response(net::NodeId self, const net::Packet& request,
-                     const cache::CacheEntry& entry, HitClass hit_class);
-  /// Serve `request` from a non-custody copy: if the consistency scheme
-  /// requires it, poll the home region first (Fig 3 runs at the peer that
-  /// holds the copy), then respond.
-  void serve_from_copy(net::NodeId self, const net::Packet& request,
-                       const cache::CacheEntry& entry, HitClass hit_class);
-  void finish_responder_poll(std::uint64_t poll_id);
-  /// Forward a pooled frame by position (GPSR + final-hop unicast + void
-  /// recovery).  The ref must be uniquely held — per-hop fields are
-  /// mutated in place before the frame is handed to the radio.
-  void forward_geographic(net::NodeId self, net::PacketRef packet);
-  /// Pool-wrap a received or stack-built packet and forward it.
-  void forward_geographic(net::NodeId self, const net::Packet& packet) {
-    forward_geographic(self, net_.make_ref(packet));
-  }
-  void flood_forward(net::NodeId self, const net::Packet& packet);
-
-  // -- consistency ------------------------------------------------------------------
-  /// An update push awaiting its custodian acknowledgement; re-sent on
-  /// timeout (the paper assumes updates reliably reach the home region,
-  /// which over lossy geographic routing requires an ack + retry).
-  struct PendingPush {
-    net::NodeId updater = net::kNoNode;
-    geo::Key key = 0;
-    geo::RegionId region = geo::kInvalidRegion;
-    std::uint64_t version = 0;
-    int retries_left = 0;
-    sim::EventHandle timeout;
-  };
-  void push_update_to_region(net::NodeId peer, geo::Key key,
-                             geo::RegionId region, std::uint64_t version);
-  void send_push_packet(std::uint64_t push_id);
-  void handle_push_ack(net::NodeId self, const net::Packet& packet);
-  /// Returns true when `self` held custody and applied the update.
-  bool apply_custodian_update(net::NodeId self, const net::Packet& packet);
-  void maybe_ack_push(net::NodeId self, const net::Packet& packet);
-  [[nodiscard]] double custodian_ttr_s(geo::Key key);
-
-  // -- custody & mobility ----------------------------------------------------------
-  void place_initial_copies();
-  void check_region(net::NodeId peer);
-  void handoff_custody(net::NodeId peer, geo::RegionId old_region);
-  [[nodiscard]] net::NodeId pick_custody_target(net::NodeId mover,
-                                                geo::RegionId region);
-
-  // -- region management internals ----------------------------------------------------
-  /// Flood the updated region table from `initiator` and refresh every
-  /// peer's region id; then relocate custody displaced by the change.
-  void commit_region_change(net::NodeId initiator);
-  void relocate_displaced_custody();
-  void maybe_rebalance_regions();
-
-  // -- workload drivers --------------------------------------------------------------
-  /// Zipf-sample a key, applying the hotspot rotation if configured.
-  [[nodiscard]] geo::Key sample_key(net::NodeId peer);
-  void schedule_next_request(net::NodeId peer);
-  void schedule_next_update(net::NodeId peer);
-  void schedule_region_checks();
-  void schedule_crashes();
-  void schedule_joins();
-  void schedule_beacon(net::NodeId peer);
-
   void take_timeline_sample();
-
-  // -- misc helpers -------------------------------------------------------------------
-  /// The owner's current version of `key`: the home-region custodian's
-  /// copy (falling back to the replica's).  This is the reference for
-  /// false-hit accounting — the paper's consistency target is the owner,
-  /// not an omniscient oracle.  nullopt when no custodian is alive.
-  [[nodiscard]] std::optional<std::uint64_t> authoritative_version(
-      geo::Key key) const;
-  [[nodiscard]] double region_distance(geo::RegionId a, geo::RegionId b) const;
-  [[nodiscard]] net::Packet make_packet(net::PacketKind kind,
-                                        net::NodeId origin, geo::Key key);
-  [[nodiscard]] bool in_region(net::NodeId node, geo::RegionId region);
-  [[nodiscard]] bool measuring() const noexcept { return measuring_; }
 
   PrecinctConfig config_;
   sim::Simulator& sim_;
@@ -296,16 +155,16 @@ class PrecinctEngine {
   routing::FloodController flood_;
   support::Rng rng_;
 
-  std::vector<Peer> peers_;
-  std::unordered_map<std::uint64_t, Pending> pending_;
-  std::unordered_map<std::uint64_t, ResponderPoll> responder_polls_;
-  std::unordered_map<std::uint64_t, PendingPush> pending_pushes_;
-  std::unordered_map<geo::Key, consistency::TtrEstimator> ttr_;
-  std::uint64_t next_request_id_ = 1;
-
+  std::vector<PeerState> peers_;
   Metrics metrics_;
-  sim::Tracer* tracer_ = nullptr;
-  bool measuring_ = false;
+  EngineContext ctx_;
+
+  std::unique_ptr<RetrievalScheme> retrieval_;
+  std::unique_ptr<ConsistencyScheme> consistency_;
+  std::unique_ptr<CustodyManager> custody_;
+  std::unique_ptr<WorkloadDriver> workload_;
+  net::PacketDispatcher dispatch_;
+
   double measure_start_ = 0.0;
   double energy_at_start_ = 0.0;
   double energy_broadcast_at_start_ = 0.0;
@@ -314,20 +173,7 @@ class PrecinctEngine {
   std::uint64_t bytes_at_start_ = 0;
   std::uint64_t consistency_msgs_at_start_ = 0;
   std::uint64_t frames_lost_at_start_ = 0;
-  double region_diameter_ = 1.0;  // normalizes reg_dst in the utility
-
- public:
-  // Routing diagnostics (read by tests and benches).
-  [[nodiscard]] std::uint64_t route_drops_void() const noexcept {
-    return route_drops_void_;
-  }
-  [[nodiscard]] std::uint64_t route_drops_ttl() const noexcept {
-    return route_drops_ttl_;
-  }
-
- private:
-  std::uint64_t route_drops_void_ = 0;
-  std::uint64_t route_drops_ttl_ = 0;
+  RoutingStats route_drops_at_start_;
 };
 
 }  // namespace precinct::core

@@ -1,0 +1,114 @@
+#include "core/engine_context.hpp"
+
+#include <cmath>
+
+namespace precinct::core {
+
+EngineContext::Copy EngineContext::find_copy(net::NodeId peer,
+                                             geo::Key key) const {
+  const PeerState& p = peers[peer];
+  if (const cache::CacheEntry* custody = p.cache.find_static(key)) {
+    return {custody, true};
+  }
+  if (const cache::CacheEntry* cached = p.cache.find(key)) {
+    return {cached, false};
+  }
+  return {};
+}
+
+std::optional<std::uint64_t> EngineContext::authoritative_version(
+    geo::Key key) const {
+  const geo::RegionId home = hash.home_region(key, regions);
+  const geo::RegionId replica = hash.replica_region(key, regions);
+  std::optional<std::uint64_t> from_replica;
+  for (net::NodeId i = 0; i < net.node_count(); ++i) {
+    if (!net.is_alive(i)) continue;
+    const cache::CacheEntry* custody = peers[i].cache.find_static(key);
+    if (custody == nullptr) continue;
+    if (peers[i].region == home) return custody->version;
+    if (peers[i].region == replica) from_replica = custody->version;
+  }
+  return from_replica;
+}
+
+double EngineContext::region_distance(geo::RegionId a, geo::RegionId b) const {
+  const geo::Region* ra = regions.find(a);
+  const geo::Region* rb = regions.find(b);
+  if (ra == nullptr || rb == nullptr) return 0.0;
+  return geo::distance(ra->center, rb->center);
+}
+
+net::Packet EngineContext::make_packet(net::PacketKind kind, net::NodeId origin,
+                                       geo::Key key) {
+  net::Packet packet;
+  packet.id = net.next_packet_id();
+  packet.kind = kind;
+  packet.origin = origin;
+  packet.src = origin;
+  packet.origin_location = net.position(origin);
+  packet.key = key;
+  packet.size_bytes = net::kHeaderBytes;
+  packet.created_at = sim.now();
+  return packet;
+}
+
+bool EngineContext::in_region(net::NodeId node, geo::RegionId region) const {
+  const geo::Region* r = regions.find(region);
+  return r != nullptr && r->extent.contains(net.position(node));
+}
+
+void EngineContext::refresh_region_diameter() {
+  if (!regions.empty()) {
+    const geo::Rect& extent = regions.regions().front().extent;
+    region_diameter = std::hypot(extent.width(), extent.height());
+  }
+}
+
+void EngineContext::forward_geographic(net::NodeId self, net::PacketRef ref) {
+  net::Packet& packet = *ref;  // sole reference until the radio shares it
+  if (packet.ttl <= 0) {
+    ++route_drops.drops_ttl;
+    return;
+  }
+  packet.ttl -= 1;
+  packet.hops += 1;
+  // Final-hop delivery: when the addressee is in radio range, skip
+  // position-based forwarding (it may have drifted from dest_location).
+  if (packet.dest_node != net::kNoNode && packet.dest_node != self &&
+      net.in_range(self, packet.dest_node)) {
+    packet.src = self;
+    const net::NodeId dest = packet.dest_node;
+    net.unicast(std::move(ref), dest);
+    return;
+  }
+  // next_hop must see src = previous hop: the perimeter right-hand rule
+  // sweeps from the arrival edge.  Stamp src only after the decision.
+  const auto next = gpsr.next_hop(self, packet);
+  packet.src = self;
+  if (!next.has_value()) {
+    ++route_drops.drops_void;
+    // Dead end even in perimeter mode.  Recover with a one-shot scoped
+    // broadcast (paper assumption iii: messages eventually reach the
+    // correct node); receivers gate themselves in the receive prelude.
+    if (flood.mark_seen(self, packet.id)) {
+      packet.recovery = true;
+      packet.perimeter = false;
+      packet.perimeter_entry_node = net::kNoNode;
+      packet.perimeter_first_hop = net::kNoNode;
+      net.broadcast(std::move(ref));
+    }
+    return;
+  }
+  net.unicast(std::move(ref), *next);
+}
+
+void EngineContext::flood_forward(net::NodeId self, const net::Packet& packet) {
+  if (!routing::FloodController::ttl_allows_forward(packet)) return;
+  net::PacketRef fwd = net.make_ref(packet);
+  fwd->ttl -= 1;
+  fwd->hops += 1;
+  fwd->src = self;
+  net.broadcast(std::move(fwd));
+}
+
+}  // namespace precinct::core

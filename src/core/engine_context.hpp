@@ -1,0 +1,157 @@
+// EngineContext — the one explicit seam between the protocol modules.
+//
+// The engine owns the simulation substrate (radio, regions, catalog,
+// per-peer state, metrics) and every module — retrieval scheme,
+// consistency scheme, custody manager, workload driver — receives a
+// reference to this context instead of reaching into the engine.  The
+// architecture rule (DESIGN.md §8): modules communicate only via packets
+// and this context; no module holds a pointer into another module's
+// private state.
+//
+// The context also hosts the handful of helpers every layer needs —
+// packet construction, copy lookup, the geographic/flood forwarding
+// primitives — so they exist exactly once.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "cache/cache_store.hpp"
+#include "core/config.hpp"
+#include "core/metrics.hpp"
+#include "geo/geo_hash.hpp"
+#include "geo/region_table.hpp"
+#include "net/wireless_net.hpp"
+#include "routing/flood.hpp"
+#include "routing/gpsr.hpp"
+#include "routing/neighbor_provider.hpp"
+#include "sim/simulator.hpp"
+#include "sim/trace.hpp"
+#include "support/rng.hpp"
+#include "workload/data_catalog.hpp"
+#include "workload/zipf.hpp"
+
+namespace precinct::core {
+
+class RetrievalScheme;
+class ConsistencyScheme;
+class CustodyManager;
+class WorkloadDriver;
+
+/// Per-peer protocol state.  Peers never share state except via packets;
+/// this is simply where one peer's caches and generators live (the whole
+/// simulation is single-threaded, see sim/simulator.hpp).
+struct PeerState {
+  cache::CacheStore cache;
+  geo::RegionId region = geo::kInvalidRegion;
+  support::Rng rng;
+  /// Bumped on revival; scheduled per-peer loops (requests, updates,
+  /// beacons, region checks) die when their generation goes stale, so
+  /// a crash/rejoin cycle cannot double the workload.
+  std::uint32_t generation = 0;
+
+  PeerState(std::size_t capacity_bytes,
+            std::unique_ptr<cache::ReplacementPolicy> policy, support::Rng r)
+      : cache(capacity_bytes, std::move(policy)), rng(r) {}
+};
+
+class EngineContext {
+ public:
+  EngineContext(const PrecinctConfig& config, sim::Simulator& sim,
+                net::WirelessNet& net, geo::RegionTable& regions,
+                geo::GeoHash& hash, workload::DataCatalog& catalog,
+                workload::ZipfGenerator& zipf, routing::Gpsr& gpsr,
+                routing::FloodController& flood, support::Rng& rng,
+                std::vector<PeerState>& peers, Metrics& metrics) noexcept
+      : config(config),
+        sim(sim),
+        net(net),
+        regions(regions),
+        hash(hash),
+        catalog(catalog),
+        zipf(zipf),
+        gpsr(gpsr),
+        flood(flood),
+        rng(rng),
+        peers(peers),
+        metrics(metrics) {}
+
+  EngineContext(const EngineContext&) = delete;
+  EngineContext& operator=(const EngineContext&) = delete;
+
+  // -- shared substrate (owned by the engine) ---------------------------------
+  const PrecinctConfig& config;
+  sim::Simulator& sim;
+  net::WirelessNet& net;
+  geo::RegionTable& regions;
+  geo::GeoHash& hash;
+  workload::DataCatalog& catalog;
+  workload::ZipfGenerator& zipf;
+  routing::Gpsr& gpsr;
+  routing::FloodController& flood;
+  support::Rng& rng;  ///< engine-level draws (failure injection)
+  std::vector<PeerState>& peers;
+  Metrics& metrics;
+  /// Beacon-fed neighbor tables; null when config.use_beacons is false.
+  routing::BeaconNeighborProvider* beacons = nullptr;
+
+  // -- module wiring (set once by the engine after construction) --------------
+  RetrievalScheme* retrieval = nullptr;
+  ConsistencyScheme* consistency = nullptr;
+  CustodyManager* custody = nullptr;
+  WorkloadDriver* workload = nullptr;
+
+  // -- run state --------------------------------------------------------------
+  sim::Tracer* tracer = nullptr;  ///< not owned; may be null
+  bool measuring = false;
+  /// Representative region diameter; normalizes reg_dst in the GD-LD
+  /// utility so the wd weight is unit-comparable across region counts.
+  double region_diameter = 1.0;
+  RoutingStats route_drops;  ///< lifetime forwarding-drop counters
+
+  /// Correlation ids for requests, responder polls and update pushes.
+  /// One shared counter keeps ids unique across all modules.
+  [[nodiscard]] std::uint64_t next_correlation_id() noexcept {
+    return next_id_++;
+  }
+
+  // -- shared helpers ----------------------------------------------------------
+  /// A peer's best local copy of a key: custody first, then dynamic cache.
+  struct Copy {
+    const cache::CacheEntry* entry = nullptr;
+    bool is_custody = false;
+  };
+  [[nodiscard]] Copy find_copy(net::NodeId peer, geo::Key key) const;
+
+  [[nodiscard]] net::Packet make_packet(net::PacketKind kind,
+                                        net::NodeId origin, geo::Key key);
+  [[nodiscard]] bool in_region(net::NodeId node, geo::RegionId region) const;
+  [[nodiscard]] double region_distance(geo::RegionId a, geo::RegionId b) const;
+
+  /// The owner's current version of `key`: the home-region custodian's
+  /// copy (falling back to the replica's).  This is the reference for
+  /// false-hit accounting — the paper's consistency target is the owner,
+  /// not an omniscient oracle.  nullopt when no custodian is alive.
+  [[nodiscard]] std::optional<std::uint64_t> authoritative_version(
+      geo::Key key) const;
+
+  /// Re-derive region_diameter from the (possibly reconfigured) table.
+  void refresh_region_diameter();
+
+  // -- forwarding primitives ---------------------------------------------------
+  /// Forward a pooled frame by position (GPSR + final-hop unicast + void
+  /// recovery).  The ref must be uniquely held — per-hop fields are
+  /// mutated in place before the frame is handed to the radio.
+  void forward_geographic(net::NodeId self, net::PacketRef packet);
+  /// Pool-wrap a received or stack-built packet and forward it.
+  void forward_geographic(net::NodeId self, const net::Packet& packet) {
+    forward_geographic(self, net.make_ref(packet));
+  }
+  void flood_forward(net::NodeId self, const net::Packet& packet);
+
+ private:
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace precinct::core

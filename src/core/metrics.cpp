@@ -4,11 +4,11 @@
 
 namespace precinct::core {
 
-const char* to_string(RetrievalScheme scheme) noexcept {
+const char* to_string(RetrievalKind scheme) noexcept {
   switch (scheme) {
-    case RetrievalScheme::kPrecinct: return "precinct";
-    case RetrievalScheme::kFlooding: return "flooding";
-    case RetrievalScheme::kExpandingRing: return "expanding-ring";
+    case RetrievalKind::kPrecinct: return "precinct";
+    case RetrievalKind::kFlooding: return "flooding";
+    case RetrievalKind::kExpandingRing: return "expanding-ring";
   }
   return "unknown";
 }

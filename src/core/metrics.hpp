@@ -21,6 +21,16 @@ enum class HitClass : std::uint8_t {
   kFailed,        ///< no response (timeouts / unreachable)
 };
 
+/// Geographic-routing diagnostics: packets abandoned by the forwarding
+/// layer.  Kept as a first-class struct so the counters travel together
+/// (lifetime totals live on the EngineContext; Metrics carries the
+/// measurement-window delta).
+struct RoutingStats {
+  std::uint64_t drops_void = 0;  ///< dead ends even in perimeter mode
+                                 ///< (void recovery broadcast fired)
+  std::uint64_t drops_ttl = 0;   ///< hop budget exhausted in flight
+};
+
 struct Metrics {
   // -- request accounting ----------------------------------------------------
   std::uint64_t requests_issued = 0;
@@ -73,6 +83,7 @@ struct Metrics {
   std::uint64_t frames_lost = 0;
   std::uint64_t custody_handoffs = 0;
   std::uint64_t events_executed = 0;
+  RoutingStats routing;  ///< geographic drops during the window
 
   // -- derived -----------------------------------------------------------------
   [[nodiscard]] double avg_latency_s() const noexcept {

@@ -1,0 +1,60 @@
+#include "core/retrieval_baselines.hpp"
+
+#include "routing/expanding_ring.hpp"
+
+namespace precinct::core {
+
+void BaselineRetrieval::start_flood(std::uint64_t request_id) {
+  Pending& pending = pending_.at(request_id);
+  const net::NodeId peer = pending.requester;
+  int ttl = ctx_.config.network_flood_ttl;
+  double wait = ctx_.config.remote_timeout_s;
+  if (expanding()) {
+    pending.phase = Phase::kRing;
+    const auto ttls = routing::expanding_ring_ttls(ctx_.config.ring);
+    if (pending.ring_index >= static_cast<int>(ttls.size())) {
+      fail_request(request_id);
+      return;
+    }
+    ttl = ttls[static_cast<std::size_t>(pending.ring_index)];
+    wait = ctx_.config.ring.retry_wait_s;
+  } else {
+    pending.phase = Phase::kFlood;
+  }
+  net::Packet packet =
+      ctx_.make_packet(net::PacketKind::kRequest, peer, pending.key);
+  packet.mode = net::RouteMode::kNetworkFlood;
+  packet.ttl = ttl;
+  packet.request_id = request_id;
+  ctx_.flood.mark_seen(peer, packet.id);
+  ctx_.net.broadcast(packet);
+
+  pending.timeout = ctx_.sim.schedule(wait, [this, request_id] {
+    on_timeout(request_id, pending_.count(request_id)
+                               ? pending_.at(request_id).phase
+                               : Phase::kFlood);
+  });
+}
+
+void BaselineRetrieval::handle_request(net::NodeId self,
+                                       const net::Packet& packet) {
+  // Baseline searches are network floods; requests never arrive scoped
+  // or geographically routed.
+  if (packet.mode == net::RouteMode::kNetworkFlood) {
+    handle_request_network_flood(self, packet);
+  }
+}
+
+void FloodingRetrieval::on_phase_timeout(std::uint64_t request_id,
+                                         Phase phase) {
+  if (phase == Phase::kFlood) fail_request(request_id);
+}
+
+void ExpandingRingRetrieval::on_phase_timeout(std::uint64_t request_id,
+                                              Phase phase) {
+  if (phase != Phase::kRing) return;
+  ++pending_.at(request_id).ring_index;
+  start_flood(request_id);
+}
+
+}  // namespace precinct::core

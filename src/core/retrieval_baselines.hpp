@@ -1,0 +1,58 @@
+// Baseline retrieval schemes (§6.2): network-wide flooding and the
+// TTL-doubling expanding-ring search.  Both search with unscoped floods;
+// they share the flood launcher and differ in TTL schedule and timeout
+// escalation.
+#pragma once
+
+#include "core/retrieval_scheme.hpp"
+
+namespace precinct::core {
+
+/// Common flood machinery for the two baselines.
+class BaselineRetrieval : public RetrievalScheme {
+ public:
+  using RetrievalScheme::RetrievalScheme;
+
+ protected:
+  void start_search(std::uint64_t request_id) override {
+    start_flood(request_id);
+  }
+  void restart_search(std::uint64_t request_id) override {
+    start_flood(request_id);
+  }
+  void handle_request(net::NodeId self, const net::Packet& packet) override;
+
+  /// Launch the next flood round: the whole network (kFlood) or the
+  /// current ring (kRing), per the concrete scheme.
+  void start_flood(std::uint64_t request_id);
+
+  /// True for the expanding-ring variant (ring TTL schedule + per-ring
+  /// retry wait instead of one full-TTL flood).
+  [[nodiscard]] virtual bool expanding() const noexcept = 0;
+};
+
+class FloodingRetrieval final : public BaselineRetrieval {
+ public:
+  using BaselineRetrieval::BaselineRetrieval;
+  [[nodiscard]] const char* name() const noexcept override {
+    return "flooding";
+  }
+
+ protected:
+  void on_phase_timeout(std::uint64_t request_id, Phase phase) override;
+  [[nodiscard]] bool expanding() const noexcept override { return false; }
+};
+
+class ExpandingRingRetrieval final : public BaselineRetrieval {
+ public:
+  using BaselineRetrieval::BaselineRetrieval;
+  [[nodiscard]] const char* name() const noexcept override {
+    return "expanding-ring";
+  }
+
+ protected:
+  void on_phase_timeout(std::uint64_t request_id, Phase phase) override;
+  [[nodiscard]] bool expanding() const noexcept override { return true; }
+};
+
+}  // namespace precinct::core

@@ -1,0 +1,124 @@
+#include "core/retrieval_precinct.hpp"
+
+namespace precinct::core {
+
+void PrecinctLookup::start_search(std::uint64_t request_id) {
+  // With no dynamic cache there is no cumulative cache to probe (the
+  // paper's §5.2.2 analysis assumes exactly this); go straight to the
+  // home region.  Keys homed in the requester's own region are still
+  // found: the remote lookup floods locally when already inside.
+  const net::NodeId peer = pending_.at(request_id).requester;
+  if (ctx_.peers[peer].cache.capacity_bytes() == 0) {
+    start_remote_lookup(request_id, 0);
+  } else {
+    start_regional_probe(request_id);
+  }
+}
+
+void PrecinctLookup::restart_search(std::uint64_t request_id) {
+  start_regional_probe(request_id);
+}
+
+void PrecinctLookup::on_phase_timeout(std::uint64_t request_id, Phase phase) {
+  switch (phase) {
+    case Phase::kRegional:
+      // Home lookup next; start_remote_lookup itself skips regions the
+      // probe already flooded.
+      start_remote_lookup(request_id, 0);
+      break;
+    case Phase::kHome:
+    case Phase::kReplica:
+      // §2.4 fallback chain: try the next replica region (fails when
+      // exhausted).
+      start_remote_lookup(request_id,
+                          pending_.at(request_id).lookup_index + 1);
+      break;
+    default:
+      break;  // kValidate handled by the base; kRing/kFlood never occur
+  }
+}
+
+void PrecinctLookup::handle_request(net::NodeId self,
+                                    const net::Packet& packet) {
+  switch (packet.mode) {
+    case net::RouteMode::kRegionFlood:
+      handle_request_region_flood(self, packet);
+      return;
+    case net::RouteMode::kGeographic:
+      handle_request_geographic(self, packet);
+      return;
+    case net::RouteMode::kNetworkFlood:
+      return;  // PReCinCt never floods requests network-wide
+  }
+}
+
+void PrecinctLookup::start_regional_probe(std::uint64_t request_id) {
+  Pending& pending = pending_.at(request_id);
+  pending.phase = Phase::kRegional;
+  pending.probed_own_region = true;
+  const net::NodeId peer = pending.requester;
+
+  net::Packet packet =
+      ctx_.make_packet(net::PacketKind::kRequest, peer, pending.key);
+  packet.mode = net::RouteMode::kRegionFlood;
+  packet.dest_region = ctx_.peers[peer].region;
+  packet.ttl = ctx_.config.region_flood_ttl;
+  packet.request_id = request_id;
+  ctx_.flood.mark_seen(peer, packet.id);
+  ctx_.net.broadcast(packet);
+
+  pending.timeout =
+      ctx_.sim.schedule(ctx_.config.regional_timeout_s, [this, request_id] {
+        on_timeout(request_id, Phase::kRegional);
+      });
+}
+
+void PrecinctLookup::start_remote_lookup(std::uint64_t request_id,
+                                         std::size_t lookup_index) {
+  Pending& pending = pending_.at(request_id);
+  const net::NodeId peer = pending.requester;
+  const auto targets = ctx_.hash.key_regions(pending.key, ctx_.regions,
+                                             ctx_.config.replica_count);
+  // Skip regions the regional probe already flooded (the requester's own
+  // region) and any that vanished from the table.
+  while (lookup_index < targets.size() &&
+         ((pending.probed_own_region &&
+           targets[lookup_index] == ctx_.peers[peer].region) ||
+          ctx_.regions.find(targets[lookup_index]) == nullptr)) {
+    ++lookup_index;
+  }
+  if (lookup_index >= targets.size()) {
+    fail_request(request_id);
+    return;
+  }
+  pending.lookup_index = lookup_index;
+  pending.phase = lookup_index == 0 ? Phase::kHome : Phase::kReplica;
+  const geo::RegionId target = targets[lookup_index];
+  const geo::Region* region = ctx_.regions.find(target);
+
+  net::Packet packet =
+      ctx_.make_packet(net::PacketKind::kRequest, peer, pending.key);
+  packet.dest_region = target;
+  packet.dest_location = region->center;
+  packet.request_id = request_id;
+  if (ctx_.peers[peer].region == target) {
+    // Already inside the target region: the requester itself is the
+    // broadcast point for the localized flood (§2.2).
+    packet.mode = net::RouteMode::kRegionFlood;
+    packet.ttl = ctx_.config.region_flood_ttl;
+    ctx_.flood.mark_seen(peer, packet.id);
+    ctx_.net.broadcast(packet);
+  } else {
+    packet.mode = net::RouteMode::kGeographic;
+    packet.ttl = ctx_.config.max_route_hops;
+    ctx_.forward_geographic(peer, packet);
+  }
+
+  const Phase phase = pending.phase;
+  pending.timeout = ctx_.sim.schedule(ctx_.config.remote_timeout_s,
+                                      [this, request_id, phase] {
+                                        on_timeout(request_id, phase);
+                                      });
+}
+
+}  // namespace precinct::core

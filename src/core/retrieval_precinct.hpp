@@ -1,0 +1,34 @@
+// PrecinctLookup — the paper's retrieval scheme (§2.2, §3.1): regional
+// probe of the cumulative cache, then the geographically hashed home
+// region, then the replica fallback chain.
+#pragma once
+
+#include "core/retrieval_scheme.hpp"
+
+namespace precinct::core {
+
+class PrecinctLookup final : public RetrievalScheme {
+ public:
+  using RetrievalScheme::RetrievalScheme;
+
+  [[nodiscard]] const char* name() const noexcept override {
+    return "precinct";
+  }
+
+ protected:
+  void start_search(std::uint64_t request_id) override;
+  void restart_search(std::uint64_t request_id) override;
+  void on_phase_timeout(std::uint64_t request_id, Phase phase) override;
+  void handle_request(net::NodeId self, const net::Packet& packet) override;
+
+ private:
+  /// Flood the requester's own region: any peer's cached copy answers
+  /// (the cumulative-cache probe, §3.1).
+  void start_regional_probe(std::uint64_t request_id);
+  /// Route the request to the home region (lookup_index 0) or the i-th
+  /// replica region; fails the request when the chain is exhausted.
+  void start_remote_lookup(std::uint64_t request_id,
+                           std::size_t lookup_index);
+};
+
+}  // namespace precinct::core

@@ -1,0 +1,140 @@
+// RetrievalScheme — the data-search strategy axis (paper §2.2, §3 vs the
+// §6.2 baselines).  The base class owns everything every scheme needs:
+// the requester-side Pending phase machine, responder-side serving with
+// consistency validation, completion/metrics accounting and the
+// request/response packet handlers.  Concrete schemes decide only how a
+// search starts and how it escalates on timeout.
+//
+// Schemes communicate with the rest of the stack only via packets and
+// the EngineContext (DESIGN.md §8); consistency questions (does this
+// copy need validating? poll the home region) are delegated to the
+// installed ConsistencyScheme.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "core/engine_context.hpp"
+#include "net/packet_dispatch.hpp"
+
+namespace precinct::core {
+
+class RetrievalScheme {
+ public:
+  explicit RetrievalScheme(EngineContext& ctx) noexcept : ctx_(ctx) {}
+  virtual ~RetrievalScheme() = default;
+
+  RetrievalScheme(const RetrievalScheme&) = delete;
+  RetrievalScheme& operator=(const RetrievalScheme&) = delete;
+
+  /// Registry name ("precinct", "flooding", "expanding-ring", ...).
+  [[nodiscard]] virtual const char* name() const noexcept = 0;
+
+  /// Claim the packet kinds this module owns (kRequest, kResponse).
+  void register_handlers(net::PacketDispatcher& dispatch);
+
+  /// Start one lookup at `peer` for `key`.  A prefetch is an uncounted
+  /// background fetch: traffic and energy are charged but request
+  /// metrics are not touched.
+  void issue(net::NodeId peer, geo::Key key, bool prefetch);
+
+  /// Tail of a poll reply (called by the ConsistencyScheme once the
+  /// reply refreshed the local copy): either completes a requester-side
+  /// kValidate request or finishes a responder-side validation poll.
+  void on_poll_reply(net::NodeId self, const net::Packet& packet);
+
+  [[nodiscard]] std::size_t pending_count() const noexcept {
+    return pending_.size();
+  }
+  /// Measured requests still in flight (finalize counts them as failed).
+  [[nodiscard]] std::uint64_t measured_pending() const noexcept;
+
+ protected:
+  /// Latency charged to a request served from the peer's own cache: one
+  /// protocol processing delay, no radio time.
+  static constexpr double kLocalServeLatency = 1e-3;
+
+  // -- requester-side request tracking ----------------------------------------
+  enum class Phase : std::uint8_t {
+    kRegional,  ///< waiting on the local-region flood
+    kHome,      ///< waiting on the home-region lookup
+    kReplica,   ///< waiting on the replica-region fallback
+    kValidate,  ///< have a cached/served copy, polling the home region
+    kRing,      ///< expanding-ring baseline: waiting on the current ring
+    kFlood,     ///< flooding baseline: waiting on the network flood
+  };
+  struct Pending {
+    geo::Key key = 0;
+    net::NodeId requester = net::kNoNode;
+    double created_at = 0.0;
+    bool measured = false;
+    bool prefetch = false;  ///< background fetch: no metrics, no cascading
+    Phase phase = Phase::kRegional;
+    int ring_index = 0;
+    std::size_t lookup_index = 0;   ///< 0 = home, i > 0 = i-th replica
+    bool probed_own_region = false; ///< regional probe already flooded it
+    sim::EventHandle timeout;
+    // Candidate copy awaiting validation (kValidate).
+    bool has_candidate = false;
+    bool candidate_own = false;  ///< candidate is the requester's own copy
+    HitClass candidate_class = HitClass::kOwnCache;
+    std::uint64_t candidate_version = 0;
+    std::size_t candidate_bytes = 0;
+    geo::RegionId candidate_region = geo::kInvalidRegion;
+  };
+  /// A responder validating its own expired-TTR copy before serving: the
+  /// original request is parked until the home region answers the poll.
+  struct ResponderPoll {
+    net::NodeId responder = net::kNoNode;
+    net::Packet request;  ///< the request being served
+    HitClass hit_class = HitClass::kRegionalCache;
+    sim::EventHandle timeout;
+  };
+
+  // -- scheme-specific strategy -------------------------------------------------
+  /// Launch the first search step for a request that missed locally.
+  virtual void start_search(std::uint64_t request_id) = 0;
+  /// Re-enter the search after a failed validation (the candidate copy
+  /// was dropped; fetch through the normal path).
+  virtual void restart_search(std::uint64_t request_id) = 0;
+  /// Escalate after a non-validate phase timed out (next replica, next
+  /// ring, give up, ...).
+  virtual void on_phase_timeout(std::uint64_t request_id, Phase phase) = 0;
+  /// Responder/forwarder side of a kRequest in this scheme's route modes.
+  virtual void handle_request(net::NodeId self, const net::Packet& packet) = 0;
+
+  // -- shared requester-side flow -----------------------------------------------
+  void serve_from_own_cache(net::NodeId peer, std::uint64_t request_id,
+                            const cache::CacheEntry& entry, bool is_custody);
+  void start_validation(std::uint64_t request_id);
+  void complete_request(std::uint64_t request_id, HitClass hit_class,
+                        std::uint64_t version, std::size_t item_bytes,
+                        double ttr_remaining_s, geo::RegionId responder_region,
+                        bool validated);
+  void fail_request(std::uint64_t request_id);
+  void on_timeout(std::uint64_t request_id, Phase phase);
+  /// Fire popularity-gradient prefetches after a remote fetch (extension).
+  void maybe_prefetch(net::NodeId peer);
+
+  // -- shared responder-side flow -------------------------------------------------
+  /// Serve `request` from a non-custody copy: if the consistency scheme
+  /// requires it, poll the home region first (Fig 3 runs at the peer that
+  /// holds the copy), then respond.
+  void serve_from_copy(net::NodeId self, const net::Packet& request,
+                       const cache::CacheEntry& entry, HitClass hit_class);
+  void finish_responder_poll(std::uint64_t poll_id);
+  void send_response(net::NodeId self, const net::Packet& request,
+                     const cache::CacheEntry& entry, HitClass hit_class);
+  void handle_response(net::NodeId self, const net::Packet& packet);
+  /// kRequest handling per route mode; schemes compose the modes they use.
+  void handle_request_region_flood(net::NodeId self, const net::Packet& packet);
+  void handle_request_network_flood(net::NodeId self,
+                                    const net::Packet& packet);
+  void handle_request_geographic(net::NodeId self, const net::Packet& packet);
+
+  EngineContext& ctx_;
+  std::unordered_map<std::uint64_t, Pending> pending_;
+  std::unordered_map<std::uint64_t, ResponderPoll> responder_polls_;
+};
+
+}  // namespace precinct::core

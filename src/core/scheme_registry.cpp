@@ -1,0 +1,123 @@
+#include "core/scheme_registry.hpp"
+
+#include <stdexcept>
+
+#include "core/consistency_scheme.hpp"
+#include "core/retrieval_baselines.hpp"
+#include "core/retrieval_precinct.hpp"
+#include "core/retrieval_scheme.hpp"
+
+namespace precinct::core {
+
+namespace {
+
+template <typename Map>
+std::string known_names(const Map& map) {
+  std::string names;
+  for (const auto& [name, factory] : map) {
+    if (!names.empty()) names += ", ";
+    names += name;
+  }
+  return names;
+}
+
+}  // namespace
+
+SchemeRegistry& SchemeRegistry::instance() {
+  static SchemeRegistry registry;
+  return registry;
+}
+
+SchemeRegistry::SchemeRegistry() {
+  retrieval_.emplace("precinct", [](EngineContext& ctx) {
+    return std::make_unique<PrecinctLookup>(ctx);
+  });
+  retrieval_.emplace("flooding", [](EngineContext& ctx) {
+    return std::make_unique<FloodingRetrieval>(ctx);
+  });
+  retrieval_.emplace("expanding-ring", [](EngineContext& ctx) {
+    return std::make_unique<ExpandingRingRetrieval>(ctx);
+  });
+  consistency_.emplace("none", [](EngineContext& ctx) {
+    return std::make_unique<NoConsistency>(ctx);
+  });
+  consistency_.emplace("plain-push", [](EngineContext& ctx) {
+    return std::make_unique<PlainPush>(ctx);
+  });
+  consistency_.emplace("pull-every-time", [](EngineContext& ctx) {
+    return std::make_unique<PullEveryTime>(ctx);
+  });
+  consistency_.emplace("push-adaptive-pull", [](EngineContext& ctx) {
+    return std::make_unique<PushAdaptivePull>(ctx);
+  });
+}
+
+void SchemeRegistry::register_retrieval(const std::string& name,
+                                        RetrievalFactory factory) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (!retrieval_.emplace(name, std::move(factory)).second) {
+    throw std::logic_error("SchemeRegistry: retrieval scheme \"" + name +
+                           "\" is already registered");
+  }
+}
+
+void SchemeRegistry::register_consistency(const std::string& name,
+                                          ConsistencyFactory factory) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (!consistency_.emplace(name, std::move(factory)).second) {
+    throw std::logic_error("SchemeRegistry: consistency scheme \"" + name +
+                           "\" is already registered");
+  }
+}
+
+std::unique_ptr<RetrievalScheme> SchemeRegistry::make_retrieval(
+    const std::string& name, EngineContext& ctx) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = retrieval_.find(name);
+  if (it == retrieval_.end()) {
+    throw std::invalid_argument("unknown retrieval scheme \"" + name +
+                                "\" (registered: " + known_names(retrieval_) +
+                                ")");
+  }
+  return it->second(ctx);
+}
+
+std::unique_ptr<ConsistencyScheme> SchemeRegistry::make_consistency(
+    const std::string& name, EngineContext& ctx) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = consistency_.find(name);
+  if (it == consistency_.end()) {
+    throw std::invalid_argument(
+        "unknown consistency scheme \"" + name +
+        "\" (registered: " + known_names(consistency_) + ")");
+  }
+  return it->second(ctx);
+}
+
+bool SchemeRegistry::has_retrieval(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return retrieval_.count(name) != 0;
+}
+
+bool SchemeRegistry::has_consistency(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return consistency_.count(name) != 0;
+}
+
+std::vector<std::string> SchemeRegistry::retrieval_names() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(retrieval_.size());
+  for (const auto& [name, factory] : retrieval_) names.push_back(name);
+  return names;
+}
+
+std::vector<std::string> SchemeRegistry::consistency_names() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(consistency_.size());
+  for (const auto& [name, factory] : consistency_) names.push_back(name);
+  return names;
+}
+
+}  // namespace precinct::core

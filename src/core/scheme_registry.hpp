@@ -1,0 +1,64 @@
+// SchemeRegistry — config-driven construction of protocol strategies.
+//
+// Maps scheme names ("precinct", "push-adaptive-pull", ...) to factories
+// so a new retrieval or consistency scheme plugs in by registering
+// itself — no edits to the engine, the dispatch wiring or the config
+// parser.  The built-ins self-register; extensions call
+// register_retrieval()/register_consistency() (e.g. from a static
+// initializer) before the first engine is built.
+//
+// The singleton is mutex-guarded: Scenario::run_seeds constructs engines
+// concurrently from worker threads.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace precinct::core {
+
+class ConsistencyScheme;
+class EngineContext;
+class RetrievalScheme;
+
+class SchemeRegistry {
+ public:
+  using RetrievalFactory =
+      std::function<std::unique_ptr<RetrievalScheme>(EngineContext&)>;
+  using ConsistencyFactory =
+      std::function<std::unique_ptr<ConsistencyScheme>(EngineContext&)>;
+
+  /// The process-wide registry, with the built-in schemes registered.
+  [[nodiscard]] static SchemeRegistry& instance();
+
+  /// Register a scheme under `name`.  Throws std::logic_error if the
+  /// name is already taken (names identify schemes in configs; silent
+  /// replacement would repoint existing configs).
+  void register_retrieval(const std::string& name, RetrievalFactory factory);
+  void register_consistency(const std::string& name,
+                            ConsistencyFactory factory);
+
+  /// Construct the named scheme.  Throws std::invalid_argument naming
+  /// the unknown scheme and listing what is registered.
+  [[nodiscard]] std::unique_ptr<RetrievalScheme> make_retrieval(
+      const std::string& name, EngineContext& ctx) const;
+  [[nodiscard]] std::unique_ptr<ConsistencyScheme> make_consistency(
+      const std::string& name, EngineContext& ctx) const;
+
+  [[nodiscard]] bool has_retrieval(const std::string& name) const;
+  [[nodiscard]] bool has_consistency(const std::string& name) const;
+  [[nodiscard]] std::vector<std::string> retrieval_names() const;
+  [[nodiscard]] std::vector<std::string> consistency_names() const;
+
+ private:
+  SchemeRegistry();  // registers the built-ins
+
+  mutable std::mutex mutex_;
+  std::map<std::string, RetrievalFactory> retrieval_;
+  std::map<std::string, ConsistencyFactory> consistency_;
+};
+
+}  // namespace precinct::core

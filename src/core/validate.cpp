@@ -2,6 +2,7 @@
 #include <string>
 
 #include "core/config.hpp"
+#include "core/scheme_registry.hpp"
 
 namespace precinct::core {
 
@@ -76,6 +77,32 @@ void PrecinctConfig::validate() const {
   }
   if (warmup_s < 0.0 || measure_s <= 0.0) {
     fail("warmup must be >= 0 and measure window > 0");
+  }
+  // Scheme wiring: names must resolve in the registry, and the
+  // combination must make sense.  The unstructured baselines search by
+  // flooding, without the region infrastructure the pull-based schemes
+  // poll — running them together would silently measure nonsense.
+  if (!retrieval_scheme.empty() &&
+      !SchemeRegistry::instance().has_retrieval(retrieval_scheme)) {
+    fail("unknown retrieval scheme '" + retrieval_scheme + "'");
+  }
+  if (!consistency_scheme.empty() &&
+      !SchemeRegistry::instance().has_consistency(consistency_scheme)) {
+    fail("unknown consistency scheme '" + consistency_scheme + "'");
+  }
+  const bool baseline_retrieval =
+      retrieval_scheme.empty() && (retrieval == RetrievalKind::kFlooding ||
+                                   retrieval == RetrievalKind::kExpandingRing);
+  const bool polling_consistency =
+      consistency_scheme.empty() &&
+      (consistency == consistency::Mode::kPullEveryTime ||
+       consistency == consistency::Mode::kPushAdaptivePull);
+  if (baseline_retrieval && polling_consistency) {
+    fail(std::string("the '") + to_string(retrieval) +
+         "' baseline has no region-based lookup, so the '" +
+         consistency::to_string(consistency) +
+         "' scheme's home-region polling is meaningless; use consistency = "
+         "none or plain-push with baseline retrieval");
   }
 }
 

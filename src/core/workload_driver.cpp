@@ -1,0 +1,131 @@
+#include "core/workload_driver.hpp"
+
+#include <vector>
+
+#include "core/consistency_scheme.hpp"
+#include "core/custody_manager.hpp"
+#include "core/retrieval_scheme.hpp"
+
+namespace precinct::core {
+
+void WorkloadDriver::register_handlers(net::PacketDispatcher& dispatch) {
+  dispatch.set(net::PacketKind::kBeacon,
+               [this](net::NodeId self, const net::Packet& packet) {
+                 handle_beacon(self, packet);
+               });
+}
+
+geo::Key WorkloadDriver::sample_key(net::NodeId peer) {
+  std::size_t rank = ctx_.zipf.sample(ctx_.peers[peer].rng);
+  if (ctx_.config.hotspot_rotation_interval_s > 0.0) {
+    const auto rotations = static_cast<std::size_t>(
+        ctx_.sim.now() / ctx_.config.hotspot_rotation_interval_s);
+    rank = (rank + rotations * ctx_.config.hotspot_shift) %
+           ctx_.catalog.size();
+  }
+  return ctx_.catalog.key_of(rank);
+}
+
+void WorkloadDriver::schedule_next_request(net::NodeId peer) {
+  const double wait =
+      ctx_.peers[peer].rng.exponential(ctx_.config.mean_request_interval_s);
+  const std::uint32_t generation = ctx_.peers[peer].generation;
+  ctx_.sim.schedule(wait, [this, peer, generation] {
+    if (ctx_.net.is_alive(peer) &&
+        ctx_.peers[peer].generation == generation) {
+      ctx_.retrieval->issue(peer, sample_key(peer), /*prefetch=*/false);
+      schedule_next_request(peer);
+    }
+  });
+}
+
+void WorkloadDriver::schedule_next_update(net::NodeId peer) {
+  const double wait =
+      ctx_.peers[peer].rng.exponential(ctx_.config.mean_update_interval_s);
+  const std::uint32_t generation = ctx_.peers[peer].generation;
+  ctx_.sim.schedule(wait, [this, peer, generation] {
+    if (ctx_.net.is_alive(peer) &&
+        ctx_.peers[peer].generation == generation) {
+      ctx_.consistency->initiate_update(peer, sample_key(peer));
+      schedule_next_update(peer);
+    }
+  });
+}
+
+void WorkloadDriver::schedule_region_checks() {
+  for (net::NodeId i = 0; i < ctx_.net.node_count(); ++i) {
+    // Stagger checks so the whole fleet doesn't probe at the same instant.
+    const double offset =
+        ctx_.peers[i].rng.uniform(0.0, ctx_.config.region_check_interval_s);
+    ctx_.sim.schedule(offset, [this, i] { ctx_.custody->check_region(i); });
+  }
+}
+
+void WorkloadDriver::schedule_beacon(net::NodeId peer) {
+  // Jittered periodic position broadcast (GPSR neighbor discovery).
+  const double wait = ctx_.config.beacon_interval_s *
+                      (0.75 + 0.5 * ctx_.peers[peer].rng.uniform());
+  const std::uint32_t generation = ctx_.peers[peer].generation;
+  ctx_.sim.schedule(wait, [this, peer, generation] {
+    if (!ctx_.net.is_alive(peer) ||
+        ctx_.peers[peer].generation != generation) {
+      return;
+    }
+    // Piggybacking (GPSR): recent data traffic already announced our
+    // position to everyone in range; skip the redundant beacon.
+    const bool traffic_recent =
+        ctx_.config.beacon_piggyback &&
+        ctx_.sim.now() - ctx_.net.last_transmission_s(peer) <
+            ctx_.config.beacon_interval_s;
+    if (!traffic_recent) {
+      net::Packet beacon =
+          ctx_.make_packet(net::PacketKind::kBeacon, peer, 0);
+      beacon.size_bytes = 32;  // id + position + checksum
+      beacon.ttl = 1;          // never forwarded
+      ctx_.net.broadcast(beacon);
+    }
+    schedule_beacon(peer);
+  });
+}
+
+void WorkloadDriver::handle_beacon(net::NodeId self,
+                                   const net::Packet& packet) {
+  if (ctx_.beacons != nullptr) {
+    ctx_.beacons->on_beacon(self, packet.origin, packet.origin_location,
+                            ctx_.sim.now());
+  }
+}
+
+void WorkloadDriver::schedule_crashes() {
+  const double wait = ctx_.rng.exponential(1.0 / ctx_.config.crash_rate_per_s);
+  ctx_.sim.schedule(wait, [this] {
+    // Crash a uniformly random live peer.
+    std::vector<net::NodeId> alive;
+    for (net::NodeId i = 0; i < ctx_.net.node_count(); ++i) {
+      if (ctx_.net.is_alive(i)) alive.push_back(i);
+    }
+    if (alive.size() > 2) {  // keep at least a residual network
+      const net::NodeId victim = alive[ctx_.rng.uniform_int(alive.size())];
+      ctx_.custody->fail_peer(victim,
+                              ctx_.rng.uniform() <
+                                  ctx_.config.graceful_fraction);
+    }
+    schedule_crashes();
+  });
+}
+
+void WorkloadDriver::schedule_joins() {
+  const double wait = ctx_.rng.exponential(1.0 / ctx_.config.join_rate_per_s);
+  ctx_.sim.schedule(wait, [this] {
+    std::vector<net::NodeId> dead;
+    for (net::NodeId i = 0; i < ctx_.net.node_count(); ++i) {
+      if (!ctx_.net.is_alive(i)) dead.push_back(i);
+    }
+    if (!dead.empty()) {
+      ctx_.custody->revive_peer(dead[ctx_.rng.uniform_int(dead.size())]);
+    }
+    schedule_joins();
+  });
+}
+
+}  // namespace precinct::core

@@ -1,0 +1,42 @@
+// WorkloadDriver — everything that *drives* the protocol rather than
+// implementing it: Zipf request sampling (with hotspot rotation),
+// Poisson request/update generators, GPSR beaconing and failure/churn
+// injection.  Each generator is a self-rescheduling simulator event,
+// generation-guarded so a crash/rejoin cycle cannot double the load.
+//
+// Communicates with the protocol modules only via the EngineContext
+// (DESIGN.md §8); it owns the kBeacon packet kind.
+#pragma once
+
+#include "core/engine_context.hpp"
+#include "net/packet_dispatch.hpp"
+
+namespace precinct::core {
+
+class WorkloadDriver {
+ public:
+  explicit WorkloadDriver(EngineContext& ctx) noexcept : ctx_(ctx) {}
+
+  WorkloadDriver(const WorkloadDriver&) = delete;
+  WorkloadDriver& operator=(const WorkloadDriver&) = delete;
+
+  /// Claim the packet kinds this module owns (kBeacon).
+  void register_handlers(net::PacketDispatcher& dispatch);
+
+  /// Zipf-sample a key, applying the hotspot rotation if configured.
+  [[nodiscard]] geo::Key sample_key(net::NodeId peer);
+
+  void schedule_next_request(net::NodeId peer);
+  void schedule_next_update(net::NodeId peer);
+  void schedule_region_checks();
+  void schedule_crashes();
+  void schedule_joins();
+  void schedule_beacon(net::NodeId peer);
+
+ private:
+  void handle_beacon(net::NodeId self, const net::Packet& packet);
+
+  EngineContext& ctx_;
+};
+
+}  // namespace precinct::core

@@ -32,6 +32,11 @@ enum class PacketKind : std::uint8_t {
   kBeacon,        ///< GPSR position beacon (neighbor discovery)
 };
 
+/// Number of PacketKind enumerators.  Sizes the per-kind dispatch table
+/// (packet_dispatch.hpp) and per-kind message accounting; keep in sync
+/// when adding kinds.
+inline constexpr std::size_t kPacketKindCount = 10;
+
 [[nodiscard]] const char* to_string(PacketKind kind) noexcept;
 
 /// How a request is being propagated right now.

@@ -1,0 +1,74 @@
+// Typed per-PacketKind dispatch: each protocol module registers a handler
+// for every packet kind it owns, and the receive path routes a frame with
+// one table lookup instead of a hand-maintained switch.
+//
+// Ownership is exclusive by design — a packet kind belongs to exactly one
+// module (requests/responses to the retrieval scheme, consistency traffic
+// to the consistency scheme, transfers to custody, beacons to the
+// workload driver).  Double registration is a wiring bug and throws at
+// setup time, so the "every kind has exactly one owner" invariant is
+// enforced where it is cheapest to diagnose.
+#pragma once
+
+#include <array>
+#include <functional>
+#include <stdexcept>
+#include <string>
+
+#include "net/packet.hpp"
+
+namespace precinct::net {
+
+class PacketDispatcher {
+ public:
+  using Handler = std::function<void(NodeId self, const Packet& packet)>;
+
+  /// Register `handler` as the owner of `kind`.  Throws std::logic_error
+  /// if the kind already has an owner (exclusive ownership) and
+  /// std::invalid_argument on an empty handler.
+  void set(PacketKind kind, Handler handler) {
+    if (!handler) {
+      throw std::invalid_argument("PacketDispatcher: empty handler for " +
+                                  std::string(to_string(kind)));
+    }
+    Handler& slot = handlers_[index(kind)];
+    if (slot) {
+      throw std::logic_error("PacketDispatcher: duplicate handler for " +
+                             std::string(to_string(kind)));
+    }
+    slot = std::move(handler);
+  }
+
+  [[nodiscard]] bool has(PacketKind kind) const noexcept {
+    return static_cast<bool>(handlers_[index(kind)]);
+  }
+
+  /// Kinds with no registered owner (setup diagnostics; empty when fully
+  /// wired).
+  [[nodiscard]] std::size_t unhandled_kinds() const noexcept {
+    std::size_t n = 0;
+    for (const Handler& h : handlers_) {
+      if (!h) ++n;
+    }
+    return n;
+  }
+
+  /// Route one received frame to its owning module.  Returns false when
+  /// no handler owns the kind (the frame is dropped silently — an
+  /// unwired kind must not crash a deployed node).
+  bool dispatch(NodeId self, const Packet& packet) const {
+    const Handler& handler = handlers_[index(packet.kind)];
+    if (!handler) return false;
+    handler(self, packet);
+    return true;
+  }
+
+ private:
+  [[nodiscard]] static constexpr std::size_t index(PacketKind kind) noexcept {
+    return static_cast<std::size_t>(kind);
+  }
+
+  std::array<Handler, kPacketKindCount> handlers_{};
+};
+
+}  // namespace precinct::net

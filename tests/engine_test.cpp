@@ -639,7 +639,7 @@ TEST(Engine, EnergyBreakdownSumsToTotal) {
 
 TEST(Engine, FloodingBaselineServesRequests) {
   auto cfg = EngineHarness::base_config();
-  cfg.retrieval = core::RetrievalScheme::kFlooding;
+  cfg.retrieval = core::RetrievalKind::kFlooding;
   EngineHarness h(cfg);
   const auto key = h.key_with_home(8);
   ASSERT_TRUE(key.has_value());
@@ -652,7 +652,7 @@ TEST(Engine, FloodingBaselineServesRequests) {
 
 TEST(Engine, ExpandingRingGrowsUntilFound) {
   auto cfg = EngineHarness::base_config();
-  cfg.retrieval = core::RetrievalScheme::kExpandingRing;
+  cfg.retrieval = core::RetrievalKind::kExpandingRing;
   cfg.ring.retry_wait_s = 0.3;
   EngineHarness h(cfg);
   // Far corner key: ring TTL 1 cannot reach it from node 0; the search

@@ -82,7 +82,7 @@ TEST(Integration, PrecinctUsesLessEnergyThanFlooding) {
   c.catalog.min_item_bytes = 64;
   c.catalog.max_item_bytes = 64;
   auto flood = c;
-  flood.retrieval = core::RetrievalScheme::kFlooding;
+  flood.retrieval = core::RetrievalKind::kFlooding;
   const auto mp = run_avg(c);
   const auto mf = run_avg(flood);
   ASSERT_GT(mp.requests_completed, 100u);
@@ -101,9 +101,9 @@ TEST(Integration, ExpandingRingCheaperThanFloodingSlowerThanPrecinct) {
   c.catalog.min_item_bytes = 64;
   c.catalog.max_item_bytes = 64;
   auto ring = c;
-  ring.retrieval = core::RetrievalScheme::kExpandingRing;
+  ring.retrieval = core::RetrievalKind::kExpandingRing;
   auto flood = c;
-  flood.retrieval = core::RetrievalScheme::kFlooding;
+  flood.retrieval = core::RetrievalKind::kFlooding;
   const auto mr = run_avg(ring);
   const auto mf = run_avg(flood);
   EXPECT_LT(mr.energy_per_request_mj(), mf.energy_per_request_mj());
@@ -264,7 +264,7 @@ TEST_P(ScenarioInvariants, AccountingIdentitiesHold) {
     c.consistency = consistency::Mode::kPushAdaptivePull;
     cases.push_back(c);
     PrecinctConfig f = small_mobile(GetParam());
-    f.retrieval = core::RetrievalScheme::kFlooding;
+    f.retrieval = core::RetrievalKind::kFlooding;
     f.measure_s = 200;
     cases.push_back(f);
     PrecinctConfig d = small_mobile(GetParam());

@@ -1,0 +1,313 @@
+// Module-seam tests for the layered protocol architecture (DESIGN.md §8):
+// the SchemeRegistry (name -> factory resolution), the per-PacketKind
+// dispatch table (exclusive ownership), scheme/consistency combination
+// validation, and custody relocation driven through the extracted
+// CustodyManager.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "core/config_io.hpp"
+#include "core/engine.hpp"
+#include "core/retrieval_baselines.hpp"
+#include "core/scheme_registry.hpp"
+#include "mobility/static_placement.hpp"
+#include "net/packet_dispatch.hpp"
+#include "net/wireless_net.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace precinct;
+using core::PrecinctConfig;
+using core::PrecinctEngine;
+using core::SchemeRegistry;
+using net::NodeId;
+
+/// Same deterministic 3x3 topology as engine_test.cpp — one peer at each
+/// region center — but the engine is built lazily so construction
+/// failures (unknown scheme names) can be asserted on.
+struct ModuleHarness {
+  explicit ModuleHarness(PrecinctConfig cfg = base_config())
+      : config(std::move(cfg)),
+        catalog(config.catalog, support::hash_combine(config.seed, 0xCA7A)),
+        placement(grid_positions()),
+        net(sim, placement, config.wireless, config.energy_model, 1) {}
+
+  static PrecinctConfig base_config() {
+    PrecinctConfig c;
+    c.area = {{0, 0}, {600, 600}};
+    c.n_nodes = 9;
+    c.mobile = false;
+    c.mean_request_interval_s = 1e12;  // no background workload
+    c.updates_enabled = false;
+    c.catalog.n_items = 40;
+    c.catalog.min_item_bytes = 1000;
+    c.catalog.max_item_bytes = 1000;
+    c.cache_fraction = 0.1;
+    c.seed = 5;
+    return c;
+  }
+
+  static std::vector<geo::Point> grid_positions() {
+    std::vector<geo::Point> pts;
+    for (int iy = 0; iy < 3; ++iy) {
+      for (int ix = 0; ix < 3; ++ix) {
+        pts.push_back({100.0 + 200.0 * ix, 100.0 + 200.0 * iy});
+      }
+    }
+    return pts;
+  }
+
+  PrecinctEngine& build() {
+    engine = std::make_unique<PrecinctEngine>(
+        config, sim, net, geo::RegionTable::grid(config.area, 3, 3),
+        catalog);
+    engine->initialize();
+    engine->start_measurement();
+    return *engine;
+  }
+
+  void settle(double seconds = 6.0) { sim.run_until(sim.now() + seconds); }
+
+  PrecinctConfig config;
+  workload::DataCatalog catalog;
+  mobility::StaticPlacement placement;
+  sim::Simulator sim;
+  net::WirelessNet net;
+  std::unique_ptr<PrecinctEngine> engine;
+};
+
+// ---------------------------------------------------------------------------
+// SchemeRegistry
+// ---------------------------------------------------------------------------
+
+TEST(SchemeRegistry, BuiltinsAreRegistered) {
+  const SchemeRegistry& reg = SchemeRegistry::instance();
+  for (const char* name : {"precinct", "flooding", "expanding-ring"}) {
+    EXPECT_TRUE(reg.has_retrieval(name)) << name;
+  }
+  for (const char* name :
+       {"none", "plain-push", "pull-every-time", "push-adaptive-pull"}) {
+    EXPECT_TRUE(reg.has_consistency(name)) << name;
+  }
+  EXPECT_FALSE(reg.has_retrieval("gossip"));
+  EXPECT_FALSE(reg.has_consistency("quorum"));
+  EXPECT_GE(reg.retrieval_names().size(), 3u);
+  EXPECT_GE(reg.consistency_names().size(), 4u);
+}
+
+TEST(SchemeRegistry, DuplicateRegistrationThrows) {
+  SchemeRegistry& reg = SchemeRegistry::instance();
+  EXPECT_THROW(reg.register_retrieval("precinct", nullptr),
+               std::logic_error);
+  EXPECT_THROW(reg.register_consistency("none", nullptr), std::logic_error);
+}
+
+TEST(SchemeRegistry, UnknownSchemeFailsEngineConstructionWithCatalog) {
+  ModuleHarness h;
+  h.config.retrieval_scheme = "warp-drive";
+  try {
+    h.build();
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("warp-drive"), std::string::npos) << what;
+    EXPECT_NE(what.find("precinct"), std::string::npos)
+        << "message should list registered names: " << what;
+  }
+}
+
+TEST(SchemeRegistry, ExternallyRegisteredSchemeIsSelectableByName) {
+  SchemeRegistry& reg = SchemeRegistry::instance();
+  // The registry is process-wide; make the registration idempotent so
+  // test-order shuffling cannot double-register.
+  if (!reg.has_retrieval("modules-test-flood")) {
+    reg.register_retrieval("modules-test-flood", [](core::EngineContext& ctx) {
+      return std::make_unique<core::FloodingRetrieval>(ctx);
+    });
+  }
+  ModuleHarness h;
+  h.config.retrieval_scheme = "modules-test-flood";
+  EXPECT_NO_THROW(h.config.validate());
+  PrecinctEngine& engine = h.build();
+  EXPECT_STREQ(engine.retrieval_scheme_name(), "flooding");
+  engine.issue_request(0, h.catalog.key_of(0));
+  h.settle();
+  EXPECT_EQ(engine.metrics().requests_completed, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Packet dispatch table
+// ---------------------------------------------------------------------------
+
+TEST(PacketDispatch, EveryKindHasExactlyOneOwnerOnAWiredEngine) {
+  ModuleHarness h;
+  PrecinctEngine& engine = h.build();
+  for (std::size_t i = 0; i < net::kPacketKindCount; ++i) {
+    const auto kind = static_cast<net::PacketKind>(i);
+    EXPECT_TRUE(engine.dispatcher().has(kind)) << net::to_string(kind);
+  }
+  EXPECT_EQ(engine.dispatcher().unhandled_kinds(), 0u);
+}
+
+TEST(PacketDispatch, DuplicateOwnerIsAWiringError) {
+  net::PacketDispatcher dispatch;
+  dispatch.set(net::PacketKind::kBeacon, [](NodeId, const net::Packet&) {});
+  EXPECT_THROW(dispatch.set(net::PacketKind::kBeacon,
+                            [](NodeId, const net::Packet&) {}),
+               std::logic_error);
+  EXPECT_THROW(dispatch.set(net::PacketKind::kRequest, nullptr),
+               std::invalid_argument);
+}
+
+TEST(PacketDispatch, UnownedKindsDropInsteadOfCrashing) {
+  net::PacketDispatcher dispatch;
+  int calls = 0;
+  dispatch.set(net::PacketKind::kRequest,
+               [&](NodeId, const net::Packet&) { ++calls; });
+  net::Packet packet;
+  packet.kind = net::PacketKind::kRequest;
+  EXPECT_TRUE(dispatch.dispatch(0, packet));
+  packet.kind = net::PacketKind::kResponse;
+  EXPECT_FALSE(dispatch.dispatch(0, packet));
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(dispatch.unhandled_kinds(), net::kPacketKindCount - 1);
+}
+
+// ---------------------------------------------------------------------------
+// Scheme combination validation
+// ---------------------------------------------------------------------------
+
+TEST(Config, RejectsBaselineRetrievalWithPollingConsistency) {
+  const auto expect_rejected = [](core::RetrievalKind retrieval,
+                                  consistency::Mode mode) {
+    PrecinctConfig c;
+    c.retrieval = retrieval;
+    c.consistency = mode;
+    c.updates_enabled = true;
+    try {
+      c.validate();
+      FAIL() << "expected rejection of " << to_string(retrieval) << " + "
+             << consistency::to_string(mode);
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find("polling"), std::string::npos)
+          << e.what();
+    }
+  };
+  expect_rejected(core::RetrievalKind::kFlooding,
+                  consistency::Mode::kPushAdaptivePull);
+  expect_rejected(core::RetrievalKind::kFlooding,
+                  consistency::Mode::kPullEveryTime);
+  expect_rejected(core::RetrievalKind::kExpandingRing,
+                  consistency::Mode::kPushAdaptivePull);
+  expect_rejected(core::RetrievalKind::kExpandingRing,
+                  consistency::Mode::kPullEveryTime);
+}
+
+TEST(Config, AllowsBaselineRetrievalWithPushOrNoConsistency) {
+  for (const auto mode :
+       {consistency::Mode::kNone, consistency::Mode::kPlainPush}) {
+    PrecinctConfig c;
+    c.retrieval = core::RetrievalKind::kFlooding;
+    c.consistency = mode;
+    c.updates_enabled = mode != consistency::Mode::kNone;
+    EXPECT_NO_THROW(c.validate()) << consistency::to_string(mode);
+  }
+  PrecinctConfig c;
+  c.consistency = consistency::Mode::kPushAdaptivePull;
+  c.updates_enabled = true;
+  EXPECT_NO_THROW(c.validate());  // precinct retrieval polls fine
+}
+
+TEST(Config, RejectsUnknownSchemeNamesAtValidation) {
+  PrecinctConfig r;
+  r.retrieval_scheme = "definitely-not-registered";
+  EXPECT_THROW(r.validate(), std::invalid_argument);
+  PrecinctConfig c;
+  c.consistency_scheme = "definitely-not-registered";
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+}
+
+TEST(Config, KvSchemeNamesMapToEnumsOrRegistryStrings) {
+  const auto builtin = core::config_from_kv(
+      support::KvFile::parse("retrieval = expanding-ring\n"
+                             "consistency = plain-push\n"));
+  EXPECT_EQ(builtin.retrieval, core::RetrievalKind::kExpandingRing);
+  EXPECT_TRUE(builtin.retrieval_scheme.empty());
+  EXPECT_EQ(builtin.consistency, consistency::Mode::kPlainPush);
+  EXPECT_TRUE(builtin.consistency_scheme.empty());
+  EXPECT_TRUE(builtin.updates_enabled);
+
+  const auto custom = core::config_from_kv(
+      support::KvFile::parse("retrieval = custom-lookup\n"
+                             "consistency = custom-sync\n"));
+  EXPECT_EQ(custom.retrieval_scheme, "custom-lookup");
+  EXPECT_EQ(custom.consistency_scheme, "custom-sync");
+  EXPECT_TRUE(custom.updates_enabled);  // custom scheme implies updates
+}
+
+// ---------------------------------------------------------------------------
+// CustodyManager through the facade
+// ---------------------------------------------------------------------------
+
+TEST(Custody, MergeThenSeparateRoundTripKeepsEveryKeyServed) {
+  ModuleHarness h;
+  PrecinctEngine& engine = h.build();
+  const auto merged = engine.merge_regions(0, 1, /*initiator=*/4);
+  ASSERT_TRUE(merged.has_value());
+  h.settle(8.0);
+  ASSERT_EQ(engine.region_table().size(), 8u);
+  const auto halves = engine.separate_region(*merged, /*initiator=*/4);
+  ASSERT_TRUE(halves.has_value());
+  h.settle(8.0);
+  EXPECT_EQ(engine.region_table().size(), 9u);
+  // After the round trip every key still has a live custodian, and
+  // requests from the far corner still complete.
+  for (std::size_t i = 0; i < h.catalog.size(); ++i) {
+    EXPECT_GT(engine.custody_count(h.catalog.key_of(i)), 0u)
+        << "key rank " << i;
+  }
+  engine.issue_request(8, h.catalog.key_of(0));
+  h.settle(8.0);
+  EXPECT_GE(engine.metrics().requests_completed, 1u);
+  EXPECT_EQ(engine.metrics().requests_failed, 0u);
+}
+
+TEST(Custody, RegionPopulationTracksFailuresAcrossTheSeam) {
+  ModuleHarness h;
+  PrecinctEngine& engine = h.build();
+  EXPECT_EQ(engine.region_population(2), 1u);
+  engine.fail_peer(2, /*graceful=*/true);
+  h.settle(2.0);
+  EXPECT_EQ(engine.region_population(2), 0u);
+  engine.revive_peer(2);
+  EXPECT_EQ(engine.region_population(2), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Facade introspection
+// ---------------------------------------------------------------------------
+
+TEST(Engine, ExposesInstalledSchemeNames) {
+  ModuleHarness h;
+  PrecinctEngine& engine = h.build();
+  EXPECT_STREQ(engine.retrieval_scheme_name(), "precinct");
+  EXPECT_STREQ(engine.consistency_scheme_name(), "none");
+}
+
+TEST(Engine, RoutingDropWindowDeltaLandsInMetrics) {
+  ModuleHarness h;
+  PrecinctEngine& engine = h.build();
+  engine.issue_request(0, h.catalog.key_of(3));
+  h.settle();
+  const core::Metrics m = engine.finalize();
+  // Measurement started at zero drops, so the window delta must equal
+  // the lifetime counters surfaced by routing_stats().
+  EXPECT_EQ(m.routing.drops_void, engine.routing_stats().drops_void);
+  EXPECT_EQ(m.routing.drops_ttl, engine.routing_stats().drops_ttl);
+}
+
+}  // namespace
