@@ -56,8 +56,15 @@ consistency
 retrieval & fault tolerance
   --retrieval NAME     precinct | flooding | expanding-ring (default precinct)
   --replicas K         replica regions per key            (default 1)
+  --retries N          remote-lookup retransmissions (exponential
+                       backoff) before replica fallback   (default 0)
   --crash-rate R       node crashes per second            (default 0)
   --dynamic-regions    enable runtime region rebalancing
+
+channel (fault injection)
+  --channel NAME       perfect | bernoulli | distance |
+                       gilbert-elliott | scripted         (default perfect)
+  --loss P             bernoulli per-frame loss probability (default 0)
 
 run control
   --config FILE        key=value scenario file (flags override it; see
@@ -68,7 +75,10 @@ run control
   --seeds N            replications (merged)              (default 1)
   --csv                one CSV row (with header) instead of the table
   --json               one JSON object instead of the table
-  --trace N            after the run, print the last N trace events
+  --trace N|CATS       after the run, print the last N trace events, or —
+                       given a comma-separated category list (radio,
+                       protocol, cache, consistency, custody, region,
+                       channel) — every retained event in those categories
   --help               this text
 )";
 }
@@ -164,6 +174,11 @@ int main(int argc, char** argv) {
     c.ttr_alpha = args.number("--ttr-alpha", c.ttr_alpha);
     c.retrieval = retrieval_from(args.value("--retrieval", to_string(c.retrieval)));
     c.replica_count = static_cast<std::size_t>(args.number("--replicas", static_cast<double>(c.replica_count)));
+    c.request_retries = static_cast<int>(
+        args.number("--retries", static_cast<double>(c.request_retries)));
+    c.wireless.channel.model =
+        args.value("--channel", c.wireless.channel.model);
+    c.wireless.channel.loss_p = args.number("--loss", c.wireless.channel.loss_p);
     c.crash_rate_per_s = args.number("--crash-rate", c.crash_rate_per_s);
     c.dynamic_regions = args.flag("--dynamic-regions") || c.dynamic_regions;
     c.warmup_s = args.number("--warmup", c.warmup_s);
@@ -172,7 +187,31 @@ int main(int argc, char** argv) {
     const auto seeds = static_cast<std::size_t>(args.number("--seeds", 1));
     const bool csv = args.flag("--csv");
     const bool json = args.flag("--json");
-    const auto trace_n = static_cast<std::size_t>(args.number("--trace", 0));
+    // --trace takes either a count ("--trace 50": last 50 events, all
+    // categories) or a category list ("--trace channel,protocol": every
+    // retained event in just those categories).
+    const std::string trace_arg = args.value("--trace", "");
+    std::size_t trace_n = 0;
+    std::vector<sim::TraceCategory> trace_cats;
+    if (!trace_arg.empty()) {
+      if (trace_arg.find_first_not_of("0123456789") == std::string::npos) {
+        trace_n = static_cast<std::size_t>(std::stoull(trace_arg));
+      } else {
+        std::size_t begin = 0;
+        while (begin <= trace_arg.size()) {
+          std::size_t end = trace_arg.find(',', begin);
+          if (end == std::string::npos) end = trace_arg.size();
+          const std::string name = trace_arg.substr(begin, end - begin);
+          const auto category = sim::category_from_string(name);
+          if (!category.has_value()) {
+            throw std::invalid_argument("unknown trace category '" + name +
+                                        "'");
+          }
+          trace_cats.push_back(*category);
+          begin = end + 1;
+        }
+      }
+    }
 
     if (!args.leftover().empty()) {
       std::cerr << "unknown argument: " << args.leftover().front()
@@ -181,15 +220,27 @@ int main(int argc, char** argv) {
     }
 
     core::Metrics m;
-    if (trace_n > 0) {
+    if (trace_n > 0 || !trace_cats.empty()) {
       // Tracing implies a single (seeded) run.
       core::Scenario scenario(c);
-      auto& tracer = scenario.enable_tracing(trace_n);
+      auto& tracer =
+          scenario.enable_tracing(trace_n > 0 ? trace_n : std::size_t{4096});
+      if (!trace_cats.empty()) {
+        tracer.disable_all();
+        for (const sim::TraceCategory category : trace_cats) {
+          tracer.enable(category);
+        }
+      }
       m = scenario.run();
-      std::cerr << "--- last " << trace_n << " trace events ---\n";
-      for (const auto& e : tracer.last(trace_n)) {
-        std::cerr << '[' << e.time_s << "s] " << sim::to_string(e.category)
-                  << " node " << e.node << ": " << e.message << "\n";
+      if (trace_n > 0) {
+        std::cerr << "--- last " << trace_n << " trace events ---\n";
+        for (const auto& e : tracer.last(trace_n)) {
+          std::cerr << '[' << e.time_s << "s] " << sim::to_string(e.category)
+                    << " node " << e.node << ": " << e.message << "\n";
+        }
+      } else {
+        std::cerr << "--- trace (" << trace_arg << ") ---\n";
+        tracer.dump(std::cerr);
       }
     } else {
       m = core::merge_metrics(
@@ -202,6 +253,7 @@ int main(int argc, char** argv) {
           .set("policy", c.cache_policy)
           .set("consistency", std::string(to_string(c.consistency)))
           .set("retrieval", std::string(to_string(c.retrieval)))
+          .set("channel", c.wireless.channel.model)
           .set("cache_fraction", c.cache_fraction)
           .set("requests_issued", m.requests_issued)
           .set("requests_completed", m.requests_completed)
@@ -215,8 +267,14 @@ int main(int argc, char** argv) {
           .set("energy_per_request_mj", m.energy_per_request_mj())
           .set("energy_broadcast_mj", m.energy_broadcast_mj)
           .set("energy_p2p_mj", m.energy_p2p_mj)
+          .set("energy_channel_discard_mj", m.energy_channel_discard_mj)
           .set("consistency_messages", m.consistency_messages)
           .set("messages_sent", m.messages_sent)
+          .set("frames_lost", m.frames_lost)
+          .set("frames_dropped_by_channel", m.frames_dropped_by_channel)
+          .set("retransmissions", m.retransmissions)
+          .set("duplicate_responses_suppressed",
+               m.duplicate_responses_suppressed)
           .set("custody_handoffs", m.custody_handoffs);
       std::cout << out.str(/*pretty=*/true) << '\n';
       return 0;
@@ -258,6 +316,13 @@ int main(int argc, char** argv) {
     table.add_row({"energy/request (mJ)",
                    support::Table::num(m.energy_per_request_mj(), 2)});
     table.add_row({"messages sent", std::to_string(m.messages_sent)});
+    if (m.frames_dropped_by_channel > 0 || m.retransmissions > 0) {
+      table.add_row({"channel drops (" + c.wireless.channel.model + ")",
+                     std::to_string(m.frames_dropped_by_channel)});
+      table.add_row({"retransmissions", std::to_string(m.retransmissions)});
+      table.add_row({"duplicate responses suppressed",
+                     std::to_string(m.duplicate_responses_suppressed)});
+    }
     table.add_row({"custody handoffs", std::to_string(m.custody_handoffs)});
     table.print(std::cout);
     return 0;

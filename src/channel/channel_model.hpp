@@ -1,0 +1,112 @@
+// ChannelModel — the radio's loss/fault-injection seam.
+//
+// The wireless substrate delivers every frame perfectly; real 802.11
+// traffic (the paper's ns-2 evaluation) collides, fades near the range
+// edge and suffers bursty per-link fading.  A ChannelModel is consulted
+// once per would-be delivery — every unicast target and every broadcast
+// receiver — and either lets the frame through or names a DropCause.
+//
+// Determinism rules (DESIGN.md §9):
+//   * Models draw only from the dedicated channel RNG stream the radio
+//     passes in, so a lossless configuration never perturbs the seeds of
+//     any other consumer.
+//   * PerfectChannel (the default) reports lossless() == true and the
+//     radio skips the per-receiver consultation entirely: the default
+//     delivery path stays byte-identical and allocation-free.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "geo/geometry.hpp"
+#include "support/rng.hpp"
+
+namespace precinct::channel {
+
+/// Why a frame was dropped (indexes the per-cause drop counters).
+enum class DropCause : std::uint8_t {
+  kRandom = 0,    ///< Bernoulli coin flip (collision/noise proxy)
+  kDistance = 1,  ///< signal fade near the radio-range edge
+  kBurst = 2,     ///< Gilbert–Elliott bad-state burst
+  kScripted = 3,  ///< scripted blackout or partition window
+};
+inline constexpr std::size_t kDropCauseCount = 4;
+
+[[nodiscard]] const char* to_string(DropCause cause) noexcept;
+
+/// One prospective frame delivery, as the radio sees it.
+struct Link {
+  std::uint32_t sender = 0;
+  std::uint32_t receiver = 0;
+  geo::Point sender_pos;
+  geo::Point receiver_pos;
+  double range_m = 0.0;  ///< the radio's unit-disk range
+  double now_s = 0.0;    ///< simulation time of the delivery
+};
+
+/// Per-node outage window: frames to or from `node` are dropped while
+/// start_s <= now < end_s.
+struct Blackout {
+  std::uint32_t node = 0;
+  double start_s = 0.0;
+  double end_s = 0.0;
+};
+
+/// Region partition window: frames crossing between rectangles `a` and
+/// `b` (either direction) are dropped while the window is active.
+struct Partition {
+  geo::Rect a;
+  geo::Rect b;
+  double start_s = 0.0;
+  double end_s = 0.0;
+};
+
+/// Knobs for every built-in model; the registry reads `model` to pick
+/// the implementation and each implementation reads only its own fields.
+struct ChannelConfig {
+  std::string model = "perfect";
+
+  // bernoulli: i.i.d. per-frame loss.
+  double loss_p = 0.0;
+
+  // distance: delivery is certain below edge_start_fraction * range and
+  // the drop probability ramps linearly to edge_loss_p at the range edge.
+  double edge_start_fraction = 0.7;
+  double edge_loss_p = 0.8;
+
+  // gilbert-elliott: two-state per-link burst model.  A link in the good
+  // state enters a burst with probability ge_enter_burst_p per frame;
+  // bursts last ge_mean_burst_frames frames on average.  Loss
+  // probabilities per state are ge_loss_good / ge_loss_bad.
+  double ge_enter_burst_p = 0.02;
+  double ge_mean_burst_frames = 5.0;
+  double ge_loss_good = 0.0;
+  double ge_loss_bad = 1.0;
+
+  // scripted: deterministic fault windows (no RNG at all).
+  std::vector<Blackout> blackouts;
+  std::vector<Partition> partitions;
+};
+
+class ChannelModel {
+ public:
+  virtual ~ChannelModel() = default;
+
+  /// Registry name ("perfect", "bernoulli", ...).
+  [[nodiscard]] virtual const char* name() const noexcept = 0;
+
+  /// Decide one delivery: nullopt lets the frame through, a DropCause
+  /// drops it.  `rng` is the radio's dedicated channel stream.
+  [[nodiscard]] virtual std::optional<DropCause> filter(
+      const Link& link, support::Rng& rng) = 0;
+
+  /// True when filter() never drops (and never draws from `rng`).  The
+  /// radio skips the per-receiver consultation for lossless models,
+  /// keeping the default delivery path byte-identical.
+  [[nodiscard]] virtual bool lossless() const noexcept { return false; }
+};
+
+}  // namespace precinct::channel

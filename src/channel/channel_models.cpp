@@ -1,0 +1,89 @@
+#include "channel/channel_models.hpp"
+
+#include <algorithm>
+
+namespace precinct::channel {
+
+const char* to_string(DropCause cause) noexcept {
+  switch (cause) {
+    case DropCause::kRandom: return "random";
+    case DropCause::kDistance: return "distance";
+    case DropCause::kBurst: return "burst";
+    case DropCause::kScripted: return "scripted";
+  }
+  return "unknown";
+}
+
+std::optional<DropCause> BernoulliLoss::filter(const Link&,
+                                               support::Rng& rng) {
+  // Draw unconditionally: the stream advances the same way at loss_p == 0
+  // as at any other setting, so the draw count is configuration-invariant.
+  if (rng.uniform() < loss_p_) return DropCause::kRandom;
+  return std::nullopt;
+}
+
+std::optional<DropCause> DistanceLoss::filter(const Link& link,
+                                              support::Rng& rng) {
+  const double d = geo::distance(link.sender_pos, link.receiver_pos);
+  const double ramp_start = edge_start_fraction_ * link.range_m;
+  if (d <= ramp_start) return std::nullopt;
+  const double span = link.range_m - ramp_start;
+  const double ramp =
+      span > 0.0 ? std::min(1.0, (d - ramp_start) / span) : 1.0;
+  if (rng.uniform() < ramp * edge_loss_p_) return DropCause::kDistance;
+  return std::nullopt;
+}
+
+GilbertElliott::GilbertElliott(const ChannelConfig& config) noexcept
+    : enter_burst_p_(config.ge_enter_burst_p),
+      exit_burst_p_(1.0 / std::max(1.0, config.ge_mean_burst_frames)),
+      loss_good_(config.ge_loss_good),
+      loss_bad_(config.ge_loss_bad) {}
+
+std::optional<DropCause> GilbertElliott::filter(const Link& link,
+                                                support::Rng& rng) {
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(link.sender) << 32) | link.receiver;
+  bool& bad = bad_[key];
+  // Loss in the current state first, then the dwell transition — always
+  // two uniforms per frame so outcomes never skew the stream.
+  const bool drop = rng.uniform() < (bad ? loss_bad_ : loss_good_);
+  const double transition = rng.uniform();
+  if (bad) {
+    if (transition < exit_burst_p_) bad = false;
+  } else {
+    if (transition < enter_burst_p_) bad = true;
+  }
+  if (drop) return DropCause::kBurst;
+  return std::nullopt;
+}
+
+double GilbertElliott::steady_state_loss() const noexcept {
+  const double denom = enter_burst_p_ + exit_burst_p_;
+  const double pi_bad = denom > 0.0 ? enter_burst_p_ / denom : 0.0;
+  return pi_bad * loss_bad_ + (1.0 - pi_bad) * loss_good_;
+}
+
+std::optional<DropCause> ScriptedFaults::filter(const Link& link,
+                                                support::Rng&) {
+  const auto active = [&](double start_s, double end_s) {
+    return link.now_s >= start_s && link.now_s < end_s;
+  };
+  for (const Blackout& b : blackouts_) {
+    if ((b.node == link.sender || b.node == link.receiver) &&
+        active(b.start_s, b.end_s)) {
+      return DropCause::kScripted;
+    }
+  }
+  for (const Partition& p : partitions_) {
+    if (!active(p.start_s, p.end_s)) continue;
+    const bool a_to_b =
+        p.a.contains(link.sender_pos) && p.b.contains(link.receiver_pos);
+    const bool b_to_a =
+        p.b.contains(link.sender_pos) && p.a.contains(link.receiver_pos);
+    if (a_to_b || b_to_a) return DropCause::kScripted;
+  }
+  return std::nullopt;
+}
+
+}  // namespace precinct::channel

@@ -1,0 +1,110 @@
+// The built-in channel models.  Each is constructible directly (tests
+// drive filter() against synthetic links) or by name through the
+// ChannelRegistry.
+#pragma once
+
+#include <unordered_map>
+
+#include "channel/channel_model.hpp"
+
+namespace precinct::channel {
+
+/// Every frame is delivered; no RNG draw.  The default — the radio's
+/// fast path depends on lossless() being true here.
+class PerfectChannel final : public ChannelModel {
+ public:
+  [[nodiscard]] const char* name() const noexcept override {
+    return "perfect";
+  }
+  [[nodiscard]] std::optional<DropCause> filter(const Link&,
+                                                support::Rng&) override {
+    return std::nullopt;
+  }
+  [[nodiscard]] bool lossless() const noexcept override { return true; }
+};
+
+/// I.i.d. per-frame loss with probability loss_p.  Draws exactly one
+/// uniform per delivery even at loss_p == 0, which makes `bernoulli
+/// loss=0` a direct test of RNG-stream isolation: its metrics must equal
+/// the perfect channel's.
+class BernoulliLoss final : public ChannelModel {
+ public:
+  explicit BernoulliLoss(const ChannelConfig& config) noexcept
+      : loss_p_(config.loss_p) {}
+  [[nodiscard]] const char* name() const noexcept override {
+    return "bernoulli";
+  }
+  [[nodiscard]] std::optional<DropCause> filter(const Link& link,
+                                                support::Rng& rng) override;
+
+ private:
+  double loss_p_;
+};
+
+/// Distance-dependent fading: certain delivery inside
+/// edge_start_fraction * range, then a linear drop-probability ramp up to
+/// edge_loss_p at the range edge.  Draws from the RNG only inside the
+/// ramp zone.
+class DistanceLoss final : public ChannelModel {
+ public:
+  explicit DistanceLoss(const ChannelConfig& config) noexcept
+      : edge_start_fraction_(config.edge_start_fraction),
+        edge_loss_p_(config.edge_loss_p) {}
+  [[nodiscard]] const char* name() const noexcept override {
+    return "distance";
+  }
+  [[nodiscard]] std::optional<DropCause> filter(const Link& link,
+                                                support::Rng& rng) override;
+
+ private:
+  double edge_start_fraction_;
+  double edge_loss_p_;
+};
+
+/// Gilbert–Elliott bursty loss, tracked per directed link.  Each frame
+/// first resolves loss in the link's current state, then draws the state
+/// transition (two uniforms per frame, always, so the draw count does not
+/// depend on outcomes).  Steady-state loss rate is
+///   pi_bad * ge_loss_bad + (1 - pi_bad) * ge_loss_good,
+/// with pi_bad = p / (p + r), p = ge_enter_burst_p and
+/// r = 1 / ge_mean_burst_frames (the burst-exit probability).
+class GilbertElliott final : public ChannelModel {
+ public:
+  explicit GilbertElliott(const ChannelConfig& config) noexcept;
+  [[nodiscard]] const char* name() const noexcept override {
+    return "gilbert-elliott";
+  }
+  [[nodiscard]] std::optional<DropCause> filter(const Link& link,
+                                                support::Rng& rng) override;
+
+  /// Closed-form steady-state loss rate for this parameterization.
+  [[nodiscard]] double steady_state_loss() const noexcept;
+
+ private:
+  double enter_burst_p_;
+  double exit_burst_p_;
+  double loss_good_;
+  double loss_bad_;
+  /// Directed-link burst state, keyed (sender << 32) | receiver; links
+  /// start in the good state.
+  std::unordered_map<std::uint64_t, bool> bad_;
+};
+
+/// Deterministic fault windows: per-node blackouts and region partitions.
+/// Uses no randomness, so reruns with any seed reproduce identically.
+class ScriptedFaults final : public ChannelModel {
+ public:
+  explicit ScriptedFaults(const ChannelConfig& config)
+      : blackouts_(config.blackouts), partitions_(config.partitions) {}
+  [[nodiscard]] const char* name() const noexcept override {
+    return "scripted";
+  }
+  [[nodiscard]] std::optional<DropCause> filter(const Link& link,
+                                                support::Rng& rng) override;
+
+ private:
+  std::vector<Blackout> blackouts_;
+  std::vector<Partition> partitions_;
+};
+
+}  // namespace precinct::channel

@@ -1,0 +1,80 @@
+#include "channel/channel_registry.hpp"
+
+#include <stdexcept>
+
+#include "channel/channel_models.hpp"
+
+namespace precinct::channel {
+
+namespace {
+
+std::string known_names(const std::map<std::string, ChannelRegistry::Factory>&
+                            models) {
+  std::string names;
+  for (const auto& [name, factory] : models) {
+    if (!names.empty()) names += ", ";
+    names += name;
+  }
+  return names;
+}
+
+}  // namespace
+
+ChannelRegistry& ChannelRegistry::instance() {
+  static ChannelRegistry registry;
+  return registry;
+}
+
+ChannelRegistry::ChannelRegistry() {
+  models_.emplace("perfect", [](const ChannelConfig&) {
+    return std::make_unique<PerfectChannel>();
+  });
+  models_.emplace("bernoulli", [](const ChannelConfig& config) {
+    return std::make_unique<BernoulliLoss>(config);
+  });
+  models_.emplace("distance", [](const ChannelConfig& config) {
+    return std::make_unique<DistanceLoss>(config);
+  });
+  models_.emplace("gilbert-elliott", [](const ChannelConfig& config) {
+    return std::make_unique<GilbertElliott>(config);
+  });
+  models_.emplace("scripted", [](const ChannelConfig& config) {
+    return std::make_unique<ScriptedFaults>(config);
+  });
+}
+
+void ChannelRegistry::register_model(const std::string& name,
+                                     Factory factory) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (!models_.emplace(name, std::move(factory)).second) {
+    throw std::logic_error("ChannelRegistry: channel model \"" + name +
+                           "\" is already registered");
+  }
+}
+
+std::unique_ptr<ChannelModel> ChannelRegistry::make(
+    const ChannelConfig& config) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = models_.find(config.model);
+  if (it == models_.end()) {
+    throw std::invalid_argument("unknown channel model \"" + config.model +
+                                "\" (registered: " + known_names(models_) +
+                                ")");
+  }
+  return it->second(config);
+}
+
+bool ChannelRegistry::has(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return models_.count(name) != 0;
+}
+
+std::vector<std::string> ChannelRegistry::names() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(models_.size());
+  for (const auto& [name, factory] : models_) names.push_back(name);
+  return names;
+}
+
+}  // namespace precinct::channel

@@ -117,6 +117,11 @@ struct PrecinctConfig {
   /// disables replication; lookups fall back through replicas in
   /// proximity order.
   std::size_t replica_count = 1;
+  /// Retransmissions of an unanswered remote lookup before escalating to
+  /// the next replica region (exponential backoff: the k-th retry waits
+  /// 2^k * remote_timeout_s).  0 = the paper's fire-and-escalate behavior;
+  /// raise it when running a lossy channel model.
+  int request_retries = 0;
 
   // -- dynamic region management (§2.1; paper future work) -------------------
   /// Periodically merge under-populated regions into their nearest

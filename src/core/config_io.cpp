@@ -118,6 +118,46 @@ PrecinctConfig config_from_kv(const support::KvFile& kv, PrecinctConfig base) {
              c.replica_count =
                  static_cast<std::size_t>(kv.get_number("replicas", 1));
            }},
+          {"retries",
+           [&](const std::string&) {
+             c.request_retries =
+                 static_cast<int>(kv.get_number("retries", 0));
+           }},
+          {"channel",
+           [&](const std::string& v) { c.wireless.channel.model = v; }},
+          {"loss",
+           [&](const std::string&) {
+             c.wireless.channel.loss_p = kv.get_number("loss", 0.0);
+           }},
+          {"edge_start",
+           [&](const std::string&) {
+             c.wireless.channel.edge_start_fraction =
+                 kv.get_number("edge_start", 0.7);
+           }},
+          {"edge_loss",
+           [&](const std::string&) {
+             c.wireless.channel.edge_loss_p = kv.get_number("edge_loss", 0.8);
+           }},
+          {"ge_enter_burst",
+           [&](const std::string&) {
+             c.wireless.channel.ge_enter_burst_p =
+                 kv.get_number("ge_enter_burst", 0.02);
+           }},
+          {"ge_burst_frames",
+           [&](const std::string&) {
+             c.wireless.channel.ge_mean_burst_frames =
+                 kv.get_number("ge_burst_frames", 5.0);
+           }},
+          {"ge_loss_good",
+           [&](const std::string&) {
+             c.wireless.channel.ge_loss_good =
+                 kv.get_number("ge_loss_good", 0.0);
+           }},
+          {"ge_loss_bad",
+           [&](const std::string&) {
+             c.wireless.channel.ge_loss_bad =
+                 kv.get_number("ge_loss_bad", 1.0);
+           }},
           {"crash_rate",
            [&](const std::string&) {
              c.crash_rate_per_s = kv.get_number("crash_rate", 0.0);

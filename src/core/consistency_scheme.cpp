@@ -4,6 +4,7 @@
 #include "core/consistency_scheme.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <string>
 
 #include "core/retrieval_scheme.hpp"
@@ -67,6 +68,12 @@ void PlainPush::propagate_update(net::NodeId peer, geo::Key key,
   packet.size_bytes = net::kHeaderBytes + ctx_.catalog.item(key).size_bytes;
   ctx_.flood.mark_seen(peer, packet.id);
   ctx_.net.broadcast(packet);
+  if (ctx_.config.request_retries > 0) {
+    // Lossy-channel hardening: the flood is fire-and-forget, so one erased
+    // frame can strand a custodian on an old version forever.  Back the
+    // flood up with the acknowledged (and retried) push path.
+    push_to_key_regions(peer, key, version);
+  }
 }
 
 void ConsistencyScheme::push_to_key_regions(net::NodeId peer, geo::Key key,
@@ -126,11 +133,20 @@ void ConsistencyScheme::send_push_packet(std::uint64_t push_id) {
     packet.ttl = ctx_.config.max_route_hops;
     ctx_.forward_geographic(push.updater, packet);
   }
+  // With retry hardening enabled the push waits back off exponentially
+  // like the remote lookups; the default keeps the original fixed cadence
+  // (and therefore the original event timing) bit-for-bit.
+  const int attempt = ctx_.config.push_retries - push.retries_left;
+  const double wait =
+      ctx_.config.request_retries > 0
+          ? ctx_.config.remote_timeout_s * std::exp2(attempt)
+          : ctx_.config.remote_timeout_s;
   push.timeout =
-      ctx_.sim.schedule(ctx_.config.remote_timeout_s, [this, push_id] {
+      ctx_.sim.schedule(wait, [this, push_id] {
         const auto pit = pending_pushes_.find(push_id);
         if (pit == pending_pushes_.end()) return;
         if (pit->second.retries_left-- > 0) {
+          if (ctx_.measuring) ++ctx_.metrics.retransmissions;
           send_push_packet(push_id);
         } else {
           PRECINCT_TRACE(ctx_.tracer, ctx_.sim.now(),

@@ -164,6 +164,9 @@ void PrecinctEngine::start_measurement() {
   bytes_at_start_ = net_.stats().total_bytes();
   consistency_msgs_at_start_ = net_.stats().consistency_sends();
   frames_lost_at_start_ = net_.frames_lost();
+  energy_channel_at_start_ = energy_now.channel_discard_mj;
+  channel_drops_at_start_ = net_.frames_dropped_by_channel();
+  channel_drops_by_cause_at_start_ = net_.channel_drops_by_cause();
   route_drops_at_start_ = ctx_.route_drops;
   if (config_.sample_interval_s > 0.0) {
     sim_.schedule(config_.sample_interval_s,
@@ -184,6 +187,14 @@ Metrics PrecinctEngine::finalize() {
   metrics_.consistency_messages =
       net_.stats().consistency_sends() - consistency_msgs_at_start_;
   metrics_.frames_lost = net_.frames_lost() - frames_lost_at_start_;
+  metrics_.energy_channel_discard_mj =
+      energy.channel_discard_mj - energy_channel_at_start_;
+  metrics_.frames_dropped_by_channel =
+      net_.frames_dropped_by_channel() - channel_drops_at_start_;
+  for (std::size_t i = 0; i < metrics_.channel_drops_by_cause.size(); ++i) {
+    metrics_.channel_drops_by_cause[i] = net_.channel_drops_by_cause()[i] -
+                                         channel_drops_by_cause_at_start_[i];
+  }
   metrics_.events_executed = sim_.events_executed();
   metrics_.routing.drops_void =
       ctx_.route_drops.drops_void - route_drops_at_start_.drops_void;

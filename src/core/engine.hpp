@@ -173,6 +173,9 @@ class PrecinctEngine {
   std::uint64_t bytes_at_start_ = 0;
   std::uint64_t consistency_msgs_at_start_ = 0;
   std::uint64_t frames_lost_at_start_ = 0;
+  double energy_channel_at_start_ = 0.0;
+  std::uint64_t channel_drops_at_start_ = 0;
+  std::array<std::uint64_t, 4> channel_drops_by_cause_at_start_{};
   RoutingStats route_drops_at_start_;
 };
 

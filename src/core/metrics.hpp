@@ -64,6 +64,7 @@ struct Metrics {
   double energy_total_mj = 0.0;
   double energy_broadcast_mj = 0.0;  ///< send+receive of broadcast frames
   double energy_p2p_mj = 0.0;        ///< send/receive/overhear of unicast
+  double energy_channel_discard_mj = 0.0;  ///< frames the channel erased
 
   // -- timeline (optional; see PrecinctConfig::sample_interval_s) ------------
   /// Periodic snapshot of cumulative behaviour during the measurement
@@ -81,6 +82,16 @@ struct Metrics {
   std::uint64_t messages_sent = 0;
   std::uint64_t bytes_sent = 0;
   std::uint64_t frames_lost = 0;
+  /// Frames erased by the channel model (fault injection), disjoint from
+  /// frames_lost; the per-cause split is indexed by channel::DropCause.
+  std::uint64_t frames_dropped_by_channel = 0;
+  std::array<std::uint64_t, 4> channel_drops_by_cause{};
+  /// Remote-lookup frames re-sent after an unanswered timeout, plus
+  /// re-pushed consistency updates (retry/backoff hardening).
+  std::uint64_t retransmissions = 0;
+  /// Responses that arrived after the request already completed (a retry
+  /// raced the original answer) and were dropped instead of double-counted.
+  std::uint64_t duplicate_responses_suppressed = 0;
   std::uint64_t custody_handoffs = 0;
   std::uint64_t events_executed = 0;
   RoutingStats routing;  ///< geographic drops during the window

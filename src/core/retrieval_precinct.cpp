@@ -1,5 +1,8 @@
 #include "core/retrieval_precinct.hpp"
 
+#include <cmath>
+#include <string>
+
 namespace precinct::core {
 
 void PrecinctLookup::start_search(std::uint64_t request_id) {
@@ -27,12 +30,28 @@ void PrecinctLookup::on_phase_timeout(std::uint64_t request_id, Phase phase) {
       start_remote_lookup(request_id, 0);
       break;
     case Phase::kHome:
-    case Phase::kReplica:
+    case Phase::kReplica: {
+      // Lossy-channel hardening: retransmit the same lookup (with backoff)
+      // up to the retry budget before escalating.  With the default budget
+      // of 0 this is the paper's fire-and-escalate behavior.
+      Pending& pending = pending_.at(request_id);
+      if (pending.attempts < ctx_.config.request_retries) {
+        ++pending.attempts;
+        if (pending.measured) ++ctx_.metrics.retransmissions;
+        PRECINCT_TRACE(ctx_.tracer, ctx_.sim.now(),
+                       sim::TraceCategory::kProtocol, pending.requester,
+                       "request #" + std::to_string(request_id) +
+                           " retransmit " + std::to_string(pending.attempts) +
+                           " (lookup " +
+                           std::to_string(pending.lookup_index) + ")");
+        send_remote_lookup(request_id);
+        break;
+      }
       // §2.4 fallback chain: try the next replica region (fails when
       // exhausted).
-      start_remote_lookup(request_id,
-                          pending_.at(request_id).lookup_index + 1);
+      start_remote_lookup(request_id, pending.lookup_index + 1);
       break;
+    }
     default:
       break;  // kValidate handled by the base; kRing/kFlood never occur
   }
@@ -93,8 +112,23 @@ void PrecinctLookup::start_remote_lookup(std::uint64_t request_id,
   }
   pending.lookup_index = lookup_index;
   pending.phase = lookup_index == 0 ? Phase::kHome : Phase::kReplica;
-  const geo::RegionId target = targets[lookup_index];
+  pending.attempts = 0;
+  send_remote_lookup(request_id);
+}
+
+void PrecinctLookup::send_remote_lookup(std::uint64_t request_id) {
+  Pending& pending = pending_.at(request_id);
+  const net::NodeId peer = pending.requester;
+  const auto targets = ctx_.hash.key_regions(pending.key, ctx_.regions,
+                                             ctx_.config.replica_count);
+  const geo::RegionId target = targets[pending.lookup_index];
   const geo::Region* region = ctx_.regions.find(target);
+  if (region == nullptr) {
+    // The region vanished between retries (dynamic reconfiguration);
+    // escalate instead of routing at nothing.
+    start_remote_lookup(request_id, pending.lookup_index + 1);
+    return;
+  }
 
   net::Packet packet =
       ctx_.make_packet(net::PacketKind::kRequest, peer, pending.key);
@@ -115,10 +149,14 @@ void PrecinctLookup::start_remote_lookup(std::uint64_t request_id,
   }
 
   const Phase phase = pending.phase;
-  pending.timeout = ctx_.sim.schedule(ctx_.config.remote_timeout_s,
-                                      [this, request_id, phase] {
-                                        on_timeout(request_id, phase);
-                                      });
+  // Attempt k waits 2^k * remote_timeout_s; at k == 0 that is exactly
+  // remote_timeout_s, so a zero retry budget reproduces the original
+  // timing bit-for-bit.
+  const double wait =
+      ctx_.config.remote_timeout_s * std::exp2(pending.attempts);
+  pending.timeout = ctx_.sim.schedule(wait, [this, request_id, phase] {
+    on_timeout(request_id, phase);
+  });
 }
 
 }  // namespace precinct::core

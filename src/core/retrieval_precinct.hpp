@@ -29,6 +29,9 @@ class PrecinctLookup final : public RetrievalScheme {
   /// replica region; fails the request when the chain is exhausted.
   void start_remote_lookup(std::uint64_t request_id,
                            std::size_t lookup_index);
+  /// (Re)send the current remote lookup and arm its timeout; the k-th
+  /// retransmission waits 2^k * remote_timeout_s (exponential backoff).
+  void send_remote_lookup(std::uint64_t request_id);
 };
 
 }  // namespace precinct::core

@@ -177,6 +177,12 @@ void RetrievalScheme::send_response(net::NodeId self,
 void RetrievalScheme::handle_response(net::NodeId self,
                                       const net::Packet& packet) {
   if (self == packet.dest_node) {
+    // A retransmitted lookup can solicit several answers: only the first
+    // completes the request, later arrivals are counted and dropped.
+    if (pending_.find(packet.request_id) == pending_.end()) {
+      if (ctx_.measuring) ++ctx_.metrics.duplicate_responses_suppressed;
+      return;
+    }
     const auto hit_class = static_cast<HitClass>(packet.hit_class);
     const bool authoritative = hit_class == HitClass::kHomeRegion ||
                                hit_class == HitClass::kReplicaRegion;

@@ -72,6 +72,7 @@ class RetrievalScheme {
     Phase phase = Phase::kRegional;
     int ring_index = 0;
     std::size_t lookup_index = 0;   ///< 0 = home, i > 0 = i-th replica
+    int attempts = 0;  ///< retransmissions of the current remote lookup
     bool probed_own_region = false; ///< regional probe already flooded it
     sim::EventHandle timeout;
     // Candidate copy awaiting validation (kValidate).

@@ -74,6 +74,7 @@ sim::Tracer& Scenario::enable_tracing(std::size_t capacity) {
     tracer_ = std::make_unique<sim::Tracer>(capacity);
     tracer_->enable_all();
     engine_->set_tracer(tracer_.get());
+    net_->set_tracer(tracer_.get());
   }
   return *tracer_;
 }
@@ -130,9 +131,16 @@ Metrics merge_metrics(const std::vector<Metrics>& runs) {
     total.energy_total_mj += m.energy_total_mj;
     total.energy_broadcast_mj += m.energy_broadcast_mj;
     total.energy_p2p_mj += m.energy_p2p_mj;
+    total.energy_channel_discard_mj += m.energy_channel_discard_mj;
     total.messages_sent += m.messages_sent;
     total.bytes_sent += m.bytes_sent;
     total.frames_lost += m.frames_lost;
+    total.frames_dropped_by_channel += m.frames_dropped_by_channel;
+    for (std::size_t i = 0; i < total.channel_drops_by_cause.size(); ++i) {
+      total.channel_drops_by_cause[i] += m.channel_drops_by_cause[i];
+    }
+    total.retransmissions += m.retransmissions;
+    total.duplicate_responses_suppressed += m.duplicate_responses_suppressed;
     total.custody_handoffs += m.custody_handoffs;
     total.events_executed += m.events_executed;
   }

@@ -1,6 +1,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "channel/channel_registry.hpp"
 #include "core/config.hpp"
 #include "core/scheme_registry.hpp"
 
@@ -58,6 +59,41 @@ void PrecinctConfig::validate() const {
   if (replica_count + 1 >
       static_cast<std::size_t>(regions_x) * regions_y) {
     fail("replica_count needs at least replica_count+1 regions");
+  }
+  if (request_retries < 0) fail("request retries must be >= 0");
+  // Channel-model knobs: names resolve in the channel registry and every
+  // probability/duration is in range (same fail-fast contract as the
+  // scheme names below).
+  {
+    const channel::ChannelConfig& ch = wireless.channel;
+    if (!channel::ChannelRegistry::instance().has(ch.model)) {
+      fail("unknown channel model '" + ch.model + "'");
+    }
+    if (ch.loss_p < 0.0 || ch.loss_p > 1.0) {
+      fail("channel loss probability must be in [0, 1]");
+    }
+    if (ch.edge_start_fraction < 0.0 || ch.edge_start_fraction > 1.0) {
+      fail("channel edge_start_fraction must be in [0, 1]");
+    }
+    if (ch.edge_loss_p < 0.0 || ch.edge_loss_p > 1.0) {
+      fail("channel edge loss probability must be in [0, 1]");
+    }
+    if (ch.ge_enter_burst_p < 0.0 || ch.ge_enter_burst_p > 1.0) {
+      fail("channel burst-entry probability must be in [0, 1]");
+    }
+    if (ch.ge_mean_burst_frames < 0.0) {
+      fail("channel mean burst length must be >= 0");
+    }
+    if (ch.ge_loss_good < 0.0 || ch.ge_loss_good > 1.0 ||
+        ch.ge_loss_bad < 0.0 || ch.ge_loss_bad > 1.0) {
+      fail("channel per-state loss probabilities must be in [0, 1]");
+    }
+    for (const channel::Blackout& b : ch.blackouts) {
+      if (b.end_s < b.start_s) fail("channel blackout window must not end before it starts");
+    }
+    for (const channel::Partition& w : ch.partitions) {
+      if (w.end_s < w.start_s) fail("channel partition window must not end before it starts");
+    }
   }
   if (dynamic_regions) {
     if (region_reconfig_interval_s <= 0.0) {

@@ -8,6 +8,7 @@ EnergyBreakdown& EnergyBreakdown::operator+=(const EnergyBreakdown& o) noexcept 
   p2p_send_mj += o.p2p_send_mj;
   p2p_recv_mj += o.p2p_recv_mj;
   p2p_discard_mj += o.p2p_discard_mj;
+  channel_discard_mj += o.channel_discard_mj;
   return *this;
 }
 
@@ -35,6 +36,12 @@ double EnergyAccountant::charge(std::size_t node, RadioOp op,
     case RadioOp::kP2pDiscard:
       cost = model_.p2p_discard(size_bytes);
       meter.p2p_discard_mj += cost;
+      break;
+    case RadioOp::kChannelDiscard:
+      // Priced with the same discard curve as an overheard unicast: the
+      // receiver demodulated the frame before the channel "lost" it.
+      cost = model_.p2p_discard(size_bytes);
+      meter.channel_discard_mj += cost;
       break;
   }
   return cost;

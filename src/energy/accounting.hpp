@@ -20,6 +20,10 @@ enum class RadioOp : std::uint8_t {
   kP2pSend,
   kP2pRecv,
   kP2pDiscard,
+  /// A frame the channel model dropped at the receiver: the radio still
+  /// burned the receive-and-discard cost (Feeney's discard coefficients)
+  /// but the upper layer never saw the frame.
+  kChannelDiscard,
 };
 
 /// Totals for one node or one aggregate, split by operation.
@@ -29,10 +33,11 @@ struct EnergyBreakdown {
   double p2p_send_mj = 0.0;
   double p2p_recv_mj = 0.0;
   double p2p_discard_mj = 0.0;
+  double channel_discard_mj = 0.0;  ///< channel-dropped frames (lossy models)
 
   [[nodiscard]] double total_mj() const noexcept {
     return broadcast_send_mj + broadcast_recv_mj + p2p_send_mj + p2p_recv_mj +
-           p2p_discard_mj;
+           p2p_discard_mj + channel_discard_mj;
   }
   EnergyBreakdown& operator+=(const EnergyBreakdown& o) noexcept;
 };

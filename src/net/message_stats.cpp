@@ -29,6 +29,10 @@ void MessageStats::count_delivery(PacketKind kind) noexcept {
   ++deliveries_[index(kind)];
 }
 
+void MessageStats::count_channel_drop(PacketKind kind) noexcept {
+  ++channel_drops_[index(kind)];
+}
+
 std::uint64_t MessageStats::sends(PacketKind kind) const noexcept {
   return sends_[index(kind)];
 }
@@ -41,12 +45,21 @@ std::uint64_t MessageStats::bytes_sent(PacketKind kind) const noexcept {
   return bytes_[index(kind)];
 }
 
+std::uint64_t MessageStats::channel_drops(PacketKind kind) const noexcept {
+  return channel_drops_[index(kind)];
+}
+
 std::uint64_t MessageStats::total_sends() const noexcept {
   return std::accumulate(sends_.begin(), sends_.end(), std::uint64_t{0});
 }
 
 std::uint64_t MessageStats::total_bytes() const noexcept {
   return std::accumulate(bytes_.begin(), bytes_.end(), std::uint64_t{0});
+}
+
+std::uint64_t MessageStats::total_channel_drops() const noexcept {
+  return std::accumulate(channel_drops_.begin(), channel_drops_.end(),
+                         std::uint64_t{0});
 }
 
 std::uint64_t MessageStats::consistency_sends() const noexcept {

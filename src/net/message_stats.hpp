@@ -15,13 +15,19 @@ class MessageStats {
  public:
   void count_send(PacketKind kind, std::size_t bytes) noexcept;
   void count_delivery(PacketKind kind) noexcept;
+  /// A frame erased by the channel model in flight. Kept separate from
+  /// routing losses (TTL expiry, GPSR voids) so lossy-channel sweeps can
+  /// attribute missing deliveries to the channel and not the protocol.
+  void count_channel_drop(PacketKind kind) noexcept;
 
   [[nodiscard]] std::uint64_t sends(PacketKind kind) const noexcept;
   [[nodiscard]] std::uint64_t deliveries(PacketKind kind) const noexcept;
   [[nodiscard]] std::uint64_t bytes_sent(PacketKind kind) const noexcept;
+  [[nodiscard]] std::uint64_t channel_drops(PacketKind kind) const noexcept;
 
   [[nodiscard]] std::uint64_t total_sends() const noexcept;
   [[nodiscard]] std::uint64_t total_bytes() const noexcept;
+  [[nodiscard]] std::uint64_t total_channel_drops() const noexcept;
 
   /// Messages attributable to consistency maintenance: pushes, push acks,
   /// polls, poll replies and invalidations (Fig 6's y-axis).
@@ -35,6 +41,7 @@ class MessageStats {
   std::array<std::uint64_t, kKinds> sends_{};
   std::array<std::uint64_t, kKinds> deliveries_{};
   std::array<std::uint64_t, kKinds> bytes_{};
+  std::array<std::uint64_t, kKinds> channel_drops_{};
 };
 
 }  // namespace precinct::net

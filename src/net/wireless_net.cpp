@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <string>
+
+#include "channel/channel_registry.hpp"
 
 namespace precinct::net {
 
@@ -14,6 +17,11 @@ WirelessNet::WirelessNet(sim::Simulator& simulator,
       config_(config),
       energy_(energy_model, mobility.node_count()),
       rng_(seed),
+      channel_(channel::ChannelRegistry::instance().make(config.channel)),
+      // Dedicated stream: channel draws never touch rng_, so enabling a
+      // lossy model perturbs nothing but its own coin flips.
+      channel_rng_(support::hash_combine(seed, 0xC4A2)),
+      lossless_(channel_->lossless()),
       n_nodes_(mobility.node_count()),
       alive_(mobility.node_count(), 1),
       busy_until_(mobility.node_count(), 0.0),
@@ -151,6 +159,26 @@ void WirelessNet::broadcast(PacketRef packet) {
                    });
 }
 
+bool WirelessNet::channel_dropped(const Packet& p, NodeId receiver) {
+  const double now = sim_.now();
+  const channel::Link link{p.src, receiver, p.src_location,
+                           position(receiver), config_.range_m, now};
+  const std::optional<channel::DropCause> cause =
+      channel_->filter(link, channel_rng_);
+  if (!cause.has_value()) return false;
+  // The receiver still demodulated the frame before "losing" it, so it
+  // pays the Feeney discard cost; the frame just never reaches the stack.
+  energy_.charge(receiver, energy::RadioOp::kChannelDiscard, p.size_bytes);
+  stats_.count_channel_drop(p.kind);
+  ++frames_dropped_by_channel_;
+  ++channel_drops_by_cause_[static_cast<std::size_t>(*cause)];
+  PRECINCT_TRACE(tracer_, now, sim::TraceCategory::kChannel, receiver,
+                 std::string(channel::to_string(*cause)) + " drop of " +
+                     to_string(p.kind) + " from node " +
+                     std::to_string(p.src));
+  return true;
+}
+
 void WirelessNet::deliver_broadcast(const PacketRef& packet) {
   Packet& p = *packet;
   assert(p.src < n_nodes_);
@@ -163,6 +191,32 @@ void WirelessNet::deliver_broadcast(const PacketRef& packet) {
   // charge energy/stats and schedule closures — nothing reenters the
   // neighbor cache before the last use.
   const std::vector<NodeId>& receivers = neighbors_cached(p.src);
+  if (!lossless_) {
+    // Lossy path: consult the channel per receiver and deliver the batch
+    // only to the survivors.  Receiver order (sorted) fixes the draw
+    // order, so a given seed always erases the same frames.
+    std::vector<NodeId> rx = acquire_rx_list();
+    rx.clear();  // recycled lists keep their old contents (assign() below
+                 // overwrites; this append loop must not)
+    for (const NodeId receiver : receivers) {
+      if (channel_dropped(p, receiver)) continue;
+      energy_.charge(receiver, energy::RadioOp::kBroadcastRecv, p.size_bytes);
+      stats_.count_delivery(p.kind);
+      rx.push_back(receiver);
+    }
+    if (!on_receive_ || rx.empty()) {
+      release_rx_list(std::move(rx));
+      return;
+    }
+    sim_.schedule(config_.proc_delay_s,
+                  [this, packet, rx = std::move(rx)]() mutable {
+                    for (const NodeId receiver : rx) {
+                      if (alive_[receiver]) on_receive_(receiver, *packet);
+                    }
+                    release_rx_list(std::move(rx));
+                  });
+    return;
+  }
   for (const NodeId receiver : receivers) {
     energy_.charge(receiver, energy::RadioOp::kBroadcastRecv, p.size_bytes);
     stats_.count_delivery(p.kind);
@@ -213,20 +267,30 @@ void WirelessNet::deliver_unicast(PacketRef packet, NodeId next_hop) {
     deliver_scratch_.assign(ids.begin(), ids.end());
   }
   bool reached = false;
+  bool erased_by_channel = false;
   for (const NodeId n : deliver_scratch_) {
     if (n == next_hop) {
+      if (!lossless_ && channel_dropped(p, n)) {
+        erased_by_channel = true;
+        continue;
+      }
       energy_.charge(n, energy::RadioOp::kP2pRecv, p.size_bytes);
       reached = true;
     } else {
       // Overhearers pay the promiscuous receive-and-discard cost — and,
-      // if the upper layer snoops, learn the sender's position.
+      // if the upper layer snoops, learn the sender's position.  A lossy
+      // channel erases overheard copies independently of the addressed
+      // one (each receiver experiences its own fade).
+      if (!lossless_ && channel_dropped(p, n)) continue;
       energy_.charge(n, energy::RadioOp::kP2pDiscard, p.size_bytes);
       if (on_snoop_) on_snoop_(n, p);
     }
   }
   if (!reached) {
-    // Link broke between queueing and transmission (mobility/failure).
-    ++frames_lost_;
+    // Channel erasures are already counted in frames_dropped_by_channel_;
+    // everything else is a link that broke between queueing and
+    // transmission (mobility/failure).
+    if (!erased_by_channel) ++frames_lost_;
     return;
   }
   stats_.count_delivery(p.kind);

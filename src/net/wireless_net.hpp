@@ -7,11 +7,13 @@
 // quantities the paper's metrics depend on — are exact.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <vector>
 
+#include "channel/channel_model.hpp"
 #include "energy/accounting.hpp"
 #include "geo/geometry.hpp"
 #include "mobility/mobility_model.hpp"
@@ -20,6 +22,7 @@
 #include "net/packet_pool.hpp"
 #include "net/spatial_grid.hpp"
 #include "sim/simulator.hpp"
+#include "sim/trace.hpp"
 #include "support/rng.hpp"
 
 namespace precinct::net {
@@ -45,6 +48,10 @@ struct WirelessConfig {
   /// without the cache — it only skips recomputation within one event
   /// timestamp; disable to cross-check determinism.
   bool neighbor_cache = true;
+  /// Lossy-channel / fault-injection model (see channel/channel_model.hpp).
+  /// The default "perfect" model keeps delivery byte-identical to a radio
+  /// built before the channel seam existed.
+  channel::ChannelConfig channel;
 };
 
 /// Upper-layer receive hook: (receiving node, packet).  Unicast frames are
@@ -78,6 +85,9 @@ class WirelessNet {
   void set_snoop_handler(SnoopHandler handler) {
     on_snoop_ = std::move(handler);
   }
+
+  /// Attach a tracer for kChannel drop events (nullptr detaches).
+  void set_tracer(sim::Tracer* tracer) noexcept { tracer_ = tracer; }
 
   /// When this node's last transmission finished (0 if it never sent).
   [[nodiscard]] double last_transmission_s(NodeId node) const {
@@ -153,6 +163,19 @@ class WirelessNet {
   [[nodiscard]] std::uint64_t frames_lost() const noexcept {
     return frames_lost_;
   }
+  /// Frames erased in flight by the channel model (disjoint from
+  /// frames_lost(), which counts link breaks at transmit time).
+  [[nodiscard]] std::uint64_t frames_dropped_by_channel() const noexcept {
+    return frames_dropped_by_channel_;
+  }
+  /// Per-cause channel-drop counters, indexed by channel::DropCause.
+  [[nodiscard]] const std::array<std::uint64_t, channel::kDropCauseCount>&
+  channel_drops_by_cause() const noexcept {
+    return channel_drops_by_cause_;
+  }
+  [[nodiscard]] const channel::ChannelModel& channel_model() const noexcept {
+    return *channel_;
+  }
 
   [[nodiscard]] sim::Simulator& simulator() noexcept { return sim_; }
 
@@ -171,6 +194,11 @@ class WirelessNet {
   void deliver_broadcast(const PacketRef& packet);
   void deliver_unicast(PacketRef packet, NodeId next_hop);
   [[nodiscard]] double tx_duration(std::size_t bytes, bool unicast) const;
+
+  /// Consult the channel model for one delivery.  Returns true (and does
+  /// the drop accounting: discard energy, per-kind/per-cause counters,
+  /// kChannel trace) when the frame is erased at `receiver`.
+  bool channel_dropped(const Packet& p, NodeId receiver);
 
   /// Refresh the spatial index if it is stale; no-op when disabled.
   void refresh_grid();
@@ -202,6 +230,12 @@ class WirelessNet {
   energy::EnergyAccountant energy_;
   MessageStats stats_;
   support::Rng rng_;
+  /// Channel model + its dedicated RNG stream: drops never draw from
+  /// rng_, so a lossless configuration leaves every other stream intact.
+  std::unique_ptr<channel::ChannelModel> channel_;
+  support::Rng channel_rng_;
+  bool lossless_;
+  sim::Tracer* tracer_ = nullptr;
   ReceiveHandler on_receive_;
   SnoopHandler on_snoop_;
   std::size_t n_nodes_;
@@ -209,6 +243,8 @@ class WirelessNet {
   std::vector<double> busy_until_;
   std::uint64_t next_id_ = 1;
   std::uint64_t frames_lost_ = 0;
+  std::uint64_t frames_dropped_by_channel_ = 0;
+  std::array<std::uint64_t, channel::kDropCauseCount> channel_drops_by_cause_{};
 
   /// Frame arena.  Heap-allocated and retired (not deleted) in the dtor:
   /// queued delivery events own PacketRefs and are destroyed with the

@@ -13,8 +13,20 @@ const char* to_string(TraceCategory category) noexcept {
     case TraceCategory::kConsistency: return "consistency";
     case TraceCategory::kCustody: return "custody";
     case TraceCategory::kRegion: return "region";
+    case TraceCategory::kChannel: return "channel";
   }
   return "unknown";
+}
+
+std::optional<TraceCategory> category_from_string(
+    const std::string& name) noexcept {
+  for (const TraceCategory category :
+       {TraceCategory::kRadio, TraceCategory::kProtocol, TraceCategory::kCache,
+        TraceCategory::kConsistency, TraceCategory::kCustody,
+        TraceCategory::kRegion, TraceCategory::kChannel}) {
+    if (name == to_string(category)) return category;
+  }
+  return std::nullopt;
 }
 
 void Tracer::emit(double time_s, TraceCategory category, std::uint32_t node,

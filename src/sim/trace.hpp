@@ -10,6 +10,7 @@
 #include <deque>
 #include <functional>
 #include <iosfwd>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -22,9 +23,14 @@ enum class TraceCategory : std::uint8_t {
   kConsistency = 3,  ///< pushes, polls, TTR updates
   kCustody = 4,      ///< custody placement and handoff
   kRegion = 5,       ///< region-table operations
+  kChannel = 6,      ///< channel-model frame drops (fault injection)
 };
 
 [[nodiscard]] const char* to_string(TraceCategory category) noexcept;
+
+/// Parse a category name ("radio", "channel", ...); nullopt when unknown.
+[[nodiscard]] std::optional<TraceCategory> category_from_string(
+    const std::string& name) noexcept;
 
 struct TraceEvent {
   double time_s = 0.0;
@@ -43,6 +49,7 @@ class Tracer {
     mask_ |= bit(category);
   }
   void enable_all() noexcept { mask_ = ~std::uint32_t{0}; }
+  void disable_all() noexcept { mask_ = 0; }
   void disable(TraceCategory category) noexcept {
     mask_ &= ~bit(category);
   }

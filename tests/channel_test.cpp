@@ -1,0 +1,478 @@
+// Channel / fault-injection subsystem tests: registry resolution, config
+// validation, each model's loss statistics against closed form, RNG-stream
+// isolation (bernoulli loss=0 must be metric-identical to perfect),
+// scripted-fault determinism, retransmission backoff timing, and the
+// lossy-channel smoke (retries recover >= 90% completion under 20% loss).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "channel/channel_models.hpp"
+#include "channel/channel_registry.hpp"
+#include "core/engine.hpp"
+#include "core/scenario.hpp"
+#include "mobility/static_placement.hpp"
+#include "net/wireless_net.hpp"
+#include "sim/simulator.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace precinct;
+using channel::ChannelConfig;
+using channel::ChannelRegistry;
+using channel::DropCause;
+using channel::Link;
+
+Link link_at(double distance_m, double range_m = 250.0, double now_s = 0.0) {
+  Link link;
+  link.sender = 1;
+  link.receiver = 2;
+  link.sender_pos = {0.0, 0.0};
+  link.receiver_pos = {distance_m, 0.0};
+  link.range_m = range_m;
+  link.now_s = now_s;
+  return link;
+}
+
+/// Empirical drop rate of `model` over n frames on one link.
+double drop_rate(channel::ChannelModel& model, const Link& link, int n,
+                 std::uint64_t seed = 7) {
+  support::Rng rng(seed);
+  int drops = 0;
+  for (int i = 0; i < n; ++i) {
+    if (model.filter(link, rng).has_value()) ++drops;
+  }
+  return static_cast<double>(drops) / n;
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+TEST(ChannelRegistry, BuiltinsAreRegistered) {
+  const ChannelRegistry& reg = ChannelRegistry::instance();
+  for (const char* name :
+       {"perfect", "bernoulli", "distance", "gilbert-elliott", "scripted"}) {
+    EXPECT_TRUE(reg.has(name)) << name;
+  }
+  EXPECT_FALSE(reg.has("quantum"));
+  EXPECT_GE(reg.names().size(), 5u);
+}
+
+TEST(ChannelRegistry, MakeResolvesByNameAndReportsLosslessness) {
+  ChannelConfig config;
+  config.model = "perfect";
+  EXPECT_TRUE(ChannelRegistry::instance().make(config)->lossless());
+  config.model = "bernoulli";
+  EXPECT_FALSE(ChannelRegistry::instance().make(config)->lossless());
+}
+
+TEST(ChannelRegistry, UnknownModelThrowsListingRegisteredNames) {
+  ChannelConfig config;
+  config.model = "subspace";
+  try {
+    (void)ChannelRegistry::instance().make(config);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("subspace"), std::string::npos) << what;
+    EXPECT_NE(what.find("bernoulli"), std::string::npos)
+        << "message should list registered names: " << what;
+  }
+}
+
+TEST(ChannelRegistry, DuplicateRegistrationThrows) {
+  EXPECT_THROW(
+      ChannelRegistry::instance().register_model("perfect", nullptr),
+      std::logic_error);
+}
+
+// ---------------------------------------------------------------------------
+// Config validation
+// ---------------------------------------------------------------------------
+
+TEST(ChannelValidation, RejectsUnknownModelName) {
+  core::PrecinctConfig c;
+  c.wireless.channel.model = "subspace";
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+}
+
+TEST(ChannelValidation, RejectsOutOfRangeKnobs) {
+  {
+    core::PrecinctConfig c;
+    c.wireless.channel.loss_p = 1.5;
+    EXPECT_THROW(c.validate(), std::invalid_argument);
+  }
+  {
+    core::PrecinctConfig c;
+    c.wireless.channel.edge_start_fraction = -0.1;
+    EXPECT_THROW(c.validate(), std::invalid_argument);
+  }
+  {
+    core::PrecinctConfig c;
+    c.wireless.channel.ge_enter_burst_p = 2.0;
+    EXPECT_THROW(c.validate(), std::invalid_argument);
+  }
+  {
+    core::PrecinctConfig c;
+    c.wireless.channel.ge_mean_burst_frames = -1.0;
+    EXPECT_THROW(c.validate(), std::invalid_argument);
+  }
+  {
+    core::PrecinctConfig c;
+    c.request_retries = -1;
+    EXPECT_THROW(c.validate(), std::invalid_argument);
+  }
+  {
+    core::PrecinctConfig c;
+    c.wireless.channel.blackouts.push_back({0, 10.0, 5.0});
+    EXPECT_THROW(c.validate(), std::invalid_argument);
+  }
+}
+
+TEST(ChannelValidation, AcceptsLossyConfiguration) {
+  core::PrecinctConfig c;
+  c.wireless.channel.model = "bernoulli";
+  c.wireless.channel.loss_p = 0.2;
+  c.request_retries = 4;
+  EXPECT_NO_THROW(c.validate());
+}
+
+// ---------------------------------------------------------------------------
+// Model statistics
+// ---------------------------------------------------------------------------
+
+TEST(ChannelModels, PerfectNeverDropsAndNeverDraws) {
+  channel::PerfectChannel model;
+  support::Rng probe(3);
+  support::Rng replay(3);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(model.filter(link_at(100.0), replay).has_value());
+  }
+  // The stream was never advanced by filter(): the next draw matches the
+  // first draw of an untouched twin.
+  EXPECT_EQ(replay.uniform(), probe.uniform());
+}
+
+TEST(ChannelModels, BernoulliMatchesConfiguredRate) {
+  ChannelConfig config;
+  config.loss_p = 0.3;
+  channel::BernoulliLoss model(config);
+  EXPECT_NEAR(drop_rate(model, link_at(100.0), 20000), 0.3, 0.02);
+}
+
+TEST(ChannelModels, BernoulliZeroNeverDrops) {
+  ChannelConfig config;
+  config.loss_p = 0.0;
+  channel::BernoulliLoss model(config);
+  EXPECT_EQ(drop_rate(model, link_at(100.0), 5000), 0.0);
+}
+
+TEST(ChannelModels, DistanceLossRampsTowardRangeEdge) {
+  ChannelConfig config;
+  config.edge_start_fraction = 0.7;
+  config.edge_loss_p = 0.8;
+  channel::DistanceLoss model(config);
+  // Inside the ramp-start radius delivery is certain.
+  EXPECT_EQ(drop_rate(model, link_at(100.0), 5000), 0.0);
+  EXPECT_EQ(drop_rate(model, link_at(174.9), 5000), 0.0);
+  // Halfway up the ramp (d = 212.5 of 175..250) the rate is half of
+  // edge_loss_p; at the edge it is edge_loss_p.
+  EXPECT_NEAR(drop_rate(model, link_at(212.5), 20000), 0.4, 0.02);
+  EXPECT_NEAR(drop_rate(model, link_at(250.0), 20000), 0.8, 0.02);
+}
+
+TEST(ChannelModels, GilbertElliottMatchesSteadyStateClosedForm) {
+  ChannelConfig config;
+  config.ge_enter_burst_p = 0.05;
+  config.ge_mean_burst_frames = 8.0;
+  config.ge_loss_good = 0.0;
+  config.ge_loss_bad = 1.0;
+  channel::GilbertElliott model(config);
+  // pi_bad = p / (p + r) with r = 1/8: 0.05 / 0.175 = 0.2857...
+  EXPECT_NEAR(model.steady_state_loss(), 0.05 / (0.05 + 0.125), 1e-12);
+  EXPECT_NEAR(drop_rate(model, link_at(100.0), 200000),
+              model.steady_state_loss(), 0.02);
+}
+
+TEST(ChannelModels, GilbertElliottTracksLinksIndependently) {
+  ChannelConfig config;
+  config.ge_enter_burst_p = 1.0;  // the first frame flips a link to bad
+  config.ge_mean_burst_frames = 1e9;
+  config.ge_loss_good = 0.0;
+  config.ge_loss_bad = 1.0;
+  channel::GilbertElliott model(config);
+  support::Rng rng(11);
+  Link forward = link_at(100.0);
+  // First frame on a fresh link resolves loss in the good state.
+  EXPECT_FALSE(model.filter(forward, rng).has_value());
+  // The link is now stuck in the bad burst: every further frame drops...
+  EXPECT_TRUE(model.filter(forward, rng).has_value());
+  EXPECT_TRUE(model.filter(forward, rng).has_value());
+  // ...but the reverse direction is a different link, still good.
+  Link reverse = forward;
+  std::swap(reverse.sender, reverse.receiver);
+  EXPECT_FALSE(model.filter(reverse, rng).has_value());
+}
+
+TEST(ChannelModels, ScriptedBlackoutCoversItsWindowOnly) {
+  ChannelConfig config;
+  config.blackouts.push_back({2, 10.0, 20.0});
+  channel::ScriptedFaults model(config);
+  support::Rng rng(1);
+  // Receiver 2 inside the window: dropped, cause scripted.
+  const auto in_window = model.filter(link_at(100.0, 250.0, 15.0), rng);
+  ASSERT_TRUE(in_window.has_value());
+  EXPECT_EQ(*in_window, DropCause::kScripted);
+  // Same link before, at the half-open end, and after: delivered.
+  EXPECT_FALSE(model.filter(link_at(100.0, 250.0, 9.9), rng).has_value());
+  EXPECT_FALSE(model.filter(link_at(100.0, 250.0, 20.0), rng).has_value());
+  // The blacked-out node as sender is silenced too.
+  Link from_node2 = link_at(100.0, 250.0, 15.0);
+  std::swap(from_node2.sender, from_node2.receiver);
+  EXPECT_TRUE(model.filter(from_node2, rng).has_value());
+  // An uninvolved pair is untouched mid-window.
+  Link other = link_at(100.0, 250.0, 15.0);
+  other.sender = 7;
+  other.receiver = 8;
+  EXPECT_FALSE(model.filter(other, rng).has_value());
+}
+
+TEST(ChannelModels, ScriptedPartitionDropsCrossingFramesBothWays) {
+  ChannelConfig config;
+  channel::Partition p;
+  p.a = {{0.0, 0.0}, {100.0, 100.0}};
+  p.b = {{200.0, 0.0}, {300.0, 100.0}};
+  p.start_s = 5.0;
+  p.end_s = 15.0;
+  config.partitions.push_back(p);
+  channel::ScriptedFaults model(config);
+  support::Rng rng(1);
+
+  Link crossing;
+  crossing.sender = 1;
+  crossing.receiver = 2;
+  crossing.sender_pos = {50.0, 50.0};    // inside a
+  crossing.receiver_pos = {250.0, 50.0}; // inside b
+  crossing.range_m = 250.0;
+  crossing.now_s = 10.0;
+  EXPECT_TRUE(model.filter(crossing, rng).has_value());
+  std::swap(crossing.sender_pos, crossing.receiver_pos);
+  EXPECT_TRUE(model.filter(crossing, rng).has_value());
+  crossing.now_s = 20.0;  // window over
+  EXPECT_FALSE(model.filter(crossing, rng).has_value());
+  // Both endpoints on the same side: not a crossing frame.
+  Link internal = crossing;
+  internal.now_s = 10.0;
+  internal.sender_pos = {10.0, 10.0};
+  internal.receiver_pos = {90.0, 90.0};
+  EXPECT_FALSE(model.filter(internal, rng).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Scenario-level behavior
+// ---------------------------------------------------------------------------
+
+core::PrecinctConfig small_scenario() {
+  core::PrecinctConfig c;
+  c.n_nodes = 40;
+  c.area = {{0.0, 0.0}, {800.0, 800.0}};
+  c.mean_request_interval_s = 10.0;
+  c.catalog.n_items = 200;
+  c.warmup_s = 20.0;
+  c.measure_s = 60.0;
+  c.seed = 91;
+  return c;
+}
+
+/// RNG-stream isolation: `bernoulli loss=0` consults the channel (and
+/// draws from the channel stream) on every delivery yet must reproduce
+/// the perfect channel's metrics exactly — the channel stream is
+/// dedicated, so its draws perturb nothing else.
+TEST(ChannelScenario, BernoulliZeroLossIsMetricIdenticalToPerfect) {
+  core::PrecinctConfig perfect = small_scenario();
+  core::PrecinctConfig bernoulli = small_scenario();
+  bernoulli.wireless.channel.model = "bernoulli";
+  bernoulli.wireless.channel.loss_p = 0.0;
+
+  const core::Metrics a = core::run_scenario(perfect);
+  const core::Metrics b = core::run_scenario(bernoulli);
+  EXPECT_EQ(a.requests_issued, b.requests_issued);
+  EXPECT_EQ(a.requests_completed, b.requests_completed);
+  EXPECT_EQ(a.requests_failed, b.requests_failed);
+  EXPECT_EQ(a.messages_sent, b.messages_sent);
+  EXPECT_EQ(a.bytes_sent, b.bytes_sent);
+  EXPECT_EQ(a.frames_lost, b.frames_lost);
+  EXPECT_EQ(a.latency_s.mean(), b.latency_s.mean());
+  EXPECT_EQ(a.energy_total_mj, b.energy_total_mj);
+  EXPECT_EQ(b.frames_dropped_by_channel, 0u);
+  EXPECT_EQ(b.energy_channel_discard_mj, 0.0);
+}
+
+TEST(ChannelScenario, ScriptedFaultsAreDeterministicAcrossReruns) {
+  core::PrecinctConfig c = small_scenario();
+  c.wireless.channel.model = "scripted";
+  c.wireless.channel.blackouts.push_back({3, 25.0, 45.0});
+  c.wireless.channel.blackouts.push_back({11, 30.0, 60.0});
+  channel::Partition p;
+  p.a = {{0.0, 0.0}, {400.0, 800.0}};
+  p.b = {{400.0, 0.0}, {800.0, 800.0}};
+  p.start_s = 50.0;
+  p.end_s = 65.0;
+  c.wireless.channel.partitions.push_back(p);
+  c.request_retries = 2;
+
+  const core::Metrics a = core::run_scenario(c);
+  const core::Metrics b = core::run_scenario(c);
+  EXPECT_GT(a.frames_dropped_by_channel, 0u);
+  EXPECT_EQ(a.frames_dropped_by_channel, b.frames_dropped_by_channel);
+  EXPECT_EQ(a.channel_drops_by_cause, b.channel_drops_by_cause);
+  EXPECT_EQ(a.channel_drops_by_cause[static_cast<std::size_t>(
+                DropCause::kScripted)],
+            a.frames_dropped_by_channel);
+  EXPECT_EQ(a.requests_completed, b.requests_completed);
+  EXPECT_EQ(a.retransmissions, b.retransmissions);
+  EXPECT_EQ(a.energy_channel_discard_mj, b.energy_channel_discard_mj);
+}
+
+// ---------------------------------------------------------------------------
+// Retransmission backoff timing
+// ---------------------------------------------------------------------------
+
+/// 9 static peers, one per region of a 3x3 grid over 600x600 m — the same
+/// deterministic topology as modules_test.cpp — with the requester (node
+/// 0) permanently blacked out, so every lookup phase times out on
+/// schedule and the full retry/escalate/fail timeline can be read off the
+/// trace with exact timestamps.
+TEST(ChannelBackoff, RetryTimelineDoublesThenFallsBackToReplica) {
+  core::PrecinctConfig config;
+  config.area = {{0.0, 0.0}, {600.0, 600.0}};
+  config.n_nodes = 9;
+  config.mobile = false;
+  config.mobility_model = "static";
+  config.mean_request_interval_s = 1e12;  // no background workload
+  config.catalog.n_items = 40;
+  config.catalog.min_item_bytes = 1000;
+  config.catalog.max_item_bytes = 1000;
+  config.cache_fraction = 0.1;
+  config.seed = 5;
+  config.request_retries = 2;
+  config.replica_count = 1;
+  config.wireless.channel.model = "scripted";
+  config.wireless.channel.blackouts.push_back({0, 0.0, 1e9});
+
+  std::vector<geo::Point> positions;
+  for (int iy = 0; iy < 3; ++iy) {
+    for (int ix = 0; ix < 3; ++ix) {
+      positions.push_back({100.0 + 200.0 * ix, 100.0 + 200.0 * iy});
+    }
+  }
+  workload::DataCatalog catalog(config.catalog,
+                                support::hash_combine(config.seed, 0xCA7A));
+  mobility::StaticPlacement placement(positions);
+  sim::Simulator sim;
+  net::WirelessNet net(sim, placement, config.wireless,
+                       config.energy_model, 1);
+  core::PrecinctEngine engine(
+      config, sim, net, geo::RegionTable::grid(config.area, 3, 3), catalog);
+  sim::Tracer tracer;
+  tracer.enable_all();
+  engine.set_tracer(&tracer);
+  net.set_tracer(&tracer);
+  engine.initialize();
+  engine.start_measurement();
+
+  // A key homed (and replicated) away from node 0's region, so neither
+  // lookup is satisfied locally and the skip logic leaves both targets.
+  const geo::RegionId own = engine.region_of(0);
+  geo::Key key = 0;
+  bool found = false;
+  for (std::size_t i = 0; i < catalog.size() && !found; ++i) {
+    const auto targets = engine.geo_hash().key_regions(
+        catalog.key_of(i), engine.region_table(), config.replica_count);
+    if (targets.size() == 2 && targets[0] != own && targets[1] != own) {
+      key = catalog.key_of(i);
+      found = true;
+    }
+  }
+  ASSERT_TRUE(found);
+
+  engine.issue_request(0, key);
+  sim.run_until(30.0);
+
+  // Timeline (regional probe 0.08 s, remote timeout 1 s, budget 2):
+  //   0.08   regional probe times out -> home lookup (waits 1 s)
+  //   1.08   home retransmit #1 (waits 2 s)
+  //   3.08   home retransmit #2 (waits 4 s)
+  //   7.08   budget exhausted -> replica lookup (waits 1 s)
+  //   8.08   replica retransmit #1 (waits 2 s)
+  //  10.08   replica retransmit #2 (waits 4 s)
+  //  14.08   chain exhausted -> request FAILED
+  std::vector<double> retransmit_times;
+  double failed_at = -1.0;
+  for (const auto& event : tracer.events()) {
+    if (event.message.find("retransmit") != std::string::npos) {
+      retransmit_times.push_back(event.time_s);
+    }
+    if (event.message.find("FAILED") != std::string::npos) {
+      failed_at = event.time_s;
+    }
+  }
+  ASSERT_EQ(retransmit_times.size(), 4u);
+  const double expected[] = {1.08, 3.08, 8.08, 10.08};
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(retransmit_times[i], expected[i], 1e-9) << "retry " << i;
+  }
+  EXPECT_NEAR(failed_at, 14.08, 1e-9);
+
+  const core::Metrics& m = engine.metrics();
+  EXPECT_EQ(m.retransmissions, 4u);
+  EXPECT_EQ(m.requests_failed, 1u);
+  EXPECT_GT(net.frames_dropped_by_channel(), 0u);
+  EXPECT_EQ(net.channel_drops_by_cause()[static_cast<std::size_t>(
+                DropCause::kScripted)],
+            net.frames_dropped_by_channel());
+}
+
+// ---------------------------------------------------------------------------
+// Lossy smoke: retries + replica fallback recover completion under loss
+// ---------------------------------------------------------------------------
+
+TEST(ChannelSmoke, RetriesRecoverNinetyPercentCompletionUnderTwentyPercentLoss) {
+  core::PrecinctConfig c;
+  c.n_nodes = 80;
+  c.area = {{0.0, 0.0}, {800.0, 800.0}};
+  c.v_max = 2.0;
+  c.warmup_s = 30.0;
+  c.measure_s = 120.0;
+  c.seed = 42;
+  c.wireless.channel.model = "bernoulli";
+  c.wireless.channel.loss_p = 0.2;
+  c.request_retries = 5;
+
+  const core::Metrics a = core::run_scenario(c);
+  EXPECT_GE(a.success_ratio(), 0.9);
+  EXPECT_GT(a.frames_dropped_by_channel, 0u);
+  EXPECT_GT(a.retransmissions, 0u);
+  EXPECT_GT(a.energy_channel_discard_mj, 0.0);
+  EXPECT_EQ(a.channel_drops_by_cause[static_cast<std::size_t>(
+                DropCause::kRandom)],
+            a.frames_dropped_by_channel);
+
+  // Same seed, same losses, same metrics: the channel stream is seeded
+  // from the scenario seed, not wall-clock state.
+  const core::Metrics b = core::run_scenario(c);
+  EXPECT_EQ(a.requests_issued, b.requests_issued);
+  EXPECT_EQ(a.requests_completed, b.requests_completed);
+  EXPECT_EQ(a.frames_dropped_by_channel, b.frames_dropped_by_channel);
+  EXPECT_EQ(a.retransmissions, b.retransmissions);
+  EXPECT_EQ(a.duplicate_responses_suppressed,
+            b.duplicate_responses_suppressed);
+  EXPECT_EQ(a.energy_channel_discard_mj, b.energy_channel_discard_mj);
+}
+
+}  // namespace
