@@ -52,12 +52,19 @@ inline core::PrecinctConfig static_base() {
 
 /// Run each config across seeds_per_point() replications; sweep points
 /// execute in parallel (each owns its full stack).
+///
+/// Set PRECINCT_BENCH_CHECK (e.g. to "all") to run every point with the
+/// invariant checker enabled; the checker is observe-only, so the
+/// printed figures must not change — only the wall time does.
 inline std::vector<core::Metrics> run_sweep(
     const std::vector<core::PrecinctConfig>& points) {
+  const char* check = std::getenv("PRECINCT_BENCH_CHECK");
   std::vector<core::Metrics> merged(points.size());
   support::parallel_for(points.size(), [&](std::size_t i) {
-    merged[i] =
-        core::merge_metrics(core::run_seeds(points[i], seeds_per_point()));
+    core::PrecinctConfig c = points[i];
+    if (check != nullptr && check[0] != '\0') c.check = check;
+    merged[i] = core::merge_metrics(core::run_seeds(std::move(c),
+                                                    seeds_per_point()));
   });
   return merged;
 }

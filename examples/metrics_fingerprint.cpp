@@ -1,7 +1,9 @@
 // Determinism fingerprint: runs a spread of fixed-seed scenarios and
-// prints every Metrics field with full precision.  Diff the output of two
-// builds to prove a change is metrics-identical (the bar every
-// performance PR must clear — see DESIGN.md §7).
+// prints every Metrics field with full precision (via
+// core::fingerprint, the same rendering the scenario fuzzer compares
+// through).  Diff the output of two builds to prove a change is
+// metrics-identical (the bar every performance PR must clear — see
+// DESIGN.md §7).
 //
 // All fields except the last are workload-observable and must match
 // byte-for-byte across any behaviour-preserving change.
@@ -10,7 +12,6 @@
 // lowers it without touching protocol behaviour.
 //
 // Usage: metrics_fingerprint [> fingerprint.txt]
-#include <cinttypes>
 #include <cstdio>
 
 #include "core/scenario.hpp"
@@ -22,35 +23,7 @@ using core::Metrics;
 using core::PrecinctConfig;
 
 void dump(const char* name, const Metrics& m) {
-  std::printf("[%s]\n", name);
-  std::printf("requests_issued=%" PRIu64 "\n", m.requests_issued);
-  std::printf("requests_completed=%" PRIu64 "\n", m.requests_completed);
-  std::printf("requests_failed=%" PRIu64 "\n", m.requests_failed);
-  std::printf("own_cache_hits=%" PRIu64 "\n", m.own_cache_hits);
-  std::printf("regional_hits=%" PRIu64 "\n", m.regional_hits);
-  std::printf("en_route_hits=%" PRIu64 "\n", m.en_route_hits);
-  std::printf("home_region_hits=%" PRIu64 "\n", m.home_region_hits);
-  std::printf("replica_hits=%" PRIu64 "\n", m.replica_hits);
-  std::printf("latency_count=%zu\n", m.latency_s.count());
-  std::printf("latency_sum=%a\n", m.latency_s.sum());
-  std::printf("latency_min=%a\n", m.latency_s.min());
-  std::printf("latency_max=%a\n", m.latency_s.max());
-  std::printf("bytes_requested=%" PRIu64 "\n", m.bytes_requested);
-  std::printf("bytes_hit=%" PRIu64 "\n", m.bytes_hit);
-  std::printf("updates_initiated=%" PRIu64 "\n", m.updates_initiated);
-  std::printf("cache_served_valid=%" PRIu64 "\n", m.cache_served_valid);
-  std::printf("false_hits=%" PRIu64 "\n", m.false_hits);
-  std::printf("polls_sent=%" PRIu64 "\n", m.polls_sent);
-  std::printf("consistency_messages=%" PRIu64 "\n", m.consistency_messages);
-  std::printf("energy_total_mj=%a\n", m.energy_total_mj);
-  std::printf("energy_broadcast_mj=%a\n", m.energy_broadcast_mj);
-  std::printf("energy_p2p_mj=%a\n", m.energy_p2p_mj);
-  std::printf("messages_sent=%" PRIu64 "\n", m.messages_sent);
-  std::printf("bytes_sent=%" PRIu64 "\n", m.bytes_sent);
-  std::printf("frames_lost=%" PRIu64 "\n", m.frames_lost);
-  std::printf("custody_handoffs=%" PRIu64 "\n", m.custody_handoffs);
-  std::printf("events_executed=%" PRIu64 "\n", m.events_executed);
-  std::printf("\n");
+  std::printf("[%s]\n%s\n", name, core::fingerprint(m).c_str());
 }
 
 PrecinctConfig base(std::uint64_t seed) {
@@ -118,6 +91,25 @@ int main() {
     c.regions_x = c.regions_y = 4;
     c.measure_s = 120;
     dump("large_grid_s29", core::run_scenario(c));
+  }
+  {
+    // Lossy channel (memoryless): heavy uniform frame erasure with the
+    // full retry/backoff recovery path exercised.
+    auto c = base(31);
+    c.wireless.channel.model = "bernoulli";
+    c.wireless.channel.loss_p = 0.2;
+    c.request_retries = 3;
+    c.measure_s = 150;
+    dump("bernoulli_loss_s31", core::run_scenario(c));
+  }
+  {
+    // Lossy channel (bursty): Gilbert–Elliott good/bad state flips, so
+    // losses cluster and retries collide with the burst.
+    auto c = base(37);
+    c.wireless.channel.model = "gilbert-elliott";
+    c.request_retries = 2;
+    c.measure_s = 150;
+    dump("gilbert_elliott_s37", core::run_scenario(c));
   }
   return 0;
 }

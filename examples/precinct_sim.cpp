@@ -66,6 +66,12 @@ channel (fault injection)
                        gilbert-elliott | scripted         (default perfect)
   --loss P             bernoulli per-frame loss probability (default 0)
 
+correctness harness
+  --check CATS         runtime invariant auditing: all, or a comma list of
+                       net,cache,custody,pending,consistency,energy
+                       (observe-only; aborts on the first violation)
+  --check-stride N     audit every N executed events    (default 64)
+
 run control
   --config FILE        key=value scenario file (flags override it; see
                        examples/scenario.conf.example)
@@ -180,6 +186,9 @@ int main(int argc, char** argv) {
         args.value("--channel", c.wireless.channel.model);
     c.wireless.channel.loss_p = args.number("--loss", c.wireless.channel.loss_p);
     c.crash_rate_per_s = args.number("--crash-rate", c.crash_rate_per_s);
+    c.check = args.value("--check", c.check);
+    c.check_stride = static_cast<std::uint64_t>(args.number(
+        "--check-stride", static_cast<double>(c.check_stride)));
     c.dynamic_regions = args.flag("--dynamic-regions") || c.dynamic_regions;
     c.warmup_s = args.number("--warmup", c.warmup_s);
     c.measure_s = args.number("--measure", c.measure_s);

@@ -75,6 +75,13 @@ class CacheStore {
   /// Keys currently resident in dynamic space (unspecified order).
   [[nodiscard]] std::vector<geo::Key> keys() const;
 
+  /// Observe-only iteration over the dynamic space (unspecified order,
+  /// no allocation) — the invariant checker's audit seam.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const auto& [key, entry] : entries_) fn(entry);
+  }
+
   // -- static space (home-region custody) -----------------------------------
 
   /// Store a custody copy.  Static space is not capacity-managed (the
@@ -91,6 +98,12 @@ class CacheStore {
   }
   [[nodiscard]] std::size_t static_bytes() const noexcept {
     return static_bytes_;
+  }
+
+  /// Observe-only iteration over the static (custody) space.
+  template <typename Fn>
+  void for_each_static(Fn&& fn) const {
+    for (const auto& [key, entry] : static_entries_) fn(entry);
   }
 
  private:

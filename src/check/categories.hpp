@@ -1,0 +1,48 @@
+// Invariant categories (DESIGN.md §10): which layers the runtime checker
+// audits.  Selected via the `check=` config key ("all" or a comma list);
+// parse_categories is also what validate() uses to reject bad knobs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace precinct::check {
+
+/// One audited layer.  Values index the name table and the mask bits.
+enum class Category : std::uint8_t {
+  kNet = 0,      ///< packet-pool conservation, radio counters
+  kCache,        ///< occupancy <= capacity, byte accounting, admission (§3)
+  kCustody,      ///< home-copy uniqueness across merges/crashes (§2.3, §2.4)
+  kPending,      ///< request lifecycle + retry budgets
+  kConsistency,  ///< TTR positivity and Eq. 2 bounds, push retries (§4)
+  kEnergy,       ///< monotone non-negative energy incl. channel discard
+};
+
+inline constexpr std::size_t kCategoryCount = 6;
+
+/// Bitmask over Category (bit i = category i enabled).
+using CategoryMask = std::uint8_t;
+
+inline constexpr CategoryMask kNoCategories = 0;
+inline constexpr CategoryMask kAllCategories =
+    static_cast<CategoryMask>((1u << kCategoryCount) - 1u);
+
+[[nodiscard]] constexpr CategoryMask mask_of(Category c) noexcept {
+  return static_cast<CategoryMask>(1u << static_cast<unsigned>(c));
+}
+
+[[nodiscard]] constexpr bool has(CategoryMask mask, Category c) noexcept {
+  return (mask & mask_of(c)) != 0;
+}
+
+/// Stable lower-case name ("net", "cache", ...) used in config keys and
+/// violation messages.
+[[nodiscard]] const char* category_name(Category c) noexcept;
+
+/// Parse a `check=` value: "" -> no categories, "all" -> every category,
+/// otherwise a comma-separated subset of the category names.  Throws
+/// std::invalid_argument naming the offending token and the valid names.
+[[nodiscard]] CategoryMask parse_categories(const std::string& spec);
+
+}  // namespace precinct::check

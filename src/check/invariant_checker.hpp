@@ -1,0 +1,92 @@
+// InvariantChecker — the runtime correctness harness (DESIGN.md §10).
+//
+// Installed by the engine when config.check selects categories, it hangs
+// off the simulator's post-event hook and, every `check_stride` events,
+// audits conservation and protocol invariants across the stack: packet
+// pool (net), cache byte accounting (§3), custody uniqueness (§2.3,
+// §2.4), request lifecycle/retry budgets, TTR bounds (Eq. 2) and energy
+// monotonicity.  The checker is strictly observe-only: it reads state
+// through const seams, schedules nothing and mutates nothing, so a run
+// with checks on produces byte-identical metrics to the same run with
+// checks off.  The first violated rule throws InvariantViolation.
+//
+// Cost model: global checks (net, pending, consistency, energy) run on
+// every stride boundary; the O(total cached entries) scans rotate — each
+// boundary audits a quarter of the peers' caches and one region's
+// custody set, so a full sweep completes every max(4, region count)
+// boundaries and steady-state overhead stays within ~2x of an unchecked
+// run.  finalize() runs one unconditionally full audit as a backstop.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "check/categories.hpp"
+#include "check/invariant_violation.hpp"
+#include "core/engine_context.hpp"
+
+namespace precinct::check {
+
+class InvariantChecker {
+ public:
+  /// Audits `ctx` for the categories in `mask` every `stride` events
+  /// (stride >= 1; 1 = every event).
+  InvariantChecker(const core::EngineContext& ctx, CategoryMask mask,
+                   std::uint64_t stride);
+
+  InvariantChecker(const InvariantChecker&) = delete;
+  InvariantChecker& operator=(const InvariantChecker&) = delete;
+
+  /// Post-event hook body: counts the event and, on stride boundaries,
+  /// runs the global checks plus the next rotating cache/custody slice.
+  /// Throws InvariantViolation on the first broken rule.
+  void on_event();
+
+  /// Run every enabled audit over ALL peers and regions now (the engine
+  /// calls this once more from finalize() so short runs are audited at
+  /// least once and rotation gaps are closed before results are read).
+  void audit();
+
+  [[nodiscard]] CategoryMask categories() const noexcept { return mask_; }
+  [[nodiscard]] std::uint64_t stride() const noexcept { return stride_; }
+  /// Full audit passes completed (diagnostics for tests and the fuzzer).
+  [[nodiscard]] std::uint64_t audits_run() const noexcept { return audits_; }
+
+ private:
+  /// Stride-boundary body: global checks + one rotating slice of the
+  /// per-peer cache scans and one region's custody set.
+  void audit_slice();
+
+  void audit_net();
+  void audit_cache_node(net::NodeId node);
+  void audit_custody();
+  void audit_custody_region(geo::RegionId region);
+  void check_holder_duplicates();
+  void audit_pending();
+  void audit_consistency();
+  void audit_energy();
+
+  [[noreturn]] void fail(Category category, net::NodeId node,
+                         std::string detail) const;
+
+  const core::EngineContext& ctx_;
+  CategoryMask mask_;
+  std::uint64_t stride_;
+  std::uint64_t events_ = 0;
+  std::uint64_t audits_ = 0;
+
+  // Scratch + monotonicity snapshots (capacity reused across audits).
+  struct CustodyHolder {
+    geo::Key key;
+    geo::RegionId region;
+    net::NodeId node;
+  };
+  std::vector<CustodyHolder> holders_;
+  std::size_t cache_cursor_ = 0;    ///< next peer for the rotating cache scan
+  std::size_t custody_cursor_ = 0;  ///< next region for the custody scan
+  double last_energy_total_mj_ = 0.0;
+  std::uint64_t last_total_sends_ = 0;
+  std::uint64_t last_total_bytes_ = 0;
+};
+
+}  // namespace precinct::check

@@ -1,0 +1,60 @@
+// InvariantViolation — the structured failure the runtime checker throws.
+//
+// Carries everything a repro needs: the violated category, the event
+// index at which the audit fired (deterministic runs replay to the same
+// index), the offending node (kNoNode for network-wide rules) and a
+// human-readable detail line.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "check/categories.hpp"
+#include "net/packet.hpp"
+
+namespace precinct::check {
+
+class InvariantViolation : public std::runtime_error {
+ public:
+  InvariantViolation(Category category, std::uint64_t event_index,
+                     net::NodeId node, std::string detail)
+      : std::runtime_error(format(category, event_index, node, detail)),
+        category_(category),
+        event_index_(event_index),
+        node_(node),
+        detail_(std::move(detail)) {}
+
+  [[nodiscard]] Category category() const noexcept { return category_; }
+  /// Simulator events executed when the audit fired (replayable under a
+  /// fixed seed).
+  [[nodiscard]] std::uint64_t event_index() const noexcept {
+    return event_index_;
+  }
+  /// Offending node, or net::kNoNode for network-wide invariants.
+  [[nodiscard]] net::NodeId node() const noexcept { return node_; }
+  [[nodiscard]] const std::string& detail() const noexcept { return detail_; }
+
+ private:
+  static std::string format(Category category, std::uint64_t event_index,
+                            net::NodeId node, const std::string& detail) {
+    std::string msg = "invariant violation [";
+    msg += category_name(category);
+    msg += "] at event ";
+    msg += std::to_string(event_index);
+    if (node != net::kNoNode) {
+      msg += " node ";
+      msg += std::to_string(node);
+    }
+    msg += ": ";
+    msg += detail;
+    return msg;
+  }
+
+  Category category_;
+  std::uint64_t event_index_;
+  net::NodeId node_;
+  std::string detail_;
+};
+
+}  // namespace precinct::check

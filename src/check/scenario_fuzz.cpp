@@ -1,0 +1,235 @@
+#include "check/scenario_fuzz.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <stdexcept>
+
+#include "check/invariant_violation.hpp"
+#include "core/config_io.hpp"
+#include "core/scenario.hpp"
+#include "support/rng.hpp"
+
+namespace precinct::check {
+
+namespace {
+
+/// Draw one candidate config; the caller filters through validate().
+/// Deliberately free-ranging: invalid combinations (e.g. a flooding
+/// baseline with a polling consistency scheme) are drawn, rejected and
+/// redrawn, so the validate() filter is exercised for real.
+core::PrecinctConfig draw_candidate(support::Rng& rng,
+                                    std::uint64_t case_seed) {
+  core::PrecinctConfig c;
+  c.n_nodes = 12 + rng.uniform_int(37);  // 12..48
+  const double side = 400.0 + 100.0 * static_cast<double>(rng.uniform_int(7));
+  c.area = {{0.0, 0.0}, {side, side}};
+  c.regions_x = c.regions_y = static_cast<std::uint32_t>(2 + rng.uniform_int(2));
+
+  c.mobile = rng.uniform() < 0.7;
+  if (c.mobile) {
+    static const char* const kMobility[] = {"random-waypoint",
+                                            "random-direction", "gauss-markov"};
+    c.mobility_model = kMobility[rng.uniform_int(3)];
+    c.v_max = rng.uniform(2.0, 8.0);
+  } else {
+    c.mobility_model = "static";
+  }
+
+  c.catalog.n_items = 200 + 100 * rng.uniform_int(4);
+  c.zipf_theta = rng.uniform(0.4, 1.0);
+  c.mean_request_interval_s = rng.uniform(4.0, 12.0);
+  c.cache_fraction = rng.uniform(0.005, 0.03);
+  c.prefetch_count = rng.uniform_int(3);
+  c.replica_count = rng.uniform_int(3);  // may exceed the grid: validate()
+                                         // rejects and the case is redrawn
+
+  static const core::RetrievalKind kRetrieval[] = {
+      core::RetrievalKind::kPrecinct, core::RetrievalKind::kFlooding,
+      core::RetrievalKind::kExpandingRing};
+  c.retrieval = kRetrieval[rng.uniform_int(3)];
+  static const consistency::Mode kConsistency[] = {
+      consistency::Mode::kNone, consistency::Mode::kPlainPush,
+      consistency::Mode::kPullEveryTime, consistency::Mode::kPushAdaptivePull};
+  c.consistency = kConsistency[rng.uniform_int(4)];
+  if (c.consistency != consistency::Mode::kNone) {
+    c.updates_enabled = true;
+    c.mean_update_interval_s = rng.uniform(8.0, 30.0);
+  }
+
+  c.use_beacons = rng.uniform() < 0.3;
+  c.request_retries = static_cast<int>(rng.uniform_int(4));
+  c.push_retries = static_cast<int>(rng.uniform_int(4));
+
+  static const char* const kChannel[] = {"perfect", "perfect", "bernoulli",
+                                         "gilbert-elliott", "distance"};
+  c.wireless.channel.model = kChannel[rng.uniform_int(5)];
+  c.wireless.channel.loss_p = rng.uniform(0.0, 0.3);
+  c.wireless.channel.ge_enter_burst_p = rng.uniform(0.0, 0.05);
+
+  if (rng.uniform() < 0.25) {
+    c.crash_rate_per_s = 0.01;
+    c.join_rate_per_s = 0.01;
+    c.graceful_fraction = rng.uniform();
+  }
+  c.dynamic_regions = rng.uniform() < 0.2;
+
+  c.warmup_s = 5.0 + static_cast<double>(rng.uniform_int(11));
+  c.measure_s = 15.0 + static_cast<double>(rng.uniform_int(26));
+  c.seed = support::hash_combine(case_seed, 0x5EEDu);
+  c.check = "all";
+  static const std::uint64_t kStrides[] = {1, 7, 64};
+  c.check_stride = kStrides[rng.uniform_int(3)];
+  return c;
+}
+
+/// Overwrite the channel with a configured-to-drop-nothing lossy model;
+/// the property compares it against the perfect channel byte-for-byte.
+void make_null_fault_channel(core::PrecinctConfig& c, std::uint64_t pick) {
+  channel::ChannelConfig& ch = c.wireless.channel;
+  switch (pick % 3) {
+    case 0:
+      ch.model = "bernoulli";
+      ch.loss_p = 0.0;
+      break;
+    case 1:
+      ch.model = "scripted";
+      ch.blackouts.clear();
+      ch.partitions.clear();
+      break;
+    default:
+      ch.model = "gilbert-elliott";
+      ch.ge_loss_good = 0.0;
+      ch.ge_loss_bad = 0.0;
+      break;
+  }
+}
+
+std::string run_fingerprint(const core::PrecinctConfig& c) {
+  return core::fingerprint(core::run_scenario(c));
+}
+
+std::string diff_detail(const char* label, const std::string& a,
+                        const std::string& b) {
+  return std::string(label) + "\n--- first\n" + a + "--- second\n" + b;
+}
+
+}  // namespace
+
+const char* to_string(Property p) noexcept {
+  switch (p) {
+    case Property::kReplayIdentical: return "replay-identical";
+    case Property::kNullFaultIdentical: return "null-fault-identical";
+    case Property::kNoRetryNoResend: return "no-retry-no-resend";
+  }
+  return "unknown";
+}
+
+FuzzCase draw_scenario(std::uint64_t case_seed) {
+  FuzzCase fc;
+  fc.case_seed = case_seed;
+  fc.property = static_cast<Property>(case_seed % kPropertyCount);
+  support::Rng rng(support::hash_combine(case_seed, 0xF0220FuLL));
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    core::PrecinctConfig c = draw_candidate(rng, case_seed);
+    if (fc.property == Property::kNullFaultIdentical) {
+      make_null_fault_channel(c, case_seed / kPropertyCount);
+    } else if (fc.property == Property::kNoRetryNoResend) {
+      c.request_retries = 0;
+      c.push_retries = 0;
+    }
+    try {
+      c.validate();
+    } catch (const std::invalid_argument&) {
+      ++fc.draws_rejected;
+      continue;
+    }
+    fc.config = std::move(c);
+    return fc;
+  }
+  throw std::runtime_error(
+      "scenario fuzz: 64 consecutive draws failed validate() for seed " +
+      std::to_string(case_seed));
+}
+
+FuzzVerdict run_fuzz_case(const FuzzCase& fc) {
+  try {
+    switch (fc.property) {
+      case Property::kReplayIdentical: {
+        const std::string first = run_fingerprint(fc.config);
+        const std::string second = run_fingerprint(fc.config);
+        if (first != second) {
+          return {false,
+                  diff_detail("same-seed reruns diverged", first, second)};
+        }
+        return {};
+      }
+      case Property::kNullFaultIdentical: {
+        core::PrecinctConfig perfect = fc.config;
+        perfect.wireless.channel.model = "perfect";
+        const std::string baseline = run_fingerprint(perfect);
+        const std::string nulled = run_fingerprint(fc.config);
+        if (baseline != nulled) {
+          return {false,
+                  diff_detail(("null-fault '" + fc.config.wireless.channel.model +
+                               "' channel diverged from 'perfect'")
+                                  .c_str(),
+                              baseline, nulled)};
+        }
+        return {};
+      }
+      case Property::kNoRetryNoResend: {
+        const core::Metrics first = core::run_scenario(fc.config);
+        if (first.retransmissions != 0) {
+          return {false, "retries disabled but retransmissions=" +
+                             std::to_string(first.retransmissions)};
+        }
+        const core::Metrics second = core::run_scenario(fc.config);
+        if (core::fingerprint(first) != core::fingerprint(second)) {
+          return {false, diff_detail("no-retry reruns diverged",
+                                     core::fingerprint(first),
+                                     core::fingerprint(second))};
+        }
+        return {};
+      }
+    }
+    return {false, "unknown property"};
+  } catch (const InvariantViolation& e) {
+    return {false, std::string("invariant violation: ") + e.what()};
+  } catch (const std::exception& e) {
+    return {false, std::string("exception: ") + e.what()};
+  }
+}
+
+std::string write_repro(const FuzzCase& fc, const std::string& dir,
+                        const std::string& reason) {
+  std::filesystem::create_directories(dir);
+  const std::string path =
+      dir + "/fuzz_" + std::to_string(fc.case_seed) + ".conf";
+  std::string text = "# scenario-fuzz repro (property '" +
+                     std::string(to_string(fc.property)) + "', case seed " +
+                     std::to_string(fc.case_seed) + ")\n";
+  // Prefix every reason line so multi-line diffs stay comments.
+  std::size_t pos = 0;
+  while (pos <= reason.size() && !reason.empty()) {
+    const std::size_t end = std::min(reason.find('\n', pos), reason.size());
+    text += "# " + reason.substr(pos, end - pos) + "\n";
+    if (end >= reason.size()) break;
+    pos = end + 1;
+  }
+  text += "# replay: precinct_sim --config " + path + "\n";
+  text += core::config_to_string(fc.config);
+
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    throw std::runtime_error("scenario fuzz: cannot open '" + path +
+                             "' for writing");
+  }
+  const std::size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  const bool closed = std::fclose(f) == 0;
+  if (written != text.size() || !closed) {
+    throw std::runtime_error("scenario fuzz: short write to '" + path + "'");
+  }
+  return path;
+}
+
+}  // namespace precinct::check

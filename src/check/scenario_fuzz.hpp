@@ -1,0 +1,74 @@
+// Property-based scenario fuzzing (DESIGN.md §10).
+//
+// A seeded generator draws random-but-valid PrecinctConfigs (every draw
+// is filtered through PrecinctConfig::validate(); rejected combinations
+// are redrawn), runs short simulations with the invariant checker on,
+// and asserts one metamorphic property per case:
+//
+//   * replay-identical     — the same seed reruns to a byte-identical
+//                            metrics fingerprint (determinism, DESIGN.md §7);
+//   * null-fault-identical — a lossy channel model configured to drop
+//                            nothing (bernoulli loss 0, scripted with no
+//                            windows, gilbert-elliott with zero loss) is
+//                            byte-identical to the perfect channel;
+//   * no-retry-no-resend   — with request_retries = 0 and push_retries = 0
+//                            no frame is ever retransmitted (the paper's
+//                            fire-and-escalate timing path), and the run
+//                            still replays byte-identically.
+//
+// A failed case serializes a minimal repro config (config_to_file schema,
+// seed included) so `precinct_sim --config <file>` replays it one-command.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "core/config.hpp"
+
+namespace precinct::check {
+
+/// The metamorphic property a fuzz case asserts.
+enum class Property : std::uint8_t {
+  kReplayIdentical = 0,
+  kNullFaultIdentical,
+  kNoRetryNoResend,
+};
+
+inline constexpr std::size_t kPropertyCount = 3;
+
+[[nodiscard]] const char* to_string(Property p) noexcept;
+
+/// One generated scenario: a validated config (check = "all" baked in,
+/// plus any property-specific constraints, e.g. zeroed retry budgets for
+/// kNoRetryNoResend) and the property it must satisfy.
+struct FuzzCase {
+  core::PrecinctConfig config;
+  Property property = Property::kReplayIdentical;
+  std::uint64_t case_seed = 0;
+  int draws_rejected = 0;  ///< validate() rejections before this config
+};
+
+/// Outcome of one case; `detail` names what diverged when !ok.
+struct FuzzVerdict {
+  bool ok = true;
+  std::string detail;
+};
+
+/// Deterministically draw the scenario for `case_seed` (same seed, same
+/// case — the repro contract).  The property rotates with the seed so a
+/// batch covers all three.
+[[nodiscard]] FuzzCase draw_scenario(std::uint64_t case_seed);
+
+/// Run `fc` (invariant checks on) and judge its property.  Invariant
+/// violations and any other exception surface as a failed verdict, never
+/// as a throw.
+[[nodiscard]] FuzzVerdict run_fuzz_case(const FuzzCase& fc);
+
+/// Serialize the case to `<dir>/fuzz_<case_seed>.conf` (directory created
+/// if missing): a commented failure header plus the full config in the
+/// reader's schema.  Returns the path written.
+std::string write_repro(const FuzzCase& fc, const std::string& dir,
+                        const std::string& reason);
+
+}  // namespace precinct::check

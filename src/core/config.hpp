@@ -144,6 +144,17 @@ struct PrecinctConfig {
   /// both rates set the network reaches a churn steady state.
   double join_rate_per_s = 0.0;
 
+  // -- correctness harness (DESIGN.md §10) -----------------------------------
+  /// Runtime invariant auditing: "" (off, default), "all", or a
+  /// comma-separated subset of {net, cache, custody, pending,
+  /// consistency, energy}.  The checker is observe-only — metrics are
+  /// byte-identical with it on or off — and throws check::InvariantViolation
+  /// on the first violated rule.
+  std::string check;
+  /// Audit every N executed events (>= 1).  1 = every event; larger
+  /// strides amortize the audit cost on long runs.
+  std::uint64_t check_stride = 64;
+
   // -- run control --------------------------------------------------------------
   /// When > 0, record a Metrics::Sample every interval during the
   /// measurement window (cumulative hit ratio, latency, energy).

@@ -1,5 +1,7 @@
 #include "core/config_io.hpp"
 
+#include <charconv>
+#include <cstdio>
 #include <functional>
 #include <map>
 #include <stdexcept>
@@ -7,6 +9,51 @@
 namespace precinct::core {
 
 namespace {
+
+/// Parse the `blackout` value: `node:start:end` windows joined by `;`.
+std::vector<channel::Blackout> parse_blackouts(const std::string& spec) {
+  std::vector<channel::Blackout> out;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const std::size_t semi = std::min(spec.find(';', pos), spec.size());
+    const std::string window = spec.substr(pos, semi - pos);
+    pos = semi + 1;
+    if (window.empty()) continue;
+    const std::size_t c1 = window.find(':');
+    const std::size_t c2 =
+        c1 == std::string::npos ? std::string::npos : window.find(':', c1 + 1);
+    if (c2 == std::string::npos) {
+      throw std::invalid_argument(
+          "config: blackout window '" + window +
+          "' must be node:start:end (';'-separated list)");
+    }
+    try {
+      channel::Blackout b;
+      b.node = static_cast<std::uint32_t>(std::stoul(window.substr(0, c1)));
+      b.start_s = std::stod(window.substr(c1 + 1, c2 - c1 - 1));
+      b.end_s = std::stod(window.substr(c2 + 1));
+      out.push_back(b);
+    } catch (const std::invalid_argument&) {
+      throw std::invalid_argument("config: blackout window '" + window +
+                                  "' has a non-numeric field");
+    }
+  }
+  return out;
+}
+
+/// Exact 64-bit parse: seeds use the full uint64_t range, which a round
+/// trip through double would truncate past 2^53.
+std::uint64_t parse_u64(const std::string& value, const char* key) {
+  std::uint64_t out = 0;
+  const char* end = value.data() + value.size();
+  const auto [ptr, ec] = std::from_chars(value.data(), end, out);
+  if (ec != std::errc{} || ptr != end) {
+    throw std::invalid_argument("config: key '" + std::string(key) +
+                                "' is not an unsigned integer: '" + value +
+                                "'");
+  }
+  return out;
+}
 
 /// Built-in names map onto the enum; anything else is kept as a registry
 /// name for validate()/SchemeRegistry to resolve.
@@ -125,6 +172,10 @@ PrecinctConfig config_from_kv(const support::KvFile& kv, PrecinctConfig base) {
            }},
           {"channel",
            [&](const std::string& v) { c.wireless.channel.model = v; }},
+          {"blackout",
+           [&](const std::string& v) {
+             c.wireless.channel.blackouts = parse_blackouts(v);
+           }},
           {"loss",
            [&](const std::string&) {
              c.wireless.channel.loss_p = kv.get_number("loss", 0.0);
@@ -205,8 +256,11 @@ PrecinctConfig config_from_kv(const support::KvFile& kv, PrecinctConfig base) {
              c.measure_s = kv.get_number("measure", 900.0);
            }},
           {"seed",
-           [&](const std::string&) {
-             c.seed = static_cast<std::uint64_t>(kv.get_number("seed", 1));
+           [&](const std::string& v) { c.seed = parse_u64(v, "seed"); }},
+          {"check", [&](const std::string& v) { c.check = v; }},
+          {"check_stride",
+           [&](const std::string& v) {
+             c.check_stride = parse_u64(v, "check_stride");
            }},
       };
   for (const auto& [key, value] : kv.values()) {
@@ -221,6 +275,125 @@ PrecinctConfig config_from_kv(const support::KvFile& kv, PrecinctConfig base) {
 
 PrecinctConfig config_from_file(const std::string& path, PrecinctConfig base) {
   return config_from_kv(support::KvFile::load(path), std::move(base));
+}
+
+namespace {
+
+[[noreturn]] void fail_unwritable(const std::string& what) {
+  throw std::invalid_argument("config: not writable: " + what);
+}
+
+/// Shortest round-trip decimal form: re-parsing with strtod recovers the
+/// exact double, so write -> read -> write is a fixed point.
+std::string format_number(double v) {
+  char buf[64];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  return std::string(buf, res.ptr);
+}
+
+std::string format_blackouts(const std::vector<channel::Blackout>& windows) {
+  std::string out;
+  for (const channel::Blackout& b : windows) {
+    if (!out.empty()) out += ';';
+    out += std::to_string(b.node) + ':' + format_number(b.start_s) + ':' +
+           format_number(b.end_s);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::map<std::string, std::string> config_to_kv(const PrecinctConfig& c) {
+  // Only configurations expressible in the key schema can be written
+  // back; anything the reader cannot reconstruct is an error here rather
+  // than a silent lossy save.
+  if (c.area.min.x != 0.0 || c.area.min.y != 0.0 ||
+      c.area.width() != c.area.height()) {
+    fail_unwritable("area must be a square anchored at the origin");
+  }
+  if (c.regions_x != c.regions_y) {
+    fail_unwritable("region grid must be square (regions_x == regions_y)");
+  }
+  if (!c.wireless.channel.partitions.empty()) {
+    fail_unwritable("partition windows have no config key");
+  }
+  std::map<std::string, std::string> kv;
+  kv["nodes"] = std::to_string(c.n_nodes);
+  kv["area"] = format_number(c.area.width());
+  kv["regions"] = std::to_string(c.regions_x);
+  kv["range"] = format_number(c.wireless.range_m);
+  kv["mobility"] = c.mobile ? c.mobility_model : "static";
+  kv["speed_max"] = format_number(c.v_max);
+  kv["speed_min"] = format_number(c.v_min);
+  kv["pause"] = format_number(c.pause_s);
+  kv["items"] = std::to_string(c.catalog.n_items);
+  kv["request_interval"] = format_number(c.mean_request_interval_s);
+  kv["update_interval"] = format_number(c.mean_update_interval_s);
+  // Alphabetical replay order puts `consistency` before `updates`, so the
+  // explicit flag below wins over set_consistency's implied enable.
+  kv["updates"] = c.updates_enabled ? "true" : "false";
+  kv["zipf"] = format_number(c.zipf_theta);
+  kv["policy"] = c.cache_policy;
+  kv["cache"] = format_number(c.cache_fraction);
+  kv["consistency"] = c.consistency_scheme.empty()
+                          ? consistency::to_string(c.consistency)
+                          : c.consistency_scheme;
+  kv["ttr_alpha"] = format_number(c.ttr_alpha);
+  kv["retrieval"] = c.retrieval_scheme.empty() ? to_string(c.retrieval)
+                                               : c.retrieval_scheme;
+  kv["replicas"] = std::to_string(c.replica_count);
+  kv["retries"] = std::to_string(c.request_retries);
+  kv["channel"] = c.wireless.channel.model;
+  kv["loss"] = format_number(c.wireless.channel.loss_p);
+  kv["edge_start"] = format_number(c.wireless.channel.edge_start_fraction);
+  kv["edge_loss"] = format_number(c.wireless.channel.edge_loss_p);
+  kv["ge_enter_burst"] = format_number(c.wireless.channel.ge_enter_burst_p);
+  kv["ge_burst_frames"] =
+      format_number(c.wireless.channel.ge_mean_burst_frames);
+  kv["ge_loss_good"] = format_number(c.wireless.channel.ge_loss_good);
+  kv["ge_loss_bad"] = format_number(c.wireless.channel.ge_loss_bad);
+  if (!c.wireless.channel.blackouts.empty()) {
+    kv["blackout"] = format_blackouts(c.wireless.channel.blackouts);
+  }
+  kv["crash_rate"] = format_number(c.crash_rate_per_s);
+  kv["join_rate"] = format_number(c.join_rate_per_s);
+  kv["graceful_fraction"] = format_number(c.graceful_fraction);
+  kv["dynamic_regions"] = c.dynamic_regions ? "true" : "false";
+  kv["use_beacons"] = c.use_beacons ? "true" : "false";
+  kv["beacon_interval"] = format_number(c.beacon_interval_s);
+  kv["neighbor_lifetime"] = format_number(c.neighbor_lifetime_s);
+  kv["hotspot_interval"] = format_number(c.hotspot_rotation_interval_s);
+  kv["hotspot_shift"] = std::to_string(c.hotspot_shift);
+  kv["warmup"] = format_number(c.warmup_s);
+  kv["measure"] = format_number(c.measure_s);
+  kv["seed"] = std::to_string(c.seed);
+  if (!c.check.empty()) kv["check"] = c.check;
+  kv["check_stride"] = std::to_string(c.check_stride);
+  return kv;
+}
+
+std::string config_to_string(const PrecinctConfig& c) {
+  std::string out;
+  for (const auto& [key, value] : config_to_kv(c)) {
+    out += key;
+    out += " = ";
+    out += value;
+    out += '\n';
+  }
+  return out;
+}
+
+void config_to_file(const PrecinctConfig& c, const std::string& path) {
+  const std::string text = config_to_string(c);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    throw std::runtime_error("config: cannot write '" + path + "'");
+  }
+  const std::size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  const bool closed = std::fclose(f) == 0;
+  if (written != text.size() || !closed) {
+    throw std::runtime_error("config: short write to '" + path + "'");
+  }
 }
 
 }  // namespace precinct::core

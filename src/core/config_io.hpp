@@ -5,6 +5,7 @@
 // `examples/scenario.conf.example` for a complete annotated file.
 #pragma once
 
+#include <map>
 #include <string>
 
 #include "core/config.hpp"
@@ -21,5 +22,23 @@ namespace precinct::core {
 /// Convenience: load a file and apply it (throws on I/O errors too).
 [[nodiscard]] PrecinctConfig config_from_file(const std::string& path,
                                               PrecinctConfig base = {});
+
+/// Serialize `c` back into the key schema the reader accepts.  Every key
+/// is emitted (so reloading over any base reproduces `c` exactly), and
+/// doubles use their shortest round-trip form, making write -> read ->
+/// write a fixed point.  Throws std::invalid_argument for configurations
+/// the schema cannot express (non-square area or region grid, partition
+/// windows).
+[[nodiscard]] std::map<std::string, std::string> config_to_kv(
+    const PrecinctConfig& c);
+
+/// config_to_kv rendered as `key = value` lines in sorted key order —
+/// directly parseable by KvFile / config_from_kv.
+[[nodiscard]] std::string config_to_string(const PrecinctConfig& c);
+
+/// Write config_to_string(c) to `path`; throws std::runtime_error on I/O
+/// failure.  The file is a one-command repro: `precinct_sim --config
+/// <path>` replays the exact scenario.
+void config_to_file(const PrecinctConfig& c, const std::string& path);
 
 }  // namespace precinct::core

@@ -57,6 +57,35 @@ class ConsistencyScheme {
   /// TTR the home/replica custodian would stamp on a copy of `key` now.
   [[nodiscard]] double custodian_ttr_s(geo::Key key) const;
 
+  /// Observe-only projection of one TTR estimator, exposed for the
+  /// invariant checker (Eq. 2 bounds audit).
+  struct TtrView {
+    geo::Key key = 0;
+    double ttr_s = 0.0;
+    std::uint64_t updates_seen = 0;
+  };
+  /// Visit every per-key TTR estimator (unspecified order).
+  template <typename Fn>
+  void visit_ttr(Fn&& fn) const {
+    for (const auto& [key, est] : ttr_) {
+      fn(TtrView{key, est.ttr_s(), est.updates_seen()});
+    }
+  }
+
+  /// Observe-only projection of one un-acked push (retry-budget audit).
+  struct PushView {
+    net::NodeId updater = net::kNoNode;
+    geo::Key key = 0;
+    int retries_left = 0;
+  };
+  /// Visit every push awaiting its custodian ack (unspecified order).
+  template <typename Fn>
+  void visit_pending_pushes(Fn&& fn) const {
+    for (const auto& [id, p] : pending_pushes_) {
+      fn(PushView{p.updater, p.key, p.retries_left});
+    }
+  }
+
  protected:
   /// Scheme-specific propagation of a committed write (flood an
   /// invalidation, push to the key's regions, or nothing).

@@ -76,10 +76,22 @@ void CustodyManager::place_initial_copies() {
         r.id, components.empty() ? std::vector<net::NodeId>{}
                                  : std::move(components[best]));
   }
+  std::vector<net::NodeId> placed;  // this key's holders so far
   for (std::size_t rank = 0; rank < ctx_.catalog.size(); ++rank) {
     const workload::DataItem& item = ctx_.catalog.item_at(rank);
-    const auto place = [&](geo::RegionId region,
-                           net::NodeId exclude) -> net::NodeId {
+    // Custody-uniqueness guard: a candidate residing in a region that
+    // already hosts one of this key's holders is skipped — the
+    // global-nearest fallback for an empty region must not co-locate two
+    // custodians of the same key.
+    const auto usable = [&](net::NodeId i) {
+      for (const net::NodeId h : placed) {
+        if (i == h || ctx_.peers[i].region == ctx_.peers[h].region) {
+          return false;
+        }
+      }
+      return true;
+    };
+    const auto place = [&](geo::RegionId region) -> net::NodeId {
       const geo::Region* r = ctx_.regions.find(region);
       if (r == nullptr) return net::kNoNode;
       net::NodeId best = net::kNoNode;
@@ -87,7 +99,7 @@ void CustodyManager::place_initial_copies() {
       const auto it = main_component.find(region);
       if (it != main_component.end()) {
         for (const net::NodeId i : it->second) {
-          if (i == exclude) continue;
+          if (!usable(i)) continue;
           const double d = geo::distance(ctx_.net.position(i), r->center);
           if (d < best_d) {
             best_d = d;
@@ -96,9 +108,10 @@ void CustodyManager::place_initial_copies() {
         }
       }
       if (best != net::kNoNode) return best;
-      // Region empty (or only the excluded peer): global nearest fallback.
+      // Region empty (or holds only unusable peers): global nearest
+      // fallback over peers whose regions are still custody-free.
       for (net::NodeId i = 0; i < ctx_.net.node_count(); ++i) {
-        if (i == exclude || !ctx_.net.is_alive(i)) continue;
+        if (!ctx_.net.is_alive(i) || !usable(i)) continue;
         const double d = geo::distance(ctx_.net.position(i), r->center);
         if (d < best_d) {
           best_d = d;
@@ -111,13 +124,13 @@ void CustodyManager::place_initial_copies() {
     entry.key = item.key;
     entry.size_bytes = item.size_bytes;
     entry.version = item.version;
-    net::NodeId previous = net::kNoNode;
+    placed.clear();
     for (const geo::RegionId region : ctx_.hash.key_regions(
              item.key, ctx_.regions, ctx_.config.replica_count)) {
-      const net::NodeId holder = place(region, previous);
+      const net::NodeId holder = place(region);
       if (holder != net::kNoNode) {
         ctx_.peers[holder].cache.put_static(entry);
-        previous = holder;
+        placed.push_back(holder);
       }
     }
   }
@@ -196,6 +209,7 @@ void CustodyManager::relocate_displaced_custody() {
     if (!ctx_.net.is_alive(holder)) continue;
     PeerState& p = ctx_.peers[holder];
     std::vector<geo::Key> displaced;
+    std::vector<geo::Key> duplicated;
     // Collect first: transfers mutate the static store.
     for (const auto rank :
          std::views::iota(std::size_t{0}, ctx_.catalog.size())) {
@@ -207,8 +221,15 @@ void CustodyManager::relocate_displaced_custody() {
       if (std::find(regions.begin(), regions.end(), p.region) ==
           regions.end()) {
         displaced.push_back(key);
+      } else if (duplicate_custodian(holder, key) < holder) {
+        // A merge can fold a key's home and replica custodians into one
+        // region; both survive the displacement rule (the merged region
+        // is in the key's region set), so the fork is resolved here: the
+        // lowest-id custodian keeps the copy, the others release theirs.
+        duplicated.push_back(key);
       }
     }
+    for (const geo::Key key : duplicated) p.cache.erase_static(key);
     for (const geo::Key key : displaced) {
       const cache::CacheEntry entry = *p.cache.find_static(key);
       p.cache.erase_static(key);
@@ -354,11 +375,31 @@ void CustodyManager::handle_key_transfer(net::NodeId self,
     ctx_.forward_geographic(self, packet);
     return;
   }
+  // Custody-uniqueness guard: a void-recovery broadcast can fan the same
+  // transfer frame out to several adopters, and an addressed target may
+  // share a region with an existing custodian.  Adopting anyway would
+  // fork the key's home copy, so a transfer whose key already has a live
+  // custodian in this peer's region is dropped instead (the resident
+  // copy stays authoritative for the region).
+  if (duplicate_custodian(self, packet.key) != net::kNoNode) return;
   cache::CacheEntry entry;
   entry.key = packet.key;
   entry.size_bytes = packet.size_bytes - net::kHeaderBytes;
   entry.version = packet.version;
   ctx_.peers[self].cache.put_static(entry);
+}
+
+net::NodeId CustodyManager::duplicate_custodian(net::NodeId holder,
+                                                geo::Key key) const {
+  const geo::RegionId region = ctx_.peers[holder].region;
+  for (net::NodeId i = 0; i < ctx_.net.node_count(); ++i) {
+    if (i == holder || !ctx_.net.is_alive(i)) continue;
+    if (ctx_.peers[i].region == region &&
+        ctx_.peers[i].cache.find_static(key) != nullptr) {
+      return i;
+    }
+  }
+  return net::kNoNode;
 }
 
 void CustodyManager::check_region(net::NodeId peer) {

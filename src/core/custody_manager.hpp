@@ -66,6 +66,11 @@ class CustodyManager {
 
  private:
   void handle_key_transfer(net::NodeId self, const net::Packet& packet);
+  /// Another live peer in `holder`'s region already holding `key`'s
+  /// custody copy (kNoNode if none) — the custody-uniqueness guard
+  /// consulted before adopting a transfer or re-homing after a merge.
+  [[nodiscard]] net::NodeId duplicate_custodian(net::NodeId holder,
+                                                geo::Key key) const;
   void handoff_custody(net::NodeId peer, geo::RegionId old_region);
   [[nodiscard]] net::NodeId pick_custody_target(net::NodeId mover,
                                                 geo::RegionId region);

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <string>
 
+#include "check/invariant_checker.hpp"
 #include "core/scheme_registry.hpp"
 
 namespace precinct::core {
@@ -86,6 +87,23 @@ PrecinctEngine::PrecinctEngine(const PrecinctConfig& config,
                               sim_.now());
         });
   }
+
+  // Correctness harness (DESIGN.md §10): audit the selected invariant
+  // categories from the simulator's observe-only post-event hook.  With
+  // config_.check empty no hook is installed and the drain loop is
+  // untouched, so runs with checks off stay byte-identical.
+  if (!config_.check.empty()) {
+    checker_ = std::make_unique<check::InvariantChecker>(
+        ctx_, check::parse_categories(config_.check), config_.check_stride);
+    ctx_.checker = checker_.get();
+    sim_.set_post_event_hook([this] { checker_->on_event(); });
+  }
+}
+
+PrecinctEngine::~PrecinctEngine() {
+  // The simulator outlives the engine in some harnesses; never leave a
+  // hook pointing at a dead checker.
+  if (checker_ != nullptr) sim_.set_post_event_hook({});
 }
 
 void PrecinctEngine::initialize() {
@@ -200,6 +218,10 @@ Metrics PrecinctEngine::finalize() {
       ctx_.route_drops.drops_void - route_drops_at_start_.drops_void;
   metrics_.routing.drops_ttl =
       ctx_.route_drops.drops_ttl - route_drops_at_start_.drops_ttl;
+  // One last audit so even runs shorter than the stride are checked.
+  // Ordered before the pending-to-failed fold below, which breaks the
+  // lifecycle identity the checker asserts.
+  if (checker_ != nullptr) checker_->audit();
   // Requests still in flight at the end of the window count as failed so
   // success_ratio is conservative.
   metrics_.requests_failed += retrieval_->measured_pending();

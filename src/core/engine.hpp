@@ -34,6 +34,10 @@ class PrecinctEngine {
                  net::WirelessNet& network, geo::RegionTable region_table,
                  workload::DataCatalog& catalog);
 
+  /// Detaches the invariant checker's post-event hook (the simulator may
+  /// outlive the engine).
+  ~PrecinctEngine();
+
   PrecinctEngine(const PrecinctEngine&) = delete;
   PrecinctEngine& operator=(const PrecinctEngine&) = delete;
 
@@ -69,6 +73,16 @@ class PrecinctEngine {
 
   [[nodiscard]] const cache::CacheStore& cache_of(net::NodeId peer) const {
     return peers_.at(peer).cache;
+  }
+  /// Test seam: direct mutable access to a peer's cache, used by the
+  /// harness tests to deliberately corrupt state and prove the checker
+  /// catches it.  Protocol code must never call this.
+  [[nodiscard]] cache::CacheStore& mutable_cache_of(net::NodeId peer) {
+    return peers_.at(peer).cache;
+  }
+  /// Installed invariant checker (null when config.check is empty).
+  [[nodiscard]] const check::InvariantChecker* checker() const noexcept {
+    return checker_.get();
   }
   [[nodiscard]] geo::RegionId region_of(net::NodeId peer) const {
     return peers_.at(peer).region;
@@ -163,6 +177,7 @@ class PrecinctEngine {
   std::unique_ptr<ConsistencyScheme> consistency_;
   std::unique_ptr<CustodyManager> custody_;
   std::unique_ptr<WorkloadDriver> workload_;
+  std::unique_ptr<check::InvariantChecker> checker_;
   net::PacketDispatcher dispatch_;
 
   double measure_start_ = 0.0;

@@ -32,6 +32,10 @@
 #include "workload/data_catalog.hpp"
 #include "workload/zipf.hpp"
 
+namespace precinct::check {
+class InvariantChecker;
+}  // namespace precinct::check
+
 namespace precinct::core {
 
 class RetrievalScheme;
@@ -104,6 +108,9 @@ class EngineContext {
 
   // -- run state --------------------------------------------------------------
   sim::Tracer* tracer = nullptr;  ///< not owned; may be null
+  /// Runtime invariant auditor (DESIGN.md §10); null unless config.check
+  /// selects categories.  Observe-only — never mutates protocol state.
+  check::InvariantChecker* checker = nullptr;
   bool measuring = false;
   /// Representative region diameter; normalizes reg_dst in the GD-LD
   /// utility so the wd weight is unit-comparable across region counts.

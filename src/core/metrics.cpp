@@ -1,5 +1,8 @@
 #include "core/metrics.hpp"
 
+#include <cinttypes>
+#include <cstdio>
+
 #include "core/config.hpp"
 
 namespace precinct::core {
@@ -11,6 +14,50 @@ const char* to_string(RetrievalKind scheme) noexcept {
     case RetrievalKind::kExpandingRing: return "expanding-ring";
   }
   return "unknown";
+}
+
+std::string fingerprint(const Metrics& m) {
+  std::string out;
+  char line[96];
+  const auto put = [&](const char* key, const char* fmt, auto value) {
+    out += key;
+    std::snprintf(line, sizeof(line), fmt, value);
+    out += line;
+    out += '\n';
+  };
+  put("requests_issued=", "%" PRIu64, m.requests_issued);
+  put("requests_completed=", "%" PRIu64, m.requests_completed);
+  put("requests_failed=", "%" PRIu64, m.requests_failed);
+  put("own_cache_hits=", "%" PRIu64, m.own_cache_hits);
+  put("regional_hits=", "%" PRIu64, m.regional_hits);
+  put("en_route_hits=", "%" PRIu64, m.en_route_hits);
+  put("home_region_hits=", "%" PRIu64, m.home_region_hits);
+  put("replica_hits=", "%" PRIu64, m.replica_hits);
+  put("latency_count=", "%zu", m.latency_s.count());
+  put("latency_sum=", "%a", m.latency_s.sum());
+  put("latency_min=", "%a", m.latency_s.min());
+  put("latency_max=", "%a", m.latency_s.max());
+  put("bytes_requested=", "%" PRIu64, m.bytes_requested);
+  put("bytes_hit=", "%" PRIu64, m.bytes_hit);
+  put("updates_initiated=", "%" PRIu64, m.updates_initiated);
+  put("cache_served_valid=", "%" PRIu64, m.cache_served_valid);
+  put("false_hits=", "%" PRIu64, m.false_hits);
+  put("polls_sent=", "%" PRIu64, m.polls_sent);
+  put("consistency_messages=", "%" PRIu64, m.consistency_messages);
+  put("energy_total_mj=", "%a", m.energy_total_mj);
+  put("energy_broadcast_mj=", "%a", m.energy_broadcast_mj);
+  put("energy_p2p_mj=", "%a", m.energy_p2p_mj);
+  put("energy_channel_discard_mj=", "%a", m.energy_channel_discard_mj);
+  put("messages_sent=", "%" PRIu64, m.messages_sent);
+  put("bytes_sent=", "%" PRIu64, m.bytes_sent);
+  put("frames_lost=", "%" PRIu64, m.frames_lost);
+  put("frames_dropped_by_channel=", "%" PRIu64, m.frames_dropped_by_channel);
+  put("retransmissions=", "%" PRIu64, m.retransmissions);
+  put("duplicate_responses_suppressed=", "%" PRIu64,
+      m.duplicate_responses_suppressed);
+  put("custody_handoffs=", "%" PRIu64, m.custody_handoffs);
+  put("events_executed=", "%" PRIu64, m.events_executed);
+  return out;
 }
 
 void Metrics::record_hit(HitClass hit_class) noexcept {

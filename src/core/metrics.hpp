@@ -5,6 +5,7 @@
 #include <cstdint>
 
 #include <array>
+#include <string>
 #include <vector>
 
 #include "support/stats.hpp"
@@ -130,5 +131,12 @@ struct Metrics {
 
   void record_hit(HitClass hit_class) noexcept;
 };
+
+/// Canonical `key=value` rendering of every deterministic Metrics field,
+/// one per line, doubles as `%a` hex-floats so equality is exact.  Two
+/// runs are behaviour-identical iff their fingerprints match
+/// byte-for-byte; the fingerprint tool and the scenario fuzzer's
+/// metamorphic properties both compare through this.
+[[nodiscard]] std::string fingerprint(const Metrics& m);
 
 }  // namespace precinct::core

@@ -49,6 +49,25 @@ class RetrievalScheme {
   /// Measured requests still in flight (finalize counts them as failed).
   [[nodiscard]] std::uint64_t measured_pending() const noexcept;
 
+  /// Observe-only projection of one in-flight request, exposed for the
+  /// invariant checker without widening access to the phase machine.
+  struct PendingView {
+    geo::Key key = 0;
+    net::NodeId requester = net::kNoNode;
+    double created_at = 0.0;
+    bool measured = false;
+    bool prefetch = false;
+    int attempts = 0;
+  };
+  /// Visit every in-flight request (unspecified order, no allocation).
+  template <typename Fn>
+  void visit_pending(Fn&& fn) const {
+    for (const auto& [id, p] : pending_) {
+      fn(PendingView{p.key, p.requester, p.created_at, p.measured, p.prefetch,
+                     p.attempts});
+    }
+  }
+
  protected:
   /// Latency charged to a request served from the peer's own cache: one
   /// protocol processing delay, no radio time.

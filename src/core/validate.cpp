@@ -2,6 +2,7 @@
 #include <string>
 
 #include "channel/channel_registry.hpp"
+#include "check/categories.hpp"
 #include "core/config.hpp"
 #include "core/scheme_registry.hpp"
 
@@ -114,6 +115,16 @@ void PrecinctConfig::validate() const {
   if (warmup_s < 0.0 || measure_s <= 0.0) {
     fail("warmup must be >= 0 and measure window > 0");
   }
+  // Correctness-harness knobs: category names must parse and the audit
+  // stride must be at least one event.
+  if (!check.empty()) {
+    try {
+      (void)check::parse_categories(check);
+    } catch (const std::invalid_argument& e) {
+      fail(e.what());
+    }
+  }
+  if (check_stride == 0) fail("check stride must be >= 1");
   // Scheme wiring: names must resolve in the registry, and the
   // combination must make sense.  The unstructured baselines search by
   // flooding, without the region infrastructure the pull-based schemes

@@ -275,6 +275,7 @@ void Simulator::drain(SimTime bound) {
     ++executed_;
     s.fn();
     recycle_slot(slot);
+    if (post_event_) post_event_();
   }
 }
 

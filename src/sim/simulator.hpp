@@ -89,6 +89,17 @@ class Simulator {
   /// Pre-size the slot pool and heap for `n` concurrently pending events.
   void reserve(std::size_t n);
 
+  /// Install an observer invoked synchronously after every executed
+  /// event (the invariant checker's audit point).  The hook is NOT an
+  /// event: it never advances the clock, never counts toward
+  /// events_executed(), and an empty hook leaves the drain loop
+  /// untouched, so enabling an observe-only hook cannot perturb a run.
+  /// Pass an empty function to detach.  The hook must not schedule,
+  /// cancel or run events.
+  void set_post_event_hook(EventCallback hook) {
+    post_event_ = std::move(hook);
+  }
+
  private:
   // Bookkeeping fields lead and the callback's storage sits last, so
   // scheduling or firing an event with a small capture touches only the
@@ -153,6 +164,7 @@ class Simulator {
   SimTime now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
+  EventCallback post_event_;  ///< observe-only; see set_post_event_hook
   std::vector<HeapEntry> heap_;
   std::vector<HeapEntry> run_;   // sorted ready batch, consumed from run_pos_
   std::size_t run_pos_ = 0;

@@ -46,6 +46,13 @@ class DataCatalog {
   [[nodiscard]] const DataItem& item(geo::Key key) const {
     return items_.at(rank_of(key));
   }
+  /// Non-throwing lookup: nullptr when the key is not in the catalog
+  /// (the invariant checker treats an unknown cached key as a bug, not
+  /// an exception path).
+  [[nodiscard]] const DataItem* find(geo::Key key) const {
+    const auto it = rank_index_.find(key);
+    return it == rank_index_.end() ? nullptr : &items_[it->second];
+  }
   [[nodiscard]] const DataItem& item_at(std::size_t rank) const {
     return items_.at(rank);
   }

@@ -13,6 +13,7 @@
 #include "channel/channel_models.hpp"
 #include "channel/channel_registry.hpp"
 #include "core/engine.hpp"
+#include "test_util.hpp"
 #include "core/scenario.hpp"
 #include "mobility/static_placement.hpp"
 #include "net/wireless_net.hpp"
@@ -277,25 +278,13 @@ TEST(ChannelModels, ScriptedPartitionDropsCrossingFramesBothWays) {
 // Scenario-level behavior
 // ---------------------------------------------------------------------------
 
-core::PrecinctConfig small_scenario() {
-  core::PrecinctConfig c;
-  c.n_nodes = 40;
-  c.area = {{0.0, 0.0}, {800.0, 800.0}};
-  c.mean_request_interval_s = 10.0;
-  c.catalog.n_items = 200;
-  c.warmup_s = 20.0;
-  c.measure_s = 60.0;
-  c.seed = 91;
-  return c;
-}
-
 /// RNG-stream isolation: `bernoulli loss=0` consults the channel (and
 /// draws from the channel stream) on every delivery yet must reproduce
 /// the perfect channel's metrics exactly — the channel stream is
 /// dedicated, so its draws perturb nothing else.
 TEST(ChannelScenario, BernoulliZeroLossIsMetricIdenticalToPerfect) {
-  core::PrecinctConfig perfect = small_scenario();
-  core::PrecinctConfig bernoulli = small_scenario();
+  core::PrecinctConfig perfect = test_util::small_scenario();
+  core::PrecinctConfig bernoulli = test_util::small_scenario();
   bernoulli.wireless.channel.model = "bernoulli";
   bernoulli.wireless.channel.loss_p = 0.0;
 
@@ -314,7 +303,7 @@ TEST(ChannelScenario, BernoulliZeroLossIsMetricIdenticalToPerfect) {
 }
 
 TEST(ChannelScenario, ScriptedFaultsAreDeterministicAcrossReruns) {
-  core::PrecinctConfig c = small_scenario();
+  core::PrecinctConfig c = test_util::small_scenario();
   c.wireless.channel.model = "scripted";
   c.wireless.channel.blackouts.push_back({3, 25.0, 45.0});
   c.wireless.channel.blackouts.push_back({11, 30.0, 60.0});
@@ -349,28 +338,13 @@ TEST(ChannelScenario, ScriptedFaultsAreDeterministicAcrossReruns) {
 /// schedule and the full retry/escalate/fail timeline can be read off the
 /// trace with exact timestamps.
 TEST(ChannelBackoff, RetryTimelineDoublesThenFallsBackToReplica) {
-  core::PrecinctConfig config;
-  config.area = {{0.0, 0.0}, {600.0, 600.0}};
-  config.n_nodes = 9;
-  config.mobile = false;
-  config.mobility_model = "static";
-  config.mean_request_interval_s = 1e12;  // no background workload
-  config.catalog.n_items = 40;
-  config.catalog.min_item_bytes = 1000;
-  config.catalog.max_item_bytes = 1000;
-  config.cache_fraction = 0.1;
-  config.seed = 5;
+  core::PrecinctConfig config = test_util::grid_config();
   config.request_retries = 2;
   config.replica_count = 1;
   config.wireless.channel.model = "scripted";
   config.wireless.channel.blackouts.push_back({0, 0.0, 1e9});
 
-  std::vector<geo::Point> positions;
-  for (int iy = 0; iy < 3; ++iy) {
-    for (int ix = 0; ix < 3; ++ix) {
-      positions.push_back({100.0 + 200.0 * ix, 100.0 + 200.0 * iy});
-    }
-  }
+  const std::vector<geo::Point> positions = test_util::grid_positions();
   workload::DataCatalog catalog(config.catalog,
                                 support::hash_combine(config.seed, 0xCA7A));
   mobility::StaticPlacement placement(positions);

@@ -1,0 +1,253 @@
+// Configuration-surface tests: table-driven validate() rejections (with
+// error-message assertions) and the config_io write -> read -> write
+// fixed point over every fingerprint scenario plus a fuzzer-drawn one.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "check/scenario_fuzz.hpp"
+#include "core/config_io.hpp"
+#include "support/kv_file.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using namespace precinct;
+using core::PrecinctConfig;
+
+// ---------------------------------------------------------------------------
+// validate() rejection table
+// ---------------------------------------------------------------------------
+
+struct RejectionCase {
+  const char* name;
+  std::function<void(PrecinctConfig&)> corrupt;
+  const char* message_fragment;
+};
+
+const std::vector<RejectionCase>& rejection_cases() {
+  static const std::vector<RejectionCase> cases = {
+      {"zero nodes", [](PrecinctConfig& c) { c.n_nodes = 0; },
+       "n_nodes must be > 0"},
+      {"unknown retrieval scheme",
+       [](PrecinctConfig& c) { c.retrieval_scheme = "warp-drive"; },
+       "unknown retrieval scheme 'warp-drive'"},
+      {"unknown consistency scheme",
+       [](PrecinctConfig& c) { c.consistency_scheme = "quorum"; },
+       "unknown consistency scheme 'quorum'"},
+      {"unknown channel model",
+       [](PrecinctConfig& c) { c.wireless.channel.model = "quantum"; },
+       "unknown channel model 'quantum'"},
+      {"negative request retries",
+       [](PrecinctConfig& c) { c.request_retries = -1; },
+       "request retries must be >= 0"},
+      {"negative push retries", [](PrecinctConfig& c) { c.push_retries = -2; },
+       "push retries must be >= 0"},
+      {"loss probability out of range",
+       [](PrecinctConfig& c) {
+         c.wireless.channel.model = "bernoulli";
+         c.wireless.channel.loss_p = 1.5;
+       },
+       "loss probability must be in [0, 1]"},
+      {"unknown check category", [](PrecinctConfig& c) { c.check = "cachez"; },
+       "unknown category 'cachez'"},
+      {"unknown token in check list",
+       [](PrecinctConfig& c) { c.check = "net,turbo"; },
+       "unknown category 'turbo'"},
+      {"zero check stride", [](PrecinctConfig& c) { c.check_stride = 0; },
+       "check stride must be >= 1"},
+      {"baseline retrieval with polling consistency",
+       [](PrecinctConfig& c) {
+         c.retrieval = core::RetrievalKind::kFlooding;
+         c.consistency = consistency::Mode::kPushAdaptivePull;
+         c.updates_enabled = true;
+       },
+       "has no region-based lookup"},
+      {"replicas exceed region count",
+       [](PrecinctConfig& c) {
+         c.regions_x = c.regions_y = 1;
+         c.replica_count = 1;
+       },
+       "replica_count needs at least replica_count+1 regions"},
+  };
+  return cases;
+}
+
+TEST(ConfigValidate, RejectsBadConfigsWithSpecificMessages) {
+  for (const RejectionCase& rc : rejection_cases()) {
+    PrecinctConfig c;
+    rc.corrupt(c);
+    try {
+      c.validate();
+      FAIL() << rc.name << ": validate() accepted a bad config";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(rc.message_fragment),
+                std::string::npos)
+          << rc.name << ": message was '" << e.what() << "', expected '"
+          << rc.message_fragment << "'";
+    }
+  }
+}
+
+TEST(ConfigValidate, AcceptsEveryCheckCategoryAndCombinations) {
+  for (const char* spec :
+       {"", "all", "net", "cache", "custody", "pending", "consistency",
+        "energy", "net,cache,energy", "all,custody"}) {
+    PrecinctConfig c;
+    c.check = spec;
+    EXPECT_NO_THROW(c.validate()) << "check=" << spec;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// config_io round trip
+// ---------------------------------------------------------------------------
+
+/// write -> read -> write must be a fixed point: the first rendering and
+/// the rendering of its re-parse agree byte-for-byte.
+void expect_roundtrip(const PrecinctConfig& c, const std::string& label) {
+  const std::string first = core::config_to_string(c);
+  PrecinctConfig reread;
+  ASSERT_NO_THROW(reread = core::config_from_kv(
+                      support::KvFile::parse(first)))
+      << label << ":\n" << first;
+  const std::string second = core::config_to_string(reread);
+  EXPECT_EQ(first, second) << label;
+  EXPECT_NO_THROW(reread.validate()) << label;
+}
+
+/// The nine scenarios metrics_fingerprint.cpp runs, rebuilt here; keep in
+/// sync with examples/metrics_fingerprint.cpp.
+std::vector<std::pair<std::string, PrecinctConfig>> fingerprint_configs() {
+  const auto base = [](std::uint64_t seed) {
+    PrecinctConfig c;
+    c.n_nodes = 60;
+    c.warmup_s = 60;
+    c.measure_s = 240;
+    c.seed = seed;
+    return c;
+  };
+  std::vector<std::pair<std::string, PrecinctConfig>> out;
+  out.emplace_back("precinct_mobile_s7", base(7));
+  {
+    auto c = base(11);
+    c.retrieval = core::RetrievalKind::kFlooding;
+    c.measure_s = 150;
+    out.emplace_back("flooding_s11", c);
+  }
+  {
+    auto c = base(13);
+    c.retrieval = core::RetrievalKind::kExpandingRing;
+    c.measure_s = 150;
+    out.emplace_back("ring_s13", c);
+  }
+  {
+    auto c = base(17);
+    c.updates_enabled = true;
+    c.consistency = consistency::Mode::kPushAdaptivePull;
+    c.mean_update_interval_s = 45.0;
+    out.emplace_back("adaptive_pull_s17", c);
+  }
+  {
+    auto c = base(19);
+    c.updates_enabled = true;
+    c.consistency = consistency::Mode::kPlainPush;
+    c.mean_update_interval_s = 45.0;
+    c.measure_s = 150;
+    out.emplace_back("plain_push_s19", c);
+  }
+  {
+    auto c = base(23);
+    c.dynamic_regions = true;
+    c.crash_rate_per_s = 0.02;
+    c.join_rate_per_s = 0.02;
+    c.graceful_fraction = 0.5;
+    out.emplace_back("churn_dynamic_s23", c);
+  }
+  {
+    auto c = base(29);
+    c.n_nodes = 160;
+    c.area = {{0, 0}, {1800, 1800}};
+    c.regions_x = c.regions_y = 4;
+    c.measure_s = 120;
+    out.emplace_back("large_grid_s29", c);
+  }
+  {
+    auto c = base(31);
+    c.wireless.channel.model = "bernoulli";
+    c.wireless.channel.loss_p = 0.2;
+    c.request_retries = 3;
+    c.measure_s = 150;
+    out.emplace_back("bernoulli_loss_s31", c);
+  }
+  {
+    auto c = base(37);
+    c.wireless.channel.model = "gilbert-elliott";
+    c.request_retries = 2;
+    c.measure_s = 150;
+    out.emplace_back("gilbert_elliott_s37", c);
+  }
+  return out;
+}
+
+TEST(ConfigIo, FingerprintConfigsRoundTrip) {
+  for (const auto& [name, c] : fingerprint_configs()) {
+    expect_roundtrip(c, name);
+  }
+}
+
+TEST(ConfigIo, FuzzDrawnConfigsRoundTrip) {
+  for (const std::uint64_t seed : {42u, 43u, 44u}) {
+    const check::FuzzCase fc = check::draw_scenario(seed);
+    expect_roundtrip(fc.config, "fuzz case " + std::to_string(seed));
+  }
+}
+
+TEST(ConfigIo, BlackoutWindowsRoundTrip) {
+  PrecinctConfig c = test_util::grid_config();
+  c.wireless.channel.model = "scripted";
+  c.wireless.channel.blackouts.push_back({3, 25.0, 45.5});
+  c.wireless.channel.blackouts.push_back({11, 30.25, 60.0});
+  c.check = "net,custody";
+  c.check_stride = 7;
+  expect_roundtrip(c, "scripted blackouts");
+}
+
+TEST(ConfigIo, RoundTrippedConfigRunsByteIdentically) {
+  PrecinctConfig c = test_util::small_scenario();
+  c.measure_s = 30.0;
+  c.wireless.channel.model = "bernoulli";
+  c.wireless.channel.loss_p = 0.1;
+  c.request_retries = 2;
+  const PrecinctConfig reread =
+      core::config_from_kv(support::KvFile::parse(core::config_to_string(c)));
+  EXPECT_EQ(core::fingerprint(core::run_scenario(c)),
+            core::fingerprint(core::run_scenario(reread)));
+}
+
+TEST(ConfigIo, UnwritableConfigsThrow) {
+  {
+    PrecinctConfig c;
+    c.area = {{0.0, 0.0}, {800.0, 600.0}};  // non-square
+    EXPECT_THROW((void)core::config_to_string(c), std::invalid_argument);
+  }
+  {
+    PrecinctConfig c;
+    c.regions_x = 2;
+    c.regions_y = 3;
+    EXPECT_THROW((void)core::config_to_string(c), std::invalid_argument);
+  }
+  {
+    PrecinctConfig c;
+    channel::Partition p;
+    p.a = {{0.0, 0.0}, {400.0, 800.0}};
+    p.b = {{400.0, 0.0}, {800.0, 800.0}};
+    c.wireless.channel.partitions.push_back(p);
+    EXPECT_THROW((void)core::config_to_string(c), std::invalid_argument);
+  }
+}
+
+}  // namespace

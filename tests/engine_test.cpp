@@ -9,6 +9,7 @@
 #include <optional>
 
 #include "core/engine.hpp"
+#include "test_util.hpp"
 #include "core/config_io.hpp"
 #include "core/scenario.hpp"
 #include "mobility/static_placement.hpp"
@@ -23,111 +24,30 @@ using core::PrecinctConfig;
 using core::PrecinctEngine;
 using net::NodeId;
 
-struct EngineHarness {
-  explicit EngineHarness(PrecinctConfig cfg = base_config())
-      : config(std::move(cfg)),
-        catalog(config.catalog, support::hash_combine(config.seed, 0xCA7A)),
-        placement(grid_positions()),
-        net(sim, placement, config.wireless, config.energy_model, 1),
-        engine(config, sim, net,
-               geo::RegionTable::grid(config.area, 3, 3), catalog) {
-    engine.initialize();
-    engine.start_measurement();
-  }
-
-  static PrecinctConfig base_config() {
-    PrecinctConfig c;
-    c.area = {{0, 0}, {600, 600}};
-    c.n_nodes = 9;
-    c.mobile = false;
-    c.mean_request_interval_s = 1e12;  // no background workload
-    c.updates_enabled = false;
-    c.catalog.n_items = 40;
-    c.catalog.min_item_bytes = 1000;
-    c.catalog.max_item_bytes = 1000;
-    c.cache_fraction = 0.1;  // 4 items per peer
-    c.seed = 5;
-    return c;
-  }
-
-  /// One peer at each region center: node i in region i, all links only
-  /// between 4-adjacent centers (200 m apart, range 250 m).
-  static std::vector<geo::Point> grid_positions() {
-    std::vector<geo::Point> pts;
-    for (int iy = 0; iy < 3; ++iy) {
-      for (int ix = 0; ix < 3; ++ix) {
-        pts.push_back({100.0 + 200.0 * ix, 100.0 + 200.0 * iy});
-      }
-    }
-    return pts;
-  }
-
-  /// First catalog key whose home region is `region` (and, optionally,
-  /// whose replica region is `replica`).
-  std::optional<geo::Key> key_with_home(
-      geo::RegionId region,
-      std::optional<geo::RegionId> replica = std::nullopt) const {
-    for (std::size_t i = 0; i < catalog.size(); ++i) {
-      const geo::Key k = catalog.key_of(i);
-      if (engine.geo_hash().home_region(k, engine.region_table()) != region) {
-        continue;
-      }
-      if (replica.has_value() &&
-          engine.geo_hash().replica_region(k, engine.region_table()) !=
-              *replica) {
-        continue;
-      }
-      return k;
-    }
-    return std::nullopt;
-  }
-
-  NodeId custodian_of(geo::Key key) const {
-    const geo::RegionId home =
-        engine.geo_hash().home_region(key, engine.region_table());
-    for (NodeId i = 0; i < 9; ++i) {
-      if (engine.cache_of(i).find_static(key) != nullptr &&
-          engine.region_of(i) == home) {
-        return i;
-      }
-    }
-    return net::kNoNode;
-  }
-
-  void settle(double seconds = 6.0) { sim.run_until(sim.now() + seconds); }
-
-  PrecinctConfig config;
-  workload::DataCatalog catalog;
-  mobility::StaticPlacement placement;
-  sim::Simulator sim;
-  net::WirelessNet net;
-  PrecinctEngine engine;
-};
-
 TEST(Engine, InitialCustodyPlacedInHomeAndReplicaRegions) {
-  EngineHarness h;
+  test_util::GridHarness h;
   for (std::size_t i = 0; i < h.catalog.size(); ++i) {
     const geo::Key key = h.catalog.key_of(i);
-    EXPECT_EQ(h.engine.custody_count(key), 2u) << "key rank " << i;
+    EXPECT_EQ(h.engine().custody_count(key), 2u) << "key rank " << i;
     EXPECT_NE(h.custodian_of(key), net::kNoNode);
   }
 }
 
 TEST(Engine, EveryPeerKnowsItsRegion) {
-  EngineHarness h;
+  test_util::GridHarness h;
   for (NodeId i = 0; i < 9; ++i) {
-    EXPECT_EQ(h.engine.region_of(i), static_cast<geo::RegionId>(i));
+    EXPECT_EQ(h.engine().region_of(i), static_cast<geo::RegionId>(i));
   }
 }
 
 TEST(Engine, OwnCustodyServedLocally) {
-  EngineHarness h;
+  test_util::GridHarness h;
   const auto key = h.key_with_home(4);
   ASSERT_TRUE(key.has_value());
   const std::uint64_t sends_before = h.net.stats().total_sends();
-  h.engine.issue_request(4, *key);
+  h.engine().issue_request(4, *key);
   h.settle();
-  const auto& m = h.engine.metrics();
+  const auto& m = h.engine().metrics();
   EXPECT_EQ(m.requests_completed, 1u);
   EXPECT_EQ(m.own_cache_hits, 1u);
   EXPECT_EQ(h.net.stats().total_sends(), sends_before);  // zero radio traffic
@@ -135,49 +55,49 @@ TEST(Engine, OwnCustodyServedLocally) {
 }
 
 TEST(Engine, RemoteFetchServedByHomeRegion) {
-  EngineHarness h;
+  test_util::GridHarness h;
   const auto key = h.key_with_home(8);  // far corner from node 0
   ASSERT_TRUE(key.has_value());
-  ASSERT_NE(h.engine.region_of(0), 8u);
-  h.engine.issue_request(0, *key);
+  ASSERT_NE(h.engine().region_of(0), 8u);
+  h.engine().issue_request(0, *key);
   h.settle();
-  const auto& m = h.engine.metrics();
+  const auto& m = h.engine().metrics();
   EXPECT_EQ(m.requests_completed, 1u);
   EXPECT_EQ(m.home_region_hits + m.replica_hits + m.en_route_hits, 1u);
   EXPECT_EQ(m.requests_failed, 0u);
 }
 
 TEST(Engine, FetchedRemoteItemIsCachedThenServedLocally) {
-  EngineHarness h;
+  test_util::GridHarness h;
   // Pick a key whose home AND replica are both far from node 0's region 0
   // so the response cannot come from node 0's own region.
   std::optional<geo::Key> key;
   for (std::size_t i = 0; i < h.catalog.size(); ++i) {
     const geo::Key k = h.catalog.key_of(i);
-    const auto home = h.engine.geo_hash().home_region(k, h.engine.region_table());
+    const auto home = h.engine().geo_hash().home_region(k, h.engine().region_table());
     const auto repl =
-        h.engine.geo_hash().replica_region(k, h.engine.region_table());
+        h.engine().geo_hash().replica_region(k, h.engine().region_table());
     if (home != 0 && repl != 0) {
       key = k;
       break;
     }
   }
   ASSERT_TRUE(key.has_value());
-  h.engine.issue_request(0, *key);
+  h.engine().issue_request(0, *key);
   h.settle();
-  EXPECT_NE(h.engine.cache_of(0).find(*key), nullptr)
+  EXPECT_NE(h.engine().cache_of(0).find(*key), nullptr)
       << "remote item must be admitted to the dynamic cache";
   // Second request: served from own cache.
-  h.engine.issue_request(0, *key);
+  h.engine().issue_request(0, *key);
   h.settle();
-  EXPECT_EQ(h.engine.metrics().own_cache_hits, 1u);
+  EXPECT_EQ(h.engine().metrics().own_cache_hits, 1u);
 }
 
 TEST(Engine, AdmissionControlRejectsSameRegionOrigin) {
   // Two peers per region: the requester shares its region with the home
   // custodian, so the regional flood serves the request and §3.2 forbids
   // caching it ("it can be obtained locally for subsequent requests").
-  auto cfg = EngineHarness::base_config();
+  auto cfg = test_util::grid_config();
   cfg.n_nodes = 18;
   workload::DataCatalog catalog(cfg.catalog, 7);
   std::vector<geo::Point> pts;
@@ -224,18 +144,18 @@ TEST(Engine, AdmissionControlRejectsSameRegionOrigin) {
 }
 
 TEST(Engine, ReplicaServesAfterHomeCustodianDies) {
-  EngineHarness h;
+  test_util::GridHarness h;
   const auto key = h.key_with_home(8);
   ASSERT_TRUE(key.has_value());
   const NodeId home_custodian = h.custodian_of(*key);
   ASSERT_NE(home_custodian, net::kNoNode);
-  h.engine.fail_peer(home_custodian, /*graceful=*/false);
-  EXPECT_EQ(h.engine.custody_count(*key), 1u);  // replica remains
+  h.engine().fail_peer(home_custodian, /*graceful=*/false);
+  EXPECT_EQ(h.engine().custody_count(*key), 1u);  // replica remains
   // Request from a far peer; home region lookup times out, replica serves.
   const NodeId requester = home_custodian == 0 ? 1 : 0;
-  h.engine.issue_request(requester, *key);
+  h.engine().issue_request(requester, *key);
   h.settle(10.0);
-  const auto& m = h.engine.metrics();
+  const auto& m = h.engine().metrics();
   EXPECT_EQ(m.requests_completed, 1u);
   EXPECT_GE(m.replica_hits + m.en_route_hits, 1u);
 }
@@ -243,7 +163,7 @@ TEST(Engine, ReplicaServesAfterHomeCustodianDies) {
 TEST(Engine, GracefulDepartureHandsCustodyOff) {
   // Use a denser layout: two peers per region center area so a handoff
   // target exists.
-  auto cfg = EngineHarness::base_config();
+  auto cfg = test_util::grid_config();
   cfg.n_nodes = 18;
   workload::DataCatalog catalog(cfg.catalog, 7);
   std::vector<geo::Point> pts;
@@ -283,18 +203,18 @@ TEST(Engine, GracefulDepartureHandsCustodyOff) {
 }
 
 TEST(Engine, MultipleReplicasPlacedAndUpdated) {
-  auto cfg = EngineHarness::base_config();
+  auto cfg = test_util::grid_config();
   cfg.replica_count = 2;
   cfg.consistency = consistency::Mode::kPushAdaptivePull;
-  EngineHarness h(cfg);
+  test_util::GridHarness h(cfg);
   const geo::Key key = h.catalog.key_of(0);
-  EXPECT_EQ(h.engine.custody_count(key), 3u);  // home + 2 replicas
+  EXPECT_EQ(h.engine().custody_count(key), 3u);  // home + 2 replicas
   // An update must reach all three custodians.
-  h.engine.issue_update(4, key);
+  h.engine().issue_update(4, key);
   h.settle(8.0);
   std::size_t fresh = 0;
   for (net::NodeId i = 0; i < 9; ++i) {
-    if (const auto* e = h.engine.cache_of(i).find_static(key)) {
+    if (const auto* e = h.engine().cache_of(i).find_static(key)) {
       if (e->version == 1u) ++fresh;
     }
   }
@@ -302,61 +222,61 @@ TEST(Engine, MultipleReplicasPlacedAndUpdated) {
 }
 
 TEST(Engine, ZeroReplicasStillServesFromHome) {
-  auto cfg = EngineHarness::base_config();
+  auto cfg = test_util::grid_config();
   cfg.replica_count = 0;
-  EngineHarness h(cfg);
+  test_util::GridHarness h(cfg);
   const auto key = h.key_with_home(8);
   ASSERT_TRUE(key.has_value());
-  EXPECT_EQ(h.engine.custody_count(*key), 1u);
-  h.engine.issue_request(0, *key);
+  EXPECT_EQ(h.engine().custody_count(*key), 1u);
+  h.engine().issue_request(0, *key);
   h.settle();
-  EXPECT_EQ(h.engine.metrics().requests_completed, 1u);
+  EXPECT_EQ(h.engine().metrics().requests_completed, 1u);
 }
 
 TEST(Engine, PlainPushInvalidatesCaches) {
-  auto cfg = EngineHarness::base_config();
+  auto cfg = test_util::grid_config();
   cfg.consistency = consistency::Mode::kPlainPush;
-  EngineHarness h(cfg);
+  test_util::GridHarness h(cfg);
   // Warm node 0's cache with a remote item.
   std::optional<geo::Key> key;
   for (std::size_t i = 0; i < h.catalog.size(); ++i) {
     const geo::Key k = h.catalog.key_of(i);
-    const auto home = h.engine.geo_hash().home_region(k, h.engine.region_table());
+    const auto home = h.engine().geo_hash().home_region(k, h.engine().region_table());
     const auto repl =
-        h.engine.geo_hash().replica_region(k, h.engine.region_table());
+        h.engine().geo_hash().replica_region(k, h.engine().region_table());
     if (home != 0 && repl != 0) {
       key = k;
       break;
     }
   }
   ASSERT_TRUE(key.has_value());
-  h.engine.issue_request(0, *key);
+  h.engine().issue_request(0, *key);
   h.settle();
-  ASSERT_NE(h.engine.cache_of(0).find(*key), nullptr);
+  ASSERT_NE(h.engine().cache_of(0).find(*key), nullptr);
 
   // Update from some other peer floods an invalidation.
-  h.engine.issue_update(4, *key);
+  h.engine().issue_update(4, *key);
   h.settle();
-  const cache::CacheEntry* cached = h.engine.cache_of(0).find(*key);
+  const cache::CacheEntry* cached = h.engine().cache_of(0).find(*key);
   ASSERT_NE(cached, nullptr);
   EXPECT_TRUE(cached->invalidated);
   // Custodian applied the pushed version.
   const NodeId custodian = h.custodian_of(*key);
   ASSERT_NE(custodian, net::kNoNode);
-  EXPECT_EQ(h.engine.cache_of(custodian).find_static(*key)->version, 1u);
+  EXPECT_EQ(h.engine().cache_of(custodian).find_static(*key)->version, 1u);
 }
 
 TEST(Engine, PushReachesHomeAndReplicaCustodians) {
-  auto cfg = EngineHarness::base_config();
+  auto cfg = test_util::grid_config();
   cfg.consistency = consistency::Mode::kPushAdaptivePull;
-  EngineHarness h(cfg);
+  test_util::GridHarness h(cfg);
   const auto key = h.key_with_home(2);
   ASSERT_TRUE(key.has_value());
-  h.engine.issue_update(6, *key);  // far corner updater
+  h.engine().issue_update(6, *key);  // far corner updater
   h.settle(8.0);
   std::size_t fresh = 0;
   for (NodeId i = 0; i < 9; ++i) {
-    if (const auto* e = h.engine.cache_of(i).find_static(*key)) {
+    if (const auto* e = h.engine().cache_of(i).find_static(*key)) {
       if (e->version == 1u) ++fresh;
     }
   }
@@ -364,71 +284,71 @@ TEST(Engine, PushReachesHomeAndReplicaCustodians) {
 }
 
 TEST(Engine, PullEveryTimeRefetchesAfterUpdate) {
-  auto cfg = EngineHarness::base_config();
+  auto cfg = test_util::grid_config();
   cfg.consistency = consistency::Mode::kPullEveryTime;
   cfg.updates_enabled = true;
   cfg.mean_update_interval_s = 1e12;  // manual updates only
-  EngineHarness h(cfg);
+  test_util::GridHarness h(cfg);
   std::optional<geo::Key> key;
   for (std::size_t i = 0; i < h.catalog.size(); ++i) {
     const geo::Key k = h.catalog.key_of(i);
-    const auto home = h.engine.geo_hash().home_region(k, h.engine.region_table());
+    const auto home = h.engine().geo_hash().home_region(k, h.engine().region_table());
     const auto repl =
-        h.engine.geo_hash().replica_region(k, h.engine.region_table());
+        h.engine().geo_hash().replica_region(k, h.engine().region_table());
     if (home != 0 && repl != 0) {
       key = k;
       break;
     }
   }
   ASSERT_TRUE(key.has_value());
-  h.engine.issue_request(0, *key);
+  h.engine().issue_request(0, *key);
   h.settle();
-  ASSERT_NE(h.engine.cache_of(0).find(*key), nullptr);
+  ASSERT_NE(h.engine().cache_of(0).find(*key), nullptr);
 
-  h.engine.issue_update(4, *key);
+  h.engine().issue_update(4, *key);
   h.settle(8.0);
   // Request again: the poll discovers the new version; no false hit.
-  h.engine.issue_request(0, *key);
+  h.engine().issue_request(0, *key);
   h.settle(8.0);
-  const auto& m = h.engine.metrics();
+  const auto& m = h.engine().metrics();
   EXPECT_EQ(m.false_hits, 0u);
   EXPECT_GE(m.polls_sent, 1u);
-  const cache::CacheEntry* cached = h.engine.cache_of(0).find(*key);
+  const cache::CacheEntry* cached = h.engine().cache_of(0).find(*key);
   ASSERT_NE(cached, nullptr);
   EXPECT_EQ(cached->version, 1u) << "poll reply must refresh the copy";
 }
 
 TEST(Engine, AdaptivePullSkipsPollWithinTtr) {
-  auto cfg = EngineHarness::base_config();
+  auto cfg = test_util::grid_config();
   cfg.consistency = consistency::Mode::kPushAdaptivePull;
   cfg.ttr_initial_s = 1e6;  // effectively never expires
-  EngineHarness h(cfg);
+  test_util::GridHarness h(cfg);
   std::optional<geo::Key> key;
   for (std::size_t i = 0; i < h.catalog.size(); ++i) {
     const geo::Key k = h.catalog.key_of(i);
-    const auto home = h.engine.geo_hash().home_region(k, h.engine.region_table());
+    const auto home = h.engine().geo_hash().home_region(k, h.engine().region_table());
     const auto repl =
-        h.engine.geo_hash().replica_region(k, h.engine.region_table());
+        h.engine().geo_hash().replica_region(k, h.engine().region_table());
     if (home != 0 && repl != 0) {
       key = k;
       break;
     }
   }
   ASSERT_TRUE(key.has_value());
-  h.engine.issue_request(0, *key);
+  h.engine().issue_request(0, *key);
   h.settle();
-  const auto polls_before = h.engine.metrics().polls_sent;
-  h.engine.issue_request(0, *key);  // own-cache hit within TTR
+  const auto polls_before = h.engine().metrics().polls_sent;
+  h.engine().issue_request(0, *key);  // own-cache hit within TTR
   h.settle();
-  EXPECT_EQ(h.engine.metrics().polls_sent, polls_before);
-  EXPECT_EQ(h.engine.metrics().own_cache_hits, 1u);
+  EXPECT_EQ(h.engine().metrics().polls_sent, polls_before);
+  EXPECT_EQ(h.engine().metrics().own_cache_hits, 1u);
 }
 
 TEST(Engine, MeasurementWindowExcludesWarmupRequests) {
-  auto cfg = EngineHarness::base_config();
+  auto cfg = test_util::grid_config();
   workload::DataCatalog catalog(cfg.catalog, 7);
   sim::Simulator sim;
-  mobility::StaticPlacement placement(EngineHarness::grid_positions());
+  mobility::StaticPlacement placement(test_util::grid_positions());
   net::WirelessNet net(sim, placement, cfg.wireless, cfg.energy_model, 1);
   PrecinctEngine engine(cfg, sim, net,
                         geo::RegionTable::grid(cfg.area, 3, 3), catalog);
@@ -445,173 +365,173 @@ TEST(Engine, MeasurementWindowExcludesWarmupRequests) {
 }
 
 TEST(Engine, FailedRequestsCounted) {
-  EngineHarness h;
+  test_util::GridHarness h;
   // Kill both custodians of a key and everything it could be cached at,
   // then request it: the search must fail, not hang.
   const auto key = h.key_with_home(8);
   ASSERT_TRUE(key.has_value());
   for (NodeId i = 0; i < 9; ++i) {
-    if (h.engine.cache_of(i).find_static(*key) != nullptr) {
-      h.engine.fail_peer(i, /*graceful=*/false);
+    if (h.engine().cache_of(i).find_static(*key) != nullptr) {
+      h.engine().fail_peer(i, /*graceful=*/false);
     }
   }
-  EXPECT_EQ(h.engine.custody_count(*key), 0u);
-  h.engine.issue_request(0, *key);
+  EXPECT_EQ(h.engine().custody_count(*key), 0u);
+  h.engine().issue_request(0, *key);
   h.settle(15.0);
-  const auto& m = h.engine.metrics();
+  const auto& m = h.engine().metrics();
   EXPECT_EQ(m.requests_failed, 1u);
   EXPECT_EQ(m.requests_completed, 0u);
-  EXPECT_EQ(h.engine.pending_requests(), 0u);
+  EXPECT_EQ(h.engine().pending_requests(), 0u);
 }
 
 TEST(Engine, EnergyIsChargedForRemoteTraffic) {
-  EngineHarness h;
+  test_util::GridHarness h;
   const auto key = h.key_with_home(8);
   ASSERT_TRUE(key.has_value());
-  h.engine.issue_request(0, *key);
+  h.engine().issue_request(0, *key);
   h.settle();
   EXPECT_GT(h.net.energy().network_total().total_mj(), 0.0);
 }
 
 TEST(Engine, MergeRegionsRelocatesCustodyAndFloodsTable) {
-  EngineHarness h;
-  const auto table_version = h.engine.region_table().version();
+  test_util::GridHarness h;
+  const auto table_version = h.engine().region_table().version();
   const auto sends_before =
       h.net.stats().sends(net::PacketKind::kRegionUpdate);
   // Merge regions 0 and 1 (adjacent cells).
-  const auto merged = h.engine.merge_regions(0, 1, /*initiator=*/4);
+  const auto merged = h.engine().merge_regions(0, 1, /*initiator=*/4);
   ASSERT_TRUE(merged.has_value());
   h.settle(8.0);
-  EXPECT_EQ(h.engine.region_table().size(), 8u);
-  EXPECT_GT(h.engine.region_table().version(), table_version);
+  EXPECT_EQ(h.engine().region_table().size(), 8u);
+  EXPECT_GT(h.engine().region_table().version(), table_version);
   // The change was flooded.
   EXPECT_GT(h.net.stats().sends(net::PacketKind::kRegionUpdate),
             sends_before);
   // Peers re-derived their regions: nodes 0 and 1 now share one region.
-  EXPECT_EQ(h.engine.region_of(0), h.engine.region_of(1));
+  EXPECT_EQ(h.engine().region_of(0), h.engine().region_of(1));
   // Every key is still held by at least one custodian in its (new) home
   // or replica regions; none lost more than transiently.
   std::size_t orphaned = 0;
   for (std::size_t i = 0; i < h.catalog.size(); ++i) {
-    if (h.engine.custody_count(h.catalog.key_of(i)) == 0) ++orphaned;
+    if (h.engine().custody_count(h.catalog.key_of(i)) == 0) ++orphaned;
   }
   EXPECT_EQ(orphaned, 0u);
   // Requests still succeed after the reconfiguration.
-  h.engine.issue_request(8, h.catalog.key_of(0));
+  h.engine().issue_request(8, h.catalog.key_of(0));
   h.settle(8.0);
-  EXPECT_GE(h.engine.metrics().requests_completed, 1u);
+  EXPECT_GE(h.engine().metrics().requests_completed, 1u);
 }
 
 TEST(Engine, SeparateRegionSplitsAndKeepsServing) {
-  EngineHarness h;
-  const auto halves = h.engine.separate_region(4, /*initiator=*/4);
+  test_util::GridHarness h;
+  const auto halves = h.engine().separate_region(4, /*initiator=*/4);
   ASSERT_TRUE(halves.has_value());
   h.settle(8.0);
-  EXPECT_EQ(h.engine.region_table().size(), 10u);
+  EXPECT_EQ(h.engine().region_table().size(), 10u);
   std::size_t orphaned = 0;
   for (std::size_t i = 0; i < h.catalog.size(); ++i) {
-    if (h.engine.custody_count(h.catalog.key_of(i)) == 0) ++orphaned;
+    if (h.engine().custody_count(h.catalog.key_of(i)) == 0) ++orphaned;
   }
   EXPECT_EQ(orphaned, 0u);
-  h.engine.issue_request(0, h.catalog.key_of(1));
+  h.engine().issue_request(0, h.catalog.key_of(1));
   h.settle(8.0);
-  EXPECT_GE(h.engine.metrics().requests_completed, 1u);
+  EXPECT_GE(h.engine().metrics().requests_completed, 1u);
 }
 
 TEST(Engine, MergeUnknownRegionsRejected) {
-  EngineHarness h;
-  EXPECT_FALSE(h.engine.merge_regions(0, 0, 0).has_value());
-  EXPECT_FALSE(h.engine.merge_regions(0, 99, 0).has_value());
-  EXPECT_EQ(h.engine.region_table().size(), 9u);
+  test_util::GridHarness h;
+  EXPECT_FALSE(h.engine().merge_regions(0, 0, 0).has_value());
+  EXPECT_FALSE(h.engine().merge_regions(0, 99, 0).has_value());
+  EXPECT_EQ(h.engine().region_table().size(), 9u);
 }
 
 TEST(Engine, RegionPopulationCountsLivePeers) {
-  EngineHarness h;
-  EXPECT_EQ(h.engine.region_population(3), 1u);
-  h.engine.fail_peer(3, /*graceful=*/false);
-  EXPECT_EQ(h.engine.region_population(3), 0u);
+  test_util::GridHarness h;
+  EXPECT_EQ(h.engine().region_population(3), 1u);
+  h.engine().fail_peer(3, /*graceful=*/false);
+  EXPECT_EQ(h.engine().region_population(3), 0u);
 }
 
 TEST(Engine, BeaconModeDiscoversNeighborsAndServes) {
-  auto cfg = EngineHarness::base_config();
+  auto cfg = test_util::grid_config();
   cfg.use_beacons = true;
   cfg.beacon_interval_s = 0.5;
   cfg.neighbor_lifetime_s = 1.5;
-  EngineHarness h(cfg);
+  test_util::GridHarness h(cfg);
   // Give the fleet a few beacon rounds, then fetch something remote.
   h.settle(3.0);
   EXPECT_GT(h.net.stats().sends(net::PacketKind::kBeacon), 9u * 2u);
   const auto key = h.key_with_home(8);
   ASSERT_TRUE(key.has_value());
-  h.engine.issue_request(0, *key);
+  h.engine().issue_request(0, *key);
   h.settle(8.0);
-  EXPECT_EQ(h.engine.metrics().requests_completed, 1u)
+  EXPECT_EQ(h.engine().metrics().requests_completed, 1u)
       << "GPSR over beacon tables must still deliver";
 }
 
 TEST(Engine, RevivedPeerStartsCold) {
-  EngineHarness h;
+  test_util::GridHarness h;
   // Warm node 0's cache, then crash + revive it.
   std::optional<geo::Key> key;
   for (std::size_t i = 0; i < h.catalog.size(); ++i) {
     const geo::Key k = h.catalog.key_of(i);
-    const auto home = h.engine.geo_hash().home_region(k, h.engine.region_table());
+    const auto home = h.engine().geo_hash().home_region(k, h.engine().region_table());
     const auto repl =
-        h.engine.geo_hash().replica_region(k, h.engine.region_table());
+        h.engine().geo_hash().replica_region(k, h.engine().region_table());
     if (home != 0 && repl != 0) {
       key = k;
       break;
     }
   }
   ASSERT_TRUE(key.has_value());
-  h.engine.issue_request(0, *key);
+  h.engine().issue_request(0, *key);
   h.settle();
-  ASSERT_NE(h.engine.cache_of(0).find(*key), nullptr);
+  ASSERT_NE(h.engine().cache_of(0).find(*key), nullptr);
 
-  h.engine.fail_peer(0, /*graceful=*/false);
+  h.engine().fail_peer(0, /*graceful=*/false);
   h.settle(1.0);
-  h.engine.revive_peer(0);
+  h.engine().revive_peer(0);
   EXPECT_TRUE(h.net.is_alive(0));
-  EXPECT_EQ(h.engine.cache_of(0).entry_count(), 0u);
-  EXPECT_EQ(h.engine.cache_of(0).static_count(), 0u);
+  EXPECT_EQ(h.engine().cache_of(0).entry_count(), 0u);
+  EXPECT_EQ(h.engine().cache_of(0).static_count(), 0u);
   // The revived peer can still fetch.
-  h.engine.issue_request(0, *key);
+  h.engine().issue_request(0, *key);
   h.settle(8.0);
-  EXPECT_GE(h.engine.metrics().requests_completed, 2u);
+  EXPECT_GE(h.engine().metrics().requests_completed, 2u);
 }
 
 TEST(Engine, ReviveIsIdempotentOnLivePeer) {
-  EngineHarness h;
-  h.engine.revive_peer(3);  // already alive: no-op
+  test_util::GridHarness h;
+  h.engine().revive_peer(3);  // already alive: no-op
   EXPECT_TRUE(h.net.is_alive(3));
 }
 
 TEST(Engine, PrefetchWarmsCacheWithoutCountingRequests) {
-  auto cfg = EngineHarness::base_config();
+  auto cfg = test_util::grid_config();
   cfg.prefetch_count = 3;
-  EngineHarness h(cfg);
+  test_util::GridHarness h(cfg);
   // A single remote fetch should trigger background prefetches.
   const auto key = h.key_with_home(8);
   ASSERT_TRUE(key.has_value());
-  h.engine.issue_request(0, *key);
+  h.engine().issue_request(0, *key);
   h.settle(10.0);
-  const auto& m = h.engine.metrics();
+  const auto& m = h.engine().metrics();
   EXPECT_EQ(m.requests_issued, 1u) << "prefetches must not count";
   EXPECT_LE(m.requests_completed, 1u);
   // The peer now holds extra hot items beyond the one it asked for.
-  std::size_t held = h.engine.cache_of(0).entry_count();
+  std::size_t held = h.engine().cache_of(0).entry_count();
   EXPECT_GE(held, 2u) << "prefetched items should be cached";
 }
 
 TEST(Engine, LatencyBreakdownByHitClass) {
-  EngineHarness h;
+  test_util::GridHarness h;
   const auto own_key = h.key_with_home(4);
   const auto remote_key = h.key_with_home(8);
   ASSERT_TRUE(own_key.has_value() && remote_key.has_value());
-  h.engine.issue_request(4, *own_key);   // own custody: ~0 latency
-  h.engine.issue_request(0, *remote_key);  // remote: radio latency
+  h.engine().issue_request(4, *own_key);   // own custody: ~0 latency
+  h.engine().issue_request(0, *remote_key);  // remote: radio latency
   h.settle(10.0);
-  const auto& m = h.engine.metrics();
+  const auto& m = h.engine().metrics();
   const auto& own =
       m.latency_by_class[static_cast<std::size_t>(core::HitClass::kOwnCache)];
   ASSERT_EQ(own.count(), 1u);
@@ -625,44 +545,44 @@ TEST(Engine, LatencyBreakdownByHitClass) {
 }
 
 TEST(Engine, EnergyBreakdownSumsToTotal) {
-  EngineHarness h;
+  test_util::GridHarness h;
   const auto key = h.key_with_home(8);
   ASSERT_TRUE(key.has_value());
-  h.engine.issue_request(0, *key);
+  h.engine().issue_request(0, *key);
   h.settle(10.0);
   h.sim.run_until(h.sim.now() + 1.0);
-  const auto m = h.engine.finalize();
+  const auto m = h.engine().finalize();
   EXPECT_GT(m.energy_total_mj, 0.0);
   EXPECT_NEAR(m.energy_broadcast_mj + m.energy_p2p_mj, m.energy_total_mj,
               1e-9);
 }
 
 TEST(Engine, FloodingBaselineServesRequests) {
-  auto cfg = EngineHarness::base_config();
+  auto cfg = test_util::grid_config();
   cfg.retrieval = core::RetrievalKind::kFlooding;
-  EngineHarness h(cfg);
+  test_util::GridHarness h(cfg);
   const auto key = h.key_with_home(8);
   ASSERT_TRUE(key.has_value());
-  h.engine.issue_request(0, *key);
+  h.engine().issue_request(0, *key);
   h.settle(8.0);
-  EXPECT_EQ(h.engine.metrics().requests_completed, 1u);
+  EXPECT_EQ(h.engine().metrics().requests_completed, 1u);
   // The flood touched (nearly) the whole network.
   EXPECT_GT(h.net.stats().sends(net::PacketKind::kRequest), 5u);
 }
 
 TEST(Engine, ExpandingRingGrowsUntilFound) {
-  auto cfg = EngineHarness::base_config();
+  auto cfg = test_util::grid_config();
   cfg.retrieval = core::RetrievalKind::kExpandingRing;
   cfg.ring.retry_wait_s = 0.3;
-  EngineHarness h(cfg);
+  test_util::GridHarness h(cfg);
   // Far corner key: ring TTL 1 cannot reach it from node 0; the search
   // must widen and eventually succeed.
   const auto key = h.key_with_home(8);
   ASSERT_TRUE(key.has_value());
   if (h.custodian_of(*key) == 0) GTEST_SKIP();
-  h.engine.issue_request(0, *key);
+  h.engine().issue_request(0, *key);
   h.settle(12.0);
-  const auto& m = h.engine.metrics();
+  const auto& m = h.engine().metrics();
   EXPECT_EQ(m.requests_completed, 1u);
   // At least two rings fired (the first TTL-1 probe plus a wider one).
   EXPECT_GE(h.net.stats().sends(net::PacketKind::kRequest), 2u);
@@ -734,25 +654,25 @@ TEST(Engine, HotspotRotationShiftsRequestedKeys) {
 }
 
 TEST(Engine, PiggybackSuppressesBeaconsWithoutBreakingDelivery) {
-  auto cfg = EngineHarness::base_config();
+  auto cfg = test_util::grid_config();
   cfg.use_beacons = true;
   cfg.beacon_interval_s = 0.5;
   cfg.neighbor_lifetime_s = 1.5;
   cfg.beacon_piggyback = false;
-  EngineHarness plain(cfg);
+  test_util::GridHarness plain(cfg);
   plain.settle(5.0);
   const auto plain_beacons = plain.net.stats().sends(net::PacketKind::kBeacon);
 
   cfg.beacon_piggyback = true;
-  EngineHarness piggy(cfg);
+  test_util::GridHarness piggy(cfg);
   piggy.settle(5.0);
   // Generate some traffic so piggybacking has frames to ride on, then
   // watch beacons over the same horizon.
   const auto key = piggy.key_with_home(8);
   ASSERT_TRUE(key.has_value());
-  piggy.engine.issue_request(0, *key);
+  piggy.engine().issue_request(0, *key);
   piggy.settle(8.0);
-  EXPECT_EQ(piggy.engine.metrics().requests_completed, 1u);
+  EXPECT_EQ(piggy.engine().metrics().requests_completed, 1u);
   // With traffic substituting for announcements, piggyback never sends
   // MORE beacons than plain mode did over a longer horizon.
   EXPECT_LE(piggy.net.stats().sends(net::PacketKind::kBeacon),

@@ -1,0 +1,191 @@
+// Correctness-harness tests (DESIGN.md §10): the invariant checker is
+// observe-only yet catches deliberately broken state with a structured,
+// replayable violation, and the property-based scenario fuzzer's
+// generator + metamorphic properties hold on a sample of seeds.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "check/invariant_checker.hpp"
+#include "check/invariant_violation.hpp"
+#include "check/scenario_fuzz.hpp"
+#include "core/config_io.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using namespace precinct;
+using core::PrecinctConfig;
+
+// ---------------------------------------------------------------------------
+// Category parsing
+// ---------------------------------------------------------------------------
+
+TEST(CheckCategories, ParsesAllAndSubsets) {
+  EXPECT_EQ(check::parse_categories(""), check::kNoCategories);
+  EXPECT_EQ(check::parse_categories("all"), check::kAllCategories);
+  const check::CategoryMask m = check::parse_categories("net,custody,energy");
+  EXPECT_TRUE(check::has(m, check::Category::kNet));
+  EXPECT_TRUE(check::has(m, check::Category::kCustody));
+  EXPECT_TRUE(check::has(m, check::Category::kEnergy));
+  EXPECT_FALSE(check::has(m, check::Category::kCache));
+  EXPECT_FALSE(check::has(m, check::Category::kPending));
+}
+
+TEST(CheckCategories, RejectsUnknownTokens) {
+  try {
+    (void)check::parse_categories("net,warp");
+    FAIL() << "unknown token accepted";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("unknown category 'warp'"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Observe-only contract + violation catching
+// ---------------------------------------------------------------------------
+
+/// The checker must not perturb the run: metrics with checks on are
+/// byte-identical to checks off (the fingerprint includes
+/// events_executed, so even scheduling must be untouched).
+TEST(InvariantChecker, ChecksOnIsByteIdenticalToChecksOff) {
+  PrecinctConfig off = test_util::small_scenario();
+  off.measure_s = 30.0;
+  PrecinctConfig on = off;
+  on.check = "all";
+  on.check_stride = 1;
+  EXPECT_EQ(core::fingerprint(core::run_scenario(off)),
+            core::fingerprint(core::run_scenario(on)));
+}
+
+TEST(InvariantChecker, AuditsRunDuringACheckedScenario) {
+  auto cfg = test_util::grid_config();
+  cfg.check = "all";
+  cfg.check_stride = 1;
+  test_util::GridHarness h(cfg);
+  const auto key = h.key_with_home(8);
+  ASSERT_TRUE(key.has_value());
+  h.engine().issue_request(0, *key);
+  h.settle();
+  ASSERT_NE(h.engine().checker(), nullptr);
+  EXPECT_GT(h.engine().checker()->audits_run(), 0u);
+}
+
+TEST(InvariantChecker, NoCheckerInstalledWhenCheckEmpty) {
+  test_util::GridHarness h;
+  EXPECT_EQ(h.engine().checker(), nullptr);
+}
+
+/// Deliberately corrupt a peer's cache (a key the catalog has never
+/// heard of) and prove the checker catches it with a structured
+/// violation, then write the replayable repro file.
+TEST(InvariantChecker, CatchesDeliberateCorruptionAndWritesRepro) {
+  auto cfg = test_util::grid_config();
+  cfg.check = "all";
+  cfg.check_stride = 1;
+  test_util::GridHarness h(cfg);
+
+  cache::CacheEntry bogus;
+  bogus.key = 0xDEADBEEFu;  // hashed keys; never a catalog rank hash
+  bogus.size_bytes = 1000;
+  h.engine().mutable_cache_of(2).put_static(bogus);
+
+  const auto key = h.key_with_home(8);
+  ASSERT_TRUE(key.has_value());
+  h.engine().issue_request(0, *key);  // remote lookup -> events -> audits
+
+  bool caught = false;
+  try {
+    h.settle();
+  } catch (const check::InvariantViolation& e) {
+    caught = true;
+    EXPECT_EQ(e.category(), check::Category::kCache);
+    EXPECT_EQ(e.node(), 2u);
+    EXPECT_NE(std::string(e.what()).find("absent from the catalog"),
+              std::string::npos)
+        << e.what();
+
+    check::FuzzCase fc;
+    fc.config = cfg;
+    fc.case_seed = 99;
+    const std::string dir =
+        (std::filesystem::temp_directory_path() / "precinct_repro_test")
+            .string();
+    const std::string path = check::write_repro(fc, dir, e.what());
+    // The repro is a loadable config that replays with checks on.
+    const PrecinctConfig replay = core::config_from_file(path);
+    EXPECT_EQ(replay.check, "all");
+    EXPECT_EQ(replay.check_stride, 1u);
+    EXPECT_EQ(replay.seed, cfg.seed);
+    std::ifstream in(path);
+    std::stringstream text;
+    text << in.rdbuf();
+    EXPECT_NE(text.str().find("# scenario-fuzz repro"), std::string::npos);
+    EXPECT_NE(text.str().find("absent from the catalog"), std::string::npos);
+    std::filesystem::remove_all(dir);
+  }
+  EXPECT_TRUE(caught) << "corrupted cache was not flagged";
+}
+
+// ---------------------------------------------------------------------------
+// Scenario fuzzer
+// ---------------------------------------------------------------------------
+
+TEST(ScenarioFuzz, DrawIsDeterministic) {
+  for (const std::uint64_t seed : {1u, 2u, 3u}) {
+    const check::FuzzCase a = check::draw_scenario(seed);
+    const check::FuzzCase b = check::draw_scenario(seed);
+    EXPECT_EQ(a.property, b.property);
+    EXPECT_EQ(core::config_to_string(a.config),
+              core::config_to_string(b.config));
+  }
+}
+
+TEST(ScenarioFuzz, DrawsAreValidatedAndChecked) {
+  int rejected = 0;
+  for (std::uint64_t seed = 1; seed <= 24; ++seed) {
+    const check::FuzzCase fc = check::draw_scenario(seed);
+    EXPECT_NO_THROW(fc.config.validate()) << "seed " << seed;
+    EXPECT_EQ(fc.config.check, "all") << "seed " << seed;
+    rejected += fc.draws_rejected;
+    if (fc.property == check::Property::kNoRetryNoResend) {
+      EXPECT_EQ(fc.config.request_retries, 0);
+      EXPECT_EQ(fc.config.push_retries, 0);
+    }
+  }
+  // The generator deliberately draws invalid combinations; over 24 seeds
+  // the validate() filter must have fired at least once.
+  EXPECT_GT(rejected, 0);
+}
+
+TEST(ScenarioFuzz, PropertiesRotateAcrossSeeds) {
+  bool seen[check::kPropertyCount] = {};
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    seen[static_cast<std::size_t>(check::draw_scenario(seed).property)] = true;
+  }
+  for (std::size_t i = 0; i < check::kPropertyCount; ++i) {
+    EXPECT_TRUE(seen[i]) << check::to_string(static_cast<check::Property>(i));
+  }
+}
+
+/// One full fuzz case per property, end to end.  The CI invariant-fuzz
+/// step runs the 64-scenario batch via the precinct_fuzz tool; this keeps
+/// the harness itself under test in every ctest run.
+TEST(ScenarioFuzz, SampleCasesHoldTheirProperties) {
+  for (const std::uint64_t seed : {3u, 4u, 5u}) {
+    const check::FuzzCase fc = check::draw_scenario(seed);
+    const check::FuzzVerdict verdict = check::run_fuzz_case(fc);
+    EXPECT_TRUE(verdict.ok) << "case " << seed << " ["
+                            << check::to_string(fc.property) << "]\n"
+                            << verdict.detail;
+  }
+}
+
+}  // namespace

@@ -7,6 +7,7 @@
 #include <map>
 
 #include "core/scenario.hpp"
+#include "test_util.hpp"
 
 namespace {
 
@@ -14,33 +15,20 @@ using namespace precinct;
 using core::Metrics;
 using core::PrecinctConfig;
 
-PrecinctConfig small_mobile(std::uint64_t seed = 3) {
-  PrecinctConfig c;
-  c.n_nodes = 60;
-  c.warmup_s = 100;
-  c.measure_s = 400;
-  c.seed = seed;
-  return c;
-}
-
-Metrics run_avg(PrecinctConfig c, std::size_t seeds = 3) {
-  return core::merge_metrics(core::run_seeds(c, seeds));
-}
-
 TEST(Integration, HighSuccessRatioUnderMobility) {
-  const auto m = run_avg(small_mobile());
+  const auto m = test_util::run_avg(test_util::small_mobile());
   EXPECT_GT(m.success_ratio(), 0.93);
   EXPECT_GT(m.requests_issued, 500u);
 }
 
 TEST(Integration, CacheImprovesLatencyAndTraffic) {
-  auto with = small_mobile();
+  auto with = test_util::small_mobile();
   with.mean_request_interval_s = 10.0;  // enough traffic for hits to pay off
   with.cache_fraction = 0.03;
   auto without = with;
   without.cache_fraction = 0.0;
-  const auto mw = run_avg(with);
-  const auto mo = run_avg(without);
+  const auto mw = test_util::run_avg(with);
+  const auto mo = test_util::run_avg(without);
   EXPECT_LT(mw.avg_latency_s(), mo.avg_latency_s());
   EXPECT_GT(mw.byte_hit_ratio(), mo.byte_hit_ratio());
 }
@@ -48,10 +36,10 @@ TEST(Integration, CacheImprovesLatencyAndTraffic) {
 TEST(Integration, ByteHitRatioGrowsWithCacheSize) {
   double prev = -1.0;
   for (const double frac : {0.005, 0.015, 0.025}) {
-    auto c = small_mobile();
+    auto c = test_util::small_mobile();
     c.mean_request_interval_s = 10.0;  // enough distinct items to contend
     c.cache_fraction = frac;
-    const auto m = run_avg(c);
+    const auto m = test_util::run_avg(c);
     EXPECT_GT(m.byte_hit_ratio(), prev) << "fraction " << frac;
     prev = m.byte_hit_ratio();
   }
@@ -59,14 +47,14 @@ TEST(Integration, ByteHitRatioGrowsWithCacheSize) {
 
 TEST(Integration, GdLdBeatsGdSizeOnByteHitRatio) {
   // The paper's Fig 5 headline at one operating point.
-  auto gdld = small_mobile();
+  auto gdld = test_util::small_mobile();
   gdld.mean_request_interval_s = 10.0;  // cache must be contended
   gdld.cache_policy = "gd-ld";
   gdld.cache_fraction = 0.015;
   auto gdsize = gdld;
   gdsize.cache_policy = "gd-size";
-  const auto m1 = run_avg(gdld, 4);
-  const auto m2 = run_avg(gdsize, 4);
+  const auto m1 = test_util::run_avg(gdld, 4);
+  const auto m2 = test_util::run_avg(gdsize, 4);
   EXPECT_GT(m1.byte_hit_ratio(), m2.byte_hit_ratio());
 }
 
@@ -83,8 +71,8 @@ TEST(Integration, PrecinctUsesLessEnergyThanFlooding) {
   c.catalog.max_item_bytes = 64;
   auto flood = c;
   flood.retrieval = core::RetrievalKind::kFlooding;
-  const auto mp = run_avg(c);
-  const auto mf = run_avg(flood);
+  const auto mp = test_util::run_avg(c);
+  const auto mf = test_util::run_avg(flood);
   ASSERT_GT(mp.requests_completed, 100u);
   ASSERT_GT(mf.requests_completed, 100u);
   EXPECT_LT(mp.energy_per_request_mj(), mf.energy_per_request_mj());
@@ -104,15 +92,15 @@ TEST(Integration, ExpandingRingCheaperThanFloodingSlowerThanPrecinct) {
   ring.retrieval = core::RetrievalKind::kExpandingRing;
   auto flood = c;
   flood.retrieval = core::RetrievalKind::kFlooding;
-  const auto mr = run_avg(ring);
-  const auto mf = run_avg(flood);
+  const auto mr = test_util::run_avg(ring);
+  const auto mf = test_util::run_avg(flood);
   EXPECT_LT(mr.energy_per_request_mj(), mf.energy_per_request_mj());
   EXPECT_GT(mr.avg_latency_s(), mf.avg_latency_s());  // ring retries cost time
 }
 
 TEST(Integration, ConsistencyOverheadOrdering) {
   // Paper Fig 6: Plain-Push >> Pull-Every-time > Push-with-Adaptive-Pull.
-  auto base = small_mobile();
+  auto base = test_util::small_mobile();
   base.updates_enabled = true;
   base.mean_update_interval_s = 60.0;  // Tupdate/Trequest = 2
   std::map<consistency::Mode, std::uint64_t> overhead;
@@ -121,7 +109,7 @@ TEST(Integration, ConsistencyOverheadOrdering) {
         consistency::Mode::kPushAdaptivePull}) {
     auto c = base;
     c.consistency = mode;
-    overhead[mode] = run_avg(c).consistency_messages;
+    overhead[mode] = test_util::run_avg(c).consistency_messages;
   }
   EXPECT_GT(overhead[consistency::Mode::kPlainPush],
             overhead[consistency::Mode::kPullEveryTime]);
@@ -131,7 +119,7 @@ TEST(Integration, ConsistencyOverheadOrdering) {
 
 TEST(Integration, AdaptivePullHasHighestButSmallFalseHitRatio) {
   // Paper Fig 7: FHR(adaptive) >= FHR(others), and small (<~2 %).
-  auto base = small_mobile();
+  auto base = test_util::small_mobile();
   base.updates_enabled = true;
   base.mean_update_interval_s = 30.0;  // highest update rate
   std::map<consistency::Mode, double> fhr;
@@ -140,7 +128,7 @@ TEST(Integration, AdaptivePullHasHighestButSmallFalseHitRatio) {
         consistency::Mode::kPushAdaptivePull}) {
     auto c = base;
     c.consistency = mode;
-    fhr[mode] = run_avg(c, 4).false_hit_ratio();
+    fhr[mode] = test_util::run_avg(c, 4).false_hit_ratio();
   }
   EXPECT_GE(fhr[consistency::Mode::kPushAdaptivePull],
             fhr[consistency::Mode::kPullEveryTime]);
@@ -151,7 +139,7 @@ TEST(Integration, AdaptivePullHasHighestButSmallFalseHitRatio) {
 TEST(Integration, PullEveryTimeHasHighestLatency) {
   // Paper Fig 8.  A faster request rate raises the cached-serve share,
   // which is where Pull-Every-time pays its validation round trip.
-  auto base = small_mobile();
+  auto base = test_util::small_mobile();
   base.mean_request_interval_s = 10.0;
   base.cache_fraction = 0.03;
   base.updates_enabled = true;
@@ -162,7 +150,7 @@ TEST(Integration, PullEveryTimeHasHighestLatency) {
         consistency::Mode::kPushAdaptivePull}) {
     auto c = base;
     c.consistency = mode;
-    latency[mode] = run_avg(c, 4).avg_latency_s();
+    latency[mode] = test_util::run_avg(c, 4).avg_latency_s();
   }
   EXPECT_GT(latency[consistency::Mode::kPullEveryTime],
             latency[consistency::Mode::kPushAdaptivePull]);
@@ -183,7 +171,7 @@ TEST(Integration, SimulationTracksTheoryForPrecinctEnergy) {
   c.measure_s = 400;
   c.catalog.min_item_bytes = 64;
   c.catalog.max_item_bytes = 64;
-  const auto m = run_avg(c);
+  const auto m = test_util::run_avg(c);
   analysis::EnergyAnalysisParams p;
   p.n_nodes = 40;
   p.area = c.area;
@@ -196,32 +184,32 @@ TEST(Integration, SimulationTracksTheoryForPrecinctEnergy) {
 }
 
 TEST(Integration, ChurnSteadyStateStaysAvailable) {
-  auto c = small_mobile();
+  auto c = test_util::small_mobile();
   c.crash_rate_per_s = 0.05;
   c.join_rate_per_s = 0.05;  // crashes balanced by rejoins
   c.graceful_fraction = 0.3;
-  const auto m = run_avg(c);
+  const auto m = test_util::run_avg(c);
   EXPECT_GT(m.success_ratio(), 0.85);
   EXPECT_GT(m.requests_completed, 300u);
 }
 
 TEST(Integration, SurvivesContinuousCrashes) {
-  auto c = small_mobile();
+  auto c = test_util::small_mobile();
   c.crash_rate_per_s = 0.02;  // one crash every ~50 s
   c.graceful_fraction = 0.5;
-  const auto m = run_avg(c);
+  const auto m = test_util::run_avg(c);
   EXPECT_GT(m.success_ratio(), 0.8);
   EXPECT_GT(m.requests_completed, 200u);
 }
 
 TEST(Integration, ReplicationImprovesAvailabilityUnderCrashes) {
-  auto with = small_mobile();
+  auto with = test_util::small_mobile();
   with.crash_rate_per_s = 0.05;
   with.graceful_fraction = 0.0;  // sudden deaths only
   auto without = with;
   without.replica_count = 0;
-  const auto mw = run_avg(with, 4);
-  const auto mo = run_avg(without, 4);
+  const auto mw = test_util::run_avg(with, 4);
+  const auto mo = test_util::run_avg(without, 4);
   EXPECT_GT(mw.success_ratio(), mo.success_ratio());
 }
 
@@ -241,8 +229,8 @@ TEST(Integration, MoreRegionsReduceEnergyPerRequest) {
   few.replica_count = 0;  // a single region cannot host a replica
   auto many = c;
   many.regions_x = many.regions_y = 4;
-  const auto mf = run_avg(few);
-  const auto mm = run_avg(many);
+  const auto mf = test_util::run_avg(few);
+  const auto mm = test_util::run_avg(many);
   EXPECT_LT(mm.energy_per_request_mj(), mf.energy_per_request_mj());
 }
 
@@ -258,16 +246,16 @@ class ScenarioInvariants : public ::testing::TestWithParam<std::uint64_t> {};
 TEST_P(ScenarioInvariants, AccountingIdentitiesHold) {
   std::vector<PrecinctConfig> cases;
   {
-    PrecinctConfig c = small_mobile(GetParam());
+    PrecinctConfig c = test_util::small_mobile(GetParam());
     cases.push_back(c);
     c.updates_enabled = true;
     c.consistency = consistency::Mode::kPushAdaptivePull;
     cases.push_back(c);
-    PrecinctConfig f = small_mobile(GetParam());
+    PrecinctConfig f = test_util::small_mobile(GetParam());
     f.retrieval = core::RetrievalKind::kFlooding;
     f.measure_s = 200;
     cases.push_back(f);
-    PrecinctConfig d = small_mobile(GetParam());
+    PrecinctConfig d = test_util::small_mobile(GetParam());
     d.dynamic_regions = true;
     d.crash_rate_per_s = 0.01;
     d.graceful_fraction = 0.5;
@@ -304,7 +292,7 @@ INSTANTIATE_TEST_SUITE_P(SeedSweep, ScenarioInvariants,
 // memoization: flipping it on or off must not change a single metric of a
 // fixed-seed run.  Guards against the cache ever observing stale topology.
 TEST(Integration, NeighborCacheDoesNotChangeResults) {
-  auto cfg = small_mobile(424242);
+  auto cfg = test_util::small_mobile(424242);
   cfg.n_nodes = 40;
   cfg.warmup_s = 50;
   cfg.measure_s = 200;

@@ -11,6 +11,7 @@
 
 #include "core/config_io.hpp"
 #include "core/engine.hpp"
+#include "test_util.hpp"
 #include "core/retrieval_baselines.hpp"
 #include "core/scheme_registry.hpp"
 #include "mobility/static_placement.hpp"
@@ -25,60 +26,6 @@ using core::PrecinctConfig;
 using core::PrecinctEngine;
 using core::SchemeRegistry;
 using net::NodeId;
-
-/// Same deterministic 3x3 topology as engine_test.cpp — one peer at each
-/// region center — but the engine is built lazily so construction
-/// failures (unknown scheme names) can be asserted on.
-struct ModuleHarness {
-  explicit ModuleHarness(PrecinctConfig cfg = base_config())
-      : config(std::move(cfg)),
-        catalog(config.catalog, support::hash_combine(config.seed, 0xCA7A)),
-        placement(grid_positions()),
-        net(sim, placement, config.wireless, config.energy_model, 1) {}
-
-  static PrecinctConfig base_config() {
-    PrecinctConfig c;
-    c.area = {{0, 0}, {600, 600}};
-    c.n_nodes = 9;
-    c.mobile = false;
-    c.mean_request_interval_s = 1e12;  // no background workload
-    c.updates_enabled = false;
-    c.catalog.n_items = 40;
-    c.catalog.min_item_bytes = 1000;
-    c.catalog.max_item_bytes = 1000;
-    c.cache_fraction = 0.1;
-    c.seed = 5;
-    return c;
-  }
-
-  static std::vector<geo::Point> grid_positions() {
-    std::vector<geo::Point> pts;
-    for (int iy = 0; iy < 3; ++iy) {
-      for (int ix = 0; ix < 3; ++ix) {
-        pts.push_back({100.0 + 200.0 * ix, 100.0 + 200.0 * iy});
-      }
-    }
-    return pts;
-  }
-
-  PrecinctEngine& build() {
-    engine = std::make_unique<PrecinctEngine>(
-        config, sim, net, geo::RegionTable::grid(config.area, 3, 3),
-        catalog);
-    engine->initialize();
-    engine->start_measurement();
-    return *engine;
-  }
-
-  void settle(double seconds = 6.0) { sim.run_until(sim.now() + seconds); }
-
-  PrecinctConfig config;
-  workload::DataCatalog catalog;
-  mobility::StaticPlacement placement;
-  sim::Simulator sim;
-  net::WirelessNet net;
-  std::unique_ptr<PrecinctEngine> engine;
-};
 
 // ---------------------------------------------------------------------------
 // SchemeRegistry
@@ -107,7 +54,7 @@ TEST(SchemeRegistry, DuplicateRegistrationThrows) {
 }
 
 TEST(SchemeRegistry, UnknownSchemeFailsEngineConstructionWithCatalog) {
-  ModuleHarness h;
+  test_util::GridHarness h(test_util::grid_config(), /*start=*/false);
   h.config.retrieval_scheme = "warp-drive";
   try {
     h.build();
@@ -129,7 +76,7 @@ TEST(SchemeRegistry, ExternallyRegisteredSchemeIsSelectableByName) {
       return std::make_unique<core::FloodingRetrieval>(ctx);
     });
   }
-  ModuleHarness h;
+  test_util::GridHarness h(test_util::grid_config(), /*start=*/false);
   h.config.retrieval_scheme = "modules-test-flood";
   EXPECT_NO_THROW(h.config.validate());
   PrecinctEngine& engine = h.build();
@@ -144,7 +91,7 @@ TEST(SchemeRegistry, ExternallyRegisteredSchemeIsSelectableByName) {
 // ---------------------------------------------------------------------------
 
 TEST(PacketDispatch, EveryKindHasExactlyOneOwnerOnAWiredEngine) {
-  ModuleHarness h;
+  test_util::GridHarness h(test_util::grid_config(), /*start=*/false);
   PrecinctEngine& engine = h.build();
   for (std::size_t i = 0; i < net::kPacketKindCount; ++i) {
     const auto kind = static_cast<net::PacketKind>(i);
@@ -254,7 +201,7 @@ TEST(Config, KvSchemeNamesMapToEnumsOrRegistryStrings) {
 // ---------------------------------------------------------------------------
 
 TEST(Custody, MergeThenSeparateRoundTripKeepsEveryKeyServed) {
-  ModuleHarness h;
+  test_util::GridHarness h(test_util::grid_config(), /*start=*/false);
   PrecinctEngine& engine = h.build();
   const auto merged = engine.merge_regions(0, 1, /*initiator=*/4);
   ASSERT_TRUE(merged.has_value());
@@ -277,7 +224,7 @@ TEST(Custody, MergeThenSeparateRoundTripKeepsEveryKeyServed) {
 }
 
 TEST(Custody, RegionPopulationTracksFailuresAcrossTheSeam) {
-  ModuleHarness h;
+  test_util::GridHarness h(test_util::grid_config(), /*start=*/false);
   PrecinctEngine& engine = h.build();
   EXPECT_EQ(engine.region_population(2), 1u);
   engine.fail_peer(2, /*graceful=*/true);
@@ -292,14 +239,14 @@ TEST(Custody, RegionPopulationTracksFailuresAcrossTheSeam) {
 // ---------------------------------------------------------------------------
 
 TEST(Engine, ExposesInstalledSchemeNames) {
-  ModuleHarness h;
+  test_util::GridHarness h(test_util::grid_config(), /*start=*/false);
   PrecinctEngine& engine = h.build();
   EXPECT_STREQ(engine.retrieval_scheme_name(), "precinct");
   EXPECT_STREQ(engine.consistency_scheme_name(), "none");
 }
 
 TEST(Engine, RoutingDropWindowDeltaLandsInMetrics) {
-  ModuleHarness h;
+  test_util::GridHarness h(test_util::grid_config(), /*start=*/false);
   PrecinctEngine& engine = h.build();
   engine.issue_request(0, h.catalog.key_of(3));
   h.settle();
