@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_context.hpp"
 #include "core/scenario.hpp"
 #include "support/table.hpp"
 #include "support/thread_pool.hpp"
@@ -70,7 +71,14 @@ inline std::vector<core::Metrics> run_sweep(
 }
 
 inline void print_header(const std::string& title, const std::string& setup) {
-  std::cout << "== " << title << " ==\n" << setup << "\n\n";
+  // Announce once per process (strict-mode enforcement happens here too)
+  // and stamp every figure with the context it was measured under.
+  static const BenchContext ctx = announce_bench_context();
+  std::cout << "== " << title << " ==\n" << setup << "\n";
+  std::cout << "[measured: build=" << ctx.build_type << " cores=" << ctx.cores
+            << " governor=" << ctx.cpu_governor
+            << (ctx.trustworthy ? "" : " UNTRUSTWORTHY: " + ctx.caveat)
+            << "]\n\n";
 }
 
 inline void check(bool ok, const std::string& what) {

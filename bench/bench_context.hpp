@@ -1,0 +1,88 @@
+// Host/build context capture: the difference between a benchmark number
+// and a *trustworthy* benchmark number.
+//
+// Every bench artifact this repo checks in (BENCH_micro.json,
+// BENCH_scale.json, figure tables) embeds the context it was measured
+// under: build type (a Debug number is noise), core count (speedup
+// claims are meaningless without it) and the CPU frequency governor (a
+// scaling governor turns wall time into a thermostat reading).  Tools
+// that compare bench artifacts (tools/bench_diff.py) refuse to diff
+// numbers captured under incomparable contexts.
+//
+// Set PRECINCT_BENCH_STRICT=1 to make an untrustworthy context fatal
+// (exit 3) instead of loudly annotated — CI's perf-gate jobs run strict.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+namespace precinct::bench {
+
+struct BenchContext {
+  std::string build_type;    ///< "Release" (NDEBUG) or "Debug"
+  unsigned cores = 0;        ///< hardware_concurrency
+  std::string cpu_governor;  ///< cpufreq governor, or "unknown" when the
+                             ///< host exposes no cpufreq sysfs (VMs,
+                             ///< containers)
+  bool trustworthy = true;   ///< no caveat found
+  std::string caveat;        ///< why not, when !trustworthy
+};
+
+inline BenchContext capture_bench_context() {
+  BenchContext ctx;
+#ifdef NDEBUG
+  ctx.build_type = "Release";
+#else
+  ctx.build_type = "Debug";
+#endif
+  ctx.cores = std::thread::hardware_concurrency();
+
+  ctx.cpu_governor = "unknown";
+  if (std::FILE* f = std::fopen(
+          "/sys/devices/system/cpu/cpu0/cpufreq/scaling_governor", "rb")) {
+    char buf[64] = {};
+    const std::size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
+    std::fclose(f);
+    std::string g(buf, n);
+    while (!g.empty() && (g.back() == '\n' || g.back() == ' ')) g.pop_back();
+    if (!g.empty()) ctx.cpu_governor = g;
+  }
+
+  if (ctx.build_type != "Release") {
+    ctx.trustworthy = false;
+    ctx.caveat = "non-Release build: numbers measure the compiler, not the code";
+  } else if (ctx.cpu_governor != "unknown" &&
+             ctx.cpu_governor != "performance") {
+    // Any dynamic-scaling governor (ondemand, schedutil, powersave,
+    // conservative, ...) couples wall time to thermal history.
+    ctx.trustworthy = false;
+    ctx.caveat = "cpu governor '" + ctx.cpu_governor +
+                 "' scales frequency; pin to 'performance' before measuring";
+  }
+  return ctx;
+}
+
+/// Print the context banner and enforce PRECINCT_BENCH_STRICT.  Call once
+/// at bench startup; returns the captured context for embedding in
+/// artifacts.
+inline BenchContext announce_bench_context() {
+  const BenchContext ctx = capture_bench_context();
+  std::fprintf(stderr, "bench context: build=%s cores=%u governor=%s%s%s\n",
+               ctx.build_type.c_str(), ctx.cores, ctx.cpu_governor.c_str(),
+               ctx.trustworthy ? "" : "\n  *** UNTRUSTWORTHY: ",
+               ctx.trustworthy ? "" : (ctx.caveat + " ***").c_str());
+  if (!ctx.trustworthy) {
+    const char* strict = std::getenv("PRECINCT_BENCH_STRICT");
+    if (strict != nullptr && strict[0] == '1') {
+      std::fprintf(stderr,
+                   "PRECINCT_BENCH_STRICT=1: refusing to benchmark under an "
+                   "untrustworthy context\n");
+      std::exit(3);
+    }
+  }
+  return ctx;
+}
+
+}  // namespace precinct::bench

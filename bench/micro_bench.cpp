@@ -3,6 +3,10 @@
 // planarization, cache operations, Zipf sampling, geographic hashing.
 #include <benchmark/benchmark.h>
 
+#include <string>
+
+#include "bench_context.hpp"
+
 #include "cache/cache_store.hpp"
 #include "geo/geo_hash.hpp"
 #include "mobility/random_waypoint.hpp"
@@ -305,3 +309,27 @@ void BM_RandomWaypointAdvance(benchmark::State& state) {
 BENCHMARK(BM_RandomWaypointAdvance);
 
 }  // namespace
+
+// Custom main (instead of benchmark_main): captures the host/build
+// context, refuses under PRECINCT_BENCH_STRICT=1 when it is
+// untrustworthy, and embeds it in the JSON report's context block so
+// checked-in BENCH_micro.json snapshots carry their own provenance
+// (tools/bench_diff.py keys comparability off these fields).
+int main(int argc, char** argv) {
+  const precinct::bench::BenchContext ctx =
+      precinct::bench::announce_bench_context();
+  benchmark::AddCustomContext("precinct_build_type", ctx.build_type);
+  benchmark::AddCustomContext("precinct_host_cores",
+                              std::to_string(ctx.cores));
+  benchmark::AddCustomContext("precinct_cpu_governor", ctx.cpu_governor);
+  benchmark::AddCustomContext("precinct_trustworthy",
+                              ctx.trustworthy ? "true" : "false");
+  if (!ctx.trustworthy) {
+    benchmark::AddCustomContext("precinct_caveat", ctx.caveat);
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -11,10 +11,19 @@
 // batches or elides simulator events (e.g. fan-out batching) legitimately
 // lowers it without touching protocol behaviour.
 //
-// Usage: metrics_fingerprint [> fingerprint.txt]
+// Usage: metrics_fingerprint [--shards K] [> fingerprint.txt]
+//
+// With --shards K every config is wrapped in a 2x2 tile world with
+// gateway traffic and run through ShardedScenario on K worker shards
+// (core::sharded_fingerprint rendering).  The output must be
+// byte-identical for every K — diff K=1 against K in {2,4,8} to gate the
+// parallel executor's determinism contract (DESIGN.md §11).
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "core/scenario.hpp"
+#include "core/sharded_scenario.hpp"
 
 namespace {
 
@@ -22,8 +31,30 @@ using namespace precinct;
 using core::Metrics;
 using core::PrecinctConfig;
 
+// 0 = classic single-area mode; > 0 = sharded tile-world mode.
+std::uint32_t g_shards = 0;
+
 void dump(const char* name, const Metrics& m) {
   std::printf("[%s]\n%s\n", name, core::fingerprint(m).c_str());
+}
+
+/// Sharded mode: wrap the config in a 2x2 tile world (each tile a full
+/// copy of the scenario, trimmed so 4x the work stays affordable) and
+/// print the shard-count-invariant fingerprint.
+void run_config(const char* name, const PrecinctConfig& config) {
+  if (g_shards == 0) {
+    dump(name, core::run_scenario(config));
+    return;
+  }
+  PrecinctConfig c = config;
+  c.tiles_x = c.tiles_y = 2;
+  c.shards = g_shards;
+  c.gateway_interval_s = 5.0;
+  c.gateway_latency_s = 0.25;
+  if (c.warmup_s > 30.0) c.warmup_s = 30.0;
+  if (c.measure_s > 90.0) c.measure_s = 90.0;
+  std::printf("[%s]\n%s\n", name,
+              core::sharded_fingerprint(core::run_sharded_scenario(c)).c_str());
 }
 
 PrecinctConfig base(std::uint64_t seed) {
@@ -37,24 +68,32 @@ PrecinctConfig base(std::uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      g_shards = static_cast<std::uint32_t>(std::atoi(argv[++i]));
+    } else {
+      std::fprintf(stderr, "usage: %s [--shards K]\n", argv[0]);
+      return 2;
+    }
+  }
   {
     // Default PReCinCt stack under mobility.
-    dump("precinct_mobile_s7", core::run_scenario(base(7)));
+    run_config("precinct_mobile_s7", base(7));
   }
   {
     // Flooding baseline: the heaviest broadcast fan-out workload.
     auto c = base(11);
     c.retrieval = core::RetrievalKind::kFlooding;
     c.measure_s = 150;
-    dump("flooding_s11", core::run_scenario(c));
+    run_config("flooding_s11", c);
   }
   {
     // Expanding-ring baseline (repeated scoped floods).
     auto c = base(13);
     c.retrieval = core::RetrievalKind::kExpandingRing;
     c.measure_s = 150;
-    dump("ring_s13", core::run_scenario(c));
+    run_config("ring_s13", c);
   }
   {
     // Consistency: pushes, polls, acks over geographic routing.
@@ -62,7 +101,7 @@ int main() {
     c.updates_enabled = true;
     c.consistency = consistency::Mode::kPushAdaptivePull;
     c.mean_update_interval_s = 45.0;
-    dump("adaptive_pull_s17", core::run_scenario(c));
+    run_config("adaptive_pull_s17", c);
   }
   {
     // Plain-Push: network-wide invalidation floods.
@@ -71,7 +110,7 @@ int main() {
     c.consistency = consistency::Mode::kPlainPush;
     c.mean_update_interval_s = 45.0;
     c.measure_s = 150;
-    dump("plain_push_s19", core::run_scenario(c));
+    run_config("plain_push_s19", c);
   }
   {
     // Churn + dynamic regions: custody handoffs, kills, revives,
@@ -81,7 +120,7 @@ int main() {
     c.crash_rate_per_s = 0.02;
     c.join_rate_per_s = 0.02;
     c.graceful_fraction = 0.5;
-    dump("churn_dynamic_s23", core::run_scenario(c));
+    run_config("churn_dynamic_s23", c);
   }
   {
     // Large static network: spatial grid index on (>=128 nodes).
@@ -90,7 +129,7 @@ int main() {
     c.area = {{0, 0}, {1800, 1800}};
     c.regions_x = c.regions_y = 4;
     c.measure_s = 120;
-    dump("large_grid_s29", core::run_scenario(c));
+    run_config("large_grid_s29", c);
   }
   {
     // Lossy channel (memoryless): heavy uniform frame erasure with the
@@ -100,7 +139,7 @@ int main() {
     c.wireless.channel.loss_p = 0.2;
     c.request_retries = 3;
     c.measure_s = 150;
-    dump("bernoulli_loss_s31", core::run_scenario(c));
+    run_config("bernoulli_loss_s31", c);
   }
   {
     // Lossy channel (bursty): Gilbert–Elliott good/bad state flips, so
@@ -109,7 +148,7 @@ int main() {
     c.wireless.channel.model = "gilbert-elliott";
     c.request_retries = 2;
     c.measure_s = 150;
-    dump("gilbert_elliott_s37", core::run_scenario(c));
+    run_config("gilbert_elliott_s37", c);
   }
   return 0;
 }

@@ -14,7 +14,13 @@
 //   * no-retry-no-resend   — with request_retries = 0 and push_retries = 0
 //                            no frame is ever retransmitted (the paper's
 //                            fire-and-escalate timing path), and the run
-//                            still replays byte-identically.
+//                            still replays byte-identically;
+//   * shard-invariant      — a sharded tile world (ShardedScenario with
+//                            gateway traffic) produces a byte-identical
+//                            sharded fingerprint for shards = K and
+//                            shards = 1 (the conservative parallel
+//                            executor's determinism contract, DESIGN.md
+//                            §11).
 //
 // A failed case serializes a minimal repro config (config_to_file schema,
 // seed included) so `precinct_sim --config <file>` replays it one-command.
@@ -33,9 +39,10 @@ enum class Property : std::uint8_t {
   kReplayIdentical = 0,
   kNullFaultIdentical,
   kNoRetryNoResend,
+  kShardInvariant,
 };
 
-inline constexpr std::size_t kPropertyCount = 3;
+inline constexpr std::size_t kPropertyCount = 4;
 
 [[nodiscard]] const char* to_string(Property p) noexcept;
 

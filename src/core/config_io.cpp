@@ -255,6 +255,24 @@ PrecinctConfig config_from_kv(const support::KvFile& kv, PrecinctConfig base) {
            [&](const std::string&) {
              c.measure_s = kv.get_number("measure", 900.0);
            }},
+          {"shards",
+           [&](const std::string&) {
+             c.shards =
+                 static_cast<std::uint32_t>(kv.get_number("shards", 1.0));
+           }},
+          {"tiles",
+           [&](const std::string&) {
+             c.tiles_x = c.tiles_y =
+                 static_cast<std::uint32_t>(kv.get_number("tiles", 1.0));
+           }},
+          {"gateway_latency",
+           [&](const std::string&) {
+             c.gateway_latency_s = kv.get_number("gateway_latency", 0.25);
+           }},
+          {"gateway_interval",
+           [&](const std::string&) {
+             c.gateway_interval_s = kv.get_number("gateway_interval", 0.0);
+           }},
           {"seed",
            [&](const std::string& v) { c.seed = parse_u64(v, "seed"); }},
           {"check", [&](const std::string& v) { c.check = v; }},
@@ -366,6 +384,13 @@ std::map<std::string, std::string> config_to_kv(const PrecinctConfig& c) {
   kv["hotspot_shift"] = std::to_string(c.hotspot_shift);
   kv["warmup"] = format_number(c.warmup_s);
   kv["measure"] = format_number(c.measure_s);
+  if (c.tiles_x != c.tiles_y) {
+    fail_unwritable("tile grid must be square (tiles_x == tiles_y)");
+  }
+  kv["shards"] = std::to_string(c.shards);
+  kv["tiles"] = std::to_string(c.tiles_x);
+  kv["gateway_latency"] = format_number(c.gateway_latency_s);
+  kv["gateway_interval"] = format_number(c.gateway_interval_s);
   kv["seed"] = std::to_string(c.seed);
   if (!c.check.empty()) kv["check"] = c.check;
   kv["check_stride"] = std::to_string(c.check_stride);

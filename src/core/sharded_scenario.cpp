@@ -1,0 +1,207 @@
+#include "core/sharded_scenario.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <stdexcept>
+
+#include "net/packet.hpp"
+
+namespace precinct::core {
+
+namespace {
+
+/// Tile seeds and gateway-stream seeds live in their own salt spaces so
+/// no tile's component streams can collide with another tile's or with a
+/// gateway stream (same discipline as Scenario's 0xCA7A/0x0b17/0x2ad0).
+constexpr std::uint64_t kTileSalt = 0x715e;
+constexpr std::uint64_t kGatewaySalt = 0x6a7e;
+
+PrecinctConfig tile_config(const PrecinctConfig& world, std::uint32_t tile) {
+  PrecinctConfig c = world;
+  // Each tile is a plain single-area scenario: the sharding knobs belong
+  // to the world, not the tile.
+  c.tiles_x = c.tiles_y = 1;
+  c.shards = 1;
+  c.gateway_interval_s = 0.0;
+  c.seed = support::hash_combine(support::hash_combine(world.seed, kTileSalt),
+                                 tile);
+  return c;
+}
+
+}  // namespace
+
+ShardedScenario::ShardedScenario(const PrecinctConfig& config)
+    : config_((config.validate(), config)),
+      partition_(geo::partition_grid(config.tiles_x, config.tiles_y,
+                                     config.shards)) {
+  const std::uint32_t nx = config_.tiles_x;
+  const std::uint32_t ny = config_.tiles_y;
+  const std::size_t n_tiles = static_cast<std::size_t>(nx) * ny;
+  tiles_.reserve(n_tiles);
+  for (std::uint32_t t = 0; t < n_tiles; ++t) {
+    tiles_.push_back(std::make_unique<Scenario>(tile_config(config_, t)));
+  }
+  std::vector<sim::Simulator*> domains;
+  domains.reserve(n_tiles);
+  for (const auto& tile : tiles_) domains.push_back(&tile->simulator());
+  sim::ShardExecutor::Options opts;
+  opts.n_shards = partition_.n_shards;
+  opts.lookahead_s = config_.gateway_latency_s;
+  exec_ = std::make_unique<sim::ShardExecutor>(std::move(domains),
+                                               partition_.shard_of, opts);
+  counters_.resize(n_tiles);
+  if (config_.gateway_interval_s > 0.0) {
+    // One directed stream per 4-adjacent ordered tile pair, in a fixed
+    // (tile, east/south/west/north) enumeration so stream indices — and
+    // therefore seeds — are pure functions of the grid.
+    for (std::uint32_t y = 0; y < ny; ++y) {
+      for (std::uint32_t x = 0; x < nx; ++x) {
+        const std::uint32_t t = y * nx + x;
+        const auto add = [&](std::uint32_t n) {
+          GatewayStream s{t, n,
+                          support::Rng(support::hash_combine(
+                              support::hash_combine(config_.seed, kGatewaySalt),
+                              streams_.size()))};
+          streams_.push_back(std::move(s));
+        };
+        if (x + 1 < nx) add(t + 1);
+        if (y + 1 < ny) add(t + nx);
+        if (x > 0) add(t - 1);
+        if (y > 0) add(t - nx);
+      }
+    }
+  }
+}
+
+void ShardedScenario::schedule_next_arrival(std::size_t stream_index) {
+  GatewayStream& s = streams_[stream_index];
+  const double dt = s.rng.exponential(config_.gateway_interval_s);
+  tiles_[s.src]->simulator().schedule(
+      dt, [this, stream_index] { fire_gateway(stream_index); });
+}
+
+void ShardedScenario::fire_gateway(std::size_t stream_index) {
+  GatewayStream& s = streams_[stream_index];
+  Scenario& src_tile = *tiles_[s.src];
+  // Draw everything from the stream's RNG up front so the draw sequence —
+  // and thus every downstream event — is fixed regardless of liveness.
+  const auto requester =
+      static_cast<net::NodeId>(s.rng.uniform_int(config_.n_nodes));
+  const auto server =
+      static_cast<net::NodeId>(s.rng.uniform_int(config_.n_nodes));
+  const std::size_t rank = static_cast<std::size_t>(
+      s.rng.uniform_int(config_.catalog.n_items));
+  schedule_next_arrival(stream_index);
+
+  // Uplink at the source tile; a dead requester simply misses its slot.
+  if (!src_tile.network().count_gateway_egress(requester, net::PacketKind::kRequest,
+                                               net::kHeaderBytes)) {
+    return;
+  }
+  ++counters_[s.src].sent;
+  const double issue_time = src_tile.simulator().now();
+  const std::uint32_t src = s.src;
+  const std::uint32_t dst = s.dst;
+  exec_->post(
+      src, dst, issue_time + config_.gateway_latency_s,
+      [this, src, dst, requester, server, rank, issue_time] {
+        Scenario& d = *tiles_[dst];
+        if (!d.network().count_gateway_ingress(server, net::PacketKind::kRequest,
+                                               net::kHeaderBytes)) {
+          return;
+        }
+        ++counters_[dst].served;
+        // The destination peer performs a real regional retrieval on the
+        // requester's behalf — full radio/engine cost inside its tile.
+        d.engine().issue_request(server, d.catalog().key_of(rank));
+        // Ack travels back over the backhaul and closes the RTT.
+        if (!d.network().count_gateway_egress(server, net::PacketKind::kResponse,
+                                              net::kHeaderBytes)) {
+          return;
+        }
+        exec_->post(dst, src,
+                    d.simulator().now() + config_.gateway_latency_s,
+                    [this, src, requester, issue_time] {
+                      Scenario& o = *tiles_[src];
+                      if (!o.network().count_gateway_ingress(
+                              requester, net::PacketKind::kResponse,
+                              net::kHeaderBytes)) {
+                        return;
+                      }
+                      ++counters_[src].acks;
+                      counters_[src].rtt_sum_s +=
+                          o.simulator().now() - issue_time;
+                    });
+      });
+}
+
+ShardedMetrics ShardedScenario::run() {
+  if (ran_) throw std::logic_error("ShardedScenario::run: already ran");
+  ran_ = true;
+  for (const auto& tile : tiles_) tile->engine().initialize();
+  for (std::size_t i = 0; i < streams_.size(); ++i) schedule_next_arrival(i);
+  // Warm-up and measurement as separate executor runs: the phase boundary
+  // is an exact window boundary for every shard count, so flipping the
+  // measurement switch between them is K-invariant.
+  exec_->run_until(config_.warmup_s);
+  for (const auto& tile : tiles_) tile->engine().start_measurement();
+  exec_->run_until(config_.end_time_s());
+
+  ShardedMetrics out;
+  out.tiles = static_cast<std::uint32_t>(tiles_.size());
+  out.shards = partition_.n_shards;
+  out.per_tile.reserve(tiles_.size());
+  for (const auto& tile : tiles_) {
+    out.per_tile.push_back(tile->engine().finalize());
+  }
+  out.aggregate = merge_metrics(out.per_tile);
+  for (const TileGatewayCounters& c : counters_) {
+    out.gateway_requests += c.sent;
+    out.gateway_served += c.served;
+    out.gateway_acks += c.acks;
+    out.gateway_rtt_sum_s += c.rtt_sum_s;
+  }
+  out.windows = exec_->windows();
+  out.messages_merged = exec_->messages_merged();
+  out.partition_cut_edges =
+      geo::cut_edges(config_.tiles_x, config_.tiles_y, partition_.shard_of);
+  return out;
+}
+
+std::string sharded_fingerprint(const ShardedMetrics& m) {
+  std::string out;
+  char line[96];
+  const auto put = [&](const char* key, const char* fmt, auto value) {
+    out += key;
+    std::snprintf(line, sizeof(line), fmt, value);
+    out += line;
+    out += '\n';
+  };
+  // Deliberately excludes m.shards and m.partition_cut_edges: they encode
+  // *how* the work was split, and the whole point of this string is that
+  // nothing else may depend on that.
+  put("tiles=", "%" PRIu32, m.tiles);
+  put("gateway_requests=", "%" PRIu64, m.gateway_requests);
+  put("gateway_served=", "%" PRIu64, m.gateway_served);
+  put("gateway_acks=", "%" PRIu64, m.gateway_acks);
+  put("gateway_rtt_sum=", "%a", m.gateway_rtt_sum_s);
+  put("windows=", "%" PRIu64, m.windows);
+  put("messages_merged=", "%" PRIu64, m.messages_merged);
+  out += "--- aggregate ---\n";
+  out += fingerprint(m.aggregate);
+  for (std::size_t t = 0; t < m.per_tile.size(); ++t) {
+    out += "--- tile ";
+    std::snprintf(line, sizeof(line), "%zu", t);
+    out += line;
+    out += " ---\n";
+    out += fingerprint(m.per_tile[t]);
+  }
+  return out;
+}
+
+ShardedMetrics run_sharded_scenario(const PrecinctConfig& config) {
+  ShardedScenario scenario(config);
+  return scenario.run();
+}
+
+}  // namespace precinct::core

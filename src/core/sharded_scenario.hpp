@@ -1,0 +1,112 @@
+// ShardedScenario: a city-scale world of tiles_x * tiles_y independent
+// PReCinCt areas (each a full Scenario stack: mobility, radio, engine,
+// catalog), coupled by inter-tile gateway traffic and advanced in
+// parallel by the region-sharded conservative executor (DESIGN.md §11).
+//
+// Tiles are the unit of parallelism: all intra-tile physics stays on the
+// tile's own Simulator, and the only cross-tile interaction is gateway
+// request/ack traffic whose latency (config.gateway_latency_s) is the
+// executor's conservative lookahead.  Each ordered pair of 4-adjacent
+// tiles carries a Poisson request stream (mean config.gateway_interval_s)
+// driven by a per-pair RNG that only the source tile's events touch, so
+// there is no shared mutable state anywhere in the world — which is what
+// makes `shards = K` byte-identical to `shards = 1` for every K.
+//
+// A gateway request: a node in the source tile uplinks a header to the
+// backhaul (egress energy + stats), the destination tile receives it
+// after the gateway latency (ingress accounting) and a node there
+// performs a real regional retrieval on the requester's behalf; the ack
+// travels back the same way and closes the RTT.  All of it runs at
+// modeled cost through the tiles' own radios and engines.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/metrics.hpp"
+#include "core/scenario.hpp"
+#include "geo/shard_partition.hpp"
+#include "sim/shard_exec.hpp"
+#include "support/rng.hpp"
+
+namespace precinct::core {
+
+/// Aggregate + per-tile results of a sharded run.  Everything except
+/// `shards` and `partition_cut_edges` is invariant to the shard count;
+/// sharded_fingerprint() covers exactly the invariant part.
+struct ShardedMetrics {
+  Metrics aggregate;               ///< merge_metrics over all tiles
+  std::vector<Metrics> per_tile;   ///< tile-order window metrics
+  std::uint32_t tiles = 1;
+  std::uint32_t shards = 1;        ///< excluded from the fingerprint
+  std::uint64_t gateway_requests = 0;  ///< forwarded cross-tile
+  std::uint64_t gateway_served = 0;    ///< executed at the destination
+  std::uint64_t gateway_acks = 0;      ///< acks received back
+  double gateway_rtt_sum_s = 0.0;      ///< sum over acked round trips
+  std::uint64_t windows = 0;           ///< executor lookahead windows
+  std::uint64_t messages_merged = 0;   ///< cross-tile mailbox messages
+  std::uint64_t partition_cut_edges = 0;  ///< excluded from the fingerprint
+};
+
+/// Canonical text form of everything that must be byte-identical across
+/// shard counts: the aggregate fingerprint, the gateway/window counters,
+/// then every tile's own fingerprint.  The determinism gate diffs this
+/// string for shards in {1, 2, 4, 8}.
+[[nodiscard]] std::string sharded_fingerprint(const ShardedMetrics& m);
+
+class ShardedScenario {
+ public:
+  explicit ShardedScenario(const PrecinctConfig& config);
+
+  /// Warm-up + measurement across all tiles; one-shot.
+  ShardedMetrics run();
+
+  [[nodiscard]] std::size_t tile_count() const noexcept {
+    return tiles_.size();
+  }
+  [[nodiscard]] Scenario& tile(std::size_t i) { return *tiles_.at(i); }
+  [[nodiscard]] const geo::ShardPartition& partition() const noexcept {
+    return partition_;
+  }
+  [[nodiscard]] sim::ShardExecutor& executor() noexcept { return *exec_; }
+  [[nodiscard]] const PrecinctConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  /// One directed Poisson stream between 4-adjacent tiles.  The RNG is
+  /// touched only by events on the source tile's simulator.
+  struct GatewayStream {
+    std::uint32_t src = 0;
+    std::uint32_t dst = 0;
+    support::Rng rng;
+  };
+  /// Per-tile gateway counters, each written only by events running on
+  /// that tile's simulator (cache-line padded: adjacent tiles may live on
+  /// different workers).
+  struct alignas(64) TileGatewayCounters {
+    std::uint64_t sent = 0;
+    std::uint64_t served = 0;
+    std::uint64_t acks = 0;
+    double rtt_sum_s = 0.0;
+  };
+
+  void schedule_next_arrival(std::size_t stream_index);
+  void fire_gateway(std::size_t stream_index);
+
+  PrecinctConfig config_;
+  geo::ShardPartition partition_;
+  std::vector<std::unique_ptr<Scenario>> tiles_;
+  std::unique_ptr<sim::ShardExecutor> exec_;
+  std::vector<GatewayStream> streams_;
+  std::vector<TileGatewayCounters> counters_;
+  bool ran_ = false;
+};
+
+/// Convenience: build, run, return.
+[[nodiscard]] ShardedMetrics run_sharded_scenario(const PrecinctConfig& config);
+
+}  // namespace precinct::core

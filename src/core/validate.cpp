@@ -115,6 +115,13 @@ void PrecinctConfig::validate() const {
   if (warmup_s < 0.0 || measure_s <= 0.0) {
     fail("warmup must be >= 0 and measure window > 0");
   }
+  // Sharded-execution knobs (DESIGN.md §11).
+  if (shards == 0) fail("shards must be >= 1");
+  if (tiles_x == 0 || tiles_y == 0) fail("tile grid must be >= 1x1");
+  if (gateway_latency_s <= 0.0) {
+    fail("gateway latency must be > 0 (it is the conservative lookahead)");
+  }
+  if (gateway_interval_s < 0.0) fail("gateway interval must be >= 0");
   // Correctness-harness knobs: category names must parse and the audit
   // stride must be at least one event.
   if (!check.empty()) {

@@ -1,0 +1,49 @@
+#include "geo/shard_partition.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace precinct::geo {
+
+ShardPartition partition_grid(std::uint32_t nx, std::uint32_t ny,
+                              std::uint32_t n_shards) {
+  const std::uint64_t total = static_cast<std::uint64_t>(nx) * ny;
+  if (total == 0) {
+    throw std::invalid_argument("partition_grid: empty domain grid");
+  }
+  ShardPartition p;
+  p.n_shards = static_cast<std::uint32_t>(
+      std::clamp<std::uint64_t>(n_shards, 1, total));
+  p.shard_of.resize(total);
+  p.members.resize(p.n_shards);
+  // Contiguous runs of size ceil(total/K) for the first (total % K) shards
+  // and floor(total/K) for the rest: balanced within one, adjacent in
+  // row-major order.
+  const std::uint64_t base = total / p.n_shards;
+  const std::uint64_t extra = total % p.n_shards;
+  std::uint64_t next = 0;
+  for (std::uint32_t s = 0; s < p.n_shards; ++s) {
+    const std::uint64_t count = base + (s < extra ? 1 : 0);
+    p.members[s].reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i, ++next) {
+      p.shard_of[next] = s;
+      p.members[s].push_back(static_cast<std::uint32_t>(next));
+    }
+  }
+  return p;
+}
+
+std::uint64_t cut_edges(std::uint32_t nx, std::uint32_t ny,
+                        const std::vector<std::uint32_t>& shard_of) {
+  std::uint64_t cuts = 0;
+  for (std::uint32_t y = 0; y < ny; ++y) {
+    for (std::uint32_t x = 0; x < nx; ++x) {
+      const std::size_t i = static_cast<std::size_t>(y) * nx + x;
+      if (x + 1 < nx && shard_of[i] != shard_of[i + 1]) ++cuts;
+      if (y + 1 < ny && shard_of[i] != shard_of[i + nx]) ++cuts;
+    }
+  }
+  return cuts;
+}
+
+}  // namespace precinct::geo

@@ -1,0 +1,52 @@
+// Region/tile -> shard partitioning for the sharded parallel executor
+// (DESIGN.md §11).
+//
+// The unit of parallelism is a *domain* (a tile of regions running a full
+// protocol stack); the partitioner assigns each domain of an nx-by-ny
+// grid to one of K shards.  Two properties matter:
+//
+//   * balance — shard populations differ by at most one domain, so no
+//     worker is structurally starved or overloaded;
+//   * adjacency — each shard's domains form one contiguous run in
+//     row-major (boustrophedon-free) order, which keeps spatially
+//     adjacent tiles on the same shard and minimizes the number of
+//     grid edges cut by the partition.  Cross-shard gateway traffic is
+//     what pays for cut edges, so fewer cuts means fewer mailbox
+//     messages contending at barrier ticks.
+//
+// The partition is a pure function of (nx, ny, n_shards): every run with
+// the same configuration produces the same assignment, which the
+// determinism gate depends on.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace precinct::geo {
+
+struct ShardPartition {
+  std::uint32_t n_shards = 1;
+  /// Domain index (row-major over the grid) -> owning shard.
+  std::vector<std::uint32_t> shard_of;
+  /// Shard -> its domain indices, ascending.
+  std::vector<std::vector<std::uint32_t>> members;
+
+  [[nodiscard]] std::size_t domains() const noexcept {
+    return shard_of.size();
+  }
+};
+
+/// Partition the nx*ny domain grid into `n_shards` contiguous, balanced
+/// row-major runs.  n_shards is clamped to [1, nx*ny] (a shard with zero
+/// domains would be a dead worker).  Throws std::invalid_argument when the
+/// grid is empty.
+[[nodiscard]] ShardPartition partition_grid(std::uint32_t nx, std::uint32_t ny,
+                                            std::uint32_t n_shards);
+
+/// Number of 4-neighbor grid edges whose endpoints live on different
+/// shards — the partition-quality metric the tests pin (contiguous strips
+/// must never cut more edges than a round-robin assignment).
+[[nodiscard]] std::uint64_t cut_edges(std::uint32_t nx, std::uint32_t ny,
+                                      const std::vector<std::uint32_t>& shard_of);
+
+}  // namespace precinct::geo

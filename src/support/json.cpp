@@ -46,6 +46,12 @@ JsonObject& JsonObject::set(const std::string& key, bool value) {
   return *this;
 }
 
+JsonObject& JsonObject::set_raw(const std::string& key,
+                                const std::string& encoded) {
+  fields_.emplace_back(key, encoded);
+  return *this;
+}
+
 std::string JsonObject::str(bool pretty) const {
   const char* sep = pretty ? ",\n  " : ", ";
   std::string out = pretty ? "{\n  " : "{";

@@ -17,6 +17,9 @@ class JsonObject {
   JsonObject& set(const std::string& key, std::uint64_t value);
   JsonObject& set(const std::string& key, const std::string& value);
   JsonObject& set(const std::string& key, bool value);
+  /// Splice pre-encoded JSON (a nested object or array built elsewhere)
+  /// under `key`; the value is emitted verbatim.
+  JsonObject& set_raw(const std::string& key, const std::string& encoded);
 
   /// Serialize; `pretty` adds newlines + two-space indentation.
   [[nodiscard]] std::string str(bool pretty = false) const;

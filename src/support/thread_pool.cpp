@@ -141,4 +141,24 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
   if (state->error) std::rethrow_exception(state->error);
 }
 
+Barrier::Barrier(std::size_t parties) : parties_(parties == 0 ? 1 : parties) {}
+
+void Barrier::arrive_and_wait() {
+  std::unique_lock lock(mutex_);
+  const std::uint64_t my_generation = generation_;
+  if (++waiting_ == parties_) {
+    waiting_ = 0;
+    ++generation_;
+    lock.unlock();
+    cv_.notify_all();
+    return;
+  }
+  cv_.wait(lock, [&] { return generation_ != my_generation; });
+}
+
+std::uint64_t Barrier::cycles() const noexcept {
+  const std::scoped_lock lock(mutex_);
+  return generation_;
+}
+
 }  // namespace precinct::support

@@ -14,6 +14,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <future>
 #include <mutex>
@@ -61,5 +62,39 @@ class ThreadPool {
 /// abandoned.  `max_parallelism` (0 = unlimited) caps worker fan-out.
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
                   std::size_t max_parallelism = 0);
+
+/// Reusable cyclic barrier for a fixed-size cohort of threads: every
+/// participant blocks in arrive_and_wait() until all `parties` have
+/// arrived, then all release together and the barrier resets for the next
+/// cycle (generation-counted, so a fast thread re-arriving cannot slip
+/// through a stale wakeup).  The sharded simulation executor uses one to
+/// separate each lookahead window's compute phase from its mailbox-merge
+/// phase (sim/shard_exec.hpp).
+///
+/// Deliberately NOT combined with the task queue above: queued pool tasks
+/// have no co-scheduling guarantee, so K mutually-blocking tasks on a
+/// pool with fewer than K free workers would deadlock.  A barrier cohort
+/// must own its threads.
+class Barrier {
+ public:
+  explicit Barrier(std::size_t parties);
+
+  /// Block until all parties have arrived in this cycle.  Release order
+  /// is unspecified; the release itself is a full happens-before edge
+  /// (everything written before any arrive_and_wait() is visible to every
+  /// party after it returns).
+  void arrive_and_wait();
+
+  [[nodiscard]] std::size_t parties() const noexcept { return parties_; }
+  /// Completed cycles (for tests asserting reuse).
+  [[nodiscard]] std::uint64_t cycles() const noexcept;
+
+ private:
+  const std::size_t parties_;
+  std::size_t waiting_ = 0;
+  std::uint64_t generation_ = 0;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+};
 
 }  // namespace precinct::support

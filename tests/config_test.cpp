@@ -228,10 +228,56 @@ TEST(ConfigIo, RoundTrippedConfigRunsByteIdentically) {
             core::fingerprint(core::run_scenario(reread)));
 }
 
+TEST(ConfigIo, ShardingKnobsRoundTrip) {
+  PrecinctConfig c;
+  c.shards = 4;
+  c.tiles_x = c.tiles_y = 3;
+  c.gateway_latency_s = 0.375;
+  c.gateway_interval_s = 7.5;
+  expect_roundtrip(c, "sharded tile world");
+
+  const PrecinctConfig reread = core::config_from_kv(
+      support::KvFile::parse(core::config_to_string(c)));
+  EXPECT_EQ(reread.shards, 4u);
+  EXPECT_EQ(reread.tiles_x, 3u);
+  EXPECT_EQ(reread.tiles_y, 3u);
+  EXPECT_DOUBLE_EQ(reread.gateway_latency_s, 0.375);
+  EXPECT_DOUBLE_EQ(reread.gateway_interval_s, 7.5);
+}
+
+TEST(ConfigValidate, RejectsBadShardingKnobs) {
+  {
+    PrecinctConfig c;
+    c.shards = 0;
+    EXPECT_THROW(c.validate(), std::invalid_argument);
+  }
+  {
+    PrecinctConfig c;
+    c.tiles_x = 0;
+    EXPECT_THROW(c.validate(), std::invalid_argument);
+  }
+  {
+    PrecinctConfig c;
+    c.gateway_latency_s = 0.0;  // the conservative lookahead must be > 0
+    EXPECT_THROW(c.validate(), std::invalid_argument);
+  }
+  {
+    PrecinctConfig c;
+    c.gateway_interval_s = -1.0;
+    EXPECT_THROW(c.validate(), std::invalid_argument);
+  }
+}
+
 TEST(ConfigIo, UnwritableConfigsThrow) {
   {
     PrecinctConfig c;
     c.area = {{0.0, 0.0}, {800.0, 600.0}};  // non-square
+    EXPECT_THROW((void)core::config_to_string(c), std::invalid_argument);
+  }
+  {
+    PrecinctConfig c;
+    c.tiles_x = 2;
+    c.tiles_y = 3;  // non-square tile grid has no kv form
     EXPECT_THROW((void)core::config_to_string(c), std::invalid_argument);
   }
   {

@@ -1,0 +1,158 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over google-benchmark JSON snapshots.
+
+Usage: bench_diff.py BASELINE.json CANDIDATE.json [--threshold 0.15]
+
+Compares the pinned benchmark families below and fails (exit 1) when any
+candidate cpu_time regresses more than the threshold over the baseline.
+
+Trustworthiness first: numbers measured under incomparable contexts are
+not evidence of a regression, so the gate REFUSES to judge (exit 0 with a
+loud INFO) when
+
+  * either snapshot is not a Release build (precinct_build_type, written
+    by micro_bench's custom main; older snapshots without the key are
+    treated as unknown => incomparable),
+  * either snapshot was captured with CPU frequency scaling active,
+  * host identity (cpu count / nominal MHz) differs between the two.
+
+A refusal is deliberately exit 0: an incomparable pair on CI (e.g. the
+checked-in baseline predates the context schema, or CI moved to different
+hardware) means "re-baseline", not "the code got slower".
+"""
+
+import argparse
+import json
+import sys
+
+# Families gated for regressions: the simulator substrate's hot paths.
+# Additions are welcome; removals should explain themselves in review.
+PINNED_FAMILIES = (
+    "BM_EventQueueScheduleRun",
+    "BM_EventQueueCancel",
+    "BM_NeighborQuery",
+    "BM_BroadcastFanout",
+    "BM_FloodSeen",
+    "BM_GpsrNextHop",
+    "BM_CacheInsertEvict",
+    "BM_CacheTouch",
+    "BM_ZipfSample",
+    "BM_GeoHashHomeRegion",
+    "BM_SpatialGridRebuildQuery",
+)
+
+
+def info(msg):
+    print(f"INFO: {msg}")
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def context_fingerprint(ctx):
+    """The identity a measurement is only comparable within."""
+    return {
+        "build_type": ctx.get("precinct_build_type", "unknown"),
+        "trustworthy": ctx.get("precinct_trustworthy", "unknown"),
+        "cpu_scaling": bool(ctx.get("cpu_scaling_enabled", False)),
+        "num_cpus": ctx.get("num_cpus"),
+        "mhz_per_cpu": ctx.get("mhz_per_cpu"),
+    }
+
+
+def refuse(reason, base_fp, cand_fp):
+    info("*** NOT COMPARABLE — refusing to judge performance ***")
+    info(f"reason: {reason}")
+    info(f"baseline context:  {base_fp}")
+    info(f"candidate context: {cand_fp}")
+    info("re-baseline on the target host (cmake --build build --target "
+         "bench_report) instead of trusting this diff")
+    return 0
+
+
+def best_times(report):
+    """name -> min cpu_time over iteration entries (ns assumed uniform)."""
+    out = {}
+    for b in report.get("benchmarks", []):
+        if b.get("run_type", "iteration") != "iteration":
+            continue  # skip mean/median/stddev aggregates
+        name = b["name"]
+        t = float(b["cpu_time"])
+        if name not in out or t < out[name]:
+            out[name] = t
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline")
+    ap.add_argument("candidate")
+    ap.add_argument("--threshold", type=float, default=0.15,
+                    help="max allowed fractional cpu_time regression")
+    args = ap.parse_args()
+
+    try:
+        base = load(args.baseline)
+        cand = load(args.candidate)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"ERROR: cannot load snapshots: {e}")
+        return 2
+
+    base_fp = context_fingerprint(base.get("context", {}))
+    cand_fp = context_fingerprint(cand.get("context", {}))
+
+    for label, fp in (("baseline", base_fp), ("candidate", cand_fp)):
+        if fp["build_type"] != "Release":
+            return refuse(f"{label} build_type is '{fp['build_type']}', "
+                          "need Release", base_fp, cand_fp)
+        if fp["trustworthy"] != "true":
+            return refuse(f"{label} was captured under an untrustworthy "
+                          "context (precinct_trustworthy != true)",
+                          base_fp, cand_fp)
+        if fp["cpu_scaling"]:
+            return refuse(f"{label} was captured with CPU frequency scaling "
+                          "active", base_fp, cand_fp)
+    for key in ("num_cpus", "mhz_per_cpu"):
+        if base_fp[key] != cand_fp[key]:
+            return refuse(f"host mismatch: {key} {base_fp[key]} vs "
+                          f"{cand_fp[key]}", base_fp, cand_fp)
+
+    base_times = best_times(base)
+    cand_times = best_times(cand)
+    regressions = []
+    compared = 0
+    for name in sorted(base_times):
+        if not name.startswith(PINNED_FAMILIES):
+            continue
+        if name not in cand_times:
+            info(f"pinned benchmark '{name}' missing from candidate (renamed? "
+                 "update PINNED_FAMILIES)")
+            continue
+        compared += 1
+        b, c = base_times[name], cand_times[name]
+        ratio = c / b if b > 0 else float("inf")
+        marker = ""
+        if ratio > 1.0 + args.threshold:
+            regressions.append((name, b, c, ratio))
+            marker = "  <-- REGRESSION"
+        print(f"  {name:45s} {b:12.1f} -> {c:12.1f} ns  ({ratio:5.2f}x)"
+              f"{marker}")
+
+    if compared == 0:
+        print("ERROR: no pinned benchmarks in common — wrong files?")
+        return 2
+    if regressions:
+        print(f"\nFAIL: {len(regressions)} pinned benchmark(s) regressed "
+              f"more than {args.threshold:.0%}:")
+        for name, b, c, ratio in regressions:
+            print(f"  {name}: {b:.1f} -> {c:.1f} ns ({ratio:.2f}x)")
+        return 1
+    print(f"\nOK: {compared} pinned benchmarks within {args.threshold:.0%} "
+          "of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
