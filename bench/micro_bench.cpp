@@ -3,6 +3,7 @@
 // planarization, cache operations, Zipf sampling, geographic hashing.
 #include <benchmark/benchmark.h>
 
+#include <cmath>
 #include <string>
 
 #include "bench_context.hpp"
@@ -272,6 +273,64 @@ void BM_SpatialGridRebuildQuery(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SpatialGridRebuildQuery)->Arg(160)->Arg(640);
+
+// Rebuild-only cost of the spatial index at city-grid scale (constant
+// density: the area grows with the node count so cells hold ~7 nodes, as
+// in the paper's 160-node/1200 m configuration).  This is the loop the
+// radio pays every spatial_index_staleness_s once worlds reach 10^4-10^5
+// nodes, so it is pinned in tools/bench_diff.py.
+void BM_SpatialGridRebuild(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const double side =
+      1200.0 * std::sqrt(static_cast<double>(n) / 160.0);
+  support::Rng rng(29);
+  std::vector<geo::Point> pts;
+  pts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pts.push_back({rng.uniform(0, side), rng.uniform(0, side)});
+  }
+  std::vector<char> alive(n, 1);
+  for (std::size_t i = 0; i < n; i += 16) alive[i] = 0;  // dead-node skips
+  net::SpatialGrid grid({{0, 0}, {side, side}}, 250.0);
+  for (auto _ : state) {
+    grid.rebuild(pts, alive);
+    benchmark::DoNotOptimize(grid.indexed_count());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SpatialGridRebuild)->Arg(1024)->Arg(8192);
+
+// Steady-state victim selection: a full catalog absorbs one same-sized
+// insert per iteration, so every insert is exactly one minimum-priority
+// scan over `n` resident entries plus one eviction.  This is the
+// replacement-policy inner loop the paper's GD-LD comparison sweeps.
+void BM_CacheScan(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kEntryBytes = 2048;
+  support::Rng rng(31);
+  cache::CacheStore store(n * kEntryBytes, cache::make_policy("gd-ld"));
+  geo::Key key = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    cache::CacheEntry e;
+    e.key = ++key;
+    e.size_bytes = kEntryBytes;
+    e.access_count = rng.uniform(0, 10);
+    e.region_distance = rng.uniform(0, 2);
+    store.insert(e);
+  }
+  for (auto _ : state) {
+    cache::CacheEntry e;
+    e.key = ++key;
+    e.size_bytes = kEntryBytes;
+    e.access_count = rng.uniform(0, 10);
+    e.region_distance = rng.uniform(0, 2);
+    benchmark::DoNotOptimize(store.insert(e));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_CacheScan)->Arg(256)->Arg(1024);
 
 void BM_KvFileParse(benchmark::State& state) {
   std::string text;

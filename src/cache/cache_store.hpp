@@ -5,9 +5,23 @@
 //    replacement policy, released only when custody is handed off.
 //  * dynamic space — opportunistically cached items, managed by a
 //    greedy replacement policy under a byte capacity.
+//
+// The dynamic space is a contiguous slotted table: one parallel column
+// per CacheEntry field plus a key->slot index, with swap-remove keeping
+// the columns dense.  Victim selection is a single column sweep
+// (ReplacementPolicy::score_rows + argmin) over contiguous memory —
+// no per-entry virtual call, no map-node pointer chasing — and is
+// allocation-free once the score scratch reaches its high-water size.
+// The interface is unchanged: find() materializes the row into a
+// per-store scratch entry, so callers still receive a CacheEntry* (valid
+// until the next find() on the same store); for_each hands out
+// materialized rows by reference valid only for the duration of the
+// callback.  Static space stays a map — it is small, never scanned for
+// eviction, and find_static_mutable hands out long-lived pointers.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <unordered_map>
@@ -39,7 +53,10 @@ class CacheStore {
   /// Re-inserting an existing key refreshes its contents in place.
   InsertResult insert(CacheEntry entry);
 
-  /// Lookup in dynamic space.  Does not touch utility state.
+  /// Lookup in dynamic space.  Does not touch utility state.  The
+  /// returned pointer refers to a per-store scratch row: it is valid
+  /// until the next find() on this store and does not observe later
+  /// mutations (touch/refresh/invalidate).
   [[nodiscard]] const CacheEntry* find(geo::Key key) const;
 
   /// Record a hit: bumps access count, refreshes recency, updates the
@@ -61,7 +78,7 @@ class CacheStore {
     return capacity_;
   }
   [[nodiscard]] std::size_t entry_count() const noexcept {
-    return entries_.size();
+    return key_.size();
   }
   [[nodiscard]] const ReplacementPolicy& policy() const noexcept {
     return *policy_;
@@ -75,11 +92,22 @@ class CacheStore {
   /// Keys currently resident in dynamic space (unspecified order).
   [[nodiscard]] std::vector<geo::Key> keys() const;
 
+  /// The key the next eviction round would choose (min priority,
+  /// tie-break min key), without evicting it; nullopt when empty.
+  /// Allocation-free once the score scratch is at high-water size —
+  /// the seam the allocation-count tests probe.
+  [[nodiscard]] std::optional<geo::Key> victim_key() const;
+
   /// Observe-only iteration over the dynamic space (unspecified order,
-  /// no allocation) — the invariant checker's audit seam.
+  /// no allocation) — the invariant checker's audit seam.  The entry
+  /// reference is a materialized row, valid only inside the callback.
   template <typename Fn>
   void for_each(Fn&& fn) const {
-    for (const auto& [key, entry] : entries_) fn(entry);
+    CacheEntry e;
+    for (std::size_t i = 0; i < key_.size(); ++i) {
+      materialize(i, e);
+      fn(e);
+    }
   }
 
   // -- static space (home-region custody) -----------------------------------
@@ -107,12 +135,51 @@ class CacheStore {
   }
 
  private:
+  /// Copy row `slot` into `out`.
+  void materialize(std::size_t slot, CacheEntry& out) const {
+    out.key = key_[slot];
+    out.size_bytes = size_bytes_[slot];
+    out.version = version_[slot];
+    out.access_count = access_count_[slot];
+    out.region_distance = region_distance_[slot];
+    out.inflation = inflation_[slot];
+    out.ttr_expiry_s = ttr_expiry_s_[slot];
+    out.invalidated = invalidated_[slot] != 0;
+    out.fetched_at_s = fetched_at_s_[slot];
+    out.last_access_s = last_access_s_[slot];
+  }
+
+  [[nodiscard]] CatalogView view() const noexcept;
+  /// Overwrite row `slot` from `entry` (index_ already points there).
+  void write_slot(std::size_t slot, const CacheEntry& entry);
+  /// Append `entry` as a new row and index it.
+  void push_slot(const CacheEntry& entry);
+  /// Swap-remove row `slot`, fixing the moved row's index.
+  void remove_slot(std::size_t slot);
+  /// Argmin of (inflation + score, key) over all rows.  Pre: non-empty.
+  /// Scores land in score_scratch_ (grown to high-water, never shrunk).
+  [[nodiscard]] std::size_t select_victim(double& priority_out) const;
   /// Evict the minimum-priority entry; returns its key.  Pre: non-empty.
   geo::Key evict_one();
 
   std::size_t capacity_;
   std::unique_ptr<ReplacementPolicy> policy_;
-  std::unordered_map<geo::Key, CacheEntry> entries_;
+
+  // Dynamic space: parallel columns + key->slot index (slots dense).
+  std::unordered_map<geo::Key, std::uint32_t> index_;
+  std::vector<geo::Key> key_;
+  std::vector<std::size_t> size_bytes_;
+  std::vector<std::uint64_t> version_;
+  std::vector<double> access_count_;
+  std::vector<double> region_distance_;
+  std::vector<double> inflation_;
+  std::vector<double> ttr_expiry_s_;
+  std::vector<std::uint8_t> invalidated_;
+  std::vector<double> fetched_at_s_;
+  std::vector<double> last_access_s_;
+  mutable CacheEntry scratch_;               ///< find() materialization
+  mutable std::vector<double> score_scratch_;  ///< select_victim high-water
+
   std::unordered_map<geo::Key, CacheEntry> static_entries_;
   std::size_t used_ = 0;
   std::size_t static_bytes_ = 0;

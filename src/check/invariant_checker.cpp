@@ -156,26 +156,33 @@ void InvariantChecker::audit_cache_node(net::NodeId node) {
              std::to_string(cache.capacity_bytes()));
   }
   std::size_t dynamic_sum = 0;
-  const cache::CacheEntry* bad = nullptr;
+  // for_each hands out rows materialized per iteration, so remember the
+  // offending key by value rather than holding an entry pointer.
+  bool has_bad = false;
+  geo::Key bad_key = 0;
   const char* why = nullptr;
   const auto check_entry = [&](const cache::CacheEntry& e) {
-    if (bad != nullptr) return;
+    if (has_bad) return;
     const workload::DataItem* item = ctx_.catalog.find(e.key);
     if (item == nullptr) {
-      bad = &e;
+      has_bad = true;
+      bad_key = e.key;
       why = "caches a key absent from the catalog";
     } else if (e.size_bytes != item->size_bytes) {
-      bad = &e;
+      has_bad = true;
+      bad_key = e.key;
       why = "cached size disagrees with the catalog";
     } else if (e.version > item->version) {
-      bad = &e;
+      has_bad = true;
+      bad_key = e.key;
       why = "cached version is newer than the authoritative one";
     }
   };
   cache.for_each([&](const cache::CacheEntry& e) {
     dynamic_sum += e.size_bytes;
-    if (e.size_bytes > cache.capacity_bytes() && bad == nullptr) {
-      bad = &e;
+    if (e.size_bytes > cache.capacity_bytes() && !has_bad) {
+      has_bad = true;
+      bad_key = e.key;
       why = "admitted an entry larger than the whole capacity";
     }
     check_entry(e);
@@ -197,9 +204,9 @@ void InvariantChecker::audit_cache_node(net::NodeId node) {
              " bytes but static_bytes reports " +
              std::to_string(cache.static_bytes()));
   }
-  if (bad != nullptr) {
+  if (has_bad) {
     fail(Category::kCache, node,
-         std::string(why) + " (key " + std::to_string(bad->key) + ")");
+         std::string(why) + " (key " + std::to_string(bad_key) + ")");
   }
 }
 

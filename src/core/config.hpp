@@ -28,6 +28,18 @@ enum class RetrievalKind : std::uint8_t {
 [[nodiscard]] const char* to_string(RetrievalKind scheme) noexcept;
 
 struct PrecinctConfig {
+  // Special members are defaulted out-of-line (config_io.cpp) so
+  // construction/destruction of config temporaries stays opaque to
+  // caller TUs — GCC 12's -Wmaybe-uninitialized otherwise reports false
+  // positives on the inlined string-member destructors of by-value
+  // returns under -O2 -Werror.
+  PrecinctConfig();
+  PrecinctConfig(const PrecinctConfig&);
+  PrecinctConfig(PrecinctConfig&&) noexcept;
+  PrecinctConfig& operator=(const PrecinctConfig&);
+  PrecinctConfig& operator=(PrecinctConfig&&) noexcept;
+  ~PrecinctConfig();
+
   // -- topology & regions (paper: 1200x1200 m, 9 equal regions) ------------
   geo::Rect area{{0.0, 0.0}, {1200.0, 1200.0}};
   std::uint32_t regions_x = 3;

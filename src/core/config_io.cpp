@@ -85,8 +85,16 @@ void set_consistency(PrecinctConfig& c, const std::string& name) {
 
 }  // namespace
 
-PrecinctConfig config_from_kv(const support::KvFile& kv, PrecinctConfig base) {
-  PrecinctConfig c = std::move(base);
+PrecinctConfig::PrecinctConfig() = default;
+PrecinctConfig::PrecinctConfig(const PrecinctConfig&) = default;
+PrecinctConfig::PrecinctConfig(PrecinctConfig&&) noexcept = default;
+PrecinctConfig& PrecinctConfig::operator=(const PrecinctConfig&) = default;
+PrecinctConfig& PrecinctConfig::operator=(PrecinctConfig&&) noexcept = default;
+PrecinctConfig::~PrecinctConfig() = default;
+
+PrecinctConfig config_from_kv(const support::KvFile& kv,
+                              const PrecinctConfig& base) {
+  PrecinctConfig c = base;
   // One handler per key; the map doubles as the list of valid keys.
   const std::map<std::string, std::function<void(const std::string&)>>
       handlers{
@@ -291,8 +299,9 @@ PrecinctConfig config_from_kv(const support::KvFile& kv, PrecinctConfig base) {
   return c;
 }
 
-PrecinctConfig config_from_file(const std::string& path, PrecinctConfig base) {
-  return config_from_kv(support::KvFile::load(path), std::move(base));
+PrecinctConfig config_from_file(const std::string& path,
+                                const PrecinctConfig& base) {
+  return config_from_kv(support::KvFile::load(path), base);
 }
 
 namespace {

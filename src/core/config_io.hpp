@@ -17,11 +17,11 @@ namespace precinct::core {
 /// std::invalid_argument for unknown keys or unparsable values.  The
 /// result is not validated; call validate() (Scenario does).
 [[nodiscard]] PrecinctConfig config_from_kv(const support::KvFile& kv,
-                                            PrecinctConfig base = {});
+                                            const PrecinctConfig& base = {});
 
 /// Convenience: load a file and apply it (throws on I/O errors too).
 [[nodiscard]] PrecinctConfig config_from_file(const std::string& path,
-                                              PrecinctConfig base = {});
+                                              const PrecinctConfig& base = {});
 
 /// Serialize `c` back into the key schema the reader accepts.  Every key
 /// is emitted (so reloading over any base reproduces `c` exactly), and

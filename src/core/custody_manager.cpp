@@ -37,10 +37,11 @@ void CustodyManager::place_initial_copies() {
   const auto region_components = [&](geo::RegionId region) {
     std::vector<std::vector<net::NodeId>> components;
     std::vector<net::NodeId> members;
+    const auto& ns = ctx_.net.node_state();
+    const std::uint8_t* alive = ns.alive_data();
+    const geo::RegionId* reg = ns.region_data();
     for (net::NodeId i = 0; i < ctx_.net.node_count(); ++i) {
-      if (ctx_.net.is_alive(i) && ctx_.peers[i].region == region) {
-        members.push_back(i);
-      }
+      if (alive[i] && reg[i] == region) members.push_back(i);
     }
     std::vector<char> visited(members.size(), 0);
     for (std::size_t s = 0; s < members.size(); ++s) {
@@ -137,9 +138,16 @@ void CustodyManager::place_initial_copies() {
 }
 
 std::size_t CustodyManager::region_population(geo::RegionId region) const {
+  // Column sweep over the SoA alive/region arrays: two contiguous reads
+  // per node instead of a PeerState stride plus a bounds-checked
+  // liveness call.
+  const auto& ns = ctx_.net.node_state();
+  const std::uint8_t* alive = ns.alive_data();
+  const geo::RegionId* reg = ns.region_data();
+  const std::size_t n = ctx_.net.node_count();
   std::size_t count = 0;
-  for (net::NodeId i = 0; i < ctx_.net.node_count(); ++i) {
-    if (ctx_.net.is_alive(i) && ctx_.peers[i].region == region) ++count;
+  for (std::size_t i = 0; i < n; ++i) {
+    count += static_cast<std::size_t>(alive[i] != 0 && reg[i] == region);
   }
   return count;
 }
@@ -192,7 +200,7 @@ void CustodyManager::commit_region_change(net::NodeId initiator) {
   // The simulation keeps one shared table, so adoption of the new table
   // is immediate; every peer re-derives its region from it.
   for (net::NodeId i = 0; i < ctx_.net.node_count(); ++i) {
-    ctx_.peers[i].region = ctx_.regions.containing(ctx_.net.position(i));
+    ctx_.set_region(i, ctx_.regions.containing(ctx_.net.position(i)));
   }
   // The region-diameter normalization tracks the (new) typical region.
   ctx_.refresh_region_diameter();
@@ -308,10 +316,11 @@ net::NodeId CustodyManager::pick_custody_target(net::NodeId mover,
   if (r == nullptr) return net::kNoNode;
   net::NodeId best = net::kNoNode;
   double best_score = std::numeric_limits<double>::infinity();
+  const auto& ns = ctx_.net.node_state();
+  const std::uint8_t* alive = ns.alive_data();
+  const geo::RegionId* reg = ns.region_data();
   for (net::NodeId i = 0; i < ctx_.net.node_count(); ++i) {
-    if (i == mover || !ctx_.net.is_alive(i) || ctx_.peers[i].region != region) {
-      continue;
-    }
+    if (i == mover || !alive[i] || reg[i] != region) continue;
     const double dist = geo::distance(ctx_.net.position(i), r->center);
     bool flood_reachable = false;
     for (const net::NodeId nb : ctx_.net.neighbors_cached(i)) {
@@ -392,12 +401,12 @@ void CustodyManager::handle_key_transfer(net::NodeId self,
 net::NodeId CustodyManager::duplicate_custodian(net::NodeId holder,
                                                 geo::Key key) const {
   const geo::RegionId region = ctx_.peers[holder].region;
+  const auto& ns = ctx_.net.node_state();
+  const std::uint8_t* alive = ns.alive_data();
+  const geo::RegionId* reg = ns.region_data();
   for (net::NodeId i = 0; i < ctx_.net.node_count(); ++i) {
-    if (i == holder || !ctx_.net.is_alive(i)) continue;
-    if (ctx_.peers[i].region == region &&
-        ctx_.peers[i].cache.find_static(key) != nullptr) {
-      return i;
-    }
+    if (i == holder || !alive[i] || reg[i] != region) continue;
+    if (ctx_.peers[i].cache.find_static(key) != nullptr) return i;
   }
   return net::kNoNode;
 }
@@ -408,7 +417,7 @@ void CustodyManager::check_region(net::NodeId peer) {
       ctx_.regions.containing(ctx_.net.position(peer));
   if (now_in != ctx_.peers[peer].region) {
     const geo::RegionId old_region = ctx_.peers[peer].region;
-    ctx_.peers[peer].region = now_in;
+    ctx_.set_region(peer, now_in);
     handoff_custody(peer, old_region);  // inter-region mobility (§2.3)
   }
   const std::uint32_t generation = ctx_.peers[peer].generation;
@@ -442,7 +451,7 @@ void CustodyManager::revive_peer(net::NodeId peer) {
   for (const geo::Key key : p.cache.keys()) p.cache.erase(key);
   (void)p.cache.take_all_static();
   if (ctx_.beacons != nullptr) ctx_.beacons->clear_node(peer);
-  p.region = ctx_.regions.containing(ctx_.net.position(peer));
+  ctx_.set_region(peer, ctx_.regions.containing(ctx_.net.position(peer)));
   ctx_.workload->schedule_next_request(peer);
   if (ctx_.config.updates_enabled && ctx_.consistency->generates_updates()) {
     ctx_.workload->schedule_next_update(peer);

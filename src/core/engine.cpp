@@ -108,7 +108,7 @@ PrecinctEngine::~PrecinctEngine() {
 
 void PrecinctEngine::initialize() {
   for (net::NodeId i = 0; i < net_.node_count(); ++i) {
-    peers_[i].region = regions_.containing(net_.position(i));
+    ctx_.set_region(i, regions_.containing(net_.position(i)));
   }
   custody_->place_initial_copies();
   for (net::NodeId i = 0; i < net_.node_count(); ++i) {

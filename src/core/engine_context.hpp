@@ -123,6 +123,14 @@ class EngineContext {
     return next_id_++;
   }
 
+  /// Single write path for a peer's region: keeps PeerState::region and
+  /// the SoA region column (net.node_state()) coherent, so population
+  /// sweeps can scan the column instead of striding over PeerStates.
+  void set_region(net::NodeId peer, geo::RegionId region) noexcept {
+    peers[peer].region = region;
+    net.node_state().set_region(peer, region);
+  }
+
   // -- shared helpers ----------------------------------------------------------
   /// A peer's best local copy of a key: custody first, then dynamic cache.
   struct Copy {

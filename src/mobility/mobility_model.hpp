@@ -26,6 +26,12 @@ class MobilityModel {
   [[nodiscard]] virtual double speed_at(std::size_t node, double t) = 0;
 
   [[nodiscard]] virtual std::size_t node_count() const noexcept = 0;
+
+  /// True when position_at(node, t) is independent of t (static
+  /// topologies).  Consumers that cache positions (the radio's SoA
+  /// columns) may then snapshot every trajectory once and serve all
+  /// later queries from the snapshot without re-consulting the oracle.
+  [[nodiscard]] virtual bool time_invariant() const noexcept { return false; }
 };
 
 }  // namespace precinct::mobility

@@ -30,6 +30,7 @@ class StaticPlacement final : public MobilityModel {
   [[nodiscard]] std::size_t node_count() const noexcept override {
     return positions_.size();
   }
+  [[nodiscard]] bool time_invariant() const noexcept override { return true; }
 
  private:
   std::vector<geo::Point> positions_;

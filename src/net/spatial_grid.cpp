@@ -15,12 +15,19 @@ SpatialGrid::SpatialGrid(const geo::Rect& area, double cell_m)
       1, static_cast<std::size_t>(std::ceil(area.width() / cell_m)));
   ny_ = std::max<std::size_t>(
       1, static_cast<std::size_t>(std::ceil(area.height() / cell_m)));
-  cells_.resize(nx_ * ny_);
+  inv_cell_m_ = 1.0 / cell_m_;
+  offsets_.assign(nx_ * ny_ + 1, 0);
+  cursor_.assign(nx_ * ny_, 0);
 }
 
+// Binning multiplies by the precomputed reciprocal instead of dividing.
+// The result can differ from true division by an ulp, which on an exact
+// cell boundary may bin a point one cell over — harmless, because
+// query() pads its cell range by one full cell, so candidates remain a
+// superset of the true neighbors either way.
 std::size_t SpatialGrid::cell_of(geo::Point p) const noexcept {
-  const double fx = (p.x - area_.min.x) / cell_m_;
-  const double fy = (p.y - area_.min.y) / cell_m_;
+  const double fx = (p.x - area_.min.x) * inv_cell_m_;
+  const double fy = (p.y - area_.min.y) * inv_cell_m_;
   const auto cx = static_cast<std::size_t>(
       std::clamp(fx, 0.0, static_cast<double>(nx_ - 1)));
   const auto cy = static_cast<std::size_t>(
@@ -28,16 +35,61 @@ std::size_t SpatialGrid::cell_of(geo::Point p) const noexcept {
   return cy * nx_ + cx;
 }
 
+template <typename PointAt, typename IsAlive>
+void SpatialGrid::rebuild_impl(std::size_t n, PointAt&& point_at,
+                               IsAlive&& is_alive) {
+  ++epoch_;
+  const std::size_t n_cells = nx_ * ny_;
+  std::fill(offsets_.begin(), offsets_.end(), 0u);
+
+  // Scratch stays at its high-water size so the hot loop writes through
+  // raw pointers with no capacity checks; only growth ever allocates.
+  if (scratch_ids_.size() < n) {
+    scratch_ids_.resize(n);
+    scratch_cells_.resize(n);
+  }
+  std::uint32_t* const ids = scratch_ids_.data();
+  std::uint32_t* const cells = scratch_cells_.data();
+
+  // Pass 1: bin each live node once, counting per cell.  Ids and cell
+  // ids are kept so placement never recomputes cell_of.
+  std::size_t k = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!is_alive(i)) continue;
+    const auto c = static_cast<std::uint32_t>(cell_of(point_at(i)));
+    ids[k] = static_cast<std::uint32_t>(i);
+    cells[k] = c;
+    ++k;
+    ++offsets_[c + 1];
+  }
+  count_ = k;
+
+  // Pass 2: prefix-sum counts into cell start offsets.
+  for (std::size_t c = 0; c < n_cells; ++c) offsets_[c + 1] += offsets_[c];
+
+  // Pass 3: stable placement in ascending node id, so per-cell ordering
+  // is identical to the old per-cell push_back layout.
+  if (indices_.size() < count_) indices_.resize(n);
+  std::copy(offsets_.begin(), offsets_.end() - 1, cursor_.begin());
+  std::uint32_t* const out = indices_.data();
+  std::uint32_t* const cur = cursor_.data();
+  for (std::size_t j = 0; j < count_; ++j) {
+    out[cur[cells[j]]++] = ids[j];
+  }
+}
+
 void SpatialGrid::rebuild(const std::vector<geo::Point>& positions,
                           const std::vector<char>& alive) {
-  for (auto& cell : cells_) cell.clear();
-  count_ = 0;
-  ++epoch_;
-  for (std::size_t i = 0; i < positions.size(); ++i) {
-    if (i < alive.size() && !alive[i]) continue;
-    cells_[cell_of(positions[i])].push_back(static_cast<std::uint32_t>(i));
-    ++count_;
-  }
+  rebuild_impl(
+      positions.size(), [&](std::size_t i) { return positions[i]; },
+      [&](std::size_t i) { return i >= alive.size() || alive[i]; });
+}
+
+void SpatialGrid::rebuild(const double* x, const double* y,
+                          const std::uint8_t* alive, std::size_t n) {
+  rebuild_impl(
+      n, [&](std::size_t i) { return geo::Point{x[i], y[i]}; },
+      [&](std::size_t i) { return alive == nullptr || alive[i]; });
 }
 
 void SpatialGrid::query(geo::Point center, double radius,
@@ -52,17 +104,19 @@ void SpatialGrid::query(geo::Point center, double radius,
     return std::clamp(v, 0.0, static_cast<double>(ny_ - 1));
   };
   const auto x0 = static_cast<std::size_t>(
-      clamp_x((center.x - reach - area_.min.x) / cell_m_));
+      clamp_x((center.x - reach - area_.min.x) * inv_cell_m_));
   const auto x1 = static_cast<std::size_t>(
-      clamp_x((center.x + reach - area_.min.x) / cell_m_));
+      clamp_x((center.x + reach - area_.min.x) * inv_cell_m_));
   const auto y0 = static_cast<std::size_t>(
-      clamp_y((center.y - reach - area_.min.y) / cell_m_));
+      clamp_y((center.y - reach - area_.min.y) * inv_cell_m_));
   const auto y1 = static_cast<std::size_t>(
-      clamp_y((center.y + reach - area_.min.y) / cell_m_));
+      clamp_y((center.y + reach - area_.min.y) * inv_cell_m_));
   for (std::size_t cy = y0; cy <= y1; ++cy) {
+    const std::size_t row = cy * nx_;
     for (std::size_t cx = x0; cx <= x1; ++cx) {
-      const auto& cell = cells_[cy * nx_ + cx];
-      out.insert(out.end(), cell.begin(), cell.end());
+      const std::size_t c = row + cx;
+      out.insert(out.end(), indices_.begin() + offsets_[c],
+                 indices_.begin() + offsets_[c + 1]);
     }
   }
 }

@@ -6,6 +6,14 @@
 // radius by the maximum distance a node can have drifted since the last
 // rebuild — candidates are a superset of the true neighbors, and the
 // caller filters exactly against current positions.
+//
+// Storage is CSR (compressed sparse row): one flat `indices_` array of
+// node ids grouped by cell, plus an `offsets_` array where cell c's
+// members live at [offsets_[c], offsets_[c+1]).  rebuild() is a counting
+// sort — count per cell, prefix-sum, stable placement in ascending node
+// id — so per-cell ordering matches the old vector-of-vectors layout
+// exactly and the steady state allocates nothing: every buffer is
+// size-stable across rebuilds once capacity is reached.
 #pragma once
 
 #include <cstddef>
@@ -27,6 +35,12 @@ class SpatialGrid {
   void rebuild(const std::vector<geo::Point>& positions,
                const std::vector<char>& alive);
 
+  /// Column-oriented overload for SoA node state: `x`/`y` are parallel
+  /// coordinate arrays of length `n`, `alive[id] == 0` entries are
+  /// skipped (`alive` may be null meaning all alive).
+  void rebuild(const double* x, const double* y, const std::uint8_t* alive,
+               std::size_t n);
+
   /// Append to `out` every indexed node whose *indexed* position lies
   /// within `radius` + one cell of `center` (a superset of the nodes
   /// whose indexed position is within `radius`).  Does not clear `out`.
@@ -42,12 +56,22 @@ class SpatialGrid {
 
  private:
   [[nodiscard]] std::size_t cell_of(geo::Point p) const noexcept;
+  template <typename PointAt, typename IsAlive>
+  void rebuild_impl(std::size_t n, PointAt&& point_at, IsAlive&& is_alive);
 
   geo::Rect area_;
   double cell_m_;
+  double inv_cell_m_;
   std::size_t nx_;
   std::size_t ny_;
-  std::vector<std::vector<std::uint32_t>> cells_;
+  // CSR storage: cell c holds indices_[offsets_[c] .. offsets_[c+1]).
+  std::vector<std::uint32_t> offsets_;
+  std::vector<std::uint32_t> indices_;
+  // Counting-sort scratch, retained across rebuilds: accepted node ids
+  // and their cell ids (pass 1), placement cursors (pass 3).
+  std::vector<std::uint32_t> scratch_ids_;
+  std::vector<std::uint32_t> scratch_cells_;
+  std::vector<std::uint32_t> cursor_;
   std::size_t count_ = 0;
   std::uint64_t epoch_ = 0;
 };

@@ -23,18 +23,22 @@ WirelessNet::WirelessNet(sim::Simulator& simulator,
       channel_rng_(support::hash_combine(seed, 0xC4A2)),
       lossless_(channel_->lossless()),
       n_nodes_(mobility.node_count()),
-      alive_(mobility.node_count(), 1),
+      static_world_(mobility.time_invariant()),
+      nodes_(mobility.node_count()),
       busy_until_(mobility.node_count(), 0.0),
       pool_(new PacketBufPool),
       neighbor_cache_(mobility.node_count()) {
   // One-time size validation; the hot paths below index unchecked.
-  assert(alive_.size() == n_nodes_);
+  assert(nodes_.size() == n_nodes_);
   assert(busy_until_.size() == n_nodes_);
   assert(neighbor_cache_.size() == n_nodes_);
   if (n_nodes_ >= config_.spatial_index_threshold) {
     grid_ = std::make_unique<SpatialGrid>(config_.area, config_.range_m);
-    grid_positions_.resize(n_nodes_);
   }
+  // Time-invariant mobility: snapshot every trajectory now and serve all
+  // position reads from the columns with no stamp checks — position_at
+  // answers the same for every t, so the snapshot can never go stale.
+  if (static_world_) nodes_.sync_positions(0.0, mobility_);
   // At most one fan-out batch per sender can be in flight: a sender's
   // frames serialize through a MAC window (>= mac_overhead_s) longer than
   // the processing delay a batch lives for.  Pre-sizing n snapshot
@@ -57,16 +61,15 @@ void WirelessNet::refresh_grid() {
       now - grid_time_ <= config_.spatial_index_staleness_s) {
     return;
   }
-  for (NodeId i = 0; i < n_nodes_; ++i) {
-    grid_positions_[i] = mobility_.position_at(i, now);
-  }
-  grid_->rebuild(grid_positions_, alive_);
+  // Advancing the position columns to `now` is the mobility sweep; the
+  // grid then bins straight off the columns, and — because the sweep
+  // primes the per-node stamps — the exact filters below read cached
+  // positions for free at this timestamp.  Static worlds were synced
+  // once at construction; only the alive column can have changed.
+  if (!static_world_) nodes_.sync_positions(now, mobility_);
+  grid_->rebuild(nodes_.x(), nodes_.y(), nodes_.alive_data(), n_nodes_);
   grid_time_ = now;
   ++topology_epoch_;
-}
-
-geo::Point WirelessNet::position(NodeId node) {
-  return mobility_.position_at(node, sim_.now());
 }
 
 void WirelessNet::compute_neighbors(NodeId node, std::vector<NodeId>& out) {
@@ -76,21 +79,45 @@ void WirelessNet::compute_neighbors(NodeId node, std::vector<NodeId>& out) {
   if (grid_ != nullptr) {
     refresh_grid();
     // Indexed positions may be stale by up to the rebuild period; pad by
-    // the worst-case drift and filter exactly on current positions.
+    // the worst-case drift and filter exactly on current positions
+    // (lazily cached — only nodes not yet seen at this timestamp pay a
+    // mobility call).
     const double pad =
         (sim_.now() - grid_time_) * config_.max_node_speed_mps;
+    const double now = sim_.now();
     grid_scratch_.clear();
     grid_->query(p, config_.range_m + pad, grid_scratch_);
-    for (const std::uint32_t i : grid_scratch_) {
-      if (i == node || !alive_[i]) continue;
-      if (geo::distance_sq(p, position(i)) <= r2) out.push_back(i);
+    const std::uint8_t* alive = nodes_.alive_data();
+    if (static_world_) {
+      // Static world: the columns are the ground truth at every t — the
+      // exact filter is pure array reads, no stamp checks.
+      const double* xs = nodes_.x();
+      const double* ys = nodes_.y();
+      for (const std::uint32_t i : grid_scratch_) {
+        if (i == node || !alive[i]) continue;
+        if (geo::distance_sq(p, {xs[i], ys[i]}) <= r2) out.push_back(i);
+      }
+    } else {
+      for (const std::uint32_t i : grid_scratch_) {
+        if (i == node || !alive[i]) continue;
+        if (geo::distance_sq(p, nodes_.position_cached(i, now, mobility_)) <=
+            r2) {
+          out.push_back(i);
+        }
+      }
     }
     std::sort(out.begin(), out.end());  // match scan order for determinism
     return;
   }
+  // Linear path (small populations): advance every position once, then
+  // sweep the coordinate columns branch-light.
+  if (!static_world_) nodes_.sync_positions(sim_.now(), mobility_);
+  const double* xs = nodes_.x();
+  const double* ys = nodes_.y();
+  const std::uint8_t* alive = nodes_.alive_data();
   for (NodeId i = 0; i < n_nodes_; ++i) {
-    if (i == node || !alive_[i]) continue;
-    if (geo::distance_sq(p, position(i)) <= r2) out.push_back(i);
+    if (i == node || !alive[i]) continue;
+    if (geo::distance_sq(p, {xs[i], ys[i]}) <= r2) out.push_back(i);
   }
 }
 
@@ -121,7 +148,7 @@ void WirelessNet::neighbors(NodeId node, std::vector<NodeId>& out) {
 
 bool WirelessNet::in_range(NodeId a, NodeId b) {
   assert(a < n_nodes_ && b < n_nodes_);
-  if (!alive_[a] || !alive_[b] || a == b) return false;
+  if (!nodes_.alive(a) || !nodes_.alive(b) || a == b) return false;
   return geo::distance_sq(position(a), position(b)) <=
          config_.range_m * config_.range_m;
 }
@@ -148,7 +175,7 @@ void WirelessNet::broadcast(PacketRef packet) {
   const Packet& p = *packet;
   assert(p.src != kNoNode);
   assert(p.src < n_nodes_);
-  if (!alive_[p.src]) return;
+  if (!nodes_.alive(p.src)) return;
   stats_.count_send(p.kind, p.size_bytes);
   const double done =
       reserve_airtime(p.src, tx_duration(p.size_bytes, false));
@@ -182,7 +209,7 @@ bool WirelessNet::channel_dropped(const Packet& p, NodeId receiver) {
 void WirelessNet::deliver_broadcast(const PacketRef& packet) {
   Packet& p = *packet;
   assert(p.src < n_nodes_);
-  if (!alive_[p.src]) return;  // died while the frame was queued
+  if (!nodes_.alive(p.src)) return;  // died while the frame was queued
   // Sole owner until the receiver closures below share the frame, so
   // stamping the transmit position here is race-free.
   p.src_location = position(p.src);
@@ -211,7 +238,7 @@ void WirelessNet::deliver_broadcast(const PacketRef& packet) {
     sim_.schedule(config_.proc_delay_s,
                   [this, packet, rx = std::move(rx)]() mutable {
                     for (const NodeId receiver : rx) {
-                      if (alive_[receiver]) on_receive_(receiver, *packet);
+                      if (nodes_.alive(receiver)) on_receive_(receiver, *packet);
                     }
                     release_rx_list(std::move(rx));
                   });
@@ -233,7 +260,7 @@ void WirelessNet::deliver_broadcast(const PacketRef& packet) {
   sim_.schedule(config_.proc_delay_s,
                 [this, packet, rx = std::move(rx)]() mutable {
                   for (const NodeId receiver : rx) {
-                    if (alive_[receiver]) on_receive_(receiver, *packet);
+                    if (nodes_.alive(receiver)) on_receive_(receiver, *packet);
                   }
                   release_rx_list(std::move(rx));
                 });
@@ -243,7 +270,7 @@ void WirelessNet::unicast(PacketRef packet, NodeId next_hop) {
   const Packet& p = *packet;
   assert(p.src != kNoNode && next_hop != kNoNode);
   assert(p.src < n_nodes_);
-  if (!alive_[p.src]) return;
+  if (!nodes_.alive(p.src)) return;
   stats_.count_send(p.kind, p.size_bytes);
   const double done =
       reserve_airtime(p.src, tx_duration(p.size_bytes, true));
@@ -256,7 +283,7 @@ void WirelessNet::unicast(PacketRef packet, NodeId next_hop) {
 void WirelessNet::deliver_unicast(PacketRef packet, NodeId next_hop) {
   Packet& p = *packet;
   assert(p.src < n_nodes_);
-  if (!alive_[p.src]) return;
+  if (!nodes_.alive(p.src)) return;
   p.src_location = position(p.src);
   energy_.charge(p.src, energy::RadioOp::kP2pSend, p.size_bytes);
   // Snapshot the neighborhood (reusing the scratch vector's capacity):
@@ -297,7 +324,7 @@ void WirelessNet::deliver_unicast(PacketRef packet, NodeId next_hop) {
   if (on_receive_) {
     sim_.schedule(config_.proc_delay_s,
                   [this, packet = std::move(packet), next_hop] {
-                    if (alive_[next_hop]) on_receive_(next_hop, *packet);
+                    if (nodes_.alive(next_hop)) on_receive_(next_hop, *packet);
                   });
   }
 }
@@ -305,7 +332,7 @@ void WirelessNet::deliver_unicast(PacketRef packet, NodeId next_hop) {
 bool WirelessNet::count_gateway_egress(NodeId node, PacketKind kind,
                                        std::size_t bytes) {
   assert(node < n_nodes_);
-  if (!alive_[node]) return false;
+  if (!nodes_.alive(node)) return false;
   energy_.charge(node, energy::RadioOp::kP2pSend, bytes);
   stats_.count_send(kind, bytes);
   return true;
@@ -314,7 +341,7 @@ bool WirelessNet::count_gateway_egress(NodeId node, PacketKind kind,
 bool WirelessNet::count_gateway_ingress(NodeId node, PacketKind kind,
                                         std::size_t bytes) {
   assert(node < n_nodes_);
-  if (!alive_[node]) return false;
+  if (!nodes_.alive(node)) return false;
   energy_.charge(node, energy::RadioOp::kP2pRecv, bytes);
   stats_.count_delivery(kind);
   return true;
@@ -322,20 +349,21 @@ bool WirelessNet::count_gateway_ingress(NodeId node, PacketKind kind,
 
 void WirelessNet::kill(NodeId node) {
   assert(node < n_nodes_);
-  alive_[node] = 0;
+  nodes_.set_alive(node, false);
   ++topology_epoch_;  // invalidate every cached neighborhood
 }
 
 void WirelessNet::revive(NodeId node) {
   assert(node < n_nodes_);
-  alive_[node] = 1;
+  nodes_.set_alive(node, true);
   busy_until_[node] = sim_.now();
   ++topology_epoch_;
 }
 
 std::size_t WirelessNet::alive_count() const noexcept {
+  const std::uint8_t* alive = nodes_.alive_data();
   return static_cast<std::size_t>(
-      std::count(alive_.begin(), alive_.end(), char{1}));
+      std::count(alive, alive + n_nodes_, std::uint8_t{1}));
 }
 
 }  // namespace precinct::net

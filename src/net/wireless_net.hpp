@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "channel/channel_model.hpp"
+#include "core/node_state.hpp"
 #include "energy/accounting.hpp"
 #include "geo/geometry.hpp"
 #include "mobility/mobility_model.hpp"
@@ -96,8 +97,31 @@ class WirelessNet {
 
   [[nodiscard]] std::size_t node_count() const noexcept { return n_nodes_; }
 
-  /// Current position of a node.
-  [[nodiscard]] geo::Point position(NodeId node);
+  /// Current position of a node.  Lazily cached in the SoA position
+  /// columns keyed on the exact sim time, so repeated queries within one
+  /// event timestamp cost two array reads instead of a virtual mobility
+  /// call (values are identical either way: trajectories are per-node
+  /// deterministic).  Static worlds skip even the stamp check: the
+  /// columns were snapshotted once at construction and can never go
+  /// stale.
+  [[nodiscard]] geo::Point position(NodeId node) {
+    if (static_world_) return nodes_.position(node);
+    return nodes_.position_cached(node, sim_.now(), mobility_);
+  }
+
+  /// Node's current scalar speed, cached like position().
+  [[nodiscard]] double speed(NodeId node) {
+    return nodes_.speed_cached(node, sim_.now(), mobility_);
+  }
+
+  /// The SoA node-state columns this radio keeps current (positions,
+  /// liveness) and the engine annotates (regions).  Engine-level sweeps
+  /// read columns directly; protocol modules should keep using the
+  /// per-node accessors.
+  [[nodiscard]] core::NodeStateSoA& node_state() noexcept { return nodes_; }
+  [[nodiscard]] const core::NodeStateSoA& node_state() const noexcept {
+    return nodes_;
+  }
 
   /// Live nodes within radio range of `node` (excluding itself), sorted.
   [[nodiscard]] std::vector<NodeId> neighbors(NodeId node);
@@ -151,7 +175,7 @@ class WirelessNet {
   void kill(NodeId node);
   /// Revive a previously killed node.
   void revive(NodeId node);
-  [[nodiscard]] bool is_alive(NodeId node) const { return alive_.at(node); }
+  [[nodiscard]] bool is_alive(NodeId node) const { return nodes_.alive(node); }
   [[nodiscard]] std::size_t alive_count() const noexcept;
 
   // -- inter-tile gateway accounting (DESIGN.md §11) -----------------------
@@ -251,7 +275,12 @@ class WirelessNet {
   ReceiveHandler on_receive_;
   SnoopHandler on_snoop_;
   std::size_t n_nodes_;
-  std::vector<char> alive_;
+  /// Time-invariant mobility (static placements): position columns are
+  /// synced once in the constructor and read raw ever after.
+  bool static_world_;
+  /// SoA hot-path columns: positions (lazy, stamp-keyed), alive flags,
+  /// region ids (written through EngineContext::set_region).
+  core::NodeStateSoA nodes_;
   std::vector<double> busy_until_;
   std::uint64_t next_id_ = 1;
   std::uint64_t frames_lost_ = 0;
@@ -263,10 +292,10 @@ class WirelessNet {
   /// simulator, which outlives the radio.
   PacketBufPool* pool_;
 
-  // Spatial index (used when node_count >= spatial_index_threshold).
+  // Spatial index (used when node_count >= spatial_index_threshold),
+  // rebuilt straight from the SoA position/alive columns.
   std::unique_ptr<SpatialGrid> grid_;
   double grid_time_ = -1.0;
-  std::vector<geo::Point> grid_positions_;
   std::vector<std::uint32_t> grid_scratch_;
 
   // Per-node neighbor cache, keyed on (topology_epoch_, sim time).

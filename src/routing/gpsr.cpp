@@ -22,12 +22,14 @@ double ccw_delta(double a, double b) noexcept {
 std::optional<net::NodeId> Gpsr::greedy_next_hop(net::NodeId self,
                                                  geo::Point dest) {
   const geo::Point here = net_.position(self);
-  const double my_dist = geo::distance(here, dest);
+  // Squared distances: sqrt is monotone, so the argmin (and the "closer
+  // than self" admission test) are unchanged, and the k+1 sqrts per
+  // decision disappear.
+  const double my_dist = geo::distance_sq(here, dest);
   net::NodeId best = net::kNoNode;
   double best_dist = my_dist;
-  provider_->neighbors_into(self, scratch_neighbors_);
-  for (const net::NodeId n : scratch_neighbors_) {
-    const double d = geo::distance(provider_->position_of(self, n), dest);
+  for (const net::NodeId n : neighbor_list(self)) {
+    const double d = geo::distance_sq(pos_of(self, n), dest);
     if (d < best_dist || (d == best_dist && best != net::kNoNode && n < best)) {
       best_dist = d;
       best = n;
@@ -39,20 +41,28 @@ std::optional<net::NodeId> Gpsr::greedy_next_hop(net::NodeId self,
 
 void Gpsr::compute_planar(net::NodeId self, std::vector<net::NodeId>& out) {
   const geo::Point here = net_.position(self);
-  provider_->neighbors_into(self, scratch_neighbors_);
-  const auto& all = scratch_neighbors_;
+  const auto& all = neighbor_list(self);
+  // Materialize believed positions once: the Gabriel test below is
+  // O(k^2) position reads, and position_of is stable within this call.
+  scratch_points_.clear();
+  scratch_points_.reserve(all.size());
+  for (const net::NodeId v : all) scratch_points_.push_back(pos_of(self, v));
+  const std::size_t k = all.size();
   out.clear();
-  out.reserve(all.size());
-  for (const net::NodeId v : all) {
-    const geo::Point pv = provider_->position_of(self, v);
+  out.reserve(k);
+  for (std::size_t vi = 0; vi < k; ++vi) {
+    const geo::Point pv = scratch_points_[vi];
     const geo::Point mid{(here.x + pv.x) * 0.5, (here.y + pv.y) * 0.5};
     const double radius_sq = geo::distance_sq(here, pv) * 0.25;
-    const bool witnessed =
-        std::any_of(all.begin(), all.end(), [&](net::NodeId w) {
-          return w != v && geo::distance_sq(provider_->position_of(self, w),
-                                            mid) < radius_sq;
-        });
-    if (!witnessed) out.push_back(v);
+    bool witnessed = false;
+    for (std::size_t wi = 0; wi < k; ++wi) {
+      if (wi != vi &&
+          geo::distance_sq(scratch_points_[wi], mid) < radius_sq) {
+        witnessed = true;
+        break;
+      }
+    }
+    if (!witnessed) out.push_back(all[vi]);
   }
 }
 
@@ -66,6 +76,13 @@ const std::vector<net::NodeId>& Gpsr::planar_neighbors_cached(
   if (!net_.neighbor_cache_enabled() || c.at != now ||
       c.version != provider_->knowledge_version(self)) {
     compute_planar(self, c.ids);
+    // Bearings are stable under the same stamp, so the right-hand-rule
+    // scans over this planarization never touch atan2 again.
+    const geo::Point here = net_.position(self);
+    c.bearings.resize(c.ids.size());
+    for (std::size_t i = 0; i < c.ids.size(); ++i) {
+      c.bearings[i] = geo::bearing(here, pos_of(self, c.ids[i]));
+    }
     // Stamp after computing: the neighbor query may rebuild the spatial
     // grid and advance the provider's version.
     c.version = provider_->knowledge_version(self);
@@ -82,22 +99,25 @@ std::optional<net::NodeId> Gpsr::perimeter_next_hop(net::NodeId self,
                                                     net::Packet& packet) {
   const auto& planar = planar_neighbors_cached(self);
   if (planar.empty()) return std::nullopt;
+  const auto& bearings = planar_cache_[self].bearings;
   const geo::Point here = net_.position(self);
 
   // Right-hand rule: take the first edge counterclockwise from the
   // reference direction (the edge the packet arrived on, or the direction
-  // toward the destination when entering perimeter mode).
+  // toward the destination when entering perimeter mode).  Per-edge
+  // bearings come from the planar cache; only the reference direction is
+  // packet-dependent.
   const geo::Point ref_point = packet.src != net::kNoNode && packet.perimeter
-                                   ? provider_->position_of(self, packet.src)
+                                   ? pos_of(self, packet.src)
                                    : packet.dest_location;
   const double ref_angle = geo::bearing(here, ref_point);
 
   net::NodeId best = net::kNoNode;
   double best_delta = std::numeric_limits<double>::infinity();
-  for (const net::NodeId v : planar) {
+  for (std::size_t i = 0; i < planar.size(); ++i) {
+    const net::NodeId v = planar[i];
     if (v == packet.src && planar.size() > 1) continue;  // don't bounce back
-    const double delta =
-        ccw_delta(ref_angle, geo::bearing(here, provider_->position_of(self, v)));
+    const double delta = ccw_delta(ref_angle, bearings[i]);
     if (delta < best_delta) {
       best_delta = delta;
       best = v;

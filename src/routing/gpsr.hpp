@@ -67,17 +67,46 @@ class Gpsr {
 
   void compute_planar(net::NodeId self, std::vector<net::NodeId>& out);
 
+  /// Borrow `self`'s neighbor list for one forwarding decision.  When
+  /// this router owns the oracle provider and the radio's neighbor cache
+  /// is on, the radio's cached list *is* the provider's answer, so it is
+  /// aliased directly instead of copied; any external provider goes
+  /// through neighbors_into as before.  The reference is invalidated by
+  /// the next neighbor_list call.
+  [[nodiscard]] const std::vector<net::NodeId>& neighbor_list(
+      net::NodeId self) {
+    if (owned_ != nullptr && net_.neighbor_cache_enabled()) {
+      return net_.neighbors_cached(self);
+    }
+    provider_->neighbors_into(self, scratch_neighbors_);
+    return scratch_neighbors_;
+  }
+
+  /// Where `self` believes `node` is.  When the provider's knowledge is
+  /// the substrate's ground truth this devirtualizes to the radio's
+  /// SoA-cached position read; otherwise it asks the provider.
+  [[nodiscard]] geo::Point pos_of(net::NodeId self, net::NodeId node) {
+    return ground_truth_positions_ ? net_.position(node)
+                                   : provider_->position_of(self, node);
+  }
+
   struct PlanarCache {
     std::uint64_t version = 0;  // 0 never matches a live version
     double at = -1.0;
     std::vector<net::NodeId> ids;
+    /// bearing(self, ids[i]) under the same (at, version) stamp: the
+    /// right-hand-rule scan is angle comparisons only, so the atan2s are
+    /// paid once per planarization instead of once per packet.
+    std::vector<double> bearings;
   };
 
   net::WirelessNet& net_;
   std::unique_ptr<OracleNeighborProvider> owned_;
   NeighborProvider* provider_;
+  bool ground_truth_positions_ = provider_->positions_are_ground_truth();
   std::vector<PlanarCache> planar_cache_;
   std::vector<net::NodeId> scratch_neighbors_;
+  std::vector<geo::Point> scratch_points_;  // planarization position batch
 };
 
 }  // namespace precinct::routing

@@ -47,6 +47,16 @@ class NeighborProvider {
     return ++fallback_version_;
   }
 
+  /// True when position_of(self, node) is exactly the radio substrate's
+  /// current ground truth for every node (i.e. equals
+  /// WirelessNet::position(node)).  Lets GPSR read positions straight
+  /// from the substrate's SoA-cached columns instead of paying a virtual
+  /// call per neighbor; believed-position providers (beacons) return
+  /// false and keep the virtual path.
+  [[nodiscard]] virtual bool positions_are_ground_truth() const noexcept {
+    return false;
+  }
+
  private:
   std::uint64_t fallback_version_ = 0;
 };
@@ -71,6 +81,9 @@ class OracleNeighborProvider final : public NeighborProvider {
   }
   [[nodiscard]] std::uint64_t knowledge_version(net::NodeId) override {
     return net_.topology_epoch();
+  }
+  [[nodiscard]] bool positions_are_ground_truth() const noexcept override {
+    return true;
   }
 
  private:

@@ -1,0 +1,220 @@
+// Data-oriented layout checks (DESIGN.md §12):
+//
+//  * allocation counts — the CSR spatial-grid rebuild and the columnar
+//    cache's victim selection must be heap-free in steady state (the
+//    whole point of flattening them);
+//  * AoS <-> SoA equivalence — neighbor queries against a brute-force
+//    O(N^2) reference, and GPSR's devirtualized ground-truth position
+//    fast path against the plain virtual-provider path, on randomized
+//    topologies.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "cache/cache_store.hpp"
+#include "cache/policies.hpp"
+#include "mobility/random_waypoint.hpp"
+#include "mobility/static_placement.hpp"
+#include "net/spatial_grid.hpp"
+#include "net/wireless_net.hpp"
+#include "routing/gpsr.hpp"
+#include "routing/neighbor_provider.hpp"
+#include "sim/simulator.hpp"
+#include "support/rng.hpp"
+
+// Counting replacements for the global allocator (same pattern as
+// sim_test.cpp / net_alloc_test.cpp).
+namespace alloc_probe {
+std::atomic<std::uint64_t> count{0};
+}  // namespace alloc_probe
+
+void* operator new(std::size_t size) {
+  alloc_probe::count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+
+namespace {
+
+using namespace precinct;
+
+TEST(DataLayoutAlloc, SteadyStateGridRebuildAndQueryAreAllocationFree) {
+  const geo::Rect area{{0.0, 0.0}, {1200.0, 1200.0}};
+  constexpr std::size_t kNodes = 512;
+  net::SpatialGrid grid(area, 250.0);
+
+  support::Rng rng(7);
+  std::vector<double> xs(kNodes), ys(kNodes);
+  std::vector<std::uint8_t> alive(kNodes, 1);
+  for (std::size_t i = 0; i < kNodes; ++i) {
+    xs[i] = rng.uniform(0.0, 1200.0);
+    ys[i] = rng.uniform(0.0, 1200.0);
+  }
+  const auto drift = [&] {
+    for (std::size_t i = 0; i < kNodes; ++i) {
+      xs[i] = std::clamp(xs[i] + rng.uniform(-5.0, 5.0), 0.0, 1200.0);
+      ys[i] = std::clamp(ys[i] + rng.uniform(-5.0, 5.0), 0.0, 1200.0);
+    }
+  };
+
+  // Warm-up: first rebuild sizes offsets/indices and the counting-sort
+  // scratch; first queries size the output vector.
+  grid.rebuild(xs.data(), ys.data(), alive.data(), kNodes);
+  std::vector<std::uint32_t> out;
+  for (std::size_t i = 0; i < kNodes; i += 16) {
+    out.clear();
+    grid.query({xs[i], ys[i]}, 250.0, out);
+  }
+
+  const std::uint64_t before = alloc_probe::count.load();
+  for (int round = 0; round < 8; ++round) {
+    drift();
+    grid.rebuild(xs.data(), ys.data(), alive.data(), kNodes);
+    for (std::size_t i = 0; i < kNodes; i += 16) {
+      out.clear();
+      grid.query({xs[i], ys[i]}, 250.0, out);
+    }
+  }
+  EXPECT_EQ(alloc_probe::count.load(), before);
+  EXPECT_EQ(grid.indexed_count(), kNodes);
+}
+
+TEST(DataLayoutAlloc, CacheVictimSelectionIsAllocationFree) {
+  cache::CacheStore store(64 * 1024, cache::make_policy("gd-ld"));
+  support::Rng rng(11);
+  for (geo::Key k = 0; k < 48; ++k) {
+    cache::CacheEntry e;
+    e.key = k;
+    e.size_bytes = 1024;
+    e.access_count = rng.uniform(0.0, 10.0);
+    e.region_distance = rng.uniform(0.0, 2.0);
+    store.insert(e);
+  }
+  // Warm-up: grows the score scratch to the catalog's high-water size.
+  ASSERT_TRUE(store.victim_key().has_value());
+
+  const std::uint64_t before = alloc_probe::count.load();
+  geo::Key sum = 0;
+  for (int round = 0; round < 64; ++round) {
+    store.touch(static_cast<geo::Key>(round % 48), round, 1.0);
+    const auto victim = store.victim_key();
+    ASSERT_TRUE(victim.has_value());
+    sum += *victim;
+  }
+  EXPECT_EQ(alloc_probe::count.load(), before);
+  EXPECT_LT(sum, static_cast<geo::Key>(48 * 64));  // victims are real keys
+}
+
+// Brute-force O(N^2) neighbor reference straight from the mobility
+// oracle: the ground truth the SoA position cache + grid/linear sweeps
+// must reproduce exactly.
+std::vector<net::NodeId> brute_force_neighbors(mobility::MobilityModel& mob,
+                                               net::NodeId self, double now,
+                                               double range_m) {
+  std::vector<net::NodeId> out;
+  const geo::Point p = mob.position_at(self, now);
+  for (net::NodeId i = 0; i < mob.node_count(); ++i) {
+    if (i == self) continue;
+    if (geo::distance(p, mob.position_at(i, now)) <= range_m) {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+TEST(DataLayoutEquivalence, NeighborsMatchBruteForceOnRandomTopologies) {
+  // Below spatial_index_threshold the linear column sweep answers; above
+  // it the CSR grid does.  Both must agree with the O(N^2) reference,
+  // under mobility (positions change between queries) and node death.
+  for (const std::size_t n : {40u, 300u}) {
+    for (const std::uint64_t seed : {1u, 17u, 99u}) {
+      sim::Simulator sim;
+      mobility::RandomWaypointConfig mc;
+      mc.area = {{0.0, 0.0}, {1200.0, 1200.0}};
+      mobility::RandomWaypoint mob(n, mc, seed);
+      net::WirelessConfig wc;
+      wc.area = mc.area;
+      net::WirelessNet net(sim, mob, wc, energy::FeeneyModel{}, seed);
+      net.kill(static_cast<net::NodeId>(n / 3));
+
+      for (const double t : {0.0, 1.5, 7.25, 30.0}) {
+        sim.schedule_at(t, [&, t] {
+          for (net::NodeId self = 0; self < n; self += 7) {
+            if (!net.is_alive(self)) continue;
+            auto expected = brute_force_neighbors(mob, self, t, wc.range_m);
+            std::erase_if(expected, [&](net::NodeId i) {
+              return !net.is_alive(i);
+            });
+            EXPECT_EQ(net.neighbors(self), expected)
+                << "n=" << n << " seed=" << seed << " t=" << t
+                << " self=" << self;
+            EXPECT_EQ(net.position(self), mob.position_at(self, t));
+          }
+        });
+      }
+      sim.run_all();
+    }
+  }
+}
+
+/// Same perfect knowledge as OracleNeighborProvider, but reporting
+/// positions_are_ground_truth() == false — forces GPSR down the virtual
+/// position_of path so the devirtualized fast path can be differenced
+/// against it.
+class VirtualPathOracle final : public routing::NeighborProvider {
+ public:
+  explicit VirtualPathOracle(net::WirelessNet& network) : inner_(network) {}
+
+  [[nodiscard]] std::vector<net::NodeId> neighbors_of(
+      net::NodeId self) override {
+    return inner_.neighbors_of(self);
+  }
+  void neighbors_into(net::NodeId self,
+                      std::vector<net::NodeId>& out) override {
+    inner_.neighbors_into(self, out);
+  }
+  [[nodiscard]] geo::Point position_of(net::NodeId self,
+                                       net::NodeId node) override {
+    return inner_.position_of(self, node);
+  }
+  [[nodiscard]] std::uint64_t knowledge_version(net::NodeId self) override {
+    return inner_.knowledge_version(self);
+  }
+
+ private:
+  routing::OracleNeighborProvider inner_;
+};
+
+TEST(DataLayoutEquivalence, GpsrNextHopMatchesVirtualProviderPath) {
+  sim::Simulator sim;
+  auto placement = mobility::StaticPlacement::uniform(
+      160, {{0.0, 0.0}, {1200.0, 1200.0}}, /*seed=*/5);
+  net::WirelessConfig wc;
+  net::WirelessNet net(sim, placement, wc, energy::FeeneyModel{}, 5);
+
+  routing::Gpsr fast(net);  // oracle provider: ground-truth fast path
+  VirtualPathOracle provider(net);
+  routing::Gpsr slow(net, provider);  // identical data, virtual reads
+
+  support::Rng rng(5);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto self = static_cast<net::NodeId>(rng.uniform_int(160));
+    net::Packet a;
+    a.dest_location = {rng.uniform(0.0, 1200.0), rng.uniform(0.0, 1200.0)};
+    net::Packet b = a;
+    const auto hop_fast = fast.next_hop(self, a);
+    const auto hop_slow = slow.next_hop(self, b);
+    EXPECT_EQ(hop_fast, hop_slow) << "trial=" << trial << " self=" << self;
+    EXPECT_EQ(a.perimeter, b.perimeter);
+  }
+}
+
+}  // namespace

@@ -13,6 +13,9 @@ loud INFO) when
   * either snapshot is not a Release build (precinct_build_type, written
     by micro_bench's custom main; older snapshots without the key are
     treated as unknown => incomparable),
+  * either snapshot's *benchmark library* is not a Release build
+    (library_build_type, written by the harness itself): a Debug timing
+    loop measures the harness, not the code under test,
   * either snapshot was captured with CPU frequency scaling active,
   * host identity (cpu count / nominal MHz) differs between the two.
 
@@ -39,6 +42,8 @@ PINNED_FAMILIES = (
     "BM_ZipfSample",
     "BM_GeoHashHomeRegion",
     "BM_SpatialGridRebuildQuery",
+    "BM_SpatialGridRebuild",
+    "BM_CacheScan",
 )
 
 
@@ -55,6 +60,7 @@ def context_fingerprint(ctx):
     """The identity a measurement is only comparable within."""
     return {
         "build_type": ctx.get("precinct_build_type", "unknown"),
+        "library_build_type": ctx.get("library_build_type", "unknown"),
         "trustworthy": ctx.get("precinct_trustworthy", "unknown"),
         "cpu_scaling": bool(ctx.get("cpu_scaling_enabled", False)),
         "num_cpus": ctx.get("num_cpus"),
@@ -107,6 +113,13 @@ def main():
         if fp["build_type"] != "Release":
             return refuse(f"{label} build_type is '{fp['build_type']}', "
                           "need Release", base_fp, cand_fp)
+        if fp["library_build_type"] != "release":
+            # A Debug-built benchmark library times its own unoptimized
+            # measurement loop; numbers from it are not evidence either
+            # way (same philosophy as PRECINCT_BENCH_STRICT).
+            return refuse(f"{label} benchmark library_build_type is "
+                          f"'{fp['library_build_type']}', need 'release'",
+                          base_fp, cand_fp)
         if fp["trustworthy"] != "true":
             return refuse(f"{label} was captured under an untrustworthy "
                           "context (precinct_trustworthy != true)",
