@@ -9,6 +9,7 @@
 #include "bench_context.hpp"
 
 #include "cache/cache_store.hpp"
+#include "core/world_scenario.hpp"
 #include "geo/geo_hash.hpp"
 #include "mobility/random_waypoint.hpp"
 #include "mobility/static_placement.hpp"
@@ -331,6 +332,31 @@ void BM_CacheScan(benchmark::State& state) {
                           static_cast<std::int64_t>(n));
 }
 BENCHMARK(BM_CacheScan)->Arg(256)->Arg(1024);
+
+// End-to-end cost of a small world-sharded run (DESIGN.md §13): domain
+// replicas, the derived-lookahead window loop, cross-cut frame
+// marshalling and the conservation audit, on one worker so the number is
+// the sharding machinery's overhead rather than a parallelism claim.
+// Pinned in tools/bench_diff.py: the window loop runs once per derived
+// lookahead (sub-millisecond), so a regression here multiplies across
+// every world-sharded simulated second.
+void BM_WorldShardedRun(benchmark::State& state) {
+  core::PrecinctConfig c;
+  c.n_nodes = 24;
+  c.area = {{0.0, 0.0}, {600.0, 600.0}};
+  c.regions_x = c.regions_y = 3;
+  c.catalog.n_items = 100;
+  c.mean_request_interval_s = 4.0;
+  c.warmup_s = 2.0;
+  c.measure_s = 8.0;
+  c.seed = 77;
+  c.shards = 1;
+  for (auto _ : state) {
+    const core::WorldShardedMetrics m = core::run_world_scenario(c);
+    benchmark::DoNotOptimize(m.frames_processed);
+  }
+}
+BENCHMARK(BM_WorldShardedRun);
 
 void BM_KvFileParse(benchmark::State& state) {
   std::string text;

@@ -14,6 +14,7 @@
 
 #include "core/config_io.hpp"
 #include "core/scenario.hpp"
+#include "core/world_scenario.hpp"
 #include "support/json.hpp"
 #include "support/table.hpp"
 
@@ -75,6 +76,11 @@ correctness harness
 run control
   --config FILE        key=value scenario file (flags override it; see
                        examples/scenario.conf.example)
+  --shards K           parallel workers; with the default 1x1 tile grid,
+                       K > 1 world-shards the run (one world cut into
+                       region-column domains with real radio traffic
+                       across the cut; results are byte-identical for
+                       any K)                             (default 1)
   --warmup S           warm-up before measuring           (default 150)
   --measure S          measurement window                 (default 900)
   --seed N             base RNG seed                      (default 1)
@@ -190,6 +196,8 @@ int main(int argc, char** argv) {
     c.check_stride = static_cast<std::uint64_t>(args.number(
         "--check-stride", static_cast<double>(c.check_stride)));
     c.dynamic_regions = args.flag("--dynamic-regions") || c.dynamic_regions;
+    c.shards = static_cast<std::uint32_t>(
+        args.number("--shards", static_cast<double>(c.shards)));
     c.warmup_s = args.number("--warmup", c.warmup_s);
     c.measure_s = args.number("--measure", c.measure_s);
     c.seed = static_cast<std::uint64_t>(args.number("--seed", static_cast<double>(c.seed)));
@@ -228,8 +236,25 @@ int main(int argc, char** argv) {
       return 2;
     }
 
+    const bool world_sharded =
+        c.shards > 1 && c.tiles_x == 1 && c.tiles_y == 1;
     core::Metrics m;
-    if (trace_n > 0 || !trace_cats.empty()) {
+    if (world_sharded) {
+      // World sharding cuts ONE world into region-column domains; tracing
+      // is a plain-scenario feature (a single event loop to observe).
+      if (trace_n > 0 || !trace_cats.empty()) {
+        throw std::invalid_argument(
+            "--trace needs a single-threaded run; drop --shards");
+      }
+      std::vector<core::Metrics> runs;
+      const std::uint64_t base_seed = c.seed;
+      for (std::size_t i = 0; i < std::max<std::size_t>(1, seeds); ++i) {
+        PrecinctConfig replication = c;
+        replication.seed = base_seed + i;
+        runs.push_back(core::run_world_scenario(replication).aggregate);
+      }
+      m = core::merge_metrics(runs);
+    } else if (trace_n > 0 || !trace_cats.empty()) {
       // Tracing implies a single (seeded) run.
       core::Scenario scenario(c);
       auto& tracer =

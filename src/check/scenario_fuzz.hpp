@@ -20,7 +20,13 @@
 //                            sharded fingerprint for shards = K and
 //                            shards = 1 (the conservative parallel
 //                            executor's determinism contract, DESIGN.md
-//                            §11).
+//                            §11);
+//   * world-shard-invariant — ONE world cut into region-column domains
+//                            (WorldShardedScenario, boundary-heavy
+//                            mobility so nodes keep straddling the cut)
+//                            produces a byte-identical world fingerprint
+//                            for shards = K and shards = 1 (DESIGN.md
+//                            §13), conservation audit included.
 //
 // A failed case serializes a minimal repro config (config_to_file schema,
 // seed included) so `precinct_sim --config <file>` replays it one-command.
@@ -40,9 +46,10 @@ enum class Property : std::uint8_t {
   kNullFaultIdentical,
   kNoRetryNoResend,
   kShardInvariant,
+  kWorldShardInvariant,
 };
 
-inline constexpr std::size_t kPropertyCount = 4;
+inline constexpr std::size_t kPropertyCount = 5;
 
 [[nodiscard]] const char* to_string(Property p) noexcept;
 

@@ -275,7 +275,7 @@ PrecinctConfig config_from_kv(const support::KvFile& kv,
            }},
           {"gateway_latency",
            [&](const std::string&) {
-             c.gateway_latency_s = kv.get_number("gateway_latency", 0.25);
+             c.gateway_latency_s = kv.get_number("gateway_latency", 0.0);
            }},
           {"gateway_interval",
            [&](const std::string&) {

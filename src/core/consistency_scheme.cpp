@@ -36,6 +36,10 @@ void ConsistencyScheme::register_handlers(net::PacketDispatcher& dispatch) {
 
 void ConsistencyScheme::initiate_update(net::NodeId peer, geo::Key key) {
   const std::uint64_t version = ctx_.catalog.apply_update(key, ctx_.sim.now());
+  // World sharding: every other domain's catalog replica merges the bump
+  // at the next window boundary, before any frame carrying the new
+  // version can cross the cut (no-op in a single-catalog run).
+  ctx_.net.announce_catalog_update(key, version);
   if (ctx_.measuring) ++ctx_.metrics.updates_initiated;
   PRECINCT_TRACE(ctx_.tracer, ctx_.sim.now(), sim::TraceCategory::kConsistency,
                  peer,

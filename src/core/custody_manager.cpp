@@ -130,7 +130,13 @@ void CustodyManager::place_initial_copies() {
              item.key, ctx_.regions, ctx_.config.replica_count)) {
       const net::NodeId holder = place(region);
       if (holder != net::kNoNode) {
-        ctx_.peers[holder].cache.put_static(entry);
+        // The placement plan is a pure function of the initial topology,
+        // so every world-sharded domain computes the identical `placed`
+        // list — but only the holder's owner domain materializes the
+        // copy.  Remote domains never scan static stores they don't own.
+        if (ctx_.shard.owns(holder)) {
+          ctx_.peers[holder].cache.put_static(entry);
+        }
         placed.push_back(holder);
       }
     }

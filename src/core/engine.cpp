@@ -107,11 +107,16 @@ PrecinctEngine::~PrecinctEngine() {
 }
 
 void PrecinctEngine::initialize() {
+  // Every node gets a region — replicas included, so routing/custody
+  // sweeps see the full world.  World-sharded runs replicate this loop
+  // identically in every domain (same positions from the shared-seed
+  // mobility oracle); the workload loops below run for owned nodes only.
   for (net::NodeId i = 0; i < net_.node_count(); ++i) {
     ctx_.set_region(i, regions_.containing(net_.position(i)));
   }
   custody_->place_initial_copies();
   for (net::NodeId i = 0; i < net_.node_count(); ++i) {
+    if (!ctx_.shard.owns(i)) continue;
     workload_->schedule_next_request(i);
     if (config_.updates_enabled && consistency_->generates_updates()) {
       workload_->schedule_next_update(i);
@@ -122,6 +127,7 @@ void PrecinctEngine::initialize() {
   if (config_.join_rate_per_s > 0.0) workload_->schedule_joins();
   if (config_.use_beacons) {
     for (net::NodeId i = 0; i < net_.node_count(); ++i) {
+      if (!ctx_.shard.owns(i)) continue;
       workload_->schedule_beacon(i);
     }
   }

@@ -43,6 +43,21 @@ class ConsistencyScheme;
 class CustodyManager;
 class WorkloadDriver;
 
+/// This engine's slice of a world-sharded run (DESIGN.md §13): which
+/// domain it is and which nodes it simulates authoritatively.  Inactive
+/// (owner == nullptr) in a plain run — owns() is then always true, so
+/// every ownership-gated loop degenerates to the unsharded behavior.
+struct ShardView {
+  std::uint32_t domain = 0;
+  std::uint32_t n_domains = 1;
+  const std::uint32_t* owner = nullptr;  ///< node id -> owning domain
+
+  [[nodiscard]] bool active() const noexcept { return owner != nullptr; }
+  [[nodiscard]] bool owns(net::NodeId node) const noexcept {
+    return owner == nullptr || owner[node] == domain;
+  }
+};
+
 /// Per-peer protocol state.  Peers never share state except via packets;
 /// this is simply where one peer's caches and generators live (the whole
 /// simulation is single-threaded, see sim/simulator.hpp).
@@ -116,19 +131,34 @@ class EngineContext {
   /// utility so the wd weight is unit-comparable across region counts.
   double region_diameter = 1.0;
   RoutingStats route_drops;  ///< lifetime forwarding-drop counters
+  /// World-sharded ownership view; inactive in plain runs.  Set by
+  /// PrecinctEngine::set_shard_view before initialize().
+  ShardView shard;
 
   /// Correlation ids for requests, responder polls and update pushes.
-  /// One shared counter keeps ids unique across all modules.
+  /// One shared counter keeps ids unique across all modules; a
+  /// world-sharded engine strides it by the domain count (seeded
+  /// domain + 1) so correlation ids are globally unique too.
   [[nodiscard]] std::uint64_t next_correlation_id() noexcept {
-    return next_id_++;
+    const std::uint64_t id = next_id_;
+    next_id_ += id_stride_;
+    return id;
+  }
+  void stride_correlation_ids(std::uint64_t first,
+                              std::uint64_t stride) noexcept {
+    next_id_ = first;
+    id_stride_ = stride;
   }
 
   /// Single write path for a peer's region: keeps PeerState::region and
   /// the SoA region column (net.node_state()) coherent, so population
   /// sweeps can scan the column instead of striding over PeerStates.
-  void set_region(net::NodeId peer, geo::RegionId region) noexcept {
+  /// Routed through the radio so a world-sharded owned change also posts
+  /// its halo delta to the other domains (which may throw on a
+  /// conservative-bound violation, hence no noexcept).
+  void set_region(net::NodeId peer, geo::RegionId region) {
     peers[peer].region = region;
-    net.node_state().set_region(peer, region);
+    net.set_node_region(peer, region);
   }
 
   // -- shared helpers ----------------------------------------------------------
@@ -167,6 +197,7 @@ class EngineContext {
 
  private:
   std::uint64_t next_id_ = 1;
+  std::uint64_t id_stride_ = 1;
 };
 
 }  // namespace precinct::core

@@ -54,6 +54,9 @@ void WorkloadDriver::schedule_next_update(net::NodeId peer) {
 
 void WorkloadDriver::schedule_region_checks() {
   for (net::NodeId i = 0; i < ctx_.net.node_count(); ++i) {
+    // Only the owner domain watches a node's region: it alone runs the
+    // handoff protocol, and its set_region posts the halo delta.
+    if (!ctx_.shard.owns(i)) continue;
     // Stagger checks so the whole fleet doesn't probe at the same instant.
     const double offset =
         ctx_.peers[i].rng.uniform(0.0, ctx_.config.region_check_interval_s);
@@ -96,33 +99,60 @@ void WorkloadDriver::handle_beacon(net::NodeId self,
   }
 }
 
+support::Rng& WorkloadDriver::inject_rng() {
+  if (!ctx_.shard.active()) return ctx_.rng;
+  if (!shard_inject_rng_) {
+    shard_inject_rng_ = std::make_unique<support::Rng>(support::hash_combine(
+        support::hash_combine(ctx_.config.seed, 0xFA11), ctx_.shard.domain));
+  }
+  return *shard_inject_rng_;
+}
+
+double WorkloadDriver::owned_fraction() const {
+  if (!ctx_.shard.active()) return 1.0;
+  std::size_t owned = 0;
+  const std::size_t n = ctx_.net.node_count();
+  for (net::NodeId i = 0; i < n; ++i) {
+    if (ctx_.shard.owns(i)) ++owned;
+  }
+  return n > 0 ? static_cast<double>(owned) / static_cast<double>(n) : 0.0;
+}
+
 void WorkloadDriver::schedule_crashes() {
-  const double wait = ctx_.rng.exponential(1.0 / ctx_.config.crash_rate_per_s);
+  // World-sharded: each domain injects crashes for its own nodes at its
+  // population share of the network-wide rate, from a per-domain stream —
+  // the aggregate churn matches a plain run in expectation while staying
+  // deterministic for any worker count.
+  const double rate = ctx_.config.crash_rate_per_s * owned_fraction();
+  if (rate <= 0.0) return;  // a domain that owns nothing injects nothing
+  const double wait = inject_rng().exponential(1.0 / rate);
   ctx_.sim.schedule(wait, [this] {
-    // Crash a uniformly random live peer.
+    // Crash a uniformly random live owned peer.
     std::vector<net::NodeId> alive;
     for (net::NodeId i = 0; i < ctx_.net.node_count(); ++i) {
-      if (ctx_.net.is_alive(i)) alive.push_back(i);
+      if (ctx_.shard.owns(i) && ctx_.net.is_alive(i)) alive.push_back(i);
     }
     if (alive.size() > 2) {  // keep at least a residual network
-      const net::NodeId victim = alive[ctx_.rng.uniform_int(alive.size())];
+      support::Rng& rng = inject_rng();
+      const net::NodeId victim = alive[rng.uniform_int(alive.size())];
       ctx_.custody->fail_peer(victim,
-                              ctx_.rng.uniform() <
-                                  ctx_.config.graceful_fraction);
+                              rng.uniform() < ctx_.config.graceful_fraction);
     }
     schedule_crashes();
   });
 }
 
 void WorkloadDriver::schedule_joins() {
-  const double wait = ctx_.rng.exponential(1.0 / ctx_.config.join_rate_per_s);
+  const double rate = ctx_.config.join_rate_per_s * owned_fraction();
+  if (rate <= 0.0) return;
+  const double wait = inject_rng().exponential(1.0 / rate);
   ctx_.sim.schedule(wait, [this] {
     std::vector<net::NodeId> dead;
     for (net::NodeId i = 0; i < ctx_.net.node_count(); ++i) {
-      if (!ctx_.net.is_alive(i)) dead.push_back(i);
+      if (ctx_.shard.owns(i) && !ctx_.net.is_alive(i)) dead.push_back(i);
     }
     if (!dead.empty()) {
-      ctx_.custody->revive_peer(dead[ctx_.rng.uniform_int(dead.size())]);
+      ctx_.custody->revive_peer(dead[inject_rng().uniform_int(dead.size())]);
     }
     schedule_joins();
   });

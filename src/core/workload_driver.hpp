@@ -8,6 +8,8 @@
 // (DESIGN.md §8); it owns the kBeacon packet kind.
 #pragma once
 
+#include <memory>
+
 #include "core/engine_context.hpp"
 #include "net/packet_dispatch.hpp"
 
@@ -35,8 +37,17 @@ class WorkloadDriver {
 
  private:
   void handle_beacon(net::NodeId self, const net::Packet& packet);
+  /// The failure-injection RNG: ctx.rng in a plain run; in a
+  /// world-sharded run a per-domain stream (salt 0xFA11 ^ domain) so
+  /// every domain injects its own owned-population share independently
+  /// and deterministically for any worker count.
+  [[nodiscard]] support::Rng& inject_rng();
+  /// Fraction of the world this engine owns (1.0 in a plain run) — the
+  /// churn rates scale by it so the network-wide rate is preserved.
+  [[nodiscard]] double owned_fraction() const;
 
   EngineContext& ctx_;
+  std::unique_ptr<support::Rng> shard_inject_rng_;
 };
 
 }  // namespace precinct::core

@@ -1,0 +1,134 @@
+// WorldShardedScenario: ONE PReCinCt world cut into region-column domains
+// and advanced in parallel by the conservative executor (DESIGN.md §13).
+//
+// Unlike ShardedScenario (independent tile worlds coupled by gateway
+// backhaul), every domain here simulates the SAME world: each holds a
+// full same-seed Scenario replica (identical catalog, mobility, radio and
+// engine streams), but only *drives* the nodes whose t=0 position falls
+// in its region columns.  Real protocol frames cross the cut: a
+// transmission whose padded radio disc can reach another domain's nodes
+// is marshalled through the executor's mailboxes at its arrival instant
+// and re-delivered there against the replica's own (exact) positions —
+// retrieval, custody handoff and consistency traffic straddle the cut
+// unmodified.
+//
+// Two structural rules make `shards = K` byte-identical to `shards = 1`
+// for every K:
+//
+//   * the domain decomposition is fixed by the config (one domain per
+//     region column); `shards` only maps domains onto worker threads, so
+//     what crosses the cut — and in which (due, src, seq) order it is
+//     merged — never depends on K;
+//
+//   * the conservative lookahead is *derived* from the radio's timing
+//     floor (WirelessNet::world_lookahead: MAC overhead + propagation),
+//     not configured: every cross-domain frame's arrival is provably at
+//     least one lookahead after its transmission, so no window ever sees
+//     a message from its past (ShardExecutor::post throws otherwise).
+//
+// Ownership halo: owned kill/revive/region changes are posted as deltas
+// applied by the other domains at window boundaries, so remote replicas
+// track liveness and region assignment with at most one window of
+// staleness (bounded by the lookahead, ~0.6 ms at the defaults).
+//
+// A cross-domain frame-conservation audit runs after the final window:
+// every posted frame/delta must have been processed at its destination
+// except those due beyond the run horizon.  run() throws on mismatch.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/metrics.hpp"
+#include "core/scenario.hpp"
+#include "geo/shard_partition.hpp"
+#include "sim/shard_exec.hpp"
+
+namespace precinct::core {
+
+/// Aggregate + per-domain results of a world-sharded run.  Everything
+/// except `shards` is invariant to the worker count; world_fingerprint()
+/// covers exactly the invariant part.
+struct WorldShardedMetrics {
+  Metrics aggregate;                 ///< merge_metrics over all domains
+  std::vector<Metrics> per_domain;   ///< domain-order window metrics
+  std::uint32_t domains = 1;         ///< region-column domains (fixed by config)
+  std::uint32_t shards = 1;          ///< worker threads; excluded from the
+                                     ///< fingerprint
+  double lookahead_s = 0.0;          ///< derived conservative lookahead
+  std::uint64_t frames_posted = 0;   ///< cross-domain radio frames marshalled
+  std::uint64_t frames_processed = 0;  ///< re-delivered at their destination
+  std::uint64_t frames_beyond_horizon = 0;  ///< due after the run end
+  std::uint64_t deltas_posted = 0;     ///< liveness/region halo deltas sent
+  std::uint64_t deltas_processed = 0;  ///< halo deltas applied
+  std::uint64_t deltas_beyond_horizon = 0;
+  std::uint64_t windows = 0;           ///< executor lookahead windows
+  std::uint64_t messages_merged = 0;   ///< executor mailbox messages
+};
+
+/// Canonical text form of everything that must be byte-identical across
+/// worker counts: the derived lookahead, the cross-domain traffic and
+/// conservation counters, the aggregate fingerprint, then every domain's
+/// own fingerprint.  The determinism gate diffs this string for shards
+/// in {1, 2, 4, 8}.
+[[nodiscard]] std::string world_fingerprint(const WorldShardedMetrics& m);
+
+class WorldShardedScenario {
+ public:
+  /// Builds one full-world replica per region column, computes node
+  /// ownership from the t=0 positions, and binds every replica's radio
+  /// and engine into the shard.  Throws std::invalid_argument when the
+  /// config cannot be world-sharded (dynamic regions, gateway knobs, or
+  /// a non-positive derived lookahead).
+  explicit WorldShardedScenario(const PrecinctConfig& config);
+  ~WorldShardedScenario();
+
+  WorldShardedScenario(const WorldShardedScenario&) = delete;
+  WorldShardedScenario& operator=(const WorldShardedScenario&) = delete;
+
+  /// Warm-up + measurement across all domains, then the frame/delta
+  /// conservation audit (throws std::logic_error on a leak).  One-shot.
+  WorldShardedMetrics run();
+
+  [[nodiscard]] std::size_t domain_count() const noexcept {
+    return domains_.size();
+  }
+  [[nodiscard]] Scenario& domain(std::size_t i) { return *domains_.at(i); }
+  /// Node id -> owning domain (the region column of its t=0 position).
+  [[nodiscard]] const std::vector<std::uint32_t>& owner() const noexcept {
+    return owner_;
+  }
+  [[nodiscard]] const geo::ShardPartition& partition() const noexcept {
+    return partition_;
+  }
+  [[nodiscard]] sim::ShardExecutor& executor() noexcept { return *exec_; }
+  /// The derived conservative lookahead (MAC overhead + propagation).
+  [[nodiscard]] double lookahead_s() const noexcept { return lookahead_s_; }
+  [[nodiscard]] const PrecinctConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  class Coupler;  // net::WorldCoupler -> executor mailboxes + counters
+
+  PrecinctConfig config_;
+  /// Region-column domains -> worker shards (partition_grid(regions_x, 1,
+  /// shards); K > regions_x clamps — a worker with no domain is dead
+  /// weight, never a correctness concern).
+  geo::ShardPartition partition_;
+  double lookahead_s_ = 0.0;
+  std::vector<std::uint32_t> owner_;  ///< node -> domain
+  std::vector<std::unique_ptr<Scenario>> domains_;
+  std::unique_ptr<Coupler> coupler_;
+  std::unique_ptr<sim::ShardExecutor> exec_;
+  bool ran_ = false;
+};
+
+/// Convenience: build, run, return.
+[[nodiscard]] WorldShardedMetrics run_world_scenario(
+    const PrecinctConfig& config);
+
+}  // namespace precinct::core

@@ -33,6 +33,25 @@ ShardPartition partition_grid(std::uint32_t nx, std::uint32_t ny,
   return p;
 }
 
+std::uint32_t world_column_of(double x, double min_x, double width,
+                              std::uint32_t nx) {
+  if (nx == 0 || width <= 0.0) {
+    throw std::invalid_argument("world_column_of: empty world");
+  }
+  const double cell = width / static_cast<double>(nx);
+  const auto col = static_cast<std::int64_t>((x - min_x) / cell);
+  return static_cast<std::uint32_t>(
+      std::clamp<std::int64_t>(col, 0, static_cast<std::int64_t>(nx) - 1));
+}
+
+bool world_boundary_column(std::uint32_t col,
+                           const std::vector<std::uint32_t>& shard_of) {
+  const std::size_t n = shard_of.size();
+  if (col >= n) throw std::invalid_argument("world_boundary_column: bad col");
+  if (col > 0 && shard_of[col - 1] != shard_of[col]) return true;
+  return col + 1 < n && shard_of[col + 1] != shard_of[col];
+}
+
 std::uint64_t cut_edges(std::uint32_t nx, std::uint32_t ny,
                         const std::vector<std::uint32_t>& shard_of) {
   std::uint64_t cuts = 0;

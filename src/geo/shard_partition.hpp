@@ -49,4 +49,26 @@ struct ShardPartition {
 [[nodiscard]] std::uint64_t cut_edges(std::uint32_t nx, std::uint32_t ny,
                                       const std::vector<std::uint32_t>& shard_of);
 
+// -- world sharding (DESIGN.md §13) -----------------------------------------
+//
+// When one world is cut (rather than independent tiles coupled), the
+// domain is a vertical strip of region columns: column strips keep the
+// region grid's natural adjacency, so cross-domain radio traffic only
+// pays for the strip boundaries.  `world_column_of` is the ownership
+// function — a node belongs to the domain of the region column its t=0
+// position falls in — and `world_boundary_column` marks the columns whose
+// radio range can reach another domain (the halo membership).
+
+/// The region column (0..nx-1) that x-coordinate `x` falls in on a plane
+/// spanning [min_x, min_x + width).  Clamped at both edges so nodes
+/// exactly on (or numerically past) the plane boundary stay inside.
+[[nodiscard]] std::uint32_t world_column_of(double x, double min_x,
+                                            double width, std::uint32_t nx);
+
+/// True when region column `col` of an nx-column world is adjacent to a
+/// cut — i.e. the column's strip borders a different domain, so frames
+/// from its nodes can cross domains.
+[[nodiscard]] bool world_boundary_column(
+    std::uint32_t col, const std::vector<std::uint32_t>& shard_of);
+
 }  // namespace precinct::geo

@@ -171,19 +171,113 @@ double WirelessNet::reserve_airtime(NodeId sender, double tx_time) {
   return busy;  // time the last bit hits the air
 }
 
+void WirelessNet::bind_world_shard(const WorldShardBinding& binding) {
+  assert(binding.owner != nullptr && binding.coupler != nullptr);
+  assert(binding.domain < binding.n_domains);
+  world_ = binding;
+  world_domain_flags_.assign(binding.n_domains, 0);
+  // Stride the id counter so every domain mints from a disjoint residue
+  // class: ids stay globally unique without any cross-domain handshake.
+  next_id_ = binding.domain + 1;
+  id_stride_ = binding.n_domains;
+}
+
+void WirelessNet::set_node_region(NodeId node, geo::RegionId region) {
+  nodes_.set_region(node, region);
+  if (world_.coupler != nullptr && owns(node)) {
+    world_.coupler->post_region(world_.domain, node, region, sim_.now());
+  }
+}
+
+void WirelessNet::apply_remote_liveness(NodeId node, bool alive) {
+  // Routed through kill/revive for the epoch bump; the node is foreign,
+  // so the owns() guard inside them cannot echo a delta back.
+  assert(!owns(node));
+  if (alive) {
+    revive(node);
+  } else {
+    kill(node);
+  }
+}
+
+void WirelessNet::post_world_frames(const Packet& p, double arrival,
+                                    bool is_unicast, NodeId next_hop) {
+  // A node owned by domain d can hear this frame iff it sits within the
+  // radio range of the sender at `arrival`.  Both endpoints move at most
+  // max_speed in the meantime, so everything inside
+  //   range + 2 * max_speed * (arrival - now)
+  // of the sender *now* is the complete candidate set; the destination
+  // replica recomputes the exact receiver list on its own (identical)
+  // mobility oracle when the frame arrives.
+  const double now = sim_.now();
+  const geo::Point pos = position(p.src);
+  const double reach =
+      config_.range_m +
+      2.0 * config_.max_node_speed_mps * (arrival - now);
+  std::fill(world_domain_flags_.begin(), world_domain_flags_.end(),
+            std::uint8_t{0});
+  const std::uint32_t* owner = world_.owner;
+  if (grid_ != nullptr) {
+    refresh_grid();
+    // Grid bins are stale by up to the rebuild period; pad the query and
+    // filter exactly on current positions.  Replica-dead candidates are
+    // already excluded by the rebuild's alive filter (a node revived
+    // remotely inside the current window is missed for at most one
+    // window — the halo staleness bound, DESIGN.md §13).
+    const double grid_pad = (now - grid_time_) * config_.max_node_speed_mps;
+    const double reach2 = reach * reach;
+    grid_scratch_.clear();
+    grid_->query(pos, reach + grid_pad, grid_scratch_);
+    for (const std::uint32_t i : grid_scratch_) {
+      if (owner[i] == world_.domain) continue;
+      if (geo::distance_sq(pos, nodes_.position_cached(i, now, mobility_)) <=
+          reach2) {
+        world_domain_flags_[owner[i]] = 1;
+      }
+    }
+  } else {
+    if (!static_world_) nodes_.sync_positions(now, mobility_);
+    const double* xs = nodes_.x();
+    const double* ys = nodes_.y();
+    const std::uint8_t* alive = nodes_.alive_data();
+    const double reach2 = reach * reach;
+    for (NodeId i = 0; i < n_nodes_; ++i) {
+      if (owner[i] == world_.domain || !alive[i]) continue;
+      if (geo::distance_sq(pos, {xs[i], ys[i]}) <= reach2) {
+        world_domain_flags_[owner[i]] = 1;
+      }
+    }
+  }
+  // The next hop's owner judges frames_lost for the target exactly, so a
+  // unicast is always posted there even when the replica says the target
+  // is out of reach or dead.
+  if (is_unicast && owner[next_hop] != world_.domain) {
+    world_domain_flags_[owner[next_hop]] = 1;
+  }
+  for (std::uint32_t d = 0; d < world_.n_domains; ++d) {
+    if (world_domain_flags_[d] == 0) continue;
+    world_.coupler->post_frame(world_.domain, d, arrival, p, is_unicast,
+                               next_hop);
+  }
+}
+
 void WirelessNet::broadcast(PacketRef packet) {
   const Packet& p = *packet;
   assert(p.src != kNoNode);
   assert(p.src < n_nodes_);
+  assert(owns(p.src));  // nodes transmit only in their owner domain
   if (!nodes_.alive(p.src)) return;
   stats_.count_send(p.kind, p.size_bytes);
   const double done =
       reserve_airtime(p.src, tx_duration(p.size_bytes, false));
+  const double arrival = done + config_.propagation_s;
+  if (world_.coupler != nullptr) {
+    post_world_frames(p, arrival, /*is_unicast=*/false, kNoNode);
+  }
   // {this, ref}: 24 bytes, inline in the event slot.
-  sim_.schedule_at(done + config_.propagation_s,
-                   [this, packet = std::move(packet)] {
-                     deliver_broadcast(packet);
-                   });
+  sim_.schedule_at(arrival, [this, packet = std::move(packet)] {
+    deliver_broadcast(packet);
+  });
 }
 
 bool WirelessNet::channel_dropped(const Packet& p, NodeId receiver) {
@@ -206,26 +300,38 @@ bool WirelessNet::channel_dropped(const Packet& p, NodeId receiver) {
   return true;
 }
 
-void WirelessNet::deliver_broadcast(const PacketRef& packet) {
+void WirelessNet::deliver_broadcast_impl(const PacketRef& packet,
+                                         bool remote) {
   Packet& p = *packet;
   assert(p.src < n_nodes_);
-  if (!nodes_.alive(p.src)) return;  // died while the frame was queued
+  // Died while the frame was queued.  For a remote frame the sender's
+  // alive flag is this replica's halo copy — at most one window stale
+  // (DESIGN.md §13), and identically stale for every shard count.
+  if (!nodes_.alive(p.src)) return;
   // Sole owner until the receiver closures below share the frame, so
   // stamping the transmit position here is race-free.
   p.src_location = position(p.src);
-  energy_.charge(p.src, energy::RadioOp::kBroadcastSend, p.size_bytes);
+  // The transmit cost is paid exactly once, in the sender's own domain.
+  if (!remote) {
+    energy_.charge(p.src, energy::RadioOp::kBroadcastSend, p.size_bytes);
+  }
   // Iterate the cached neighborhood by reference: the loops below only
   // charge energy/stats and schedule closures — nothing reenters the
-  // neighbor cache before the last use.
+  // neighbor cache before the last use.  Foreign-owned receivers are
+  // skipped: their own domain delivers the marshalled copy of this frame,
+  // so across all domains every receiver is charged exactly once.
   const std::vector<NodeId>& receivers = neighbors_cached(p.src);
   if (!lossless_) {
     // Lossy path: consult the channel per receiver and deliver the batch
-    // only to the survivors.  Receiver order (sorted) fixes the draw
-    // order, so a given seed always erases the same frames.
+    // only to the survivors.  Receiver order (sorted, owned only — each
+    // directed link's draws always happen in the receiver's owner domain)
+    // fixes the draw order, so a given seed always erases the same
+    // frames.
     std::vector<NodeId> rx = acquire_rx_list();
     rx.clear();  // recycled lists keep their old contents (assign() below
                  // overwrites; this append loop must not)
     for (const NodeId receiver : receivers) {
+      if (!owns(receiver)) continue;
       if (channel_dropped(p, receiver)) continue;
       energy_.charge(receiver, energy::RadioOp::kBroadcastRecv, p.size_bytes);
       stats_.count_delivery(p.kind);
@@ -244,19 +350,24 @@ void WirelessNet::deliver_broadcast(const PacketRef& packet) {
                   });
     return;
   }
+  std::vector<NodeId> rx = acquire_rx_list();
+  rx.clear();
   for (const NodeId receiver : receivers) {
+    if (!owns(receiver)) continue;
     energy_.charge(receiver, energy::RadioOp::kBroadcastRecv, p.size_bytes);
     stats_.count_delivery(p.kind);
+    rx.push_back(receiver);
   }
-  if (!on_receive_ || receivers.empty()) return;
+  if (!on_receive_ || rx.empty()) {
+    release_rx_list(std::move(rx));
+    return;
+  }
   // Every receiver is delivered at the same instant (+proc_delay_s), and
   // the per-receiver events used to get consecutive tie-break sequence
   // numbers — nothing could interleave between them.  So one batch event
   // walking a snapshot of the receiver set executes the exact same handler
   // sequence while paying for a single queue insertion instead of |R|.
   // {this, ref, vector}: 48 bytes, exactly the event slot's inline limit.
-  std::vector<NodeId> rx = acquire_rx_list();
-  rx.assign(receivers.begin(), receivers.end());
   sim_.schedule(config_.proc_delay_s,
                 [this, packet, rx = std::move(rx)]() mutable {
                   for (const NodeId receiver : rx) {
@@ -270,22 +381,30 @@ void WirelessNet::unicast(PacketRef packet, NodeId next_hop) {
   const Packet& p = *packet;
   assert(p.src != kNoNode && next_hop != kNoNode);
   assert(p.src < n_nodes_);
+  assert(owns(p.src));  // nodes transmit only in their owner domain
   if (!nodes_.alive(p.src)) return;
   stats_.count_send(p.kind, p.size_bytes);
   const double done =
       reserve_airtime(p.src, tx_duration(p.size_bytes, true));
-  sim_.schedule_at(done + config_.propagation_s,
+  const double arrival = done + config_.propagation_s;
+  if (world_.coupler != nullptr) {
+    post_world_frames(p, arrival, /*is_unicast=*/true, next_hop);
+  }
+  sim_.schedule_at(arrival,
                    [this, packet = std::move(packet), next_hop]() mutable {
                      deliver_unicast(std::move(packet), next_hop);
                    });
 }
 
-void WirelessNet::deliver_unicast(PacketRef packet, NodeId next_hop) {
+void WirelessNet::deliver_unicast_impl(PacketRef packet, NodeId next_hop,
+                                       bool remote) {
   Packet& p = *packet;
   assert(p.src < n_nodes_);
-  if (!nodes_.alive(p.src)) return;
+  if (!nodes_.alive(p.src)) return;  // halo-stale for remote frames (§13)
   p.src_location = position(p.src);
-  energy_.charge(p.src, energy::RadioOp::kP2pSend, p.size_bytes);
+  if (!remote) {
+    energy_.charge(p.src, energy::RadioOp::kP2pSend, p.size_bytes);
+  }
   // Snapshot the neighborhood (reusing the scratch vector's capacity):
   // the snoop hook runs inline below and may itself query neighborhoods,
   // invalidating a cached reference mid-loop.
@@ -293,10 +412,15 @@ void WirelessNet::deliver_unicast(PacketRef packet, NodeId next_hop) {
     const std::vector<NodeId>& ids = neighbors_cached(p.src);
     deliver_scratch_.assign(ids.begin(), ids.end());
   }
+  // The addressed target is judged (reached / lost / erased) only in its
+  // owner domain — that replica knows the target's liveness exactly;
+  // everyone else handles just its own overhearers.
+  const bool judge_target = owns(next_hop);
   bool reached = false;
   bool erased_by_channel = false;
   for (const NodeId n : deliver_scratch_) {
     if (n == next_hop) {
+      if (!judge_target) continue;
       if (!lossless_ && channel_dropped(p, n)) {
         erased_by_channel = true;
         continue;
@@ -308,11 +432,13 @@ void WirelessNet::deliver_unicast(PacketRef packet, NodeId next_hop) {
       // if the upper layer snoops, learn the sender's position.  A lossy
       // channel erases overheard copies independently of the addressed
       // one (each receiver experiences its own fade).
+      if (!owns(n)) continue;
       if (!lossless_ && channel_dropped(p, n)) continue;
       energy_.charge(n, energy::RadioOp::kP2pDiscard, p.size_bytes);
       if (on_snoop_) on_snoop_(n, p);
     }
   }
+  if (!judge_target) return;
   if (!reached) {
     // Channel erasures are already counted in frames_dropped_by_channel_;
     // everything else is a link that broke between queueing and
@@ -351,6 +477,9 @@ void WirelessNet::kill(NodeId node) {
   assert(node < n_nodes_);
   nodes_.set_alive(node, false);
   ++topology_epoch_;  // invalidate every cached neighborhood
+  if (world_.coupler != nullptr && owns(node)) {
+    world_.coupler->post_liveness(world_.domain, node, false, sim_.now());
+  }
 }
 
 void WirelessNet::revive(NodeId node) {
@@ -358,6 +487,9 @@ void WirelessNet::revive(NodeId node) {
   nodes_.set_alive(node, true);
   busy_until_[node] = sim_.now();
   ++topology_epoch_;
+  if (world_.coupler != nullptr && owns(node)) {
+    world_.coupler->post_liveness(world_.domain, node, true, sim_.now());
+  }
 }
 
 std::size_t WirelessNet::alive_count() const noexcept {

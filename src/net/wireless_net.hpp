@@ -60,6 +60,54 @@ struct WirelessConfig {
 /// node in range of the sender.
 using ReceiveHandler = std::function<void(NodeId, const Packet&)>;
 
+/// Cross-domain transport seam for world sharding (DESIGN.md §13).  When
+/// one world is cut into region-column domains, each domain's radio posts
+/// through this interface instead of scheduling local events:
+///
+///   * post_frame    — a transmitted frame whose padded radio disc may
+///                     reach nodes owned by `dst_domain`; `due` is the
+///                     frame's arrival instant (airtime + propagation),
+///                     which the MAC floor guarantees is at least one
+///                     lookahead ahead of `now`;
+///   * post_liveness — an owned node died or revived (halo delta, applied
+///                     by every other domain at the next window boundary);
+///   * post_region   — an owned node's region assignment changed (halo
+///                     delta, same cadence);
+///   * post_catalog_update — an owned node wrote a new authoritative
+///                     version into its domain's catalog replica (halo
+///                     delta, same cadence; replicas merge monotonically,
+///                     and any cross-domain frame carrying the new
+///                     version arrives no earlier than the delta, so no
+///                     replica ever caches a version newer than its
+///                     authoritative one).
+///
+/// The implementation (core::WorldShardedScenario) routes these into the
+/// ShardExecutor's SPSC mailboxes and keeps the conservation counters the
+/// post-run audit checks.
+class WorldCoupler {
+ public:
+  virtual ~WorldCoupler() = default;
+  virtual void post_frame(std::uint32_t src_domain, std::uint32_t dst_domain,
+                          double due, const Packet& packet, bool is_unicast,
+                          NodeId next_hop) = 0;
+  virtual void post_liveness(std::uint32_t src_domain, NodeId node, bool alive,
+                             double now) = 0;
+  virtual void post_region(std::uint32_t src_domain, NodeId node,
+                           geo::RegionId region, double now) = 0;
+  virtual void post_catalog_update(std::uint32_t src_domain, geo::Key key,
+                                   std::uint64_t version, double now) = 0;
+};
+
+/// One domain's identity inside a world-sharded run: which nodes it owns
+/// (owner[i] == domain), how many domains exist, and the coupler to post
+/// cross-domain traffic through.  `owner` must outlive the radio.
+struct WorldShardBinding {
+  std::uint32_t domain = 0;
+  std::uint32_t n_domains = 1;
+  const std::uint32_t* owner = nullptr;  ///< node id -> owning domain
+  WorldCoupler* coupler = nullptr;
+};
+
 /// Promiscuous-mode hook: called for every node that overhears a unicast
 /// frame addressed to someone else (GPSR position piggybacking).
 using SnoopHandler = std::function<void(NodeId, const Packet&)>;
@@ -171,12 +219,79 @@ class WirelessNet {
 
   // -- failure injection (paper §2.4) --------------------------------------
 
-  /// Crash a node: it stops sending, receiving and overhearing.
+  /// Crash a node: it stops sending, receiving and overhearing.  In a
+  /// world-sharded run, killing an *owned* node also posts a liveness
+  /// halo delta so every other domain's replica flags it dead at the next
+  /// window boundary.
   void kill(NodeId node);
-  /// Revive a previously killed node.
+  /// Revive a previously killed node (same halo-delta rule as kill()).
   void revive(NodeId node);
   [[nodiscard]] bool is_alive(NodeId node) const { return nodes_.alive(node); }
   [[nodiscard]] std::size_t alive_count() const noexcept;
+
+  // -- world sharding (DESIGN.md §13) --------------------------------------
+
+  /// Enter world-sharded mode: this radio is domain `b.domain` of one
+  /// world cut into `b.n_domains` region-column domains.  From here on
+  ///   * only owned receivers are delivered/charged locally; frames whose
+  ///     padded radio disc can reach another domain's nodes are marshalled
+  ///     through the coupler at their arrival time;
+  ///   * packet ids stride by n_domains (starting at domain + 1) so ids
+  ///     stay globally unique without coordination;
+  ///   * kill/revive/set_node_region on owned nodes emit halo deltas.
+  /// Must be called before any traffic flows.
+  void bind_world_shard(const WorldShardBinding& binding);
+
+  /// True when `node` is simulated authoritatively by this radio (always
+  /// true outside world-sharded mode).
+  [[nodiscard]] bool owns(NodeId node) const noexcept {
+    return world_.owner == nullptr || world_.owner[node] == world_.domain;
+  }
+
+  /// Write the region column; in world mode an owned node's change is
+  /// also posted as a halo delta.  EngineContext::set_region routes here
+  /// so the column, PeerState::region and remote replicas stay coherent.
+  void set_node_region(NodeId node, geo::RegionId region);
+
+  /// Announce an owned node's authoritative-version bump so every other
+  /// domain's catalog replica can merge it (halo delta; no-op outside
+  /// world-sharded mode, where there is only one catalog).
+  void announce_catalog_update(geo::Key key, std::uint64_t version) {
+    if (world_.coupler != nullptr) {
+      world_.coupler->post_catalog_update(world_.domain, key, version,
+                                          sim_.now());
+    }
+  }
+
+  /// Apply a halo delta from another domain (window-boundary cadence).
+  /// Liveness goes through kill()/revive() — the node is not owned here,
+  /// so no delta echoes back; region writes the column only (remote
+  /// PeerStates are not simulated).
+  void apply_remote_liveness(NodeId node, bool alive);
+  void apply_remote_region(NodeId node, geo::RegionId region) {
+    nodes_.set_region(node, region);
+  }
+
+  /// Deliver a frame marshalled from another domain: same receiver
+  /// computation as a local delivery (this replica's positions are exact
+  /// — every domain runs the same mobility oracle), but only owned
+  /// receivers are charged/delivered and the sender's transmit cost is
+  /// not re-paid (its own domain charged it).
+  void deliver_remote_broadcast(const Packet& packet) {
+    deliver_broadcast_impl(make_ref(packet), /*remote=*/true);
+  }
+  void deliver_remote_unicast(const Packet& packet, NodeId next_hop) {
+    deliver_unicast_impl(make_ref(packet), next_hop, /*remote=*/true);
+  }
+
+  /// The derived conservative lookahead of a world-sharded run: the floor
+  /// of any cross-domain frame latency.  Every transmission pays at least
+  /// the MAC overhead before its last bit hits the air plus propagation,
+  /// so no frame posted "now" can be due earlier than now + this.
+  [[nodiscard]] static double world_lookahead(
+      const WirelessConfig& config) noexcept {
+    return config.mac_overhead_s + config.propagation_s;
+  }
 
   // -- inter-tile gateway accounting (DESIGN.md §11) -----------------------
 
@@ -220,15 +335,34 @@ class WirelessNet {
     return *pool_;
   }
 
-  /// Fresh unique packet id.
-  [[nodiscard]] std::uint64_t next_packet_id() noexcept { return next_id_++; }
+  /// Fresh unique packet id.  World-sharded radios stride by the domain
+  /// count (seeded domain + 1) so ids are globally unique with no
+  /// cross-domain coordination; the default stride of 1 is the plain
+  /// sequential counter.
+  [[nodiscard]] std::uint64_t next_packet_id() noexcept {
+    const std::uint64_t id = next_id_;
+    next_id_ += id_stride_;
+    return id;
+  }
 
  private:
   /// Serialize through the sender's MAC: returns the time the frame hits
   /// the air, updating the sender's busy window.
   double reserve_airtime(NodeId sender, double tx_time);
-  void deliver_broadcast(const PacketRef& packet);
-  void deliver_unicast(PacketRef packet, NodeId next_hop);
+  void deliver_broadcast(const PacketRef& packet) {
+    deliver_broadcast_impl(packet, /*remote=*/false);
+  }
+  void deliver_unicast(PacketRef packet, NodeId next_hop) {
+    deliver_unicast_impl(std::move(packet), next_hop, /*remote=*/false);
+  }
+  void deliver_broadcast_impl(const PacketRef& packet, bool remote);
+  void deliver_unicast_impl(PacketRef packet, NodeId next_hop, bool remote);
+  /// Send-time cross-domain marshalling: find every foreign domain whose
+  /// owned nodes the frame's padded radio disc could reach by `arrival`
+  /// and post one copy there (unicast always posts to the next hop's
+  /// owner, which alone judges frames_lost for the target).
+  void post_world_frames(const Packet& packet, double arrival, bool is_unicast,
+                         NodeId next_hop);
   [[nodiscard]] double tx_duration(std::size_t bytes, bool unicast) const;
 
   /// Consult the channel model for one delivery.  Returns true (and does
@@ -283,6 +417,11 @@ class WirelessNet {
   core::NodeStateSoA nodes_;
   std::vector<double> busy_until_;
   std::uint64_t next_id_ = 1;
+  std::uint64_t id_stride_ = 1;
+  /// World-sharded identity; owner == nullptr means plain (own everything).
+  WorldShardBinding world_;
+  /// Per-domain dirty flags scratch for post_world_frames.
+  std::vector<std::uint8_t> world_domain_flags_;
   std::uint64_t frames_lost_ = 0;
   std::uint64_t frames_dropped_by_channel_ = 0;
   std::array<std::uint64_t, channel::kDropCauseCount> channel_drops_by_cause_{};

@@ -122,6 +122,11 @@ class ShardExecutor {
   [[nodiscard]] std::uint64_t messages_merged() const noexcept {
     return messages_merged_;
   }
+  /// End of the window currently being computed (== now() when idle).
+  /// Models that exchange state exactly at window boundaries (the world
+  /// shard halo) stamp their posts with this time: it is the earliest due
+  /// the conservative bound admits.
+  [[nodiscard]] double window_end() const noexcept { return window_end_; }
 
  private:
   [[nodiscard]] SpscMailbox& mailbox(std::uint32_t src, std::uint32_t dst) {

@@ -50,4 +50,13 @@ std::uint64_t DataCatalog::apply_update(geo::Key key, double now_s) {
   return item.version;
 }
 
+void DataCatalog::observe_update(geo::Key key, std::uint64_t version,
+                                 double written_s) {
+  DataItem& item = items_.at(rank_of(key));
+  if (version > item.version) {
+    item.version = version;
+    item.last_update_s = written_s;
+  }
+}
+
 }  // namespace precinct::workload

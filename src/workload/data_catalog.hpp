@@ -67,6 +67,13 @@ class DataCatalog {
   /// version.
   std::uint64_t apply_update(geo::Key key, double now_s);
 
+  /// Merge an update observed elsewhere (world sharding, DESIGN.md §13:
+  /// each domain holds a catalog replica and halo deltas carry remote
+  /// bumps).  Monotone: only moves the version forward, so concurrent
+  /// same-window writes from different domains converge to the same
+  /// authoritative version in every replica.
+  void observe_update(geo::Key key, std::uint64_t version, double written_s);
+
   /// True when `version` is the latest for `key`.
   [[nodiscard]] bool is_current(geo::Key key, std::uint64_t version) const {
     return item(key).version == version;

@@ -258,7 +258,9 @@ TEST(ConfigValidate, RejectsBadShardingKnobs) {
   }
   {
     PrecinctConfig c;
-    c.gateway_latency_s = 0.0;  // the conservative lookahead must be > 0
+    c.tiles_x = c.tiles_y = 2;
+    c.gateway_latency_s = 0.0;  // a tiled world's conservative lookahead
+                                // must be > 0
     EXPECT_THROW(c.validate(), std::invalid_argument);
   }
   {
@@ -266,6 +268,56 @@ TEST(ConfigValidate, RejectsBadShardingKnobs) {
     c.gateway_interval_s = -1.0;
     EXPECT_THROW(c.validate(), std::invalid_argument);
   }
+}
+
+TEST(ConfigValidate, WorldShardingRejectsTiledKnobs) {
+  // shards > 1 with the default 1x1 tile grid selects world sharding,
+  // whose lookahead is derived from the radio timing — the gateway knobs
+  // and the global region rebalancer must stay quiet.
+  {
+    PrecinctConfig c;
+    c.shards = 2;
+    c.gateway_latency_s = 0.25;
+    EXPECT_THROW(c.validate(), std::invalid_argument);
+  }
+  {
+    PrecinctConfig c;
+    c.shards = 2;
+    c.gateway_interval_s = 5.0;
+    EXPECT_THROW(c.validate(), std::invalid_argument);
+  }
+  {
+    PrecinctConfig c;
+    c.shards = 2;
+    c.dynamic_regions = true;
+    EXPECT_THROW(c.validate(), std::invalid_argument);
+  }
+  {
+    PrecinctConfig c;  // quiet knobs: a world-sharded run validates
+    c.shards = 4;
+    EXPECT_NO_THROW(c.validate());
+  }
+}
+
+TEST(ConfigIo, WorldShardedConfigIsAFixedPoint) {
+  // write -> read -> write must reproduce the exact same text (the
+  // round-trip fixed point), with world sharding selected purely by
+  // shards > 1 on the default 1x1 tile grid.
+  PrecinctConfig c;
+  c.shards = 4;
+  c.gateway_latency_s = 0.0;
+  c.crash_rate_per_s = 0.01;
+  c.join_rate_per_s = 0.01;
+  expect_roundtrip(c, "world-sharded run");
+
+  const std::string once = core::config_to_string(c);
+  const PrecinctConfig reread =
+      core::config_from_kv(support::KvFile::parse(once));
+  EXPECT_EQ(reread.shards, 4u);
+  EXPECT_EQ(reread.tiles_x, 1u);
+  EXPECT_EQ(reread.tiles_y, 1u);
+  EXPECT_DOUBLE_EQ(reread.gateway_latency_s, 0.0);
+  EXPECT_EQ(core::config_to_string(reread), once);
 }
 
 TEST(ConfigIo, UnwritableConfigsThrow) {

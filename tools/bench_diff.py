@@ -44,6 +44,7 @@ PINNED_FAMILIES = (
     "BM_SpatialGridRebuildQuery",
     "BM_SpatialGridRebuild",
     "BM_CacheScan",
+    "BM_WorldShardedRun",
 )
 
 
