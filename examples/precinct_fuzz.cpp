@@ -2,12 +2,14 @@
 //
 // Draws random valid scenarios, runs each with every invariant category
 // enabled, and asserts the rotating metamorphic properties (determinism
-// replay, null-fault channel equivalence, no-retry means no resend).  A
-// failing case writes a repro config that `precinct_sim --config <file>`
-// replays in one command.
+// replay, null-fault channel equivalence, no-retry means no resend, shard
+// and world-shard invariance, wire-codec fixed point).  A failing case
+// writes a repro config that `precinct_sim --config <file>` replays in one
+// command; wire-codec failures also print the datagram as hex.
 //
 //   ./precinct_fuzz --scenarios 64 --seed 1 --repro-dir fuzz_repros
 //   ./precinct_fuzz --replay 17            # re-run one case by its seed
+//   ./precinct_fuzz --packet-hex 0a1b...   # re-judge one dumped datagram
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -25,6 +27,8 @@ int usage() {
       "  --seed N        first case seed                 (default 1)\n"
       "  --repro-dir D   where failing cases are written (default fuzz_repros)\n"
       "  --replay N      run exactly one case seed and exit\n"
+      "  --packet-hex H  decode/re-encode one hex-dumped datagram (from a\n"
+      "                  wire-codec failure) and judge the fixed point\n"
       "  --help          this text\n");
   return 0;
 }
@@ -36,6 +40,7 @@ int main(int argc, char** argv) {
   std::uint64_t scenarios = 64;
   std::uint64_t first_seed = 1;
   std::string repro_dir = "fuzz_repros";
+  std::string packet_hex;
   bool replay_one = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -58,11 +63,23 @@ int main(int argc, char** argv) {
       first_seed = std::strtoull(value(), nullptr, 10);
       scenarios = 1;
       replay_one = true;
+    } else if (arg == "--packet-hex") {
+      packet_hex = value();
     } else {
       std::fprintf(stderr, "error: unknown argument %s (try --help)\n",
                    arg.c_str());
       return 2;
     }
+  }
+
+  if (!packet_hex.empty()) {
+    const check::FuzzVerdict verdict = check::replay_packet_hex(packet_hex);
+    if (verdict.ok) {
+      std::printf("packet-hex ok: %s\n", verdict.detail.c_str());
+      return 0;
+    }
+    std::fprintf(stderr, "packet-hex FAILED\n%s\n", verdict.detail.c_str());
+    return 1;
   }
 
   std::uint64_t failures = 0;

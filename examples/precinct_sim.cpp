@@ -66,6 +66,10 @@ channel (fault injection)
   --channel NAME       perfect | bernoulli | distance |
                        gilbert-elliott | scripted         (default perfect)
   --loss P             bernoulli per-frame loss probability (default 0)
+                       (the remaining channel knobs — edge_start, edge_loss,
+                       ge_enter_burst, ge_burst_frames, ge_loss_good,
+                       ge_loss_bad, blackout — are config-file keys; see
+                       examples/scenario.conf.example)
 
 correctness harness
   --check CATS         runtime invariant auditing: all, or a comma list of
@@ -81,6 +85,10 @@ run control
                        region-column domains with real radio traffic
                        across the cut; results are byte-identical for
                        any K)                             (default 1)
+                       a `tiles = K` config key selects the other sharded
+                       mode instead: a KxK grid of independent tile worlds
+                       coupled only by gateway traffic (gateway_latency,
+                       gateway_interval config keys)
   --warmup S           warm-up before measuring           (default 150)
   --measure S          measurement window                 (default 900)
   --seed N             base RNG seed                      (default 1)
@@ -92,6 +100,15 @@ run control
                        protocol, cache, consistency, custody, region,
                        channel) — every retained event in those categories
   --help               this text
+
+config-file-only keys (no flag; see examples/scenario.conf.example)
+  workload_script      deterministic `<t> request|update <node> <rank>`
+                       events layered on the Poisson generators — the same
+                       file drives in-sim runs and UDP fleets identically
+  transport_*          real-transport fleet knobs (base_port, pace,
+                       speedup, status_interval, retry, timeout, linger)
+                       read by precinct_node / precinct_ctl; the sim
+                       ignores them, so one file can describe both runs
 )";
 }
 

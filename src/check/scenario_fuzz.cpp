@@ -3,13 +3,17 @@
 #include <cstdio>
 #include <filesystem>
 #include <stdexcept>
+#include <utility>
+#include <vector>
 
 #include "check/invariant_violation.hpp"
 #include "core/config_io.hpp"
 #include "core/scenario.hpp"
 #include "core/sharded_scenario.hpp"
 #include "core/world_scenario.hpp"
+#include "net/packet.hpp"
 #include "support/rng.hpp"
+#include "transport/wire_format.hpp"
 
 namespace precinct::check {
 
@@ -115,6 +119,115 @@ std::string diff_detail(const char* label, const std::string& a,
   return std::string(label) + "\n--- first\n" + a + "--- second\n" + b;
 }
 
+/// One wire-codec trial: draw a hostile packet of `kind`, then require
+/// (a) encode matches wire_size(), (b) decode accepts its own encoding
+/// exactly (no trailing bytes) and reproduces every field bit-for-bit,
+/// (c) re-encoding the decoded packet is byte-identical (fixed point),
+/// (d) every strict prefix of the encoding is rejected.  Returns empty on
+/// success, else a detail string ending in a replayable hex repro.
+std::string wire_codec_trial(support::Rng& rng, net::PacketKind kind) {
+  namespace tw = transport;
+  const net::Packet p = tw::random_wire_packet(rng, kind);
+  tw::WireWriter w;
+  tw::encode_packet(p, w);
+  const std::string hex = tw::to_hex(w.data());
+  const auto fail = [&](const std::string& what) {
+    return "wire-codec [" + std::string(net::to_string(kind)) + "] " + what +
+           "\npacket-hex: " + hex + "\nreplay: precinct_fuzz --packet-hex " +
+           hex;
+  };
+  if (w.size() != tw::wire_size(p)) {
+    return fail("wire_size() says " + std::to_string(tw::wire_size(p)) +
+                " bytes but encode_packet wrote " + std::to_string(w.size()));
+  }
+  net::Packet back;
+  {
+    tw::WireReader r(w.data().data(), w.size());
+    if (!tw::decode_packet(r, back)) {
+      return fail("decode_packet rejected its own encoding");
+    }
+    if (r.remaining() != 0) {
+      return fail("decode_packet left " + std::to_string(r.remaining()) +
+                  " trailing bytes unread");
+    }
+  }
+  if (!tw::packets_identical(p, back)) {
+    return fail("decoded packet differs bit-for-bit from the original");
+  }
+  tw::WireWriter again;
+  tw::encode_packet(back, again);
+  if (again.data() != w.data()) {
+    return fail("encode(decode(encode(p))) is not a fixed point");
+  }
+  for (std::size_t cut = 0; cut < w.size(); ++cut) {
+    net::Packet truncated;
+    tw::WireReader r(w.data().data(), cut);
+    if (tw::decode_packet(r, truncated)) {
+      return fail("truncation to " + std::to_string(cut) +
+                  " bytes was accepted");
+    }
+  }
+  return {};
+}
+
+/// Envelope half of the codec property: round-trip exactness plus
+/// rejection of a bumped version byte, corrupt magic, and truncation.
+std::string wire_envelope_trial(support::Rng& rng) {
+  namespace tw = transport;
+  tw::Envelope e;
+  e.type = static_cast<tw::MsgType>(1 + rng.uniform_int(9));  // kHello..kInject
+  e.src_domain = static_cast<std::uint32_t>(rng.bits());
+  e.seq = rng.bits();
+  tw::WireWriter w;
+  tw::encode_envelope(e, w);
+  const auto fail = [&](const std::string& what) {
+    return "wire-codec [envelope] " + what +
+           "\npacket-hex: " + tw::to_hex(w.data());
+  };
+  if (w.size() != tw::kEnvelopeBytes) {
+    return fail("encoded envelope is " + std::to_string(w.size()) +
+                " bytes, expected " + std::to_string(tw::kEnvelopeBytes));
+  }
+  {
+    tw::WireReader r(w.data().data(), w.size());
+    tw::Envelope back;
+    if (!tw::decode_envelope(r, back)) {
+      return fail("decode_envelope rejected its own encoding");
+    }
+    if (back.type != e.type || back.src_domain != e.src_domain ||
+        back.seq != e.seq) {
+      return fail("envelope round-trip changed a field");
+    }
+  }
+  std::vector<std::uint8_t> bent = w.data();
+  bent[tw::kMagicBytes] = static_cast<std::uint8_t>(tw::kWireVersion + 1);
+  {
+    tw::WireReader r(bent.data(), bent.size());
+    tw::Envelope back;
+    if (tw::decode_envelope(r, back)) {
+      return fail("wrong-version envelope was accepted");
+    }
+  }
+  bent = w.data();
+  bent[0] ^= 0xFF;
+  {
+    tw::WireReader r(bent.data(), bent.size());
+    tw::Envelope back;
+    if (tw::decode_envelope(r, back)) {
+      return fail("corrupt-magic envelope was accepted");
+    }
+  }
+  for (std::size_t cut = 0; cut < w.size(); ++cut) {
+    tw::WireReader r(w.data().data(), cut);
+    tw::Envelope back;
+    if (tw::decode_envelope(r, back)) {
+      return fail("envelope truncated to " + std::to_string(cut) +
+                  " bytes was accepted");
+    }
+  }
+  return {};
+}
+
 }  // namespace
 
 const char* to_string(Property p) noexcept {
@@ -124,6 +237,7 @@ const char* to_string(Property p) noexcept {
     case Property::kNoRetryNoResend: return "no-retry-no-resend";
     case Property::kShardInvariant: return "shard-invariant";
     case Property::kWorldShardInvariant: return "world-shard-invariant";
+    case Property::kWireCodec: return "wire-codec";
   }
   return "unknown";
 }
@@ -165,6 +279,13 @@ FuzzCase draw_scenario(std::uint64_t case_seed) {
       }
       c.warmup_s = 3.0;
       c.measure_s = 8.0 + static_cast<double>(rng.uniform_int(6));
+    } else if (fc.property == Property::kWireCodec) {
+      // The codec property never runs the scenario — the config only
+      // anchors the repro contract (same case seed, same case).  Keep the
+      // drawn windows tiny so a curious `precinct_sim --config` replay of
+      // the repro file stays cheap.
+      c.warmup_s = 1.0;
+      c.measure_s = 2.0;
     }
     try {
       c.validate();
@@ -257,6 +378,23 @@ FuzzVerdict run_fuzz_case(const FuzzCase& fc) {
         }
         return {};
       }
+      case Property::kWireCodec: {
+        // Pure codec metamorphism: several hostile packets per PacketKind,
+        // plus the envelope's version/magic/truncation gates.  The rng is
+        // derived from the case seed, so `--replay <seed>` reproduces the
+        // exact packet sequence.
+        support::Rng rng(support::hash_combine(fc.case_seed, 0xC0DECuLL));
+        for (std::size_t kind = 0; kind < net::kPacketKindCount; ++kind) {
+          for (int rep = 0; rep < 4; ++rep) {
+            std::string detail =
+                wire_codec_trial(rng, static_cast<net::PacketKind>(kind));
+            if (!detail.empty()) return {false, std::move(detail)};
+          }
+        }
+        std::string detail = wire_envelope_trial(rng);
+        if (!detail.empty()) return {false, std::move(detail)};
+        return {};
+      }
     }
     return {false, "unknown property"};
   } catch (const InvariantViolation& e) {
@@ -296,6 +434,33 @@ std::string write_repro(const FuzzCase& fc, const std::string& dir,
     throw std::runtime_error("scenario fuzz: short write to '" + path + "'");
   }
   return path;
+}
+
+FuzzVerdict replay_packet_hex(const std::string& hex) {
+  namespace tw = transport;
+  try {
+    const std::vector<std::uint8_t> bytes = tw::from_hex(hex);
+    net::Packet p;
+    tw::WireReader r(bytes.data(), bytes.size());
+    if (!tw::decode_packet(r, p)) {
+      return {false, "decode_packet rejected the buffer"};
+    }
+    if (r.remaining() != 0) {
+      return {false, "decode_packet left " + std::to_string(r.remaining()) +
+                         " trailing bytes unread"};
+    }
+    tw::WireWriter w;
+    tw::encode_packet(p, w);
+    if (w.data() != bytes) {
+      return {false, std::string("re-encode is not byte-identical\n") +
+                         "--- input\n" + hex + "\n--- re-encoded\n" +
+                         tw::to_hex(w.data())};
+    }
+    return {true, std::string("decoded a ") + net::to_string(p.kind) +
+                      " packet; re-encode is byte-identical"};
+  } catch (const std::exception& e) {
+    return {false, std::string("exception: ") + e.what()};
+  }
 }
 
 }  // namespace precinct::check

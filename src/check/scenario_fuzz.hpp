@@ -26,10 +26,19 @@
 //                            mobility so nodes keep straddling the cut)
 //                            produces a byte-identical world fingerprint
 //                            for shards = K and shards = 1 (DESIGN.md
-//                            §13), conservation audit included.
+//                            §13), conservation audit included;
+//   * wire-codec           — encode -> decode -> encode is a byte-level
+//                            fixed point for random packets of every
+//                            PacketKind (hostile doubles included), every
+//                            strict truncation and any wrong-version or
+//                            corrupt-magic envelope is rejected without
+//                            crashing (the transport codec contract,
+//                            DESIGN.md §14).
 //
 // A failed case serializes a minimal repro config (config_to_file schema,
-// seed included) so `precinct_sim --config <file>` replays it one-command.
+// seed included) so `precinct_sim --config <file>` replays it one-command;
+// wire-codec failures additionally dump the offending datagram as hex,
+// replayable with `precinct_fuzz --packet-hex <hex>`.
 #pragma once
 
 #include <cstddef>
@@ -47,9 +56,10 @@ enum class Property : std::uint8_t {
   kNoRetryNoResend,
   kShardInvariant,
   kWorldShardInvariant,
+  kWireCodec,
 };
 
-inline constexpr std::size_t kPropertyCount = 5;
+inline constexpr std::size_t kPropertyCount = 6;
 
 [[nodiscard]] const char* to_string(Property p) noexcept;
 
@@ -84,5 +94,10 @@ struct FuzzVerdict {
 /// reader's schema.  Returns the path written.
 std::string write_repro(const FuzzCase& fc, const std::string& dir,
                         const std::string& reason);
+
+/// Replay one hex-dumped datagram body from a wire-codec fuzz failure:
+/// decode it, re-encode, and judge the byte-level fixed point.  Used by
+/// `precinct_fuzz --packet-hex <hex>`.
+[[nodiscard]] FuzzVerdict replay_packet_hex(const std::string& hex);
 
 }  // namespace precinct::check

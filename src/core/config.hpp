@@ -181,6 +181,32 @@ struct PrecinctConfig {
   /// (Poisson).  0 disables gateway traffic.
   double gateway_interval_s = 0.0;
 
+  // -- scripted workload + real transport (DESIGN.md §14) --------------------
+  /// Path to a deterministic workload script (`<t> request|update <node>
+  /// <rank>` lines, see workload/workload_script.hpp) layered on top of
+  /// the Poisson generators.  "" (default) disables.  Owner-gated, so the
+  /// same file drives an in-sim run and a UDP fleet identically.
+  std::string workload_script;
+  /// First UDP port of a local fleet: domain d binds base_port + d
+  /// (precinct_ctl's default address plan; explicit --peers overrides).
+  std::uint32_t transport_base_port = 47400;
+  /// Fleet pacing: "asap" advances windows as fast as barriers close
+  /// (virtual-time lockstep — what the equivalence oracle compares
+  /// against); "realtime" sleeps each window so sim time tracks wall
+  /// time scaled by transport_speedup.
+  std::string transport_pace = "asap";
+  /// Sim seconds per wall second in realtime pace (ignored for asap).
+  double transport_speedup = 1.0;
+  /// Wall-clock interval between daemon status-file snapshots (0 = only
+  /// the final snapshot).
+  double transport_status_interval_s = 0.5;
+  /// Wall-clock resend/NACK cadence for the window-barrier protocol.
+  double transport_retry_s = 0.05;
+  /// Wall-clock silence budget per barrier before a daemon aborts.
+  double transport_timeout_s = 30.0;
+  /// Post-run grace period serving resends to slower peers.
+  double transport_linger_s = 5.0;
+
   // -- correctness harness (DESIGN.md §10) -----------------------------------
   /// Runtime invariant auditing: "" (off, default), "all", or a
   /// comma-separated subset of {net, cache, custody, pending,

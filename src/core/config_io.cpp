@@ -281,6 +281,36 @@ PrecinctConfig config_from_kv(const support::KvFile& kv,
            [&](const std::string&) {
              c.gateway_interval_s = kv.get_number("gateway_interval", 0.0);
            }},
+          {"workload_script",
+           [&](const std::string& v) { c.workload_script = v; }},
+          {"transport_base_port",
+           [&](const std::string& v) {
+             c.transport_base_port = static_cast<std::uint32_t>(
+                 parse_u64(v, "transport_base_port"));
+           }},
+          {"transport_pace",
+           [&](const std::string& v) { c.transport_pace = v; }},
+          {"transport_speedup",
+           [&](const std::string&) {
+             c.transport_speedup = kv.get_number("transport_speedup", 1.0);
+           }},
+          {"transport_status_interval",
+           [&](const std::string&) {
+             c.transport_status_interval_s =
+                 kv.get_number("transport_status_interval", 0.5);
+           }},
+          {"transport_retry",
+           [&](const std::string&) {
+             c.transport_retry_s = kv.get_number("transport_retry", 0.05);
+           }},
+          {"transport_timeout",
+           [&](const std::string&) {
+             c.transport_timeout_s = kv.get_number("transport_timeout", 30.0);
+           }},
+          {"transport_linger",
+           [&](const std::string&) {
+             c.transport_linger_s = kv.get_number("transport_linger", 5.0);
+           }},
           {"seed",
            [&](const std::string& v) { c.seed = parse_u64(v, "seed"); }},
           {"check", [&](const std::string& v) { c.check = v; }},
@@ -400,6 +430,15 @@ std::map<std::string, std::string> config_to_kv(const PrecinctConfig& c) {
   kv["tiles"] = std::to_string(c.tiles_x);
   kv["gateway_latency"] = format_number(c.gateway_latency_s);
   kv["gateway_interval"] = format_number(c.gateway_interval_s);
+  if (!c.workload_script.empty()) kv["workload_script"] = c.workload_script;
+  kv["transport_base_port"] = std::to_string(c.transport_base_port);
+  kv["transport_pace"] = c.transport_pace;
+  kv["transport_speedup"] = format_number(c.transport_speedup);
+  kv["transport_status_interval"] =
+      format_number(c.transport_status_interval_s);
+  kv["transport_retry"] = format_number(c.transport_retry_s);
+  kv["transport_timeout"] = format_number(c.transport_timeout_s);
+  kv["transport_linger"] = format_number(c.transport_linger_s);
   kv["seed"] = std::to_string(c.seed);
   if (!c.check.empty()) kv["check"] = c.check;
   kv["check_stride"] = std::to_string(c.check_stride);

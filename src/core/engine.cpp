@@ -132,6 +132,12 @@ void PrecinctEngine::initialize() {
     }
   }
   if (config_.dynamic_regions) custody_->schedule_rebalance();
+  if (!config_.workload_script.empty()) {
+    // Every replica loads the same file; schedule_script applies only the
+    // owned nodes' lines, so a world-sharded fleet runs each line once.
+    workload_->schedule_script(
+        workload::load_script(config_.workload_script));
+  }
 }
 
 void PrecinctEngine::on_receive(net::NodeId self, const net::Packet& raw) {
@@ -186,6 +192,8 @@ void PrecinctEngine::start_measurement() {
       energy_now.p2p_discard_mj;
   msgs_at_start_ = net_.stats().total_sends();
   bytes_at_start_ = net_.stats().total_bytes();
+  wire_sent_at_start_ = net_.stats().total_wire_bytes_sent();
+  wire_received_at_start_ = net_.stats().total_wire_bytes_received();
   consistency_msgs_at_start_ = net_.stats().consistency_sends();
   frames_lost_at_start_ = net_.frames_lost();
   energy_channel_at_start_ = energy_now.channel_discard_mj;
@@ -208,6 +216,10 @@ Metrics PrecinctEngine::finalize() {
                            energy.p2p_discard_mj - energy_p2p_at_start_;
   metrics_.messages_sent = net_.stats().total_sends() - msgs_at_start_;
   metrics_.bytes_sent = net_.stats().total_bytes() - bytes_at_start_;
+  metrics_.wire_bytes_sent =
+      net_.stats().total_wire_bytes_sent() - wire_sent_at_start_;
+  metrics_.wire_bytes_received =
+      net_.stats().total_wire_bytes_received() - wire_received_at_start_;
   metrics_.consistency_messages =
       net_.stats().consistency_sends() - consistency_msgs_at_start_;
   metrics_.frames_lost = net_.frames_lost() - frames_lost_at_start_;

@@ -196,6 +196,8 @@ class PrecinctEngine {
   double energy_p2p_at_start_ = 0.0;
   std::uint64_t msgs_at_start_ = 0;
   std::uint64_t bytes_at_start_ = 0;
+  std::uint64_t wire_sent_at_start_ = 0;
+  std::uint64_t wire_received_at_start_ = 0;
   std::uint64_t consistency_msgs_at_start_ = 0;
   std::uint64_t frames_lost_at_start_ = 0;
   double energy_channel_at_start_ = 0.0;

@@ -134,6 +134,8 @@ Metrics merge_metrics(const std::vector<Metrics>& runs) {
     total.energy_channel_discard_mj += m.energy_channel_discard_mj;
     total.messages_sent += m.messages_sent;
     total.bytes_sent += m.bytes_sent;
+    total.wire_bytes_sent += m.wire_bytes_sent;
+    total.wire_bytes_received += m.wire_bytes_received;
     total.frames_lost += m.frames_lost;
     total.frames_dropped_by_channel += m.frames_dropped_by_channel;
     for (std::size_t i = 0; i < total.channel_drops_by_cause.size(); ++i) {

@@ -145,6 +145,23 @@ void PrecinctConfig::validate() const {
            "cannot be world-sharded; run shards = 1 or a tiled world");
     }
   }
+  // Real-transport knobs (DESIGN.md §14).  The daemon/ctl address plan
+  // needs the whole fleet's ports inside the unprivileged range.
+  if (transport_base_port < 1024 || transport_base_port > 65000) {
+    fail("transport_base_port must be in [1024, 65000]");
+  }
+  if (transport_pace != "asap" && transport_pace != "realtime") {
+    fail("transport_pace must be 'asap' or 'realtime'");
+  }
+  if (!(transport_speedup > 0.0)) fail("transport_speedup must be > 0");
+  if (transport_status_interval_s < 0.0) {
+    fail("transport_status_interval must be >= 0");
+  }
+  if (!(transport_retry_s > 0.0)) fail("transport_retry must be > 0");
+  if (!(transport_timeout_s > transport_retry_s)) {
+    fail("transport_timeout must exceed transport_retry");
+  }
+  if (transport_linger_s < 0.0) fail("transport_linger must be >= 0");
   // Correctness-harness knobs: category names must parse and the audit
   // stride must be at least one event.
   if (!check.empty()) {

@@ -52,6 +52,29 @@ void WorkloadDriver::schedule_next_update(net::NodeId peer) {
   });
 }
 
+void WorkloadDriver::schedule_script(
+    const std::vector<workload::ScriptEvent>& events) {
+  const std::size_t n_nodes = ctx_.net.node_count();
+  const std::size_t catalog_size = ctx_.catalog.size();
+  for (const workload::ScriptEvent& ev : events) {
+    if (ev.node >= n_nodes) {
+      throw std::invalid_argument(
+          "workload script: node " + std::to_string(ev.node) +
+          " out of range (n_nodes = " + std::to_string(n_nodes) + ")");
+    }
+    if (!ctx_.shard.owns(ev.node)) continue;
+    const geo::Key key = ctx_.catalog.key_of(ev.rank % catalog_size);
+    ctx_.sim.schedule_at(ev.t_s, [this, ev, key] {
+      if (!ctx_.net.is_alive(ev.node)) return;
+      if (ev.op == workload::ScriptEvent::Op::kUpdate) {
+        ctx_.consistency->initiate_update(ev.node, key);
+      } else {
+        ctx_.retrieval->issue(ev.node, key, /*prefetch=*/false);
+      }
+    });
+  }
+}
+
 void WorkloadDriver::schedule_region_checks() {
   for (net::NodeId i = 0; i < ctx_.net.node_count(); ++i) {
     // Only the owner domain watches a node's region: it alone runs the

@@ -12,6 +12,7 @@
 
 #include "core/engine_context.hpp"
 #include "net/packet_dispatch.hpp"
+#include "workload/workload_script.hpp"
 
 namespace precinct::core {
 
@@ -30,6 +31,12 @@ class WorkloadDriver {
 
   void schedule_next_request(net::NodeId peer);
   void schedule_next_update(net::NodeId peer);
+  /// Schedule a deterministic scripted workload (workload/workload_script)
+  /// on top of the generators.  Owner-gated like every other driver: in a
+  /// world-sharded run each domain applies only its owned nodes' lines,
+  /// so a fleet of replicas executes the script exactly once.  One-shot
+  /// events: a node found dead at its instant skips the line.
+  void schedule_script(const std::vector<workload::ScriptEvent>& events);
   void schedule_region_checks();
   void schedule_crashes();
   void schedule_joins();

@@ -10,9 +10,7 @@
 
 namespace precinct::core {
 
-namespace {
-
-PrecinctConfig domain_config(const PrecinctConfig& world) {
+PrecinctConfig world_domain_config(const PrecinctConfig& world) {
   PrecinctConfig c = world;
   // Every domain is a full same-seed replica of the ONE world: identical
   // catalog/mobility/radio/channel streams are what make replicated
@@ -24,7 +22,50 @@ PrecinctConfig domain_config(const PrecinctConfig& world) {
   return c;
 }
 
-}  // namespace
+double world_validate(const PrecinctConfig& config) {
+  config.validate();
+  if (config.tiles_x != 1 || config.tiles_y != 1) {
+    throw std::invalid_argument(
+        "WorldShardedScenario: world sharding cuts ONE world; tiled cities "
+        "use ShardedScenario");
+  }
+  if (config.dynamic_regions) {
+    throw std::invalid_argument(
+        "WorldShardedScenario: dynamic_regions reconfigures the region "
+        "table globally and cannot be world-sharded");
+  }
+  if (config.gateway_interval_s > 0.0) {
+    throw std::invalid_argument(
+        "WorldShardedScenario: gateway traffic belongs to tiled worlds; a "
+        "world-sharded run carries real radio frames across the cut");
+  }
+  if (config.gateway_latency_s != 0.0) {
+    throw std::invalid_argument(
+        "WorldShardedScenario: gateway_latency has no effect here — the "
+        "conservative lookahead is derived from the radio MAC/propagation "
+        "timing; set gateway_latency = 0");
+  }
+  const double lookahead = net::WirelessNet::world_lookahead(config.wireless);
+  if (!(lookahead > 0.0)) {
+    throw std::invalid_argument(
+        "WorldShardedScenario: derived lookahead (mac_overhead_s + "
+        "propagation_s) must be > 0 — a zero-latency radio admits no "
+        "conservative window");
+  }
+  return lookahead;
+}
+
+std::vector<std::uint32_t> world_node_owners(const PrecinctConfig& config,
+                                             net::WirelessNet& reference) {
+  std::vector<std::uint32_t> owner(config.n_nodes);
+  const double min_x = config.area.min.x;
+  const double width = config.area.width();
+  for (net::NodeId i = 0; i < config.n_nodes; ++i) {
+    owner[i] = geo::world_column_of(reference.position(i).x, min_x, width,
+                                    config.regions_x);
+  }
+  return owner;
+}
 
 /// Routes WorldCoupler posts into the executor's mailboxes and keeps the
 /// conservation counters.  Every counter cell is cache-line padded and
@@ -161,52 +202,19 @@ class WorldShardedScenario::Coupler final : public net::WorldCoupler {
 WorldShardedScenario::WorldShardedScenario(const PrecinctConfig& config)
     : config_((config.validate(), config)),
       partition_(geo::partition_grid(config.regions_x, 1, config.shards)) {
-  if (config_.tiles_x != 1 || config_.tiles_y != 1) {
-    throw std::invalid_argument(
-        "WorldShardedScenario: world sharding cuts ONE world; tiled cities "
-        "use ShardedScenario");
-  }
-  if (config_.dynamic_regions) {
-    throw std::invalid_argument(
-        "WorldShardedScenario: dynamic_regions reconfigures the region "
-        "table globally and cannot be world-sharded");
-  }
-  if (config_.gateway_interval_s > 0.0) {
-    throw std::invalid_argument(
-        "WorldShardedScenario: gateway traffic belongs to tiled worlds; a "
-        "world-sharded run carries real radio frames across the cut");
-  }
-  if (config_.gateway_latency_s != 0.0) {
-    throw std::invalid_argument(
-        "WorldShardedScenario: gateway_latency has no effect here — the "
-        "conservative lookahead is derived from the radio MAC/propagation "
-        "timing; set gateway_latency = 0");
-  }
-  lookahead_s_ = net::WirelessNet::world_lookahead(config_.wireless);
-  if (!(lookahead_s_ > 0.0)) {
-    throw std::invalid_argument(
-        "WorldShardedScenario: derived lookahead (mac_overhead_s + "
-        "propagation_s) must be > 0 — a zero-latency radio admits no "
-        "conservative window");
-  }
+  lookahead_s_ = world_validate(config_);
 
   const auto n_domains = static_cast<std::uint32_t>(partition_.domains());
   domains_.reserve(n_domains);
   for (std::uint32_t d = 0; d < n_domains; ++d) {
-    domains_.push_back(std::make_unique<Scenario>(domain_config(config_)));
+    domains_.push_back(
+        std::make_unique<Scenario>(world_domain_config(config_)));
   }
 
   // Ownership: the region column of each node's t=0 position.  Replica 0
   // answers for everyone — all replicas share the mobility streams, so
   // every domain would compute the identical map.
-  owner_.resize(config_.n_nodes);
-  const double min_x = config_.area.min.x;
-  const double width = config_.area.width();
-  net::WirelessNet& reference = domains_[0]->network();
-  for (net::NodeId i = 0; i < config_.n_nodes; ++i) {
-    owner_[i] = geo::world_column_of(reference.position(i).x, min_x, width,
-                                     config_.regions_x);
-  }
+  owner_ = world_node_owners(config_, domains_[0]->network());
 
   coupler_ =
       std::make_unique<Coupler>(*this, n_domains, config_.end_time_s());

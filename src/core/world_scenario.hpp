@@ -47,7 +47,32 @@
 #include "geo/shard_partition.hpp"
 #include "sim/shard_exec.hpp"
 
+namespace precinct::net {
+class WirelessNet;
+}  // namespace precinct::net
+
 namespace precinct::core {
+
+/// The per-domain replica config for a world-sharded run: shards/tiles
+/// collapsed to 1, gateways off.  The seed is deliberately NOT re-salted —
+/// identical catalog/mobility/radio/channel streams are what make the
+/// replicated state bit-identical across domains.  Shared with the UDP
+/// transport daemon (src/transport), whose per-process replicas must be
+/// built exactly like the in-sim oracle's.
+[[nodiscard]] PrecinctConfig world_domain_config(const PrecinctConfig& world);
+
+/// Validate that `config` can be world-sharded (no tiles, no dynamic
+/// regions, no gateway knobs, positive derived lookahead) and return the
+/// derived conservative lookahead.  Throws std::invalid_argument
+/// otherwise.  Shared with the transport daemon so both executions accept
+/// exactly the same configs.
+[[nodiscard]] double world_validate(const PrecinctConfig& config);
+
+/// Node id -> owning domain: the region column of each node's t=0
+/// position, read from any same-seed replica's radio (every replica
+/// computes the identical map).
+[[nodiscard]] std::vector<std::uint32_t> world_node_owners(
+    const PrecinctConfig& config, net::WirelessNet& reference);
 
 /// Aggregate + per-domain results of a world-sharded run.  Everything
 /// except `shards` is invariant to the worker count; world_fingerprint()

@@ -33,6 +33,16 @@ void MessageStats::count_channel_drop(PacketKind kind) noexcept {
   ++channel_drops_[index(kind)];
 }
 
+void MessageStats::count_wire_sent(PacketKind kind,
+                                   std::size_t wire_bytes) noexcept {
+  wire_sent_[index(kind)] += wire_bytes;
+}
+
+void MessageStats::count_wire_received(PacketKind kind,
+                                       std::size_t wire_bytes) noexcept {
+  wire_received_[index(kind)] += wire_bytes;
+}
+
 std::uint64_t MessageStats::sends(PacketKind kind) const noexcept {
   return sends_[index(kind)];
 }
@@ -59,6 +69,25 @@ std::uint64_t MessageStats::total_bytes() const noexcept {
 
 std::uint64_t MessageStats::total_channel_drops() const noexcept {
   return std::accumulate(channel_drops_.begin(), channel_drops_.end(),
+                         std::uint64_t{0});
+}
+
+std::uint64_t MessageStats::wire_bytes_sent(PacketKind kind) const noexcept {
+  return wire_sent_[index(kind)];
+}
+
+std::uint64_t MessageStats::wire_bytes_received(
+    PacketKind kind) const noexcept {
+  return wire_received_[index(kind)];
+}
+
+std::uint64_t MessageStats::total_wire_bytes_sent() const noexcept {
+  return std::accumulate(wire_sent_.begin(), wire_sent_.end(),
+                         std::uint64_t{0});
+}
+
+std::uint64_t MessageStats::total_wire_bytes_received() const noexcept {
+  return std::accumulate(wire_received_.begin(), wire_received_.end(),
                          std::uint64_t{0});
 }
 

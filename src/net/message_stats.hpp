@@ -15,6 +15,14 @@ class MessageStats {
  public:
   void count_send(PacketKind kind, std::size_t bytes) noexcept;
   void count_delivery(PacketKind kind) noexcept;
+  /// Transport-layer accounting: the *encoded* size of a frame under the
+  /// wire codec (transport/wire_format), charged once per transmission
+  /// and once per delivery.  `bytes_sent` above counts payload
+  /// (size_bytes, the paper's traffic metric); these count what a UDP
+  /// fleet would actually put on the wire, so sim and real-transport runs
+  /// report traffic volume on the same basis.
+  void count_wire_sent(PacketKind kind, std::size_t wire_bytes) noexcept;
+  void count_wire_received(PacketKind kind, std::size_t wire_bytes) noexcept;
   /// A frame erased by the channel model in flight. Kept separate from
   /// routing losses (TTL expiry, GPSR voids) so lossy-channel sweeps can
   /// attribute missing deliveries to the channel and not the protocol.
@@ -24,10 +32,15 @@ class MessageStats {
   [[nodiscard]] std::uint64_t deliveries(PacketKind kind) const noexcept;
   [[nodiscard]] std::uint64_t bytes_sent(PacketKind kind) const noexcept;
   [[nodiscard]] std::uint64_t channel_drops(PacketKind kind) const noexcept;
+  [[nodiscard]] std::uint64_t wire_bytes_sent(PacketKind kind) const noexcept;
+  [[nodiscard]] std::uint64_t wire_bytes_received(
+      PacketKind kind) const noexcept;
 
   [[nodiscard]] std::uint64_t total_sends() const noexcept;
   [[nodiscard]] std::uint64_t total_bytes() const noexcept;
   [[nodiscard]] std::uint64_t total_channel_drops() const noexcept;
+  [[nodiscard]] std::uint64_t total_wire_bytes_sent() const noexcept;
+  [[nodiscard]] std::uint64_t total_wire_bytes_received() const noexcept;
 
   /// Messages attributable to consistency maintenance: pushes, push acks,
   /// polls, poll replies and invalidations (Fig 6's y-axis).
@@ -42,6 +55,8 @@ class MessageStats {
   std::array<std::uint64_t, kKinds> deliveries_{};
   std::array<std::uint64_t, kKinds> bytes_{};
   std::array<std::uint64_t, kKinds> channel_drops_{};
+  std::array<std::uint64_t, kKinds> wire_sent_{};
+  std::array<std::uint64_t, kKinds> wire_received_{};
 };
 
 }  // namespace precinct::net

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "channel/channel_registry.hpp"
+#include "transport/wire_format.hpp"
 
 namespace precinct::net {
 
@@ -268,6 +269,7 @@ void WirelessNet::broadcast(PacketRef packet) {
   assert(owns(p.src));  // nodes transmit only in their owner domain
   if (!nodes_.alive(p.src)) return;
   stats_.count_send(p.kind, p.size_bytes);
+  stats_.count_wire_sent(p.kind, transport::wire_size(p));
   const double done =
       reserve_airtime(p.src, tx_duration(p.size_bytes, false));
   const double arrival = done + config_.propagation_s;
@@ -321,6 +323,9 @@ void WirelessNet::deliver_broadcast_impl(const PacketRef& packet,
   // skipped: their own domain delivers the marshalled copy of this frame,
   // so across all domains every receiver is charged exactly once.
   const std::vector<NodeId>& receivers = neighbors_cached(p.src);
+  // Position stamping precedes this, so the charged size matches what the
+  // transport would deliver on the wire.
+  const std::size_t wire_bytes = transport::wire_size(p);
   if (!lossless_) {
     // Lossy path: consult the channel per receiver and deliver the batch
     // only to the survivors.  Receiver order (sorted, owned only — each
@@ -335,6 +340,7 @@ void WirelessNet::deliver_broadcast_impl(const PacketRef& packet,
       if (channel_dropped(p, receiver)) continue;
       energy_.charge(receiver, energy::RadioOp::kBroadcastRecv, p.size_bytes);
       stats_.count_delivery(p.kind);
+      stats_.count_wire_received(p.kind, wire_bytes);
       rx.push_back(receiver);
     }
     if (!on_receive_ || rx.empty()) {
@@ -356,6 +362,7 @@ void WirelessNet::deliver_broadcast_impl(const PacketRef& packet,
     if (!owns(receiver)) continue;
     energy_.charge(receiver, energy::RadioOp::kBroadcastRecv, p.size_bytes);
     stats_.count_delivery(p.kind);
+    stats_.count_wire_received(p.kind, wire_bytes);
     rx.push_back(receiver);
   }
   if (!on_receive_ || rx.empty()) {
@@ -384,6 +391,7 @@ void WirelessNet::unicast(PacketRef packet, NodeId next_hop) {
   assert(owns(p.src));  // nodes transmit only in their owner domain
   if (!nodes_.alive(p.src)) return;
   stats_.count_send(p.kind, p.size_bytes);
+  stats_.count_wire_sent(p.kind, transport::wire_size(p));
   const double done =
       reserve_airtime(p.src, tx_duration(p.size_bytes, true));
   const double arrival = done + config_.propagation_s;
@@ -447,6 +455,7 @@ void WirelessNet::deliver_unicast_impl(PacketRef packet, NodeId next_hop,
     return;
   }
   stats_.count_delivery(p.kind);
+  stats_.count_wire_received(p.kind, transport::wire_size(p));
   if (on_receive_) {
     sim_.schedule(config_.proc_delay_s,
                   [this, packet = std::move(packet), next_hop] {

@@ -1,7 +1,9 @@
 #include "support/json.hpp"
 
 #include <cmath>
+#include <cstdlib>
 #include <iomanip>
+#include <stdexcept>
 
 namespace precinct::support {
 
@@ -63,6 +65,135 @@ std::string JsonObject::str(bool pretty) const {
   }
   out += pretty ? "\n}" : "}";
   return out;
+}
+
+// ---------------------------------------------------------------------------
+// FlatJson
+// ---------------------------------------------------------------------------
+
+namespace {
+
+[[noreturn]] void bad(const std::string& what) {
+  throw std::invalid_argument("FlatJson: " + what);
+}
+
+void skip_ws(const std::string& s, std::size_t& i) {
+  while (i < s.size() && (s[i] == ' ' || s[i] == '\t' || s[i] == '\n' ||
+                          s[i] == '\r')) {
+    ++i;
+  }
+}
+
+/// Consume a quoted string starting at s[i] == '"'; returns the unescaped
+/// content and leaves i one past the closing quote.
+std::string take_string(const std::string& s, std::size_t& i) {
+  if (i >= s.size() || s[i] != '"') bad("expected '\"'");
+  ++i;
+  std::string out;
+  while (i < s.size() && s[i] != '"') {
+    if (s[i] == '\\') {
+      ++i;
+      if (i >= s.size()) bad("dangling escape");
+      switch (s[i]) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case 'n': out += '\n'; break;
+        case 't': out += '\t'; break;
+        case '/': out += '/'; break;
+        default: bad(std::string("unsupported escape \\") + s[i]);
+      }
+      ++i;
+    } else {
+      out += s[i++];
+    }
+  }
+  if (i >= s.size()) bad("unterminated string");
+  ++i;  // closing quote
+  return out;
+}
+
+}  // namespace
+
+FlatJson FlatJson::parse(const std::string& text) {
+  FlatJson out;
+  std::size_t i = 0;
+  skip_ws(text, i);
+  if (i >= text.size() || text[i] != '{') bad("expected '{'");
+  ++i;
+  skip_ws(text, i);
+  if (i < text.size() && text[i] == '}') return out;  // empty object
+  while (true) {
+    skip_ws(text, i);
+    const std::string key = take_string(text, i);
+    skip_ws(text, i);
+    if (i >= text.size() || text[i] != ':') bad("expected ':'");
+    ++i;
+    skip_ws(text, i);
+    if (i >= text.size()) bad("truncated value");
+    std::string value;
+    if (text[i] == '"') {
+      // Keep strings quoted (re-escaped minimally) so the getters can
+      // tell a string token from a number token.
+      value = '"' + take_string(text, i) + '"';
+    } else if (text[i] == '{' || text[i] == '[') {
+      bad("nested values are not supported");
+    } else {
+      while (i < text.size() && text[i] != ',' && text[i] != '}' &&
+             text[i] != ' ' && text[i] != '\t' && text[i] != '\n' &&
+             text[i] != '\r') {
+        value += text[i++];
+      }
+      if (value.empty()) bad("empty value");
+    }
+    out.values_[key] = value;
+    skip_ws(text, i);
+    if (i >= text.size()) bad("unterminated object");
+    if (text[i] == ',') {
+      ++i;
+      continue;
+    }
+    if (text[i] == '}') break;
+    bad("expected ',' or '}'");
+  }
+  return out;
+}
+
+bool FlatJson::has(const std::string& key) const {
+  return values_.count(key) != 0;
+}
+
+const std::string& FlatJson::raw(const std::string& key) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) bad("missing key '" + key + "'");
+  return it->second;
+}
+
+std::string FlatJson::get_string(const std::string& key) const {
+  const std::string& v = raw(key);
+  if (v.size() < 2 || v.front() != '"' || v.back() != '"') {
+    bad("key '" + key + "' is not a string");
+  }
+  return v.substr(1, v.size() - 2);
+}
+
+std::uint64_t FlatJson::get_u64(const std::string& key) const {
+  const std::string& v = raw(key);
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(v.c_str(), &end, 10);
+  if (end == v.c_str() || *end != '\0') {
+    bad("key '" + key + "' is not an unsigned integer");
+  }
+  return static_cast<std::uint64_t>(parsed);
+}
+
+double FlatJson::get_double(const std::string& key) const {
+  const std::string& v = raw(key);
+  char* end = nullptr;
+  const double parsed = std::strtod(v.c_str(), &end);
+  if (end == v.c_str() || *end != '\0') {
+    bad("key '" + key + "' is not a number");
+  }
+  return parsed;
 }
 
 }  // namespace precinct::support

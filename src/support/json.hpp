@@ -1,5 +1,6 @@
 // Minimal JSON writing (objects of scalars/strings, flat arrays) for
-// machine-readable metric exports.  Not a parser; writing only.
+// machine-readable metric exports, plus a flat-object reader for the
+// files JsonObject itself writes (daemon status snapshots).
 #pragma once
 
 #include <map>
@@ -27,6 +28,28 @@ class JsonObject {
  private:
   static std::string escape(const std::string& raw);
   std::vector<std::pair<std::string, std::string>> fields_;  // pre-encoded
+};
+
+/// Flat JSON object reader — the inverse of JsonObject for objects of
+/// scalars/strings (no nesting; a nested value fails the parse).  Used by
+/// precinct_ctl to read daemon status files, so it only has to understand
+/// what JsonObject::str() emits plus insignificant whitespace.
+class FlatJson {
+ public:
+  /// Parse `text`; throws std::invalid_argument on malformed input.
+  static FlatJson parse(const std::string& text);
+
+  [[nodiscard]] bool has(const std::string& key) const;
+  /// Typed getters; throw std::invalid_argument when the key is missing
+  /// or the value does not parse as the requested type.
+  [[nodiscard]] std::string get_string(const std::string& key) const;
+  [[nodiscard]] std::uint64_t get_u64(const std::string& key) const;
+  [[nodiscard]] double get_double(const std::string& key) const;
+
+ private:
+  [[nodiscard]] const std::string& raw(const std::string& key) const;
+  /// key -> raw token (strings kept quoted to distinguish "1" from 1).
+  std::map<std::string, std::string> values_;
 };
 
 }  // namespace precinct::support

@@ -1,0 +1,528 @@
+#include "transport/udp_net.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+#include <tuple>
+
+namespace precinct::transport {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+[[nodiscard]] Clock::duration secs(double s) {
+  return std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(s));
+}
+
+[[nodiscard]] int ms_until(Clock::time_point deadline) {
+  const auto d = deadline - Clock::now();
+  if (d <= Clock::duration::zero()) return 0;
+  const auto ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(d).count();
+  return static_cast<int>(std::min<long long>(ms + 1, 1000));
+}
+
+constexpr int kMaxNackRangesPerTick = 8;
+
+}  // namespace
+
+UdpNet::UdpNet(const Options& opts)
+    : opts_(opts), sock_(opts.bind), peers_(opts.n_domains) {
+  if (opts_.domain >= opts_.n_domains) {
+    throw std::invalid_argument("UdpNet: domain out of range");
+  }
+  if (opts_.peer.size() != opts_.n_domains) {
+    throw std::invalid_argument("UdpNet: peer table size != n_domains");
+  }
+  if (!(opts_.retry_s > 0.0) || !(opts_.timeout_s > opts_.retry_s)) {
+    throw std::invalid_argument("UdpNet: need 0 < retry_s < timeout_s");
+  }
+}
+
+// -- WorldCoupler posts -----------------------------------------------------
+
+bool UdpNet::beyond_horizon(double due) const noexcept {
+  // Same predicate as the in-sim Coupler: due past the horizon, or due
+  // exactly at the horizon posted during the final window (merged after
+  // the last compute phase, so it never executes).
+  return due > opts_.horizon_s ||
+         (due == opts_.horizon_s && window_end_ >= opts_.horizon_s);
+}
+
+void UdpNet::post_frame(std::uint32_t src_domain, std::uint32_t dst_domain,
+                        double due, const net::Packet& packet,
+                        bool is_unicast, net::NodeId next_hop) {
+  if (src_domain != opts_.domain || dst_domain >= opts_.n_domains ||
+      dst_domain == src_domain) {
+    throw std::logic_error("UdpNet::post_frame: bad src/dst domain");
+  }
+  if (due < window_end_) {
+    // ShardExecutor::post's conservative-safety rule, verbatim.
+    throw std::logic_error("UdpNet::post_frame: due precedes window end");
+  }
+  ++counters_.frames_posted;
+  if (beyond_horizon(due)) ++counters_.frames_beyond_horizon;
+  FrameMsg m;
+  m.due = due;
+  m.is_unicast = is_unicast;
+  m.next_hop = next_hop;
+  m.packet = packet;
+  WireWriter body;
+  encode_frame(m, body);
+  post_data(dst_domain, MsgType::kFrame, body);
+}
+
+template <typename Encode>
+void UdpNet::post_delta(std::uint32_t src, double now, MsgType type,
+                        Encode encode) {
+  if (src != opts_.domain) {
+    throw std::logic_error("UdpNet::post_delta: not our domain");
+  }
+  // Earliest due the conservative bound admits; while idle (initialize,
+  // window_end_ == 0) that is `now` itself, so init-time deltas merge at
+  // barrier 0 — identical to the in-sim Coupler.
+  const double due = std::max(now, window_end_);
+  const bool beyond = beyond_horizon(due);
+  WireWriter body;
+  encode(due, body);
+  for (std::uint32_t dst = 0; dst < opts_.n_domains; ++dst) {
+    if (dst == src) continue;
+    ++counters_.deltas_posted;
+    if (beyond) ++counters_.deltas_beyond_horizon;
+    post_data(dst, type, body);
+  }
+}
+
+void UdpNet::post_liveness(std::uint32_t src_domain, net::NodeId node,
+                           bool alive, double now) {
+  post_delta(src_domain, now, MsgType::kLiveness,
+             [&](double due, WireWriter& w) {
+               LivenessMsg m;
+               m.due = due;
+               m.node = node;
+               m.alive = alive;
+               encode_liveness(m, w);
+             });
+}
+
+void UdpNet::post_region(std::uint32_t src_domain, net::NodeId node,
+                         geo::RegionId region, double now) {
+  post_delta(src_domain, now, MsgType::kRegion,
+             [&](double due, WireWriter& w) {
+               RegionMsg m;
+               m.due = due;
+               m.node = node;
+               m.region = region;
+               encode_region(m, w);
+             });
+}
+
+void UdpNet::post_catalog_update(std::uint32_t src_domain, geo::Key key,
+                                 std::uint64_t version, double now) {
+  post_delta(src_domain, now, MsgType::kCatalog,
+             [&](double due, WireWriter& w) {
+               CatalogMsg m;
+               m.due = due;
+               m.key = key;
+               m.version = version;
+               m.written_at = now;
+               encode_catalog(m, w);
+             });
+}
+
+// -- sending ----------------------------------------------------------------
+
+void UdpNet::send_raw(std::uint32_t dst, const std::uint8_t* data,
+                      std::size_t n) {
+  // A false return is kernel-buffer pressure or an unbound peer: both are
+  // datagram loss, which the NACK/retry path repairs.
+  (void)sock_.send_to(opts_.peer[dst], data, n);
+  ++counters_.datagrams_sent;
+  counters_.datagram_bytes_sent += n;
+}
+
+void UdpNet::post_data(std::uint32_t dst, MsgType type,
+                       const WireWriter& body) {
+  PeerState& peer = peers_[dst];
+  Envelope e;
+  e.type = type;
+  e.src_domain = opts_.domain;
+  e.seq = peer.next_seq++;
+  WireWriter dgram;
+  encode_envelope(e, dgram);
+  dgram.bytes(body.data().data(), body.size());
+  auto [it, inserted] = peer.resend.emplace(e.seq, dgram.data());
+  (void)inserted;
+  send_raw(dst, it->second.data(), it->second.size());
+}
+
+void UdpNet::send_control(std::uint32_t dst, MsgType type,
+                          const WireWriter& body) {
+  Envelope e;
+  e.type = type;
+  e.src_domain = opts_.domain;
+  e.seq = 0;
+  WireWriter dgram;
+  encode_envelope(e, dgram);
+  dgram.bytes(body.data().data(), body.size());
+  send_raw(dst, dgram.data().data(), dgram.size());
+}
+
+void UdpNet::send_hello(std::uint32_t dst, bool is_reply) {
+  HelloMsg m;
+  m.n_domains = opts_.n_domains;
+  m.config_hash = opts_.config_hash;
+  WireWriter body;
+  encode_hello(m, body);
+  Envelope e;
+  e.type = MsgType::kHello;
+  e.src_domain = opts_.domain;
+  e.seq = is_reply ? 1 : 0;  // replies are not themselves answered
+  WireWriter dgram;
+  encode_envelope(e, dgram);
+  dgram.bytes(body.data().data(), body.size());
+  send_raw(dst, dgram.data().data(), dgram.size());
+}
+
+void UdpNet::send_window_end(std::uint32_t dst, std::uint64_t window,
+                             double window_end_s) {
+  const PeerState& peer = peers_[dst];
+  WindowEndMsg m;
+  m.window = window;
+  m.cum_sent = peer.next_seq;  // stable: nothing posts while waiting
+  m.prev_cum_sent = peer.cum_at_prev_barrier;
+  m.acked_cum = peer.merged_cum;
+  m.window_end_s = window_end_s;
+  WireWriter body;
+  encode_window_end(m, body);
+  send_control(dst, MsgType::kWindowEnd, body);
+}
+
+void UdpNet::send_bye(ByeReason reason) {
+  bye_reason_ = reason;
+  ByeMsg m;
+  m.reason = reason;
+  WireWriter body;
+  encode_bye(m, body);
+  for (std::uint32_t dst = 0; dst < opts_.n_domains; ++dst) {
+    if (dst == opts_.domain) continue;
+    send_control(dst, MsgType::kBye, body);
+  }
+}
+
+void UdpNet::send_nacks_for_gaps(std::uint32_t src, std::uint64_t target_cum) {
+  const PeerState& peer = peers_[src];
+  int ranges = 0;
+  std::uint64_t expected = peer.merged_cum;
+  auto it = peer.pending.lower_bound(expected);
+  while (expected < target_cum && ranges < kMaxNackRangesPerTick) {
+    const std::uint64_t have =
+        (it != peer.pending.end() && it->first < target_cum) ? it->first
+                                                             : target_cum;
+    if (expected < have) {
+      NackMsg m;
+      m.from_seq = expected;
+      m.to_seq = have;
+      WireWriter body;
+      encode_nack(m, body);
+      send_control(src, MsgType::kNack, body);
+      ++counters_.nacks_sent;
+      ++ranges;
+    }
+    if (it == peer.pending.end() || it->first >= target_cum) break;
+    expected = it->first + 1;
+    ++it;
+  }
+}
+
+// -- receiving --------------------------------------------------------------
+
+void UdpNet::pump() {
+  while (sock_.recv_from(rx_buf_)) {
+    ++counters_.datagrams_received;
+    counters_.datagram_bytes_received += rx_buf_.size();
+    handle_datagram(rx_buf_.data(), rx_buf_.size());
+  }
+}
+
+void UdpNet::handle_datagram(const std::uint8_t* data, std::size_t n) {
+  WireReader r(data, n);
+  Envelope e;
+  if (!decode_envelope(r, e)) {
+    ++counters_.malformed_dropped;
+    return;
+  }
+  if (e.type == MsgType::kInject) {
+    // Comes from precinct_ctl, not a domain peer; src_domain is kCtlDomain.
+    InjectMsg m;
+    if (!decode_inject(r, m) || r.remaining() != 0) {
+      ++counters_.malformed_dropped;
+      return;
+    }
+    if (seen_inject_ids_.insert(m.inject_id).second) {
+      injections_.push_back(m);
+    }
+    return;
+  }
+  if (e.src_domain >= opts_.n_domains || e.src_domain == opts_.domain) {
+    ++counters_.malformed_dropped;
+    return;
+  }
+  PeerState& peer = peers_[e.src_domain];
+  switch (e.type) {
+    case MsgType::kHello: {
+      HelloMsg m;
+      if (!decode_hello(r, m)) {
+        ++counters_.malformed_dropped;
+        return;
+      }
+      if (m.n_domains != opts_.n_domains ||
+          m.config_hash != opts_.config_hash) {
+        throw std::runtime_error(
+            "UdpNet: peer domain " + std::to_string(e.src_domain) +
+            " is running a different scenario (config-hash mismatch) — "
+            "refusing a split-brain fleet");
+      }
+      peer.hello_seen = true;
+      if (e.seq == 0) send_hello(e.src_domain, /*is_reply=*/true);
+      return;
+    }
+    case MsgType::kWindowEnd: {
+      WindowEndMsg m;
+      if (!decode_window_end(r, m)) {
+        ++counters_.malformed_dropped;
+        return;
+      }
+      peer.window_cum[m.window] = m.cum_sent;
+      if (m.window > 0) {
+        // Peers are at most one barrier ahead: the marker for window W
+        // doubles as a (possibly lost) marker for W-1.
+        peer.window_cum.emplace(m.window - 1, m.prev_cum_sent);
+      }
+      peer.resend.erase(peer.resend.begin(),
+                        peer.resend.lower_bound(m.acked_cum));
+      return;
+    }
+    case MsgType::kFrame:
+    case MsgType::kLiveness:
+    case MsgType::kRegion:
+    case MsgType::kCatalog: {
+      if (e.seq < peer.merged_cum || peer.pending.count(e.seq) != 0) {
+        ++counters_.duplicates_dropped;
+        return;
+      }
+      MergedMsg m;
+      m.type = e.type;
+      m.src_domain = e.src_domain;
+      m.seq = e.seq;
+      bool ok = false;
+      switch (e.type) {
+        case MsgType::kFrame:
+          ok = decode_frame(r, m.frame);
+          m.due = m.frame.due;
+          break;
+        case MsgType::kLiveness:
+          ok = decode_liveness(r, m.liveness);
+          m.due = m.liveness.due;
+          break;
+        case MsgType::kRegion:
+          ok = decode_region(r, m.region);
+          m.due = m.region.due;
+          break;
+        default:
+          ok = decode_catalog(r, m.catalog);
+          m.due = m.catalog.due;
+          break;
+      }
+      if (!ok || r.remaining() != 0) {
+        ++counters_.malformed_dropped;
+        return;
+      }
+      peer.pending.emplace(e.seq, std::move(m));
+      return;
+    }
+    case MsgType::kNack: {
+      NackMsg m;
+      if (!decode_nack(r, m)) {
+        ++counters_.malformed_dropped;
+        return;
+      }
+      for (auto it = peer.resend.lower_bound(m.from_seq);
+           it != peer.resend.end() && it->first < m.to_seq; ++it) {
+        send_raw(e.src_domain, it->second.data(), it->second.size());
+        ++counters_.retransmits;
+      }
+      return;
+    }
+    case MsgType::kBye: {
+      ByeMsg m;
+      if (!decode_bye(r, m)) {
+        ++counters_.malformed_dropped;
+        return;
+      }
+      peer.bye_done = true;
+      if (m.reason == ByeReason::kStopped) peer_stopped_ = true;
+      if (m.reason == ByeReason::kAborted) {
+        throw std::runtime_error("UdpNet: peer domain " +
+                                 std::to_string(e.src_domain) +
+                                 " aborted; run results are void");
+      }
+      return;
+    }
+    default:
+      ++counters_.malformed_dropped;
+      return;
+  }
+}
+
+// -- rendezvous / barrier / drain -------------------------------------------
+
+bool UdpNet::rendezvous(const std::function<bool()>& stop) {
+  const auto deadline = Clock::now() + secs(opts_.timeout_s);
+  auto next_retry = Clock::now();
+  for (;;) {
+    pump();
+    bool all = true;
+    for (std::uint32_t d = 0; d < opts_.n_domains; ++d) {
+      if (d != opts_.domain && !peers_[d].hello_seen) all = false;
+    }
+    if (all) return true;
+    if (stop && stop()) return false;
+    if (peer_stopped_) return false;
+    const auto now = Clock::now();
+    if (now >= deadline) {
+      send_bye(ByeReason::kAborted);
+      throw std::runtime_error("UdpNet: rendezvous timeout — not all peers "
+                               "answered Hello");
+    }
+    if (now >= next_retry) {
+      for (std::uint32_t d = 0; d < opts_.n_domains; ++d) {
+        if (d != opts_.domain && !peers_[d].hello_seen) {
+          send_hello(d, /*is_reply=*/false);
+        }
+      }
+      next_retry = now + secs(opts_.retry_s);
+    }
+    sock_.wait_readable(ms_until(std::min(next_retry, deadline)));
+  }
+}
+
+bool UdpNet::barrier_complete(std::uint64_t window) const {
+  for (std::uint32_t d = 0; d < opts_.n_domains; ++d) {
+    if (d == opts_.domain) continue;
+    const PeerState& peer = peers_[d];
+    const auto it = peer.window_cum.find(window);
+    if (it == peer.window_cum.end()) return false;
+    for (std::uint64_t seq = peer.merged_cum; seq < it->second; ++seq) {
+      if (peer.pending.count(seq) == 0) return false;
+    }
+  }
+  return true;
+}
+
+void UdpNet::extract_batch(std::uint64_t window, std::vector<MergedMsg>& out) {
+  for (std::uint32_t d = 0; d < opts_.n_domains; ++d) {
+    if (d == opts_.domain) continue;
+    PeerState& peer = peers_[d];
+    const std::uint64_t cum = peer.window_cum.at(window);
+    for (std::uint64_t seq = peer.merged_cum; seq < cum; ++seq) {
+      auto it = peer.pending.find(seq);
+      out.push_back(std::move(it->second));
+      peer.pending.erase(it);
+    }
+    peer.merged_cum = cum;
+    peer.window_cum.erase(peer.window_cum.begin(),
+                          peer.window_cum.upper_bound(window));
+    // Sender side: this barrier's cum becomes the next marker's
+    // prev_cum_sent.
+    peer.cum_at_prev_barrier = peer.next_seq;
+  }
+  counters_.messages_merged += out.size();
+  // The ShardExecutor merge order, verbatim: (due, src domain, seq).
+  std::sort(out.begin(), out.end(),
+            [](const MergedMsg& a, const MergedMsg& b) {
+              return std::tie(a.due, a.src_domain, a.seq) <
+                     std::tie(b.due, b.src_domain, b.seq);
+            });
+}
+
+BarrierResult UdpNet::close_barrier(std::uint64_t window,
+                                    double window_end_s,
+                                    const std::function<bool()>& stop,
+                                    std::vector<MergedMsg>& out) {
+  out.clear();
+  last_window_ = window;
+  last_window_end_s_ = window_end_s;
+  const auto deadline = Clock::now() + secs(opts_.timeout_s);
+  auto next_retry = Clock::now();
+  for (;;) {
+    pump();
+    if (barrier_complete(window)) {
+      extract_batch(window, out);
+      return BarrierResult::kClosed;
+    }
+    if (peer_stopped_) return BarrierResult::kPeerStopped;
+    if (stop && stop()) return BarrierResult::kStopRequested;
+    const auto now = Clock::now();
+    if (now >= deadline) {
+      send_bye(ByeReason::kAborted);
+      throw std::runtime_error(
+          "UdpNet: barrier " + std::to_string(window) +
+          " timed out after " + std::to_string(opts_.timeout_s) +
+          "s — a peer is dead or unreachable");
+    }
+    if (now >= next_retry) {
+      for (std::uint32_t d = 0; d < opts_.n_domains; ++d) {
+        if (d == opts_.domain) continue;
+        send_window_end(d, window, window_end_s);
+        const auto it = peers_[d].window_cum.find(window);
+        if (it != peers_[d].window_cum.end()) {
+          send_nacks_for_gaps(d, it->second);
+        }
+      }
+      next_retry = now + secs(opts_.retry_s);
+    }
+    sock_.wait_readable(ms_until(std::min(next_retry, deadline)));
+  }
+}
+
+void UdpNet::drain(double linger_s, const std::function<bool()>& stop) {
+  const auto deadline = Clock::now() + secs(linger_s);
+  auto next_retry = Clock::now();
+  for (;;) {
+    pump();
+    bool all = true;
+    for (std::uint32_t d = 0; d < opts_.n_domains; ++d) {
+      if (d != opts_.domain && !peers_[d].bye_done) all = false;
+    }
+    if (all) return;
+    if (stop && stop()) return;
+    const auto now = Clock::now();
+    if (now >= deadline) return;  // best-effort: linger is a courtesy
+    if (now >= next_retry) {
+      ByeMsg m;
+      m.reason = bye_reason_;
+      WireWriter body;
+      encode_bye(m, body);
+      for (std::uint32_t d = 0; d < opts_.n_domains; ++d) {
+        if (d == opts_.domain || peers_[d].bye_done) continue;
+        send_control(d, MsgType::kBye, body);
+        // A slower peer may still be closing its last barrier off our
+        // resend buffers; keep our final marker alive for it.
+        send_window_end(d, last_window_, last_window_end_s_);
+      }
+      next_retry = now + secs(opts_.retry_s);
+    }
+    sock_.wait_readable(ms_until(std::min(next_retry, deadline)));
+  }
+}
+
+std::vector<InjectMsg> UdpNet::take_injections() {
+  std::vector<InjectMsg> out;
+  out.swap(injections_);
+  return out;
+}
+
+}  // namespace precinct::transport

@@ -1,0 +1,201 @@
+// UDP-backed WorldCoupler: the cross-domain transport for a fleet of
+// precinct_node processes (DESIGN.md §14).
+//
+// One process hosts ONE domain of a world-sharded run.  Inside the
+// process the full PReCinCt stack runs on its own sim::Simulator exactly
+// as in-sim; only the ShardExecutor's SPSC mailboxes are replaced by UDP
+// datagrams.  The contract is therefore bit-exact equivalence with
+// core::WorldShardedScenario: the same windows, the same merge order
+// (due, src domain, per-stream seq), the same conservation counters —
+// which is what lets the DES act as the fleet's test oracle.
+//
+// Reliability: UDP drops, duplicates and reorders; the window barrier
+// restores exactly-once in-order *merge* semantics.  Data messages
+// (frames + halo deltas) carry a per-(src,dst) stream sequence number and
+// are buffered by the sender until acknowledged.  Closing window W means:
+// for every peer, the receiver knows the peer's cumulative stream count
+// at W (from its WindowEnd marker — or from the *next* marker's
+// prev_cum_sent, since peers are never more than one barrier apart) and
+// holds every datagram below that count.  Gaps are NACKed and resent on a
+// wall-clock retry cadence; a peer silent past `timeout_s` aborts the run
+// loudly — a conservative-parallel fleet cannot outrun a dead member.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "net/wireless_net.hpp"
+#include "transport/udp_socket.hpp"
+#include "transport/wire_format.hpp"
+
+namespace precinct::transport {
+
+/// Envelope src_domain used by precinct_ctl for kInject datagrams (it is
+/// an operator, not a domain peer).
+inline constexpr std::uint32_t kCtlDomain = 0xFFFFFFFFu;
+
+/// Transport-level counters.  The frame/delta cells mirror the in-sim
+/// Coupler's conservation ledger (they appear in the fleet fingerprint);
+/// the datagram cells are wall-clock diagnostics (retries are timing
+/// dependent, so they are reported but never fingerprinted).
+struct TransportCounters {
+  std::uint64_t frames_posted = 0;
+  std::uint64_t frames_beyond_horizon = 0;
+  std::uint64_t deltas_posted = 0;
+  std::uint64_t deltas_beyond_horizon = 0;
+  std::uint64_t frames_processed = 0;
+  std::uint64_t deltas_processed = 0;
+  std::uint64_t messages_merged = 0;
+  std::uint64_t windows = 0;
+
+  std::uint64_t datagrams_sent = 0;
+  std::uint64_t datagrams_received = 0;
+  std::uint64_t datagram_bytes_sent = 0;
+  std::uint64_t datagram_bytes_received = 0;
+  std::uint64_t retransmits = 0;
+  std::uint64_t nacks_sent = 0;
+  std::uint64_t duplicates_dropped = 0;
+  std::uint64_t malformed_dropped = 0;
+};
+
+/// One merged cross-domain message, decoded and ready to schedule into
+/// the local simulator at `due`.
+struct MergedMsg {
+  MsgType type = MsgType::kFrame;
+  std::uint32_t src_domain = 0;
+  std::uint64_t seq = 0;
+  double due = 0.0;
+  FrameMsg frame;        // valid when type == kFrame
+  LivenessMsg liveness;  // valid when type == kLiveness
+  RegionMsg region;      // valid when type == kRegion
+  CatalogMsg catalog;    // valid when type == kCatalog
+};
+
+/// Why close_barrier() returned without closing.
+enum class BarrierResult {
+  kClosed,         ///< all peers reported; merged batch is valid
+  kStopRequested,  ///< the local stop predicate fired (SIGTERM)
+  kPeerStopped,    ///< a peer sent Bye(kStopped); drain gracefully
+};
+
+class UdpNet final : public net::WorldCoupler {
+ public:
+  struct Options {
+    std::uint32_t domain = 0;
+    std::uint32_t n_domains = 1;
+    double horizon_s = 0.0;       ///< config end time (beyond-horizon test)
+    std::uint64_t config_hash = 0;
+    UdpAddress bind;              ///< this domain's socket address
+    std::vector<UdpAddress> peer; ///< domain -> address (peer[domain] unused)
+    double retry_s = 0.05;        ///< wall-clock resend/NACK cadence
+    double timeout_s = 30.0;      ///< wall-clock silence budget per barrier
+  };
+
+  explicit UdpNet(const Options& opts);
+
+  // -- WorldCoupler (called from inside the local sim's compute phase) --
+  void post_frame(std::uint32_t src_domain, std::uint32_t dst_domain,
+                  double due, const net::Packet& packet, bool is_unicast,
+                  net::NodeId next_hop) override;
+  void post_liveness(std::uint32_t src_domain, net::NodeId node, bool alive,
+                     double now) override;
+  void post_region(std::uint32_t src_domain, net::NodeId node,
+                   geo::RegionId region, double now) override;
+  void post_catalog_update(std::uint32_t src_domain, geo::Key key,
+                           std::uint64_t version, double now) override;
+
+  /// Mirror of ShardExecutor's conservative bound: post() of anything due
+  /// earlier than this throws.  The daemon sets it before each compute
+  /// phase (and halo deltas posted mid-window land exactly on it).
+  void set_window_end(double window_end) noexcept { window_end_ = window_end; }
+  [[nodiscard]] double window_end() const noexcept { return window_end_; }
+
+  /// Hello exchange: solicit every peer until all have answered (and
+  /// answered *us* — replies carry the config hash, so a split-brain
+  /// fleet dies here).  `stop` is polled; returning true abandons the
+  /// rendezvous and returns false.  Throws on timeout or hash mismatch.
+  [[nodiscard]] bool rendezvous(const std::function<bool()>& stop);
+
+  /// Close barrier `window` (0 = the post-initialize idle merge): send
+  /// WindowEnd markers, collect every peer's stream up to its marked
+  /// cumulative count, NACK gaps, and return the merged batch sorted by
+  /// (due, src domain, seq) — the exact ShardExecutor merge order.
+  /// Throws std::runtime_error on peer abort or timeout.
+  [[nodiscard]] BarrierResult close_barrier(
+      std::uint64_t window, double window_end_s,
+      const std::function<bool()>& stop, std::vector<MergedMsg>& out);
+
+  /// Announce shutdown to every peer (idempotent; resent during drain()).
+  void send_bye(ByeReason reason);
+
+  /// After a clean finish: keep answering NACKs/WindowEnd resends and
+  /// re-sending our Bye until every peer said Bye too or `linger_s`
+  /// elapses.  Lets slower peers finish their last barrier off our resend
+  /// buffers instead of timing out.
+  void drain(double linger_s, const std::function<bool()>& stop);
+
+  /// Operator injections received so far (deduplicated, arrival order).
+  /// Draining hands ownership to the caller.
+  [[nodiscard]] std::vector<InjectMsg> take_injections();
+
+  [[nodiscard]] TransportCounters& counters() noexcept { return counters_; }
+  [[nodiscard]] const TransportCounters& counters() const noexcept {
+    return counters_;
+  }
+  [[nodiscard]] std::uint16_t local_port() const { return sock_.local_port(); }
+
+ private:
+  struct PeerState {
+    // Sender side (messages we address to this peer).
+    std::uint64_t next_seq = 0;           ///< next stream seq to assign
+    std::uint64_t cum_at_prev_barrier = 0;
+    std::map<std::uint64_t, std::vector<std::uint8_t>> resend;
+    // Receiver side (messages this peer addresses to us).
+    std::uint64_t merged_cum = 0;         ///< stream consumed up to here
+    std::map<std::uint64_t, MergedMsg> pending;
+    std::map<std::uint64_t, std::uint64_t> window_cum;  ///< window -> cum
+    bool hello_seen = false;
+    bool bye_done = false;
+  };
+
+  [[nodiscard]] bool beyond_horizon(double due) const noexcept;
+  void post_data(std::uint32_t dst, MsgType type, const WireWriter& body);
+  template <typename Encode>
+  void post_delta(std::uint32_t src, double now, MsgType type, Encode encode);
+
+  void send_control(std::uint32_t dst, MsgType type, const WireWriter& body);
+  void send_raw(std::uint32_t dst, const std::uint8_t* data, std::size_t n);
+  void send_hello(std::uint32_t dst, bool is_reply);
+  void send_window_end(std::uint32_t dst, std::uint64_t window,
+                       double window_end_s);
+  void send_nacks_for_gaps(std::uint32_t src, std::uint64_t target_cum);
+
+  /// Drain the socket, dispatching every pending datagram.  Throws on a
+  /// peer abort or a Hello hash mismatch.
+  void pump();
+  void handle_datagram(const std::uint8_t* data, std::size_t n);
+
+  /// True when every peer's cum for `window` is known and fully buffered.
+  [[nodiscard]] bool barrier_complete(std::uint64_t window) const;
+  /// Pop [merged_cum, cum(window)) from every peer, sorted.
+  void extract_batch(std::uint64_t window, std::vector<MergedMsg>& out);
+
+  Options opts_;
+  UdpSocket sock_;
+  double window_end_ = 0.0;
+  std::uint64_t last_window_ = 0;
+  double last_window_end_s_ = 0.0;
+  ByeReason bye_reason_ = ByeReason::kDone;
+  std::vector<PeerState> peers_;  // indexed by domain; [domain_] unused
+  TransportCounters counters_;
+  std::set<std::uint64_t> seen_inject_ids_;
+  std::vector<InjectMsg> injections_;
+  bool peer_stopped_ = false;
+  std::vector<std::uint8_t> rx_buf_;
+};
+
+}  // namespace precinct::transport

@@ -1,0 +1,74 @@
+#include "workload/workload_script.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace precinct::workload {
+
+std::vector<ScriptEvent> parse_script(const std::string& text) {
+  std::vector<ScriptEvent> events;
+  std::istringstream lines(text);
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(lines, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream fields(line);
+    double t = 0.0;
+    std::string op;
+    if (!(fields >> t)) {
+      std::string rest;
+      if (fields.clear(), !(fields >> rest)) continue;  // blank/comment
+      throw std::invalid_argument("workload script line " +
+                                  std::to_string(line_no) +
+                                  ": expected a time, got '" + rest + "'");
+    }
+    ScriptEvent ev;
+    ev.t_s = t;
+    std::uint32_t node = 0;
+    std::uint64_t rank = 0;
+    if (!(fields >> op >> node >> rank)) {
+      throw std::invalid_argument(
+          "workload script line " + std::to_string(line_no) +
+          ": expected `<t> request|update <node> <rank>`");
+    }
+    std::string junk;
+    if (fields >> junk) {
+      throw std::invalid_argument("workload script line " +
+                                  std::to_string(line_no) +
+                                  ": trailing junk '" + junk + "'");
+    }
+    if (!(t >= 0.0)) {
+      throw std::invalid_argument("workload script line " +
+                                  std::to_string(line_no) +
+                                  ": time must be >= 0");
+    }
+    if (op == "request") {
+      ev.op = ScriptEvent::Op::kRequest;
+    } else if (op == "update") {
+      ev.op = ScriptEvent::Op::kUpdate;
+    } else {
+      throw std::invalid_argument("workload script line " +
+                                  std::to_string(line_no) + ": unknown op '" +
+                                  op + "' (want request|update)");
+    }
+    ev.node = node;
+    ev.rank = rank;
+    events.push_back(ev);
+  }
+  return events;
+}
+
+std::vector<ScriptEvent> load_script(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("workload script: cannot read '" + path + "'");
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  return parse_script(text.str());
+}
+
+}  // namespace precinct::workload

@@ -1,0 +1,39 @@
+// Deterministic scripted workload: an explicit event list layered on top
+// of the Poisson generators.  The same script drives an in-sim run and a
+// UDP fleet identically (each daemon's replica loads the same file and
+// applies only its owned nodes' lines), which is what lets precinct_ctl
+// exercise a fleet with a workload whose protocol decisions the DES can
+// replay as an oracle.
+//
+// Format: one event per line, `#` comments and blank lines ignored:
+//
+//   <t_seconds> request <node> <rank>
+//   <t_seconds> update  <node> <rank>
+//
+// `rank` is a catalog popularity rank, mapped to a key via
+// DataCatalog::key_of(rank % size) at execution time.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace precinct::workload {
+
+struct ScriptEvent {
+  enum class Op : std::uint8_t { kRequest = 0, kUpdate = 1 };
+
+  double t_s = 0.0;
+  Op op = Op::kRequest;
+  std::uint32_t node = 0;
+  std::uint64_t rank = 0;
+};
+
+/// Parse script text; throws std::invalid_argument naming the offending
+/// line on malformed input (bad op, negative time, trailing junk).
+[[nodiscard]] std::vector<ScriptEvent> parse_script(const std::string& text);
+
+/// Read + parse a script file; throws std::runtime_error if unreadable.
+[[nodiscard]] std::vector<ScriptEvent> load_script(const std::string& path);
+
+}  // namespace precinct::workload
