@@ -8,11 +8,14 @@
 //
 // Run with --help for the full flag list.
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "core/config_io.hpp"
+#include "core/pack.hpp"
 #include "core/scenario.hpp"
 #include "core/world_scenario.hpp"
 #include "support/json.hpp"
@@ -34,14 +37,26 @@ topology
 
 mobility
   --mobility MODEL     random-waypoint | random-direction |
-                       gauss-markov | static              (default random-waypoint)
+                       gauss-markov | manhattan | commuter |
+                       static                             (default random-waypoint)
   --speed-max M_S      maximum node speed                 (default 6)
   --pause S            pause between movement legs        (default 5)
+                       (manhattan street_spacing/turn_prob and commuter
+                       commuter_period/commuter_hubs are config-file keys)
+
+heterogeneous fleets (config-file only)
+  class.<name>.count   nodes in the class (counts sum to the fleet size)
+  class.<name>.cache_kb  per-peer cache KiB (0 = cache_fraction sizing)
+  class.<name>.speed   class speed cap (0 = scenario v_min/v_max)
+  class.<name>.fixed   true = static roadside unit (custody anchor)
 
 workload
   --items N            data items in the catalog          (default 1000)
   --request-interval S mean seconds between requests      (default 30)
   --zipf THETA         popularity skew                    (default 0.8)
+                       (flash-crowd keys rate_multiplier, zipf_drift,
+                       zipf_drift_step, hotspot_interval, hotspot_shift
+                       are config-file keys)
 
 caching
   --policy NAME        gd-ld | gd-size | lru | lfu        (default gd-ld)
@@ -76,6 +91,23 @@ correctness harness
                        net,cache,custody,pending,consistency,energy
                        (observe-only; aborts on the first violation)
   --check-stride N     audit every N executed events    (default 64)
+
+scenario packs
+  --pack NAME          load examples/packs/NAME.conf as the scenario
+                       (flags still override); an unknown NAME lists the
+                       installed packs
+  --packs              list installed packs and exit
+  --fingerprint        print the run's metrics fingerprint (world
+                       fingerprint in world-sharded mode) instead of the
+                       table
+  --golden-check       run the pack at full and reduced scale and diff
+                       both fingerprints against NAME.golden (exit 1 on
+                       drift)
+  --write-golden       regenerate NAME.golden from this build (do this
+                       deliberately, with a PR explaining why)
+  --world K            force world-sharded execution with K workers, even
+                       K = 1 (the pack K-invariance gate diffs
+                       --world 1/2/4 fingerprints)
 
 run control
   --config FILE        key=value scenario file (flags override it; see
@@ -163,6 +195,44 @@ precinct::core::RetrievalKind retrieval_from(const std::string& name) {
   throw std::invalid_argument("unknown retrieval scheme: " + name);
 }
 
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot read '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// Both golden sections for a pack scenario: the configured scale and
+/// the reduced_for_test() scale the unit suite runs.
+precinct::core::PackGolden compute_golden(const PrecinctConfig& c) {
+  precinct::core::PackGolden golden;
+  golden.full = precinct::core::fingerprint(precinct::core::run_scenario(c));
+  golden.reduced = precinct::core::fingerprint(
+      precinct::core::run_scenario(precinct::core::reduced_for_test(c)));
+  return golden;
+}
+
+/// Line-by-line mismatch report for a drifted golden section.
+void report_drift(const std::string& section, const std::string& expected,
+                  const std::string& actual) {
+  std::cerr << "pack golden drift in [" << section << "]:\n";
+  std::istringstream want(expected);
+  std::istringstream got(actual);
+  std::string w;
+  std::string g;
+  while (true) {
+    const bool have_w = static_cast<bool>(std::getline(want, w));
+    const bool have_g = static_cast<bool>(std::getline(got, g));
+    if (!have_w && !have_g) break;
+    if (!have_w) w.clear();
+    if (!have_g) g.clear();
+    if (w != g) {
+      std::cerr << "  expected: " << w << "\n  actual:   " << g << "\n";
+    }
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -173,9 +243,21 @@ int main(int argc, char** argv) {
       print_help();
       return 0;
     }
+    if (args.flag("--packs")) {
+      for (const std::string& name : core::list_packs()) {
+        std::cout << name << '\n';
+      }
+      return 0;
+    }
 
     PrecinctConfig c;
-    if (const std::string path = args.value("--config", ""); !path.empty()) {
+    std::string pack_name = args.value("--pack", "");
+    core::ScenarioPack pack;
+    if (!pack_name.empty()) {
+      pack = core::load_pack(pack_name);
+      c = pack.config;
+    } else if (const std::string path = args.value("--config", "");
+               !path.empty()) {
       c = core::config_from_file(path);
     }
     c.n_nodes = static_cast<std::size_t>(
@@ -221,6 +303,12 @@ int main(int argc, char** argv) {
     const auto seeds = static_cast<std::size_t>(args.number("--seeds", 1));
     const bool csv = args.flag("--csv");
     const bool json = args.flag("--json");
+    const bool print_fingerprint = args.flag("--fingerprint");
+    const bool golden_check = args.flag("--golden-check");
+    const bool write_golden = args.flag("--write-golden");
+    const auto world_k =
+        static_cast<std::uint32_t>(args.number("--world", 0));
+    if (world_k > 0) c.shards = world_k;
     // --trace takes either a count ("--trace 50": last 50 events, all
     // categories) or a category list ("--trace channel,protocol": every
     // retained event in just those categories).
@@ -253,8 +341,56 @@ int main(int argc, char** argv) {
       return 2;
     }
 
+    // Golden maintenance runs both scales at shards = 1: the golden file
+    // pins the plain fingerprint; K-invariance is gated separately by
+    // diffing --world 1/2/4 fingerprints.
+    if (golden_check || write_golden) {
+      if (pack_name.empty()) {
+        throw std::invalid_argument(
+            "--golden-check/--write-golden need --pack NAME");
+      }
+      const core::PackGolden actual = compute_golden(c);
+      if (write_golden) {
+        const std::string text = core::render_golden(pack_name, actual);
+        std::ofstream out(pack.golden_path, std::ios::binary);
+        if (!out.write(text.data(),
+                       static_cast<std::streamsize>(text.size()))) {
+          throw std::runtime_error("cannot write '" + pack.golden_path + "'");
+        }
+        std::cout << "wrote " << pack.golden_path << '\n';
+        return 0;
+      }
+      const core::PackGolden expected =
+          core::parse_golden(read_file(pack.golden_path));
+      bool ok = true;
+      if (expected.full != actual.full) {
+        report_drift("full", expected.full, actual.full);
+        ok = false;
+      }
+      if (expected.reduced != actual.reduced) {
+        report_drift("reduced", expected.reduced, actual.reduced);
+        ok = false;
+      }
+      if (!ok) return 1;
+      std::cout << "pack '" << pack_name << "' golden ok\n";
+      return 0;
+    }
+
     const bool world_sharded =
-        c.shards > 1 && c.tiles_x == 1 && c.tiles_y == 1;
+        world_k > 0 || (c.shards > 1 && c.tiles_x == 1 && c.tiles_y == 1);
+    if (print_fingerprint) {
+      // Fingerprints are single-run by definition (the determinism gates
+      // diff them byte-for-byte).
+      if (seeds > 1) {
+        throw std::invalid_argument("--fingerprint needs --seeds 1");
+      }
+      if (world_sharded) {
+        std::cout << core::world_fingerprint(core::run_world_scenario(c));
+      } else {
+        std::cout << core::fingerprint(core::run_scenario(c));
+      }
+      return 0;
+    }
     core::Metrics m;
     if (world_sharded) {
       // World sharding cuts ONE world into region-column domains; tracing

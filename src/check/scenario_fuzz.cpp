@@ -34,11 +34,38 @@ core::PrecinctConfig draw_candidate(support::Rng& rng,
   c.mobile = rng.uniform() < 0.7;
   if (c.mobile) {
     static const char* const kMobility[] = {"random-waypoint",
-                                            "random-direction", "gauss-markov"};
-    c.mobility_model = kMobility[rng.uniform_int(3)];
+                                            "random-direction", "gauss-markov",
+                                            "manhattan", "commuter"};
+    c.mobility_model = kMobility[rng.uniform_int(5)];
     c.v_max = rng.uniform(2.0, 8.0);
+    if (c.mobility_model == "manhattan") {
+      c.street_spacing_m = 80.0 + 20.0 * static_cast<double>(rng.uniform_int(4));
+      c.turn_probability = rng.uniform(0.0, 1.0);
+    } else if (c.mobility_model == "commuter") {
+      c.commuter_period_s = rng.uniform(40.0, 120.0);
+      c.commuter_hubs = 1 + rng.uniform_int(4);
+    }
   } else {
     c.mobility_model = "static";
+  }
+
+  // Heterogeneous fleets (DESIGN.md §15): a quarter of the draws split
+  // the fleet into two classes, sometimes pinning one as fixed roadside
+  // units with their own cache budget.
+  if (rng.uniform() < 0.25 && c.n_nodes >= 4) {
+    const std::size_t first = 1 + rng.uniform_int(c.n_nodes - 2);
+    core::NodeClassConfig a;
+    a.name = "m0";
+    a.count = first;
+    if (rng.uniform() < 0.5) a.speed = rng.uniform(1.0, 6.0);
+    core::NodeClassConfig b;
+    b.name = "m1";
+    b.count = c.n_nodes - first;
+    if (rng.uniform() < 0.5) {
+      b.fixed = true;
+      b.cache_kb = rng.uniform(4.0, 64.0);
+    }
+    c.node_classes = {a, b};
   }
 
   c.catalog.n_items = 200 + 100 * rng.uniform_int(4);
@@ -238,6 +265,7 @@ const char* to_string(Property p) noexcept {
     case Property::kShardInvariant: return "shard-invariant";
     case Property::kWorldShardInvariant: return "world-shard-invariant";
     case Property::kWireCodec: return "wire-codec";
+    case Property::kHeterogeneousEquivalent: return "hetero-equivalent";
   }
   return "unknown";
 }
@@ -277,6 +305,13 @@ FuzzCase draw_scenario(std::uint64_t case_seed) {
         c.v_max = rng.uniform(5.0, 10.0);
         c.pause_s = rng.uniform(0.0, 2.0);
       }
+      c.warmup_s = 3.0;
+      c.measure_s = 8.0 + static_cast<double>(rng.uniform_int(6));
+    } else if (fc.property == Property::kHeterogeneousEquivalent) {
+      // The property wraps the fleet in a synthetic single class itself;
+      // the baseline must be genuinely homogeneous.  Run twice (or three
+      // times when mobile), so trim the windows to keep it cheap.
+      c.node_classes.clear();
       c.warmup_s = 3.0;
       c.measure_s = 8.0 + static_cast<double>(rng.uniform_int(6));
     } else if (fc.property == Property::kWireCodec) {
@@ -393,6 +428,36 @@ FuzzVerdict run_fuzz_case(const FuzzCase& fc) {
         }
         std::string detail = wire_envelope_trial(rng);
         if (!detail.empty()) return {false, std::move(detail)};
+        return {};
+      }
+      case Property::kHeterogeneousEquivalent: {
+        // The class machinery must be an exact no-op when it has nothing
+        // to express: one class covering the whole fleet, no overrides.
+        const std::string homogeneous = run_fingerprint(fc.config);
+        core::PrecinctConfig wrapped = fc.config;
+        core::NodeClassConfig all;
+        all.name = "all";
+        all.count = fc.config.n_nodes;
+        wrapped.node_classes = {all};
+        const std::string single_class = run_fingerprint(wrapped);
+        if (homogeneous != single_class) {
+          return {false, diff_detail("single-class fleet diverged from the "
+                                     "homogeneous config",
+                                     homogeneous, single_class)};
+        }
+        if (fc.config.mobile && fc.config.mobility_model != "static") {
+          // Pinning the class speed to the scenario's v_max must also be
+          // a no-op: the override resolves to the same speed band.
+          all.speed = fc.config.v_max;
+          wrapped.node_classes = {all};
+          const std::string pinned = run_fingerprint(wrapped);
+          if (homogeneous != pinned) {
+            return {false,
+                    diff_detail("class speed pinned to v_max diverged from "
+                                "the homogeneous config",
+                                homogeneous, pinned)};
+          }
+        }
         return {};
       }
     }

@@ -33,7 +33,15 @@
 //                            strict truncation and any wrong-version or
 //                            corrupt-magic envelope is rejected without
 //                            crashing (the transport codec contract,
-//                            DESIGN.md §14).
+//                            DESIGN.md §14);
+//   * hetero-equivalent    — wrapping the whole fleet in a single node
+//                            class with no attribute overrides (and, when
+//                            mobile, with speed pinned to the scenario's
+//                            v_max) is byte-identical to the homogeneous
+//                            config: the heterogeneous-fleet machinery
+//                            (ClassMix routing, per-class cache sizing,
+//                            custody tiering) must be an exact no-op when
+//                            it has nothing to express (DESIGN.md §15).
 //
 // A failed case serializes a minimal repro config (config_to_file schema,
 // seed included) so `precinct_sim --config <file>` replays it one-command;
@@ -57,9 +65,10 @@ enum class Property : std::uint8_t {
   kShardInvariant,
   kWorldShardInvariant,
   kWireCodec,
+  kHeterogeneousEquivalent,
 };
 
-inline constexpr std::size_t kPropertyCount = 6;
+inline constexpr std::size_t kPropertyCount = 7;
 
 [[nodiscard]] const char* to_string(Property p) noexcept;
 

@@ -5,6 +5,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "cache/policies.hpp"
 #include "consistency/modes.hpp"
@@ -27,6 +28,23 @@ enum class RetrievalKind : std::uint8_t {
 
 [[nodiscard]] const char* to_string(RetrievalKind scheme) noexcept;
 
+/// One heterogeneous-fleet node class (config keys
+/// `class.<name>.count/cache_kb/speed/fixed`).  Classes occupy contiguous
+/// node-id ranges in name order; attributes left at their zero defaults
+/// inherit the scenario-wide knobs, so a single class with no overrides is
+/// byte-identical to the homogeneous fleet of the same size.
+struct NodeClassConfig {
+  std::string name;
+  std::size_t count = 0;
+  /// Per-peer cache capacity in KiB; 0 inherits `cache_fraction` sizing.
+  double cache_kb = 0.0;
+  /// Class speed cap (its v_max, paired with min(v_min, speed) as the
+  /// floor); 0 inherits the scenario v_min/v_max.
+  double speed = 0.0;
+  /// Fixed roadside unit: statically placed, never moves or migrates.
+  bool fixed = false;
+};
+
 struct PrecinctConfig {
   // Special members are defaulted out-of-line (config_io.cpp) so
   // construction/destruction of config temporaries stays opaque to
@@ -45,19 +63,31 @@ struct PrecinctConfig {
   std::uint32_t regions_x = 3;
   std::uint32_t regions_y = 3;
   std::size_t n_nodes = 80;
+  /// Heterogeneous fleet: node classes in contiguous id ranges, sorted by
+  /// name.  Empty (the default) is the classic homogeneous fleet; when
+  /// non-empty, the class counts must sum to n_nodes.
+  std::vector<NodeClassConfig> node_classes;
 
   // -- radio & energy --------------------------------------------------------
   net::WirelessConfig wireless;  // 250 m range, 11 Mbps defaults
   energy::FeeneyModel energy_model;
 
   // -- mobility (paper: random waypoint, 5 s pause) -------------------------
-  /// "random-waypoint" (paper default), "random-direction", "gauss-markov"
-  /// or "static".  `mobile == false` forces "static".
+  /// "random-waypoint" (paper default), "random-direction", "gauss-markov",
+  /// "manhattan" (vehicular street grid), "commuter" (day/night attractor
+  /// churn) or "static".  `mobile == false` forces "static".
   std::string mobility_model = "random-waypoint";
   bool mobile = true;
   double v_min = 0.5;
   double v_max = 6.0;
   double pause_s = 5.0;
+  /// Manhattan grid: distance between parallel streets and the turn
+  /// probability at each intersection.
+  double street_spacing_m = 100.0;
+  double turn_probability = 0.25;
+  /// Commuter flow: full day/night cycle length and attractor hub count.
+  double commuter_period_s = 400.0;
+  std::size_t commuter_hubs = 3;
   /// How often peers check whether they crossed a region boundary (§2.3).
   double region_check_interval_s = 1.0;
 
@@ -72,6 +102,15 @@ struct PrecinctConfig {
   double mean_request_interval_s = 30.0;
   double mean_update_interval_s = 30.0;
   bool updates_enabled = false;
+  /// Flash-crowd load scaling: divides the mean request interval, so 100
+  /// drives 100x the paper's request rate.  1 (the default) is a bit-exact
+  /// no-op on the request schedule.
+  double request_rate_multiplier = 1.0;
+  /// Zipf skew drift: theta moves by this much per second (clamped to
+  /// [0, 4]), re-skewing popularity during the run.  0 disables drift.
+  double zipf_drift_per_s = 0.0;
+  /// How often the drifting theta is re-applied to the generator.
+  double zipf_drift_step_s = 10.0;
 
   // -- caching (§3) ----------------------------------------------------------
   /// Dynamic cache capacity as a fraction of total database bytes
@@ -240,6 +279,11 @@ struct PrecinctConfig {
     return static_cast<std::size_t>(cache_fraction *
                                     static_cast<double>(db_bytes));
   }
+  /// Index into node_classes owning `node` (classes occupy contiguous id
+  /// ranges).  Requires a heterogeneous fleet and node < n_nodes.
+  [[nodiscard]] std::size_t class_of(std::size_t node) const noexcept;
+  /// True when any node class is a fixed roadside class.
+  [[nodiscard]] bool has_fixed_nodes() const noexcept;
 };
 
 }  // namespace precinct::core

@@ -83,7 +83,63 @@ void set_consistency(PrecinctConfig& c, const std::string& name) {
   }
 }
 
+/// Apply one `class.<name>.<attr>` key to the heterogeneous-fleet list.
+/// KvFile iterates keys sorted, and validate() restricts class names to
+/// [A-Za-z0-9_] (every allowed character orders after '.'), so appending
+/// classes in key order yields the canonical name-sorted list.
+void apply_class_key(PrecinctConfig& c, const std::string& key,
+                     const std::string& value, const support::KvFile& kv) {
+  const std::size_t name_start = std::string("class.").size();
+  const std::size_t attr_dot = key.rfind('.');
+  if (attr_dot == std::string::npos || attr_dot <= name_start) {
+    throw std::invalid_argument(
+        "config: class key '" + key +
+        "' must be class.<name>.<count|cache_kb|speed|fixed>");
+  }
+  const std::string name = key.substr(name_start, attr_dot - name_start);
+  const std::string attr = key.substr(attr_dot + 1);
+  NodeClassConfig* cls = nullptr;
+  for (NodeClassConfig& existing : c.node_classes) {
+    if (existing.name == name) cls = &existing;
+  }
+  if (cls == nullptr) {
+    NodeClassConfig fresh;
+    fresh.name = name;
+    c.node_classes.push_back(std::move(fresh));
+    cls = &c.node_classes.back();
+  }
+  if (attr == "count") {
+    cls->count = static_cast<std::size_t>(parse_u64(value, key.c_str()));
+  } else if (attr == "cache_kb") {
+    cls->cache_kb = kv.get_number(key, 0.0);
+  } else if (attr == "speed") {
+    cls->speed = kv.get_number(key, 0.0);
+  } else if (attr == "fixed") {
+    cls->fixed = kv.get_bool(key, false);
+  } else {
+    throw std::invalid_argument(
+        "config: class key '" + key +
+        "' must be class.<name>.<count|cache_kb|speed|fixed>");
+  }
+}
+
 }  // namespace
+
+std::size_t PrecinctConfig::class_of(std::size_t node) const noexcept {
+  std::size_t offset = 0;
+  for (std::size_t k = 0; k < node_classes.size(); ++k) {
+    offset += node_classes[k].count;
+    if (node < offset) return k;
+  }
+  return node_classes.empty() ? 0 : node_classes.size() - 1;
+}
+
+bool PrecinctConfig::has_fixed_nodes() const noexcept {
+  for (const NodeClassConfig& cls : node_classes) {
+    if (cls.fixed) return true;
+  }
+  return false;
+}
 
 PrecinctConfig::PrecinctConfig() = default;
 PrecinctConfig::PrecinctConfig(const PrecinctConfig&) = default;
@@ -133,6 +189,23 @@ PrecinctConfig config_from_kv(const support::KvFile& kv,
            [&](const std::string&) {
              c.pause_s = kv.get_number("pause", 5.0);
            }},
+          {"street_spacing",
+           [&](const std::string&) {
+             c.street_spacing_m = kv.get_number("street_spacing", 100.0);
+           }},
+          {"turn_prob",
+           [&](const std::string&) {
+             c.turn_probability = kv.get_number("turn_prob", 0.25);
+           }},
+          {"commuter_period",
+           [&](const std::string&) {
+             c.commuter_period_s = kv.get_number("commuter_period", 400.0);
+           }},
+          {"commuter_hubs",
+           [&](const std::string&) {
+             c.commuter_hubs =
+                 static_cast<std::size_t>(kv.get_number("commuter_hubs", 3));
+           }},
           {"items",
            [&](const std::string&) {
              c.catalog.n_items =
@@ -154,6 +227,19 @@ PrecinctConfig config_from_kv(const support::KvFile& kv,
           {"zipf",
            [&](const std::string&) {
              c.zipf_theta = kv.get_number("zipf", 0.8);
+           }},
+          {"rate_multiplier",
+           [&](const std::string&) {
+             c.request_rate_multiplier =
+                 kv.get_number("rate_multiplier", 1.0);
+           }},
+          {"zipf_drift",
+           [&](const std::string&) {
+             c.zipf_drift_per_s = kv.get_number("zipf_drift", 0.0);
+           }},
+          {"zipf_drift_step",
+           [&](const std::string&) {
+             c.zipf_drift_step_s = kv.get_number("zipf_drift_step", 10.0);
            }},
           {"policy", [&](const std::string& v) { c.cache_policy = v; }},
           {"cache",
@@ -319,12 +405,31 @@ PrecinctConfig config_from_kv(const support::KvFile& kv,
              c.check_stride = parse_u64(v, "check_stride");
            }},
       };
+  bool saw_class = false;
+  bool saw_nodes = false;
   for (const auto& [key, value] : kv.values()) {
+    if (key.rfind("class.", 0) == 0) {
+      if (!saw_class) {
+        // The first class key replaces any fleet inherited from `base`.
+        c.node_classes.clear();
+        saw_class = true;
+      }
+      apply_class_key(c, key, value, kv);
+      continue;
+    }
+    if (key == "nodes") saw_nodes = true;
     const auto it = handlers.find(key);
     if (it == handlers.end()) {
       throw std::invalid_argument("config: unknown key '" + key + "'");
     }
     it->second(value);
+  }
+  if (saw_class && !saw_nodes) {
+    // Classes alone define the fleet size; an explicit `nodes` key must
+    // instead agree with the class counts (validate() checks the sum).
+    std::size_t total = 0;
+    for (const NodeClassConfig& cls : c.node_classes) total += cls.count;
+    c.n_nodes = total;
   }
   return c;
 }
@@ -383,6 +488,17 @@ std::map<std::string, std::string> config_to_kv(const PrecinctConfig& c) {
   kv["speed_max"] = format_number(c.v_max);
   kv["speed_min"] = format_number(c.v_min);
   kv["pause"] = format_number(c.pause_s);
+  kv["street_spacing"] = format_number(c.street_spacing_m);
+  kv["turn_prob"] = format_number(c.turn_probability);
+  kv["commuter_period"] = format_number(c.commuter_period_s);
+  kv["commuter_hubs"] = std::to_string(c.commuter_hubs);
+  for (const NodeClassConfig& cls : c.node_classes) {
+    const std::string prefix = "class." + cls.name + ".";
+    kv[prefix + "count"] = std::to_string(cls.count);
+    kv[prefix + "cache_kb"] = format_number(cls.cache_kb);
+    kv[prefix + "speed"] = format_number(cls.speed);
+    kv[prefix + "fixed"] = cls.fixed ? "true" : "false";
+  }
   kv["items"] = std::to_string(c.catalog.n_items);
   kv["request_interval"] = format_number(c.mean_request_interval_s);
   kv["update_interval"] = format_number(c.mean_update_interval_s);
@@ -390,6 +506,9 @@ std::map<std::string, std::string> config_to_kv(const PrecinctConfig& c) {
   // explicit flag below wins over set_consistency's implied enable.
   kv["updates"] = c.updates_enabled ? "true" : "false";
   kv["zipf"] = format_number(c.zipf_theta);
+  kv["rate_multiplier"] = format_number(c.request_rate_multiplier);
+  kv["zipf_drift"] = format_number(c.zipf_drift_per_s);
+  kv["zipf_drift_step"] = format_number(c.zipf_drift_step_s);
   kv["policy"] = c.cache_policy;
   kv["cache"] = format_number(c.cache_fraction);
   kv["consistency"] = c.consistency_scheme.empty()

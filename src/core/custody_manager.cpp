@@ -92,20 +92,31 @@ void CustodyManager::place_initial_copies() {
       }
       return true;
     };
+    // Heterogeneous fleets: prefer fixed roadside units as custodians —
+    // they never migrate, so custody placed on them needs no handoffs.
+    // With no fixed class every candidate shares one tier and the choice
+    // degenerates to today's nearest-to-center rule.
+    const bool prefer_fixed = ctx_.config.has_fixed_nodes();
+    const auto& node_state = ctx_.net.node_state();
     const auto place = [&](geo::RegionId region) -> net::NodeId {
       const geo::Region* r = ctx_.regions.find(region);
       if (r == nullptr) return net::kNoNode;
       net::NodeId best = net::kNoNode;
+      int best_tier = 2;
       double best_d = std::numeric_limits<double>::infinity();
+      const auto consider = [&](net::NodeId i) {
+        const int tier = prefer_fixed && node_state.fixed(i) ? 0 : 1;
+        const double d = geo::distance(ctx_.net.position(i), r->center);
+        if (tier < best_tier || (tier == best_tier && d < best_d)) {
+          best_tier = tier;
+          best_d = d;
+          best = i;
+        }
+      };
       const auto it = main_component.find(region);
       if (it != main_component.end()) {
         for (const net::NodeId i : it->second) {
-          if (!usable(i)) continue;
-          const double d = geo::distance(ctx_.net.position(i), r->center);
-          if (d < best_d) {
-            best_d = d;
-            best = i;
-          }
+          if (usable(i)) consider(i);
         }
       }
       if (best != net::kNoNode) return best;
@@ -113,11 +124,7 @@ void CustodyManager::place_initial_copies() {
       // fallback over peers whose regions are still custody-free.
       for (net::NodeId i = 0; i < ctx_.net.node_count(); ++i) {
         if (!ctx_.net.is_alive(i) || !usable(i)) continue;
-        const double d = geo::distance(ctx_.net.position(i), r->center);
-        if (d < best_d) {
-          best_d = d;
-          best = i;
-        }
+        consider(i);
       }
       return best;
     };

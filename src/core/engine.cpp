@@ -52,7 +52,16 @@ PrecinctEngine::PrecinctEngine(const PrecinctConfig& config,
       config_.cache_capacity_bytes(catalog_.total_bytes());
   peers_.reserve(net_.node_count());
   for (net::NodeId i = 0; i < net_.node_count(); ++i) {
-    peers_.emplace_back(capacity,
+    std::size_t peer_capacity = capacity;
+    if (!config_.node_classes.empty()) {
+      const NodeClassConfig& cls =
+          config_.node_classes[config_.class_of(i)];
+      if (cls.cache_kb > 0.0) {
+        peer_capacity = static_cast<std::size_t>(cls.cache_kb * 1024.0);
+      }
+      net_.node_state().set_fixed(i, cls.fixed);
+    }
+    peers_.emplace_back(peer_capacity,
                         cache::make_policy(config_.cache_policy,
                                            config_.gdld_weights),
                         rng_.split(i));
@@ -123,6 +132,7 @@ void PrecinctEngine::initialize() {
     }
   }
   if (config_.mobile) workload_->schedule_region_checks();
+  if (config_.zipf_drift_per_s != 0.0) workload_->schedule_zipf_drift();
   if (config_.crash_rate_per_s > 0.0) workload_->schedule_crashes();
   if (config_.join_rate_per_s > 0.0) workload_->schedule_joins();
   if (config_.use_beacons) {

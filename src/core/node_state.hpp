@@ -51,6 +51,7 @@ class NodeStateSoA {
         speed_(n, 0.0),
         speed_stamp_(n, kNever),
         alive_(n, 1),
+        fixed_(n, 0),
         region_(n, geo::kInvalidRegion) {}
 
   [[nodiscard]] std::size_t size() const noexcept { return x_.size(); }
@@ -123,6 +124,23 @@ class NodeStateSoA {
     return alive_.data();
   }
 
+  // -- fixed infrastructure ---------------------------------------------------
+  // Heterogeneous fleets (config node classes) mark roadside units here;
+  // they never move, so region checks skip them and custody placement
+  // prefers them as stable anchors.  All-zero for homogeneous fleets.
+
+  [[nodiscard]] bool fixed(std::size_t i) const {
+    assert(i < fixed_.size());
+    return fixed_[i] != 0;
+  }
+  void set_fixed(std::size_t i, bool f) {
+    assert(i < fixed_.size());
+    fixed_[i] = f ? 1 : 0;
+  }
+  [[nodiscard]] const std::uint8_t* fixed_data() const noexcept {
+    return fixed_.data();
+  }
+
   // -- region membership ----------------------------------------------------
 
   [[nodiscard]] geo::RegionId region(std::size_t i) const {
@@ -144,6 +162,7 @@ class NodeStateSoA {
   std::vector<double> speed_;
   std::vector<double> speed_stamp_;
   std::vector<std::uint8_t> alive_;
+  std::vector<std::uint8_t> fixed_;
   std::vector<geo::RegionId> region_;
 };
 

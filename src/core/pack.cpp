@@ -1,0 +1,123 @@
+#include "core/pack.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <stdexcept>
+
+#include "core/config_io.hpp"
+
+#ifndef PRECINCT_PACKS_SOURCE_DIR
+#define PRECINCT_PACKS_SOURCE_DIR ""
+#endif
+
+namespace precinct::core {
+
+namespace fs = std::filesystem;
+
+std::string pack_dir() {
+  std::vector<std::string> candidates;
+  if (const char* env = std::getenv("PRECINCT_PACK_DIR")) {
+    candidates.emplace_back(env);
+  }
+  candidates.emplace_back("examples/packs");
+  candidates.emplace_back("../examples/packs");
+  candidates.emplace_back("../../examples/packs");
+  if (PRECINCT_PACKS_SOURCE_DIR[0] != '\0') {
+    candidates.emplace_back(PRECINCT_PACKS_SOURCE_DIR);
+  }
+  for (const std::string& dir : candidates) {
+    std::error_code ec;
+    if (fs::is_directory(dir, ec)) return dir;
+  }
+  throw std::runtime_error(
+      "scenario packs: no pack directory found (set PRECINCT_PACK_DIR or "
+      "run from the repository root)");
+}
+
+std::vector<std::string> list_packs() {
+  std::vector<std::string> names;
+  for (const fs::directory_entry& entry :
+       fs::directory_iterator(pack_dir())) {
+    if (!entry.is_regular_file()) continue;
+    const fs::path& p = entry.path();
+    if (p.extension() == ".conf") names.push_back(p.stem().string());
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+ScenarioPack load_pack(const std::string& name) {
+  const std::string dir = pack_dir();
+  const fs::path conf = fs::path(dir) / (name + ".conf");
+  std::error_code ec;
+  if (!fs::is_regular_file(conf, ec)) {
+    std::string msg = "unknown scenario pack '" + name + "'; available:";
+    const std::vector<std::string> names = list_packs();
+    if (names.empty()) msg += " (none installed)";
+    for (const std::string& n : names) msg += " " + n;
+    throw std::invalid_argument(msg);
+  }
+  ScenarioPack pack;
+  pack.name = name;
+  pack.config_path = conf.string();
+  pack.golden_path = (fs::path(dir) / (name + ".golden")).string();
+  pack.config = config_from_file(pack.config_path);
+  pack.config.validate();
+  return pack;
+}
+
+PrecinctConfig reduced_for_test(const PrecinctConfig& config) {
+  PrecinctConfig reduced = config;
+  reduced.warmup_s = std::min(reduced.warmup_s, 10.0);
+  reduced.measure_s = std::min(reduced.measure_s, 30.0);
+  return reduced;
+}
+
+PackGolden parse_golden(const std::string& text) {
+  PackGolden golden;
+  std::string* section = nullptr;
+  bool saw_full = false;
+  bool saw_reduced = false;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = std::min(text.find('\n', pos), text.size());
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line == "[full]") {
+      section = &golden.full;
+      saw_full = true;
+      continue;
+    }
+    if (line == "[reduced]") {
+      section = &golden.reduced;
+      saw_reduced = true;
+      continue;
+    }
+    if (line.empty() || line[0] == '#') continue;
+    if (section == nullptr) {
+      throw std::invalid_argument(
+          "pack golden: content before the first [full]/[reduced] section");
+    }
+    *section += line;
+    *section += '\n';
+  }
+  if (!saw_full || !saw_reduced) {
+    throw std::invalid_argument(
+        "pack golden: need both a [full] and a [reduced] section");
+  }
+  return golden;
+}
+
+std::string render_golden(const std::string& pack_name,
+                          const PackGolden& golden) {
+  std::string out = "# golden metrics for scenario pack '" + pack_name +
+                    "'\n# regenerate deliberately with: precinct_sim --pack " +
+                    pack_name + " --write-golden\n[full]\n";
+  out += golden.full;
+  out += "[reduced]\n";
+  out += golden.reduced;
+  return out;
+}
+
+}  // namespace precinct::core

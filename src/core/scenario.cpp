@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "mobility/class_mix.hpp"
+#include "mobility/commuter_flow.hpp"
 #include "mobility/gauss_markov.hpp"
+#include "mobility/manhattan_grid.hpp"
 #include "mobility/random_direction.hpp"
 #include "mobility/random_waypoint.hpp"
 #include "mobility/static_placement.hpp"
@@ -14,40 +17,100 @@ namespace precinct::core {
 
 namespace {
 
+/// One mobility model for `n_nodes` nodes in the given speed band.  The
+/// homogeneous fleet and every node class funnel through this, so a
+/// class that overrides nothing takes exactly the homogeneous path.
+std::unique_ptr<mobility::MobilityModel> make_single_mobility(
+    const std::string& model, std::size_t n_nodes, double v_min, double v_max,
+    const PrecinctConfig& config, std::uint64_t seed) {
+  if (model == "static") {
+    return std::make_unique<mobility::StaticPlacement>(
+        mobility::StaticPlacement::uniform(n_nodes, config.area, seed));
+  }
+  if (model == "random-waypoint") {
+    mobility::RandomWaypointConfig rwp;
+    rwp.area = config.area;
+    rwp.v_min = v_min;
+    rwp.v_max = v_max;
+    rwp.pause_s = config.pause_s;
+    return std::make_unique<mobility::RandomWaypoint>(n_nodes, rwp, seed);
+  }
+  if (model == "random-direction") {
+    mobility::RandomDirectionConfig rd;
+    rd.area = config.area;
+    rd.v_min = v_min;
+    rd.v_max = v_max;
+    rd.pause_s = config.pause_s;
+    return std::make_unique<mobility::RandomDirection>(n_nodes, rd, seed);
+  }
+  if (model == "gauss-markov") {
+    mobility::GaussMarkovConfig gm;
+    gm.area = config.area;
+    gm.mean_speed = 0.5 * (v_min + v_max);
+    return std::make_unique<mobility::GaussMarkov>(n_nodes, gm, seed);
+  }
+  if (model == "manhattan") {
+    mobility::ManhattanGridConfig mg;
+    mg.area = config.area;
+    mg.street_spacing_m = config.street_spacing_m;
+    mg.turn_probability = config.turn_probability;
+    mg.v_min = v_min;
+    mg.v_max = v_max;
+    mg.pause_s = config.pause_s;
+    return std::make_unique<mobility::ManhattanGrid>(n_nodes, mg, seed);
+  }
+  if (model == "commuter") {
+    mobility::CommuterFlowConfig cf;
+    cf.area = config.area;
+    cf.period_s = config.commuter_period_s;
+    cf.n_hubs = config.commuter_hubs;
+    cf.v_min = v_min;
+    cf.v_max = v_max;
+    return std::make_unique<mobility::CommuterFlow>(n_nodes, cf, seed);
+  }
+  throw std::invalid_argument("make_mobility: unknown model '" + model + "'");
+}
+
 std::unique_ptr<mobility::MobilityModel> make_mobility(
     const PrecinctConfig& config) {
   const std::uint64_t seed = support::hash_combine(config.seed, 0x0b17);
-  if (!config.mobile || config.mobility_model == "static") {
-    return std::make_unique<mobility::StaticPlacement>(
-        mobility::StaticPlacement::uniform(config.n_nodes, config.area,
-                                           seed));
+  const std::string model =
+      config.mobile ? config.mobility_model : std::string("static");
+  if (config.node_classes.empty()) {
+    return make_single_mobility(model, config.n_nodes, config.v_min,
+                                config.v_max, config, seed);
   }
-  if (config.mobility_model == "random-waypoint") {
-    mobility::RandomWaypointConfig rwp;
-    rwp.area = config.area;
-    rwp.v_min = config.v_min;
-    rwp.v_max = config.v_max;
-    rwp.pause_s = config.pause_s;
-    return std::make_unique<mobility::RandomWaypoint>(config.n_nodes, rwp,
-                                                      seed);
+  // Heterogeneous fleet: one sub-model per class over its contiguous id
+  // range.  Class 0 draws from the plain mobility seed so a single class
+  // with no overrides is byte-identical to the homogeneous fleet; later
+  // classes get their own streams.
+  std::vector<std::unique_ptr<mobility::MobilityModel>> parts;
+  parts.reserve(config.node_classes.size());
+  for (std::size_t k = 0; k < config.node_classes.size(); ++k) {
+    const NodeClassConfig& cls = config.node_classes[k];
+    const std::uint64_t class_seed =
+        k == 0 ? seed : support::hash_combine(config.seed, 0xC1A5u + k);
+    const std::string cls_model = cls.fixed ? std::string("static") : model;
+    const double cls_v_max = cls.speed > 0.0 ? cls.speed : config.v_max;
+    const double cls_v_min =
+        cls.speed > 0.0 ? std::min(config.v_min, cls.speed) : config.v_min;
+    parts.push_back(make_single_mobility(cls_model, cls.count, cls_v_min,
+                                         cls_v_max, config, class_seed));
   }
-  if (config.mobility_model == "random-direction") {
-    mobility::RandomDirectionConfig rd;
-    rd.area = config.area;
-    rd.v_min = config.v_min;
-    rd.v_max = config.v_max;
-    rd.pause_s = config.pause_s;
-    return std::make_unique<mobility::RandomDirection>(config.n_nodes, rd,
-                                                       seed);
+  if (parts.size() == 1) return std::move(parts.front());
+  return std::make_unique<mobility::ClassMix>(std::move(parts));
+}
+
+/// Fastest node the radio must bound for: fixed classes pin their nodes,
+/// class speed overrides cap theirs, everything else moves at v_max.
+double effective_v_max(const PrecinctConfig& config) {
+  if (config.node_classes.empty()) return config.v_max;
+  double v = 0.0;
+  for (const NodeClassConfig& cls : config.node_classes) {
+    if (cls.fixed) continue;
+    v = std::max(v, cls.speed > 0.0 ? cls.speed : config.v_max);
   }
-  if (config.mobility_model == "gauss-markov") {
-    mobility::GaussMarkovConfig gm;
-    gm.area = config.area;
-    gm.mean_speed = 0.5 * (config.v_min + config.v_max);
-    return std::make_unique<mobility::GaussMarkov>(config.n_nodes, gm, seed);
-  }
-  throw std::invalid_argument("make_mobility: unknown model '" +
-                              config.mobility_model + "'");
+  return v;
 }
 
 }  // namespace
@@ -59,7 +122,7 @@ Scenario::Scenario(const PrecinctConfig& config)
   net::WirelessConfig wireless = config.wireless;
   wireless.area = config.area;
   wireless.max_node_speed_mps = std::max(wireless.max_node_speed_mps,
-                                         1.25 * config.v_max);
+                                         1.25 * effective_v_max(config));
   net_ = std::make_unique<net::WirelessNet>(
       sim_, *mobility_, wireless, config.energy_model,
       support::hash_combine(config.seed, 0x2ad0));

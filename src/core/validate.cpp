@@ -1,3 +1,4 @@
+#include <algorithm>
 #include <stdexcept>
 #include <string>
 
@@ -22,11 +23,66 @@ void PrecinctConfig::validate() const {
   if (regions_x == 0 || regions_y == 0) fail("region grid must be >= 1x1");
   if (wireless.range_m <= 0.0) fail("radio range must be > 0");
   if (wireless.bandwidth_bps <= 0.0) fail("bandwidth must be > 0");
+  {
+    static constexpr const char* kMobilityModels[] = {
+        "static",       "random-waypoint", "random-direction",
+        "gauss-markov", "manhattan",       "commuter"};
+    bool known = false;
+    for (const char* name : kMobilityModels) known |= mobility_model == name;
+    if (!known) fail("unknown mobility model '" + mobility_model + "'");
+  }
   if (mobile && mobility_model != "static") {
     if (v_min <= 0.0 || v_max < v_min) fail("need 0 < v_min <= v_max");
     if (pause_s < 0.0) fail("pause must be >= 0");
     if (region_check_interval_s <= 0.0) {
       fail("region check interval must be > 0");
+    }
+  }
+  if (street_spacing_m <= 0.0) fail("street spacing must be > 0");
+  if (turn_probability < 0.0 || turn_probability > 1.0) {
+    fail("turn probability must be in [0, 1]");
+  }
+  if (mobile && mobility_model == "manhattan" &&
+      street_spacing_m >= std::min(area.width(), area.height())) {
+    fail("street spacing too wide for the area (need a 2x2 intersection "
+         "grid)");
+  }
+  if (commuter_period_s <= 0.0) fail("commuter period must be > 0");
+  if (commuter_hubs == 0) fail("commuter fleet needs at least one hub");
+  // Heterogeneous fleet: classes are the canonical name-sorted list with
+  // contiguous id ranges, so ordering and counts must be well-formed
+  // before any subsystem derives per-node attributes from them.
+  if (!node_classes.empty()) {
+    std::size_t total = 0;
+    for (std::size_t k = 0; k < node_classes.size(); ++k) {
+      const NodeClassConfig& cls = node_classes[k];
+      if (cls.name.empty()) fail("node class needs a name");
+      for (const char ch : cls.name) {
+        const bool ok = (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') ||
+                        (ch >= '0' && ch <= '9') || ch == '_';
+        if (!ok) {
+          fail("node class name '" + cls.name +
+               "' must use only [A-Za-z0-9_]");
+        }
+      }
+      if (k > 0 && !(node_classes[k - 1].name < cls.name)) {
+        fail("node classes must be sorted by name and unique (got '" +
+             node_classes[k - 1].name + "' before '" + cls.name + "')");
+      }
+      if (cls.count == 0) {
+        fail("node class '" + cls.name + "' must have count > 0");
+      }
+      if (cls.cache_kb < 0.0) {
+        fail("node class '" + cls.name + "' cache_kb must be >= 0");
+      }
+      if (cls.speed < 0.0) {
+        fail("node class '" + cls.name + "' speed must be >= 0");
+      }
+      total += cls.count;
+    }
+    if (total != n_nodes) {
+      fail("node class counts must sum to n_nodes (" +
+           std::to_string(total) + " != " + std::to_string(n_nodes) + ")");
     }
   }
   if (catalog.n_items == 0) fail("catalog needs at least one item");
@@ -35,6 +91,12 @@ void PrecinctConfig::validate() const {
     fail("bad catalog item size range");
   }
   if (zipf_theta < 0.0) fail("zipf theta must be >= 0");
+  if (!(request_rate_multiplier > 0.0)) {
+    fail("request rate multiplier must be > 0");
+  }
+  if (zipf_drift_per_s != 0.0 && zipf_drift_step_s <= 0.0) {
+    fail("zipf drift step must be > 0 when drift is enabled");
+  }
   if (mean_request_interval_s <= 0.0) fail("request interval must be > 0");
   if (updates_enabled && mean_update_interval_s <= 0.0) {
     fail("update interval must be > 0");

@@ -1,5 +1,6 @@
 #include "core/workload_driver.hpp"
 
+#include <algorithm>
 #include <vector>
 
 #include "core/consistency_scheme.hpp"
@@ -27,8 +28,11 @@ geo::Key WorkloadDriver::sample_key(net::NodeId peer) {
 }
 
 void WorkloadDriver::schedule_next_request(net::NodeId peer) {
-  const double wait =
-      ctx_.peers[peer].rng.exponential(ctx_.config.mean_request_interval_s);
+  // Flash crowds divide the mean interval; the default multiplier of 1
+  // leaves the paper's schedule bit-identical (x / 1.0 == x).
+  const double wait = ctx_.peers[peer].rng.exponential(
+      ctx_.config.mean_request_interval_s /
+      ctx_.config.request_rate_multiplier);
   const std::uint32_t generation = ctx_.peers[peer].generation;
   ctx_.sim.schedule(wait, [this, peer, generation] {
     if (ctx_.net.is_alive(peer) &&
@@ -75,11 +79,25 @@ void WorkloadDriver::schedule_script(
   }
 }
 
+void WorkloadDriver::schedule_zipf_drift() {
+  ctx_.sim.schedule(ctx_.config.zipf_drift_step_s, [this] {
+    const double theta = std::clamp(
+        ctx_.config.zipf_theta +
+            ctx_.config.zipf_drift_per_s * ctx_.sim.now(),
+        0.0, 4.0);
+    ctx_.zipf.reset_theta(theta);
+    schedule_zipf_drift();
+  });
+}
+
 void WorkloadDriver::schedule_region_checks() {
+  const bool has_fixed = ctx_.config.has_fixed_nodes();
   for (net::NodeId i = 0; i < ctx_.net.node_count(); ++i) {
     // Only the owner domain watches a node's region: it alone runs the
     // handoff protocol, and its set_region posts the halo delta.
     if (!ctx_.shard.owns(i)) continue;
+    // Fixed roadside units never cross a boundary; don't poll them.
+    if (has_fixed && ctx_.net.node_state().fixed(i)) continue;
     // Stagger checks so the whole fleet doesn't probe at the same instant.
     const double offset =
         ctx_.peers[i].rng.uniform(0.0, ctx_.config.region_check_interval_s);

@@ -38,6 +38,11 @@ class WorkloadDriver {
   /// events: a node found dead at its instant skips the line.
   void schedule_script(const std::vector<workload::ScriptEvent>& events);
   void schedule_region_checks();
+  /// Flash-crowd Zipf drift: every zipf_drift_step_s, rebuild the shared
+  /// generator's CDF for theta = clamp(base + drift * t, 0, 4).  A
+  /// deterministic function of sim time, so every world-sharded domain
+  /// re-skews identically without coordination.
+  void schedule_zipf_drift();
   void schedule_crashes();
   void schedule_joins();
   void schedule_beacon(net::NodeId peer);

@@ -1,0 +1,46 @@
+#include "mobility/class_mix.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace precinct::mobility {
+
+ClassMix::ClassMix(std::vector<std::unique_ptr<MobilityModel>> parts)
+    : parts_(std::move(parts)) {
+  if (parts_.empty()) {
+    throw std::invalid_argument("ClassMix: need at least one part");
+  }
+  offsets_.reserve(parts_.size());
+  for (const auto& p : parts_) {
+    if (p == nullptr) throw std::invalid_argument("ClassMix: null part");
+    offsets_.push_back(total_);
+    total_ += p->node_count();
+  }
+}
+
+ClassMix::Routed ClassMix::route(std::size_t node) const {
+  if (node >= total_) throw std::out_of_range("ClassMix: node out of range");
+  // Last part whose offset is <= node.
+  const auto it =
+      std::upper_bound(offsets_.begin(), offsets_.end(), node) - 1;
+  const std::size_t k = static_cast<std::size_t>(it - offsets_.begin());
+  return {parts_[k].get(), node - offsets_[k]};
+}
+
+geo::Point ClassMix::position_at(std::size_t node, double t) {
+  const Routed r = route(node);
+  return r.model->position_at(r.local, t);
+}
+
+double ClassMix::speed_at(std::size_t node, double t) {
+  const Routed r = route(node);
+  return r.model->speed_at(r.local, t);
+}
+
+bool ClassMix::time_invariant() const noexcept {
+  return std::all_of(parts_.begin(), parts_.end(), [](const auto& p) {
+    return p->time_invariant();
+  });
+}
+
+}  // namespace precinct::mobility

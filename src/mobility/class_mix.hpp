@@ -1,0 +1,47 @@
+// Composite mobility for heterogeneous fleets: each node class owns a
+// contiguous id range [offset, offset + count) served by its own
+// sub-model (fixed roadside units -> StaticPlacement, phones ->
+// RandomWaypoint, vehicles -> ManhattanGrid, ...).  The composite simply
+// routes oracle queries to the owning sub-model, so per-class trajectory
+// streams stay independent of the fleet composition around them.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "mobility/mobility_model.hpp"
+
+namespace precinct::mobility {
+
+class ClassMix final : public MobilityModel {
+ public:
+  /// `parts` must be non-empty; node ids are assigned contiguously in
+  /// part order.
+  explicit ClassMix(std::vector<std::unique_ptr<MobilityModel>> parts);
+
+  [[nodiscard]] geo::Point position_at(std::size_t node, double t) override;
+  [[nodiscard]] double speed_at(std::size_t node, double t) override;
+  [[nodiscard]] std::size_t node_count() const noexcept override {
+    return total_;
+  }
+  /// Invariant only when every part is (an all-fixed fleet).
+  [[nodiscard]] bool time_invariant() const noexcept override;
+
+  [[nodiscard]] std::size_t part_count() const noexcept {
+    return parts_.size();
+  }
+
+ private:
+  struct Routed {
+    MobilityModel* model;
+    std::size_t local;
+  };
+  [[nodiscard]] Routed route(std::size_t node) const;
+
+  std::vector<std::unique_ptr<MobilityModel>> parts_;
+  std::vector<std::size_t> offsets_;  // offsets_[k] = first id of part k
+  std::size_t total_ = 0;
+};
+
+}  // namespace precinct::mobility

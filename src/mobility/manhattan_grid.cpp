@@ -1,0 +1,144 @@
+#include "mobility/manhattan_grid.hpp"
+
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+namespace precinct::mobility {
+
+namespace {
+
+constexpr std::array<std::array<std::int32_t, 2>, 4> kHeadings = {
+    {{1, 0}, {-1, 0}, {0, 1}, {0, -1}}};
+
+}  // namespace
+
+ManhattanGrid::ManhattanGrid(std::size_t n_nodes,
+                             const ManhattanGridConfig& config,
+                             std::uint64_t seed)
+    : config_(config) {
+  if (config.v_min <= 0.0 || config.v_max < config.v_min) {
+    throw std::invalid_argument("ManhattanGrid: need 0 < v_min <= v_max");
+  }
+  if (config.pause_s < 0.0) {
+    throw std::invalid_argument("ManhattanGrid: pause must be >= 0");
+  }
+  if (config.street_spacing_m <= 0.0) {
+    throw std::invalid_argument("ManhattanGrid: street spacing must be > 0");
+  }
+  if (config.turn_probability < 0.0 || config.turn_probability > 1.0) {
+    throw std::invalid_argument(
+        "ManhattanGrid: turn probability must be in [0, 1]");
+  }
+  // Streets sit at min + k * spacing.  The area rect is half-open, so a
+  // street exactly on the max edge is dropped to keep every intersection
+  // inside the region partition.
+  auto street_count = [&](double extent) {
+    auto n = static_cast<std::size_t>(std::floor(extent /
+                                                 config_.street_spacing_m)) +
+             1;
+    while (n > 1 && static_cast<double>(n - 1) * config_.street_spacing_m >=
+                        extent) {
+      --n;
+    }
+    return n;
+  };
+  nx_ = street_count(config_.area.width());
+  ny_ = street_count(config_.area.height());
+  if (nx_ < 2 || ny_ < 2) {
+    throw std::invalid_argument(
+        "ManhattanGrid: area too small for street spacing (need a 2x2 "
+        "intersection grid)");
+  }
+
+  const support::Rng root(seed);
+  states_.reserve(n_nodes);
+  for (std::size_t i = 0; i < n_nodes; ++i) {
+    LegState s{root.split(i), 0, 0, 0, 0, {}, {}, 0.0, 0.0, 0.0, 0.0};
+    s.ix = static_cast<std::int32_t>(s.rng.uniform_int(nx_));
+    s.iy = static_cast<std::int32_t>(s.rng.uniform_int(ny_));
+    // Uniform legal initial heading (nx_, ny_ >= 2 guarantees a choice).
+    std::array<std::array<std::int32_t, 2>, 4> legal{};
+    std::size_t n_legal = 0;
+    for (const auto& h : kHeadings) {
+      const std::int32_t tx = s.ix + h[0];
+      const std::int32_t ty = s.iy + h[1];
+      if (tx >= 0 && ty >= 0 && tx < static_cast<std::int32_t>(nx_) &&
+          ty < static_cast<std::int32_t>(ny_)) {
+        legal[n_legal++] = h;
+      }
+    }
+    const auto& pick = legal[s.rng.uniform_int(n_legal)];
+    s.dx = pick[0];
+    s.dy = pick[1];
+    s.from = s.to = intersection(s.ix, s.iy);
+    // Start paused at the initial intersection, like RandomWaypoint: the
+    // initial topology is the random placement itself.
+    s.depart = s.arrive = 0.0;
+    s.resume = config_.pause_s;
+    states_.push_back(std::move(s));
+  }
+}
+
+geo::Point ManhattanGrid::intersection(std::int32_t ix,
+                                       std::int32_t iy) const noexcept {
+  return {config_.area.min.x +
+              static_cast<double>(ix) * config_.street_spacing_m,
+          config_.area.min.y +
+              static_cast<double>(iy) * config_.street_spacing_m};
+}
+
+void ManhattanGrid::advance(LegState& s, double t) const {
+  while (t > s.resume) {
+    const auto in_grid = [&](std::int32_t ix, std::int32_t iy) {
+      return ix >= 0 && iy >= 0 && ix < static_cast<std::int32_t>(nx_) &&
+             iy < static_cast<std::int32_t>(ny_);
+    };
+    // Perpendicular exits that stay on the grid.
+    std::array<std::array<std::int32_t, 2>, 2> perp{};
+    std::size_t n_perp = 0;
+    for (const auto& h : kHeadings) {
+      const bool perpendicular = (h[0] * s.dx + h[1] * s.dy) == 0;
+      if (perpendicular && in_grid(s.ix + h[0], s.iy + h[1])) {
+        perp[n_perp++] = h;
+      }
+    }
+    const bool straight_ok = in_grid(s.ix + s.dx, s.iy + s.dy);
+    const bool turn = s.rng.uniform() < config_.turn_probability;
+    if (n_perp > 0 && (turn || !straight_ok)) {
+      const auto& pick = perp[s.rng.uniform_int(n_perp)];
+      s.dx = pick[0];
+      s.dy = pick[1];
+    } else if (!straight_ok) {
+      // Dead end on a single street: reverse.
+      s.dx = -s.dx;
+      s.dy = -s.dy;
+    }
+    const double depart = s.resume;
+    s.from = intersection(s.ix, s.iy);
+    s.ix += s.dx;
+    s.iy += s.dy;
+    s.to = intersection(s.ix, s.iy);
+    s.speed = s.rng.uniform(config_.v_min, config_.v_max);
+    s.depart = depart;
+    s.arrive = depart + geo::distance(s.from, s.to) / s.speed;
+    s.resume = s.arrive + config_.pause_s;
+  }
+}
+
+geo::Point ManhattanGrid::position_at(std::size_t node, double t) {
+  LegState& s = states_.at(node);
+  advance(s, t);
+  if (t >= s.arrive) return s.to;
+  if (t <= s.depart) return s.from;
+  const double frac = (t - s.depart) / (s.arrive - s.depart);
+  return s.from + (s.to - s.from) * frac;
+}
+
+double ManhattanGrid::speed_at(std::size_t node, double t) {
+  LegState& s = states_.at(node);
+  advance(s, t);
+  return (t > s.depart && t < s.arrive) ? s.speed : 0.0;
+}
+
+}  // namespace precinct::mobility

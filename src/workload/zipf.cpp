@@ -10,8 +10,14 @@ ZipfGenerator::ZipfGenerator(std::size_t n, double theta) : theta_(theta) {
   if (n == 0) throw std::invalid_argument("ZipfGenerator: n must be > 0");
   if (theta < 0.0) throw std::invalid_argument("ZipfGenerator: theta < 0");
   cdf_.resize(n);
+  reset_theta(theta);
+}
+
+void ZipfGenerator::reset_theta(double theta) {
+  if (theta < 0.0) throw std::invalid_argument("ZipfGenerator: theta < 0");
+  theta_ = theta;
   double acc = 0.0;
-  for (std::size_t i = 0; i < n; ++i) {
+  for (std::size_t i = 0; i < cdf_.size(); ++i) {
     acc += 1.0 / std::pow(static_cast<double>(i + 1), theta);
     cdf_[i] = acc;
   }

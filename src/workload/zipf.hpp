@@ -15,6 +15,10 @@ class ZipfGenerator {
   /// `n` ranks, skew `theta` >= 0 (0 = uniform).  Precomputes the CDF.
   ZipfGenerator(std::size_t n, double theta);
 
+  /// Rebuild the CDF in place for a new skew (flash-crowd theta drift).
+  /// Same-size, so holders of the generator keep their rank space.
+  void reset_theta(double theta);
+
   /// Sample a rank in [0, n) — rank 0 is the most popular item.
   [[nodiscard]] std::size_t sample(support::Rng& rng) const;
 

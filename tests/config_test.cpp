@@ -72,6 +72,83 @@ const std::vector<RejectionCase>& rejection_cases() {
          c.replica_count = 1;
        },
        "replica_count needs at least replica_count+1 regions"},
+      {"unknown mobility model",
+       [](PrecinctConfig& c) { c.mobility_model = "teleport"; },
+       "unknown mobility model 'teleport'"},
+      {"zero street spacing",
+       [](PrecinctConfig& c) { c.street_spacing_m = 0.0; },
+       "street spacing must be > 0"},
+      {"turn probability out of range",
+       [](PrecinctConfig& c) { c.turn_probability = 1.5; },
+       "turn probability must be in [0, 1]"},
+      {"street grid does not fit the area",
+       [](PrecinctConfig& c) {
+         c.mobility_model = "manhattan";
+         c.street_spacing_m = 5000.0;
+       },
+       "street spacing too wide"},
+      {"zero commuter period",
+       [](PrecinctConfig& c) { c.commuter_period_s = 0.0; },
+       "commuter period must be > 0"},
+      {"zero commuter hubs",
+       [](PrecinctConfig& c) { c.commuter_hubs = 0; },
+       "commuter fleet needs at least one hub"},
+      {"class name with illegal characters",
+       [](PrecinctConfig& c) {
+         core::NodeClassConfig cls;
+         cls.name = "bad-name";
+         cls.count = c.n_nodes;
+         c.node_classes = {cls};
+       },
+       "must use only [A-Za-z0-9_]"},
+      {"classes out of name order",
+       [](PrecinctConfig& c) {
+         core::NodeClassConfig b;
+         b.name = "b";
+         b.count = 1;
+         core::NodeClassConfig a;
+         a.name = "a";
+         a.count = c.n_nodes - 1;
+         c.node_classes = {b, a};
+       },
+       "must be sorted by name"},
+      {"zero-count class",
+       [](PrecinctConfig& c) {
+         core::NodeClassConfig cls;
+         cls.name = "ghost";
+         cls.count = 0;
+         c.node_classes = {cls};
+       },
+       "must have count > 0"},
+      {"class counts do not cover the fleet",
+       [](PrecinctConfig& c) {
+         core::NodeClassConfig cls;
+         cls.name = "some";
+         cls.count = c.n_nodes + 3;
+         c.node_classes = {cls};
+       },
+       "must sum to n_nodes"},
+      {"negative class speed",
+       [](PrecinctConfig& c) {
+         core::NodeClassConfig cls;
+         cls.name = "rev";
+         cls.count = c.n_nodes;
+         cls.speed = -1.0;
+         c.node_classes = {cls};
+       },
+       "speed must be >= 0"},
+      {"negative request rate multiplier",
+       [](PrecinctConfig& c) { c.request_rate_multiplier = -2.0; },
+       "request rate multiplier must be > 0"},
+      {"zero request rate multiplier",
+       [](PrecinctConfig& c) { c.request_rate_multiplier = 0.0; },
+       "request rate multiplier must be > 0"},
+      {"zipf drift without a step",
+       [](PrecinctConfig& c) {
+         c.zipf_drift_per_s = 0.01;
+         c.zipf_drift_step_s = 0.0;
+       },
+       "zipf drift step must be > 0"},
   };
   return cases;
 }
@@ -318,6 +395,81 @@ TEST(ConfigIo, WorldShardedConfigIsAFixedPoint) {
   EXPECT_EQ(reread.tiles_y, 1u);
   EXPECT_DOUBLE_EQ(reread.gateway_latency_s, 0.0);
   EXPECT_EQ(core::config_to_string(reread), once);
+}
+
+TEST(ConfigIo, ScenarioPackKnobsRoundTrip) {
+  // Every key the scenario packs introduced (DESIGN.md §15): structured
+  // mobility, node classes, flash-crowd workload shaping.
+  PrecinctConfig c;
+  c.n_nodes = 24;
+  c.mobility_model = "manhattan";
+  c.street_spacing_m = 150.0;
+  c.turn_probability = 0.3;
+  c.commuter_period_s = 120.0;
+  c.commuter_hubs = 4;
+  c.request_rate_multiplier = 150.0;
+  c.zipf_drift_per_s = 0.02;
+  c.zipf_drift_step_s = 5.0;
+  core::NodeClassConfig phone;
+  phone.name = "phone";
+  phone.count = 18;
+  phone.speed = 4.0;
+  core::NodeClassConfig rsu;
+  rsu.name = "rsu";
+  rsu.count = 6;
+  rsu.cache_kb = 96.0;
+  rsu.fixed = true;
+  c.node_classes = {phone, rsu};
+  expect_roundtrip(c, "scenario pack knobs");
+
+  const PrecinctConfig reread =
+      core::config_from_kv(support::KvFile::parse(core::config_to_string(c)));
+  EXPECT_EQ(reread.mobility_model, "manhattan");
+  EXPECT_DOUBLE_EQ(reread.street_spacing_m, 150.0);
+  EXPECT_DOUBLE_EQ(reread.turn_probability, 0.3);
+  EXPECT_EQ(reread.commuter_hubs, 4u);
+  EXPECT_DOUBLE_EQ(reread.request_rate_multiplier, 150.0);
+  EXPECT_DOUBLE_EQ(reread.zipf_drift_per_s, 0.02);
+  EXPECT_DOUBLE_EQ(reread.zipf_drift_step_s, 5.0);
+  ASSERT_EQ(reread.node_classes.size(), 2u);
+  EXPECT_EQ(reread.node_classes[0].name, "phone");
+  EXPECT_EQ(reread.node_classes[0].count, 18u);
+  EXPECT_DOUBLE_EQ(reread.node_classes[0].speed, 4.0);
+  EXPECT_EQ(reread.node_classes[1].name, "rsu");
+  EXPECT_TRUE(reread.node_classes[1].fixed);
+  EXPECT_DOUBLE_EQ(reread.node_classes[1].cache_kb, 96.0);
+  EXPECT_TRUE(reread.has_fixed_nodes());
+  EXPECT_EQ(reread.class_of(0), 0u);
+  EXPECT_EQ(reread.class_of(17), 0u);
+  EXPECT_EQ(reread.class_of(18), 1u);
+  EXPECT_EQ(reread.class_of(23), 1u);
+}
+
+TEST(ConfigIo, ClassCountsAloneDefineTheFleetSize) {
+  // A classes-only config needs no `nodes` key: the fleet size is the
+  // class-count sum, and classes land sorted by name.
+  const PrecinctConfig c = core::config_from_kv(support::KvFile::parse(
+      "class.phone.count = 5\n"
+      "class.rsu.count = 3\n"
+      "class.rsu.fixed = true\n"));
+  EXPECT_EQ(c.n_nodes, 8u);
+  ASSERT_EQ(c.node_classes.size(), 2u);
+  EXPECT_EQ(c.node_classes[0].name, "phone");
+  EXPECT_EQ(c.node_classes[1].name, "rsu");
+  EXPECT_NO_THROW(c.validate());
+}
+
+TEST(ConfigIo, MalformedClassKeysThrow) {
+  for (const char* text : {
+           "class.x = 3\n",          // missing attribute
+           "class.x.bogus = 1\n",    // unknown attribute
+           "class.x.count = -4\n",   // counts are unsigned
+           "class.x.count = many\n"  // non-numeric
+       }) {
+    EXPECT_THROW((void)core::config_from_kv(support::KvFile::parse(text)),
+                 std::invalid_argument)
+        << text;
+  }
 }
 
 TEST(ConfigIo, UnwritableConfigsThrow) {

@@ -167,7 +167,7 @@ TEST(ScenarioFuzz, DrawsAreValidatedAndChecked) {
 
 TEST(ScenarioFuzz, PropertiesRotateAcrossSeeds) {
   bool seen[check::kPropertyCount] = {};
-  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+  for (std::uint64_t seed = 1; seed <= check::kPropertyCount; ++seed) {
     seen[static_cast<std::size_t>(check::draw_scenario(seed).property)] = true;
   }
   for (std::size_t i = 0; i < check::kPropertyCount; ++i) {

@@ -1,11 +1,18 @@
-// Unit tests for mobility: random waypoint kinematics and static
-// placements.
+// Unit tests for mobility: random waypoint kinematics, static
+// placements, the structured models (Manhattan grid, commuter flow) and
+// the heterogeneous-fleet composite.
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
+#include <utility>
+#include <vector>
 
+#include "mobility/class_mix.hpp"
+#include "mobility/commuter_flow.hpp"
 #include "mobility/gauss_markov.hpp"
+#include "mobility/manhattan_grid.hpp"
 #include "mobility/random_direction.hpp"
 #include "mobility/random_waypoint.hpp"
 #include "mobility/static_placement.hpp"
@@ -244,6 +251,238 @@ TEST(GaussMarkov, RejectsBadConfig) {
   c = gm_config();
   c.mean_speed = 0.0;
   EXPECT_THROW(GaussMarkov(2, c, 1), std::invalid_argument);
+}
+
+ManhattanGridConfig mg_config() {
+  ManhattanGridConfig c;
+  c.area = Rect{{0, 0}, {1000, 1000}};
+  c.street_spacing_m = 100.0;
+  c.turn_probability = 0.25;
+  c.v_min = 2.0;
+  c.v_max = 14.0;
+  c.pause_s = 2.0;
+  return c;
+}
+
+TEST(ManhattanGrid, PositionsStayInArea) {
+  ManhattanGrid mg(20, mg_config(), 1);
+  for (double t = 0.0; t < 500.0; t += 3.7) {
+    for (std::size_t i = 0; i < 20; ++i) {
+      const Point p = mg.position_at(i, t);
+      EXPECT_GE(p.x, 0.0);
+      EXPECT_LE(p.x, 1000.0);
+      EXPECT_GE(p.y, 0.0);
+      EXPECT_LE(p.y, 1000.0);
+    }
+  }
+}
+
+TEST(ManhattanGrid, PositionsAreLaneSnapped) {
+  // A vehicle is always on a street line: at least one coordinate sits on
+  // a multiple of the street spacing.  This is the model's structural
+  // promise — no mid-block shortcuts.
+  ManhattanGrid mg(15, mg_config(), 2);
+  const auto on_street = [](double v) {
+    const double r = std::fmod(v, 100.0);
+    return std::min(r, 100.0 - r) < 1e-6;
+  };
+  for (double t = 0.0; t < 400.0; t += 1.3) {
+    for (std::size_t i = 0; i < 15; ++i) {
+      const Point p = mg.position_at(i, t);
+      EXPECT_TRUE(on_street(p.x) || on_street(p.y))
+          << "node " << i << " at t=" << t << " is mid-block: (" << p.x
+          << ", " << p.y << ")";
+    }
+  }
+}
+
+TEST(ManhattanGrid, GridCoversTheArea) {
+  // 1000 m area at 100 m spacing, streets on the half-open max edge
+  // dropped: 10 intersections per axis.
+  ManhattanGrid mg(4, mg_config(), 3);
+  EXPECT_EQ(mg.columns(), 10u);
+  EXPECT_EQ(mg.rows(), 10u);
+}
+
+TEST(ManhattanGrid, SpeedRespectsBoundsAndPauses) {
+  ManhattanGrid mg(10, mg_config(), 4);
+  int paused = 0;
+  for (double t = 0.0; t < 300.0; t += 1.1) {
+    for (std::size_t i = 0; i < 10; ++i) {
+      const double v = mg.speed_at(i, t);
+      EXPECT_TRUE(v == 0.0 || (v >= 2.0 && v <= 14.0));
+      if (v == 0.0) ++paused;
+    }
+  }
+  EXPECT_GT(paused, 0);  // intersection pauses exist
+}
+
+TEST(ManhattanGrid, DeterministicForSameSeed) {
+  ManhattanGrid a(8, mg_config(), 42);
+  ManhattanGrid b(8, mg_config(), 42);
+  for (double t = 0.0; t < 200.0; t += 7.3) {
+    for (std::size_t i = 0; i < 8; ++i) {
+      EXPECT_EQ(a.position_at(i, t), b.position_at(i, t));
+    }
+  }
+}
+
+TEST(ManhattanGrid, QueryPatternDoesNotPerturbTrajectory) {
+  ManhattanGrid a(4, mg_config(), 9);
+  ManhattanGrid b(4, mg_config(), 9);
+  for (double t = 0.0; t < 100.0; t += 0.1) (void)a.position_at(0, t);
+  EXPECT_EQ(a.position_at(3, 100.0), b.position_at(3, 100.0));
+}
+
+TEST(ManhattanGrid, RejectsBadConfig) {
+  auto c = mg_config();
+  c.v_min = 0.0;
+  EXPECT_THROW(ManhattanGrid(2, c, 1), std::invalid_argument);
+  c = mg_config();
+  c.turn_probability = 1.5;
+  EXPECT_THROW(ManhattanGrid(2, c, 1), std::invalid_argument);
+  c = mg_config();
+  c.street_spacing_m = 0.0;
+  EXPECT_THROW(ManhattanGrid(2, c, 1), std::invalid_argument);
+  c = mg_config();
+  c.street_spacing_m = 2000.0;  // fewer than 2x2 intersections fit
+  EXPECT_THROW(ManhattanGrid(2, c, 1), std::invalid_argument);
+}
+
+CommuterFlowConfig cf_config() {
+  CommuterFlowConfig c;
+  c.area = Rect{{0, 0}, {400, 400}};
+  c.period_s = 1000.0;  // long enough that every commute completes
+  c.n_hubs = 2;
+  c.v_min = 2.0;
+  c.v_max = 3.0;
+  return c;
+}
+
+TEST(CommuterFlow, PositionsStayInArea) {
+  CommuterFlow cf(20, cf_config(), 1);
+  for (double t = 0.0; t < 2500.0; t += 13.7) {
+    for (std::size_t i = 0; i < 20; ++i) {
+      const Point p = cf.position_at(i, t);
+      EXPECT_GE(p.x, 0.0);
+      EXPECT_LE(p.x, 400.0);
+      EXPECT_GE(p.y, 0.0);
+      EXPECT_LE(p.y, 400.0);
+    }
+  }
+}
+
+TEST(CommuterFlow, IsNeverTimeInvariant) {
+  // The attractor field churns with the clock, so the radio's static
+  // snapshot fast path must stay off even for a momentarily still fleet.
+  CommuterFlow cf(5, cf_config(), 2);
+  EXPECT_FALSE(cf.time_invariant());
+}
+
+TEST(CommuterFlow, HubsLieInsideTheArea) {
+  CommuterFlow cf(5, cf_config(), 3);
+  ASSERT_EQ(cf.hubs().size(), 2u);
+  for (const Point& h : cf.hubs()) {
+    EXPECT_TRUE((Rect{{0, 0}, {400, 400}}).contains(h));
+  }
+}
+
+TEST(CommuterFlow, DayPhaseGathersTheFleetAtHubs) {
+  // Worst-case commute: 566 m diagonal at v_min 2 m/s = 283 s, plus the
+  // staggered departure (<= 20% of the 500 s half-period).  By t = 450
+  // every node has reached its day target, which sits within the hub
+  // jitter radius (8% of the area side) of a hub center.
+  CommuterFlow cf(30, cf_config(), 4);
+  for (std::size_t i = 0; i < 30; ++i) {
+    const Point p = cf.position_at(i, 450.0);
+    double nearest = 1e9;
+    for (const Point& h : cf.hubs()) {
+      nearest = std::min(nearest, precinct::geo::distance(p, h));
+    }
+    EXPECT_LT(nearest, 50.0) << "node " << i << " not at a hub by day's end";
+  }
+}
+
+TEST(CommuterFlow, NightPhaseReturnsEveryNodeHome) {
+  // At t = 0 a node has not yet departed (staggered start), so it sits at
+  // home; by late night (t = 950) the return commute has completed and it
+  // sits at home again — exactly.  The oracle is monotone per node, so
+  // capture the homes before advancing anyone.
+  CommuterFlow cf(30, cf_config(), 5);
+  std::vector<Point> homes;
+  for (std::size_t i = 0; i < 30; ++i) homes.push_back(cf.position_at(i, 0.0));
+  for (std::size_t i = 0; i < 30; ++i) {
+    EXPECT_EQ(cf.position_at(i, 950.0), homes[i]) << "node " << i;
+  }
+}
+
+TEST(CommuterFlow, DeterministicForSameSeed) {
+  CommuterFlow a(8, cf_config(), 42);
+  CommuterFlow b(8, cf_config(), 42);
+  for (double t = 0.0; t < 1500.0; t += 17.3) {
+    for (std::size_t i = 0; i < 8; ++i) {
+      EXPECT_EQ(a.position_at(i, t), b.position_at(i, t));
+    }
+  }
+}
+
+TEST(CommuterFlow, RejectsBadConfig) {
+  auto c = cf_config();
+  c.period_s = 0.0;
+  EXPECT_THROW(CommuterFlow(2, c, 1), std::invalid_argument);
+  c = cf_config();
+  c.n_hubs = 0;
+  EXPECT_THROW(CommuterFlow(2, c, 1), std::invalid_argument);
+  c = cf_config();
+  c.v_min = 0.0;
+  EXPECT_THROW(CommuterFlow(2, c, 1), std::invalid_argument);
+}
+
+TEST(ClassMix, RoutesQueriesToTheOwningPart) {
+  // A fleet of 3 fixed units then 4 waypoint phones: the composite must
+  // agree with standalone models queried at class-local ids.
+  std::vector<std::unique_ptr<MobilityModel>> parts;
+  parts.push_back(std::make_unique<StaticPlacement>(
+      StaticPlacement::uniform(3, {{0, 0}, {500, 500}}, 7)));
+  parts.push_back(std::make_unique<RandomWaypoint>(4, small_config(), 11));
+  ClassMix mix(std::move(parts));
+  EXPECT_EQ(mix.node_count(), 7u);
+  EXPECT_EQ(mix.part_count(), 2u);
+
+  auto solo_static = StaticPlacement::uniform(3, {{0, 0}, {500, 500}}, 7);
+  RandomWaypoint solo_rwp(4, small_config(), 11);
+  for (double t = 0.0; t < 120.0; t += 4.7) {
+    for (std::size_t i = 0; i < 3; ++i) {
+      EXPECT_EQ(mix.position_at(i, t), solo_static.position_at(i, t));
+    }
+    for (std::size_t j = 0; j < 4; ++j) {
+      EXPECT_EQ(mix.position_at(3 + j, t), solo_rwp.position_at(j, t));
+      EXPECT_EQ(mix.speed_at(3 + j, t), solo_rwp.speed_at(j, t));
+    }
+  }
+}
+
+TEST(ClassMix, TimeInvariantOnlyWhenEveryPartIs) {
+  std::vector<std::unique_ptr<MobilityModel>> all_static;
+  all_static.push_back(std::make_unique<StaticPlacement>(
+      StaticPlacement::uniform(2, {{0, 0}, {100, 100}}, 1)));
+  all_static.push_back(std::make_unique<StaticPlacement>(
+      StaticPlacement::uniform(2, {{0, 0}, {100, 100}}, 2)));
+  EXPECT_TRUE(ClassMix(std::move(all_static)).time_invariant());
+
+  std::vector<std::unique_ptr<MobilityModel>> mixed;
+  mixed.push_back(std::make_unique<StaticPlacement>(
+      StaticPlacement::uniform(2, {{0, 0}, {100, 100}}, 1)));
+  mixed.push_back(std::make_unique<RandomWaypoint>(2, small_config(), 3));
+  EXPECT_FALSE(ClassMix(std::move(mixed)).time_invariant());
+}
+
+TEST(ClassMix, RejectsEmptyOrNullParts) {
+  EXPECT_THROW(ClassMix(std::vector<std::unique_ptr<MobilityModel>>{}),
+               std::invalid_argument);
+  std::vector<std::unique_ptr<MobilityModel>> with_null;
+  with_null.push_back(nullptr);
+  EXPECT_THROW(ClassMix(std::move(with_null)), std::invalid_argument);
 }
 
 TEST(StaticPlacement, UniformStaysInArea) {
